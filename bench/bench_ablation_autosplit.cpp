@@ -1,0 +1,85 @@
+// Ablation: automatic splitting of overly thick flows (Section 3.3:
+// "splitting an overly thick flow does not need to be done for each
+// instruction separately, but the OS can split such flows automatically").
+//
+// One SPAWN of thickness T on a P=4 machine, with the OS splitter bound
+// swept. Without splitting the flow occupies one TCF processor; splitting
+// into >= P fragments engages the whole machine; over-splitting only adds
+// spawn/branch overhead.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+#include "sched/allocation.hpp"
+#include "tcf/builder.hpp"
+
+using namespace tcfpn;
+
+namespace {
+
+isa::Program spawn_work(Word n, Addr a, Addr c) {
+  tcf::AsmBuilder s;
+  using namespace tcf;
+  auto worker = s.make_label("worker");
+  s.ldi(r1, n);
+  s.spawn(r1, worker);
+  s.joinall();
+  s.halt();
+  s.bind(worker);  // fragment convention: r15 = base lane offset
+  s.tid(r2);
+  s.add(r2, r2, r15);
+  s.add(r3, r2, static_cast<Word>(a));
+  s.ld(r4, r3);
+  s.mul(r4, r4, Word{3});
+  s.add(r5, r2, static_cast<Word>(c));
+  s.st(r4, r5);
+  s.halt();
+  return s.build();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "ABLATION — automatic splitting of overly thick flows (Section 3.3)",
+      "split bound sweep: unsplit = 1 busy processor; >= P fragments = "
+      "full machine; tiny fragments = spawn overhead");
+
+  const Word n = 1024;
+  const Addr a = 4096, c = 1 << 16;
+  Table t({"split bound", "fragments", "cycles", "speedup", "utilization"});
+  Cycle unsplit = 0;
+  for (Word bound : {0, 512, 256, 128, 32, 8}) {
+    auto cfg = bench::default_cfg(4, 16);
+    machine::Machine m(cfg);
+    if (bound > 0) sched::install_auto_splitter(m, bound);
+    m.load(spawn_work(n, a, c));
+    for (Word i = 0; i < n; ++i) m.shared().poke(a + i, i);
+    m.boot(1);
+    if (!m.run().completed) return 1;
+    for (Word i = 0; i < n; ++i) {
+      if (m.shared().peek(c + i) != 3 * i) {
+        std::printf("WRONG RESULT at %lld\n", static_cast<long long>(i));
+        return 1;
+      }
+    }
+    if (bound == 0) unsplit = m.stats().cycles;
+    const Word frags = bound == 0 ? 1 : (n + bound - 1) / bound;
+    t.add(bound == 0 ? "none" : std::to_string(bound), frags,
+          m.stats().cycles,
+          static_cast<double>(unsplit) /
+              static_cast<double>(m.stats().cycles),
+          m.stats().utilization());
+  }
+  t.print();
+
+  std::printf(
+      "\nReading: splitting to ~T/P-wide fragments recovers the paper's\n"
+      "horizontal-allocation speedup automatically at SPAWN time. The\n"
+      "super-linear region (speedup > P) is the register-cache effect:\n"
+      "fragments that fit the cached register file also avoid the operand\n"
+      "spill penalty the monolithic flow pays. Far below T/P, extra\n"
+      "fragments only add O(R) split cost per SPAWN.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation: address-to-module placement. ESM machines rely on randomised
+// (hashed) placement to avoid hot memory modules; plain modulo interleaving
+// collapses when the access stride matches the module count. This bench
+// shows the step-length penalty and its repair — the substrate assumption
+// behind the model's "bandwidth of a group of processors to the shared
+// memory and local memory are the same".
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+#include "tcf/builder.hpp"
+#include "tcf/kernels.hpp"
+
+using namespace tcfpn;
+
+namespace {
+
+struct Result {
+  Cycle cycles;
+  Cycle memory_wait;
+  std::uint64_t hottest;
+};
+
+Result run(bool hashed, Word stride, Word n) {
+  auto cfg = bench::default_cfg(4, 16);
+  machine::Machine m(cfg);
+  // Strided access: element index = (r15 + tid) * stride. With stride equal
+  // to the module count, EVERY reference lands in one module. The flow is
+  // split into 4 fragments over the 4 groups, so each group's compute term
+  // is n/4 — small enough that a hot module dominates the step.
+  tcf::AsmBuilder s;
+  using namespace tcf;
+  s.tid(r1);
+  s.add(r1, r1, r15);          // global element index
+  s.mul(r1, r1, stride);
+  s.add(r2, r1, Word{4096});   // &a[i*stride]
+  s.ld(r3, r2);
+  s.add(r3, r3, Word{1});
+  s.add(r4, r1, Word{1 << 16});  // &c[i*stride]
+  s.st(r3, r4);
+  s.halt();
+  m.load(s.build());
+  if (hashed) {
+    const std::uint32_t mods = m.shared().modules();
+    m.shared().set_address_hash([mods](Addr a) {
+      return static_cast<std::uint32_t>(((a * 0x9E3779B97F4A7C15ull) >> 33) %
+                                        mods);
+    });
+  }
+  const Word frag = n / 4;
+  for (GroupId g = 0; g < 4; ++g) {
+    const FlowId id = m.boot_at(0, frag, g);
+    for (Word lane = 0; lane < frag; ++lane) {
+      m.poke_reg(id, static_cast<LaneId>(lane), 15,
+                 static_cast<Word>(g) * frag);
+    }
+  }
+  m.run();
+  std::uint64_t hottest = m.shared().last_step_max_module_load();
+  return {m.stats().cycles, m.stats().memory_wait_cycles, hottest};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "ABLATION — memory module placement: modulo vs hashed",
+      "randomised placement keeps module load balanced under strided "
+      "access; naive interleaving creates hot modules and serialisation");
+
+  Table t({"stride", "placement", "cycles", "memory-wait cycles"});
+  for (Word stride : {1, 3, 4, 8}) {  // 4 = module count: the bad case
+    for (bool hashed : {false, true}) {
+      const auto r = run(hashed, stride, 256);
+      t.add(stride, hashed ? "hashed" : "modulo", r.cycles, r.memory_wait);
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nReading: with modulo placement, stride 4 (= module count) funnels\n"
+      "all 256 references of each thick memory instruction into one module\n"
+      "— the memory term dominates the step. Hashed placement restores\n"
+      "balanced load at every stride, which is why ESM realisations hash\n"
+      "their address space.\n");
+  return 0;
+}

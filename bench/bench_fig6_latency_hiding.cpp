@@ -1,0 +1,86 @@
+// Reproduces Figure 6: execution of TCF/bunch slices in a single-processor
+// view — multithreaded (PRAM-mode) latency hiding versus NUMA-mode bunched
+// execution.
+//
+// Experiment A: an ESM processor with T_p thread slots runs a shared-memory
+// workload with a varying number of active threads. The step is T_p slots
+// long whatever the activity, so memory latency is hidden exactly when
+// enough threads are live (utilization = a/T_p, cycles/op = T_p/a).
+//
+// Experiment B: the same sequential (1-thread) section executed as a NUMA
+// block of length L against local memory: cost per instruction approaches 1
+// instead of T_p.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+#include "tcf/kernels.hpp"
+
+using namespace tcfpn;
+
+int main() {
+  bench::banner("FIGURE 6 — PRAM-mode latency hiding vs NUMA bunches",
+                "multithreading hides shared-memory latency when enough "
+                "threads are active; NUMA bunches repair the sequential "
+                "case");
+
+  constexpr std::uint32_t kTp = 16;
+  constexpr Word kIters = 64;
+
+  std::printf("\n[A] PRAM mode: active threads vs utilization (Tp=%u)\n",
+              kTp);
+  Table a({"active threads", "cycles", "cycles/op", "utilization"});
+  for (std::uint64_t active : {1u, 2u, 4u, 8u, 16u}) {
+    auto cfg = bench::default_cfg(/*groups=*/1, kTp);
+    cfg.variant = machine::Variant::kSingleOperation;
+    cfg.net.wire_latency = 4;  // memory is far away; threads must hide it
+    machine::Machine m(cfg);
+    m.load(tcf::kernels::low_tlp_pram(kIters));
+    tcf::kernels::boot_esm_threads(m, 0, active);
+    // Give each thread a private accumulator cell to avoid CRCW collisions.
+    // (low_tlp_pram uses cell 0; with >1 threads they race benignly under
+    // Arbitrary CRCW — the cost shape, not the value, is the experiment.)
+    if (!m.run().completed) return 1;
+    const auto& st = m.stats();
+    a.add(active, st.cycles,
+          static_cast<double>(st.cycles) / static_cast<double>(st.operations / active),
+          st.utilization());
+  }
+  a.print();
+
+  std::printf("\n[B] the same sequential section as a NUMA bunch\n");
+  Table b({"mode", "cycles", "cycles/instruction"});
+  {
+    auto cfg = bench::default_cfg(1, kTp);
+    cfg.variant = machine::Variant::kSingleOperation;
+    machine::Machine m(cfg);
+    m.load(tcf::kernels::low_tlp_pram(kIters));
+    tcf::kernels::boot_esm_threads(m, 0, 1);
+    m.run();
+    b.add("PRAM, 1 thread of Tp=16",
+          m.stats().cycles,
+          static_cast<double>(m.stats().cycles) /
+              static_cast<double>(m.stats().tcf_instructions));
+  }
+  for (Word block : {2, 4, 8, 16}) {
+    auto cfg = bench::default_cfg(1, kTp);
+    cfg.variant = machine::Variant::kConfigSingleOperation;
+    machine::Machine m(cfg);
+    m.load(tcf::kernels::low_tlp_numa(block, kIters));
+    m.boot(1);
+    m.run();
+    b.add("NUMA bunch, L=" + std::to_string(block),
+          m.stats().cycles,
+          static_cast<double>(m.stats().cycles) /
+              static_cast<double>(m.stats().tcf_instructions));
+  }
+  b.print();
+
+  std::printf(
+      "\nReading: PRAM-mode utilization collapses as a/Tp when parallelism\n"
+      "is short (upper table), while a NUMA bunch executes L consecutive\n"
+      "instructions per step and drives cycles/instruction towards 1\n"
+      "(lower table) — the PRAM-NUMA low-TLP repair the paper builds on.\n");
+  return 0;
+}

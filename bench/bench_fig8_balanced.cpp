@@ -1,0 +1,88 @@
+// Reproduces Figure 8: the balanced variant — every processor executes a
+// bounded number B of operations per step; interrupted TCF instructions
+// resume from next_unexecuted. Thin flows stop being hostage to thick
+// neighbours, at the price of more steps (more frequent synchronisation,
+// and u/b fetches per thick instruction).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+#include "tcf/builder.hpp"
+
+using namespace tcfpn;
+
+namespace {
+
+isa::Program two_entry_payload() {
+  tcf::AsmBuilder s;
+  using namespace tcf;
+  auto thick = s.make_label("thick");
+  for (int i = 0; i < 40; ++i) s.add(r1, r1, Word{1});
+  s.halt();
+  s.bind(thick);
+  for (int i = 0; i < 40; ++i) s.add(r1, r1, Word{1});
+  s.halt();
+  return s.build();
+}
+
+struct Outcome {
+  Cycle thin_done;
+  Cycle makespan;
+  StepId steps;
+  std::uint64_t fetches;
+};
+
+Outcome run(machine::Variant v, std::uint32_t bound, Word thick_t) {
+  auto cfg = bench::default_cfg(2, 16);
+  cfg.variant = v;
+  cfg.balanced_bound = bound == 0 ? 16 : bound;  // unused for single-instr
+  machine::Machine m(cfg);
+  const auto prog = two_entry_payload();
+  m.load(prog);
+  const FlowId thin_id = m.boot_at(0, 8, 0);
+  m.boot_at(prog.label("thick"), thick_t, 1);
+  Cycle thin_done = 0;
+  while (m.step()) {
+    if (thin_done == 0 &&
+        m.find_flow(thin_id)->status == machine::FlowStatus::kHalted) {
+      thin_done = m.stats().cycles;
+    }
+  }
+  if (thin_done == 0) thin_done = m.stats().cycles;
+  return {thin_done, m.stats().cycles, m.stats().steps,
+          m.stats().instruction_fetches};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("FIGURE 8 — balanced variant, bounded ops per step",
+                "the bound decouples thin flows from thick neighbours; "
+                "scheduling changes, programmability does not; penalty: "
+                "more frequent synchronisation");
+
+  const Word thick_t = 1024;
+  std::printf("\nthin flow (thickness 8) next to a thickness-%lld flow:\n",
+              static_cast<long long>(thick_t));
+  Table t({"variant", "B", "thin done (cycles)", "makespan", "steps",
+           "fetches"});
+  {
+    const auto o = run(machine::Variant::kSingleInstruction, 0, thick_t);
+    t.add("single-instruction", "-", o.thin_done, o.makespan, o.steps,
+          o.fetches);
+  }
+  for (std::uint32_t bound : {8u, 16u, 64u, 256u}) {
+    const auto o = run(machine::Variant::kBalanced, bound, thick_t);
+    t.add("balanced", bound, o.thin_done, o.makespan, o.steps, o.fetches);
+  }
+  t.print();
+
+  std::printf(
+      "\nReading: under the balanced variant the thin flow finishes orders\n"
+      "of magnitude earlier (cycles at bound B instead of thick-length\n"
+      "steps). Smaller B = fairer but more steps and more re-fetches\n"
+      "(the u/b row of Table 1); larger B converges back to\n"
+      "single-instruction behaviour.\n");
+  return 0;
+}

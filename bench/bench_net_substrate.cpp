@@ -1,0 +1,100 @@
+// Exercises the Figures 1/2/5 substrate: the distance-aware interconnection
+// network. The model requires routing latency proportional to the distance
+// between source processor group and destination memory module, and enough
+// bandwidth for random traffic; this bench measures both, per topology.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "net/network.hpp"
+
+using namespace tcfpn;
+
+int main() {
+  bench::banner(
+      "NETWORK SUBSTRATE — distance-aware latency & congestion (Figs. 1/2/5)",
+      "latency of routing is proportional to the distance between the "
+      "source processor and destination memory block");
+
+  constexpr std::uint32_t kNodes = 16;
+
+  std::printf("\n[A] uncongested latency ∝ distance (per topology)\n");
+  Table a({"topology", "diameter", "lat d=1", "lat d=2", "lat d=max"});
+  for (auto kind : {net::TopologyKind::kCrossbar, net::TopologyKind::kRing,
+                    net::TopologyKind::kMesh2D, net::TopologyKind::kTorus2D,
+                    net::TopologyKind::kHypercube}) {
+    auto measure = [&](std::uint32_t want_dist) -> std::string {
+      net::Network netw(net::make_topology(kind, kNodes));
+      const auto& topo = netw.topology();
+      for (net::NodeId dst = 0; dst < topo.nodes(); ++dst) {
+        if (topo.distance(0, dst) == want_dist) {
+          netw.inject(0, dst);
+          netw.drain();
+          return std::to_string(netw.latency_samples().max());
+        }
+      }
+      return "-";
+    };
+    net::Network probe(net::make_topology(kind, kNodes));
+    const auto diam = probe.topology().diameter();
+    a.add_row({std::string(net::to_string(kind)), std::to_string(diam),
+               measure(1), measure(2), measure(diam)});
+  }
+  a.print();
+
+  std::printf("\n[B] random vs hot-spot traffic, 256 packets, 16 nodes\n");
+  Table b({"topology", "pattern", "drain cycles", "mean lat", "p95 lat",
+           "peak queue"});
+  for (auto kind : {net::TopologyKind::kRing, net::TopologyKind::kMesh2D,
+                    net::TopologyKind::kTorus2D,
+                    net::TopologyKind::kHypercube}) {
+    for (bool hotspot : {false, true}) {
+      net::Network netw(net::make_topology(kind, kNodes));
+      Rng rng(2026);
+      for (int i = 0; i < 256; ++i) {
+        const auto src = static_cast<net::NodeId>(rng.below(kNodes));
+        const auto dst =
+            hotspot ? 0 : static_cast<net::NodeId>(rng.below(kNodes));
+        netw.inject(src, dst);
+      }
+      const Cycle took = netw.drain();
+      b.add_row({std::string(net::to_string(kind)),
+                 hotspot ? "hot-spot (all->0)" : "uniform random",
+                 std::to_string(took),
+                 tcfpn::detail::cell_to_string(netw.latency_samples().mean()),
+                 tcfpn::detail::cell_to_string(
+                     netw.latency_samples().percentile(95)),
+                 std::to_string(netw.peak_queue_length())});
+    }
+  }
+  b.print();
+
+  std::printf("\n[C] throughput saturation: offered load vs drain time\n");
+  Table c({"packets", "ring drain", "mesh drain", "hypercube drain",
+           "crossbar drain"});
+  for (int packets : {32, 128, 512, 2048}) {
+    std::vector<std::string> row{std::to_string(packets)};
+    for (auto kind :
+         {net::TopologyKind::kRing, net::TopologyKind::kMesh2D,
+          net::TopologyKind::kHypercube, net::TopologyKind::kCrossbar}) {
+      net::Network netw(net::make_topology(kind, kNodes));
+      Rng rng(7);
+      for (int i = 0; i < packets; ++i) {
+        netw.inject(static_cast<net::NodeId>(rng.below(kNodes)),
+                    static_cast<net::NodeId>(rng.below(kNodes)));
+      }
+      row.push_back(std::to_string(netw.drain()));
+    }
+    c.add_row(row);
+  }
+  c.print();
+
+  std::printf(
+      "\nReading: latency grows with hop distance exactly (table A);\n"
+      "hot-spot traffic serialises at the destination module (table B's\n"
+      "drain/queue columns); richer topologies sustain random traffic with\n"
+      "flatter drain growth (table C) — the bandwidth assumption ESM-style\n"
+      "PRAM emulation rests on.\n");
+  return 0;
+}

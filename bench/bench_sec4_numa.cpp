@@ -1,0 +1,67 @@
+// Reproduces Section 4's low-parallelism comparison: when the data-element
+// count is too low for latency hiding, PRAM-NUMA writes
+//     numa if (_processor_id < size) c[id] = a[id] + b[id];
+// while the extended model writes `#1/T; c. = a. + b.;` — and the
+// single-operation variant simply drops to 1/T_p utilization.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+#include "tcf/kernels.hpp"
+
+using namespace tcfpn;
+
+int main() {
+  bench::banner(
+      "SECTION 4 — low-parallelism (NUMA) sections",
+      "`#1/T;` (extended) and `numa` bunching (PRAM-NUMA) keep sequential "
+      "sections fast; plain ESM drops to 1/Tp utilization");
+
+  constexpr Word kLen = 128;  // sequential instructions in the section
+  Table t({"model / statement", "cycles", "cycles per instr",
+           "utilization"});
+  {  // ESM: sequential section on 1 of Tp threads
+    auto cfg = bench::default_cfg(1, 16);
+    cfg.variant = machine::Variant::kSingleOperation;
+    machine::Machine m(cfg);
+    m.load(tcf::kernels::low_tlp_pram(kLen));
+    tcf::kernels::boot_esm_threads(m, 0, 1);
+    m.run();
+    t.add("ESM single thread (no NUMA)", m.stats().cycles,
+          static_cast<double>(m.stats().cycles) /
+              static_cast<double>(m.stats().tcf_instructions),
+          m.stats().utilization());
+  }
+  {  // original PRAM-NUMA: numa bunch of Tp processors
+    auto cfg = bench::default_cfg(1, 16);
+    cfg.variant = machine::Variant::kConfigSingleOperation;
+    machine::Machine m(cfg);
+    m.load(tcf::kernels::low_tlp_numa(16, kLen));
+    m.boot(1);
+    m.run();
+    t.add("PRAM-NUMA `numa` bunch (16)", m.stats().cycles,
+          static_cast<double>(m.stats().cycles) /
+              static_cast<double>(m.stats().tcf_instructions),
+          m.stats().utilization());
+  }
+  for (Word l : {4, 16}) {  // extended model: `#1/L;`
+    auto cfg = bench::default_cfg(1, 16);
+    machine::Machine m(cfg);
+    m.load(tcf::kernels::low_tlp_numa(l, kLen));
+    m.boot(1);
+    m.run();
+    t.add("extended `#1/" + std::to_string(l) + ";`", m.stats().cycles,
+          static_cast<double>(m.stats().cycles) /
+              static_cast<double>(m.stats().tcf_instructions),
+          m.stats().utilization());
+  }
+  t.print();
+
+  std::printf(
+      "\nReading: the extended model reaches the same NUMA efficiency as\n"
+      "the original PRAM-NUMA bunch, but with a single thickness statement\n"
+      "(#1/T;) instead of the numa construct plus processor-id conditional\n"
+      "— and the plain ESM case shows why either is needed.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Section 4's multioperation example:
+//
+//   PRAM-NUMA (looping):  for (i=tid; i<size; i+=nthreads)
+//                             prefix(source[i], MPADD, &sum, source[i]);
+//   extended model:       prefix(source, MPADD, &sum, source);
+//
+// One thick multiprefix instruction replaces the loop; the active-memory
+// units combine all contributions within a step.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+#include "tcf/kernels.hpp"
+
+using namespace tcfpn;
+
+int main() {
+  bench::banner(
+      "SECTION 4 — multiprefix: one thick instruction vs the thread loop",
+      "`prefix(source, MPADD, &sum, source);` subsumes the whole loop "
+      "(both machines normalised to one processor)");
+
+  constexpr Addr kSrc = 1 << 12, kDst = 1 << 14, kSum = 64;
+  Table t({"model", "n", "cycles", "fetches", "sum ok"});
+  for (Word n : {64, 256, 1024, 4096}) {
+    const Word want = n * (n + 1) / 2;
+    {
+      auto cfg = bench::default_cfg(/*groups=*/1);
+      machine::Machine m(cfg);
+      m.load(tcf::kernels::prefix_tcf(n, kSrc, kDst, kSum));
+      for (Word i = 0; i < n; ++i) m.shared().poke(kSrc + i, i + 1);
+      m.boot(1);
+      m.run();
+      t.add("TCF thick multiprefix", n, m.stats().cycles,
+            m.stats().instruction_fetches, m.shared().peek(kSum) == want);
+    }
+    {
+      auto cfg = bench::default_cfg(/*groups=*/1);
+      cfg.variant = machine::Variant::kConfigSingleOperation;
+      machine::Machine m(cfg);
+      m.load(tcf::kernels::prefix_esm_loop(n, kSrc, kDst, kSum));
+      for (Word i = 0; i < n; ++i) m.shared().poke(kSrc + i, i + 1);
+      tcf::kernels::boot_esm_threads(m, 0, cfg.total_slots());
+      m.run();
+      t.add("PRAM-NUMA loop", n, m.stats().cycles,
+            m.stats().instruction_fetches, m.shared().peek(kSum) == want);
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nReading: the extended version issues one PPADD of thickness n (one\n"
+      "fetch); the looping version executes ceil(n/threads) rounds of index\n"
+      "arithmetic, bounds tests and per-thread fetches around its PPADDs.\n"
+      "Totals agree — multioperations are order-independent.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Reproduces Section 4's lead example: element-wise vector add when the
+// problem size does not match the hardware thread count.
+//
+//   PRAM-NUMA / ESM:  for (i = tid; i < size; i += nthreads) c[i]=a[i]+b[i]
+//   extended model:   #size;  c. = a. + b.;
+//   XMT:              fork (tid = 0; tid < size) c[tid] = a[tid] + b[tid]
+//   vector/SIMD:      strip-mined masked chunks
+//
+// The claim is about program shape (no loops, no thread arithmetic) and its
+// cost: the TCF version compiles to a non-looping sequence of instructions
+// whose count is independent of size.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+#include "tcf/kernels.hpp"
+
+using namespace tcfpn;
+
+namespace {
+
+constexpr Addr kA = 1 << 12, kB = 1 << 14, kC = 1 << 16;
+
+void seed(machine::Machine& m, Word n) {
+  for (Word i = 0; i < n; ++i) {
+    m.shared().poke(kA + i, i);
+    m.shared().poke(kB + i, i);
+  }
+}
+
+bool check(machine::Machine& m, Word n) {
+  for (Word i = 0; i < n; ++i) {
+    if (m.shared().peek(kC + i) != 2 * i) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "SECTION 4 — vector add across programming models",
+      "`#size; c.=a.+b.;` needs no loop and no thread arithmetic; the "
+      "program length is size-independent, unlike the ESM loop idiom");
+
+  Table t({"model", "n", "static instrs", "dyn instrs", "fetches", "cycles",
+           "correct"});
+  for (Word n : {24, 64, 100, 256, 1000}) {
+    {  // extended TCF
+      auto cfg = bench::default_cfg();
+      machine::Machine m(cfg);
+      const auto p = tcf::kernels::vecadd_tcf(n, kA, kB, kC);
+      m.load(p);
+      seed(m, n);
+      m.boot(1);
+      m.run();
+      t.add("TCF  #size; c.=a.+b.", n, p.size(), m.stats().tcf_instructions,
+            m.stats().instruction_fetches, m.stats().cycles, check(m, n));
+    }
+    {  // ESM loop over fixed threads
+      auto cfg = bench::default_cfg();
+      cfg.variant = machine::Variant::kSingleOperation;
+      machine::Machine m(cfg);
+      const auto p = tcf::kernels::vecadd_esm_loop(n, kA, kB, kC);
+      m.load(p);
+      seed(m, n);
+      tcf::kernels::boot_esm_threads(m, 0, cfg.total_slots());
+      m.run();
+      t.add("ESM  for(i=tid;...)", n, p.size(), m.stats().tcf_instructions,
+            m.stats().instruction_fetches, m.stats().cycles, check(m, n));
+    }
+    {  // XMT fork
+      auto cfg = bench::default_cfg();
+      cfg.variant = machine::Variant::kMultiInstruction;
+      machine::Machine m(cfg);
+      const auto p = tcf::kernels::vecadd_fork(n, kA, kB, kC);
+      m.load(p);
+      seed(m, n);
+      m.boot(1);
+      m.run();
+      t.add("XMT  fork(tid<size)", n, p.size(), m.stats().operations,
+            m.stats().instruction_fetches, m.stats().cycles, check(m, n));
+    }
+    {  // SIMD strip-mined
+      auto cfg = bench::default_cfg(1);
+      cfg.variant = machine::Variant::kFixedThickness;
+      machine::Machine m(cfg);
+      const auto p = tcf::kernels::vecadd_simd(n, 16, kA, kB, kC);
+      m.load(p);
+      seed(m, n);
+      m.boot(16);
+      m.run();
+      t.add("SIMD strip-mined", n, p.size(), m.stats().tcf_instructions,
+            m.stats().instruction_fetches, m.stats().cycles, check(m, n));
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nReading: the TCF program is 6 instructions whatever n is, fetches\n"
+      "each once, and executes exactly 4 memory/ALU lane-ops per element.\n"
+      "The ESM loop re-executes bounds tests and index arithmetic per\n"
+      "round; SIMD re-executes masked chunks including the tail waste; XMT\n"
+      "pays per-thread index arithmetic plus fork/join.\n");
+  return 0;
+}

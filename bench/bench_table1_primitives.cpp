@@ -1,0 +1,222 @@
+// Reproduces Table 1: "Key properties and estimated cost of some primitive
+// operations in the extended PRAM-NUMA variants".
+//
+// The paper gives symbolic estimates (b = bound, m = small constant,
+// P = cores, R = registers, T_p = threads/processor, u = unbounded
+// variable). This bench prints those symbolic rows next to values
+// *measured on the simulator* for a concrete configuration, so the
+// cost-model claims are reproduced rather than asserted.
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "machine/cost_model.hpp"
+#include "machine/machine.hpp"
+#include "tcf/builder.hpp"
+#include "tcf/kernels.hpp"
+
+using namespace tcfpn;
+
+namespace {
+
+using machine::Machine;
+using machine::MachineConfig;
+using machine::Variant;
+
+constexpr Word kThickness = 64;  // the "u" of the measurement
+constexpr Word kPayload = 16;    // thick ALU instructions measured
+
+constexpr std::array<Variant, 6> kVariants = {
+    Variant::kSingleInstruction,   Variant::kBalanced,
+    Variant::kMultiInstruction,    Variant::kSingleOperation,
+    Variant::kConfigSingleOperation, Variant::kFixedThickness,
+};
+
+MachineConfig cfg_for(Variant v) {
+  auto cfg = bench::default_cfg(/*groups=*/v == Variant::kFixedThickness ? 1
+                                           : 4,
+                                /*slots=*/64);
+  cfg.variant = v;
+  cfg.balanced_bound = 16;  // the "b"
+  cfg.registers_per_context = 16;
+  return cfg;
+}
+
+// A flat payload: kPayload thick ALU instructions, no SETTHICK (so the same
+// program runs on every variant; thickness comes from boot).
+isa::Program payload_program() {
+  tcf::AsmBuilder s;
+  using namespace tcf;
+  for (Word i = 0; i < kPayload; ++i) s.add(r1, r1, Word{1});
+  s.halt();
+  return s.build();
+}
+
+// Fetches per logical thick instruction of thickness kThickness.
+double measure_fetches(Variant v) {
+  auto cfg = cfg_for(v);
+  Machine m(cfg);
+  m.load(payload_program());
+  if (v == Variant::kSingleOperation ||
+      v == Variant::kConfigSingleOperation) {
+    // Thread machines express a thick instruction as kThickness threads.
+    tcf::kernels::boot_esm_threads(m, 0, kThickness);
+  } else {
+    m.boot(kThickness);
+  }
+  m.run();
+  // Total fetches include the HALT epilogue; normalise by the payload.
+  return static_cast<double>(m.stats().instruction_fetches) /
+         static_cast<double>(kPayload + 1);
+}
+
+// Cost of switching a resident task, and of a spilled/preempted one.
+std::pair<Cycle, Cycle> measure_task_switch(Variant v) {
+  auto cfg = cfg_for(v);
+  Machine m(cfg);
+  m.load(payload_program());
+  FlowId t0;
+  if (v == Variant::kSingleOperation ||
+      v == Variant::kConfigSingleOperation) {
+    t0 = tcf::kernels::boot_esm_threads(m, 0, 2)[0];
+  } else {
+    t0 = m.boot(kThickness);
+  }
+  const Cycle resident = m.suspend_flow(t0);
+  const Cycle spilled = m.evict_flow(t0) + [&] {
+    return m.resume_flow(t0);
+  }();
+  return {resident, spilled};
+}
+
+// Measured flow-branch (split) cost per SPAWN.
+std::string measure_flow_branch(Variant v) {
+  if (v == Variant::kFixedThickness) return "n/a (no control par.)";
+  auto cfg = cfg_for(v);
+  Machine m(cfg);
+  tcf::AsmBuilder s;
+  using namespace tcf;
+  auto child = s.make_label("child");
+  s.ldi(r1, 4);
+  s.spawn(r1, child);
+  s.joinall();
+  s.halt();
+  s.bind(child);
+  s.halt();
+  m.load(s.build());
+  if (v == Variant::kSingleOperation ||
+      v == Variant::kConfigSingleOperation) {
+    // Thread machines spawn thickness-1 children.
+    Machine m2(cfg);
+    tcf::AsmBuilder s2;
+    auto c2 = s2.make_label("child");
+    s2.ldi(r1, 1);
+    s2.spawn(r1, c2);
+    s2.joinall();
+    s2.halt();
+    s2.bind(c2);
+    s2.halt();
+    m2.load(s2.build());
+    m2.boot(1);
+    m2.run();
+    return std::to_string(m2.stats().branch_cost_cycles) + " cycles";
+  }
+  m.boot(1);
+  m.run();
+  return std::to_string(m.stats().branch_cost_cycles) + " cycles";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "TABLE 1 — key properties & cost of primitives per variant",
+      "fetches/TCF: 1 | u/b | Tp | Tp | Tp | Tp; task switch: 0 | 0 | O(1) "
+      "| O(Tp) | O(Tp) | O(Tp); flow branch: O(R) | O(R) | O(1) | O(1) | "
+      "O(1) | O(1)");
+  bench::note("measurement config: P=4 (1 for SIMD), Tp=64, R=16, b=16, "
+              "u=" + std::to_string(kThickness));
+
+  Table symbolic({"property", "single-instr", "balanced", "multi-instr",
+                  "single-op", "config-single-op", "fixed-thick"});
+  auto row = [&](const char* name, auto getter) {
+    std::vector<std::string> cells{name};
+    for (Variant v : kVariants) cells.push_back(getter(v));
+    symbolic.add_row(cells);
+  };
+  row("Number of TCFs", [](Variant v) {
+    return std::string(machine::variant_traits(v).num_tcfs);
+  });
+  row("Number of threads", [](Variant v) {
+    return std::string(machine::variant_traits(v).num_threads);
+  });
+  row("Registers per thread", [](Variant v) {
+    return std::string(machine::variant_traits(v).regs_per_thread);
+  });
+  row("Fetches per TCF", [](Variant v) {
+    return std::string(machine::variant_traits(v).fetches_per_tcf);
+  });
+  row("PRAM operation", [](Variant v) {
+    return std::string(machine::variant_traits(v).pram_operation ? "yes"
+                                                                 : "no");
+  });
+  row("NUMA operation", [](Variant v) {
+    return std::string(machine::variant_traits(v).numa_operation ? "yes"
+                                                                 : "no");
+  });
+  row("Sequential operation", [](Variant v) {
+    return std::string(machine::variant_traits(v).sequential_via);
+  });
+  row("MIMD", [](Variant v) {
+    return std::string(machine::variant_traits(v).mimd ? "yes" : "no");
+  });
+  std::printf("\n[symbolic rows, as printed in the paper]\n");
+  symbolic.print();
+
+  Table measured({"measured property", "single-instr", "balanced",
+                  "multi-instr", "single-op", "config-single-op",
+                  "fixed-thick"});
+  {
+    std::vector<std::string> cells{"fetches per thick instr (u=64)"};
+    for (Variant v : kVariants) {
+      cells.push_back(tcfpn::detail::cell_to_string(measure_fetches(v)));
+    }
+    measured.add_row(cells);
+  }
+  {
+    std::vector<std::string> resident{"task switch, resident (cycles)"};
+    std::vector<std::string> spilled{"task switch, displaced (cycles)"};
+    for (Variant v : kVariants) {
+      const auto [r, s] = measure_task_switch(v);
+      resident.push_back(std::to_string(r));
+      spilled.push_back(std::to_string(s));
+    }
+    measured.add_row(resident);
+    measured.add_row(spilled);
+  }
+  {
+    std::vector<std::string> cells{"flow branch (cycles per split)"};
+    for (Variant v : kVariants) cells.push_back(measure_flow_branch(v));
+    measured.add_row(cells);
+  }
+  {
+    std::vector<std::string> cells{"registers per thread (analytic)"};
+    for (Variant v : kVariants) {
+      cells.push_back(tcfpn::detail::cell_to_string(
+          machine::registers_per_thread(cfg_for(v), kThickness)));
+    }
+    measured.add_row(cells);
+  }
+  std::printf("\n[measured on the simulator]\n");
+  measured.print();
+
+  std::printf(
+      "\nReading: the TCF-aware variants fetch once per thick instruction\n"
+      "(balanced: once per resumed fragment, u/b), switch resident tasks\n"
+      "for free, and pay O(R) per flow split; thread machines fetch per\n"
+      "thread and pay O(Tp*R) per task switch. The SIMD machine fetches\n"
+      "once per vector instruction but has no control parallelism.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared helpers for the experiment benches. Every bench prints the paper
+// artefact it regenerates, the machine parameters, and paper-shaped rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+
+namespace tcfpn::bench {
+
+inline machine::MachineConfig default_cfg(std::uint32_t groups = 4,
+                                          std::uint32_t slots = 16) {
+  machine::MachineConfig cfg;
+  cfg.groups = groups;
+  cfg.slots_per_group = slots;
+  cfg.shared_words = 1u << 20;
+  cfg.local_words = 1u << 14;
+  cfg.topology = net::TopologyKind::kMesh2D;
+  return cfg;
+}
+
+inline void banner(const std::string& artefact, const std::string& claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", artefact.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("-- %s\n", text.c_str());
+}
+
+}  // namespace tcfpn::bench

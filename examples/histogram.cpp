@@ -1,0 +1,96 @@
+// Histogram with active-memory multioperations — the classic fine-grained
+// PRAM workload that breaks on machines without combining.
+//
+// A thick flow of one lane per sample classifies its sample and issues one
+// MPADD to its bucket; all same-bucket contributions combine within a
+// step. A second thick multiprefix pass converts bucket counts into start
+// offsets and scatters the samples into sorted-by-bucket order (a counting
+// sort) — all without a single loop over the data.
+//
+// Build & run:  ./example_histogram [samples] [buckets]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "tcf/runtime.hpp"
+
+using namespace tcfpn;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5000;
+  const std::size_t buckets =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 16;
+
+  machine::MachineConfig cfg;
+  cfg.groups = 4;
+  cfg.slots_per_group = 16;
+  cfg.shared_words = 1u << 22;
+  tcf::Runtime rt(cfg);
+
+  // Synthetic samples (deterministic).
+  Rng rng(42);
+  std::vector<Word> samples(n);
+  for (auto& s : samples) s = static_cast<Word>(rng.below(1000));
+  const tcf::Buffer data = rt.array(samples);
+  const tcf::Buffer hist = rt.array(buckets);
+  const tcf::Buffer offsets = rt.array(buckets);
+  const tcf::Buffer sorted = rt.array(n);
+  const Word width = static_cast<Word>(1000 / buckets + 1);
+
+  const auto stats = rt.run([&](tcf::Flow& f) {
+    // Pass 1: one thick instruction, n lanes, combining MPADDs.
+    f.thick(n);
+    f.apply([&](tcf::Lane& l) {
+      const Word bucket = l.read(data, l.id()) / width;
+      l.multi_add(hist, static_cast<std::size_t>(bucket), 1);
+    });
+    // Pass 2: bucket offsets via a thick multiprefix over a single cell.
+    f.thick(buckets);
+    tcf::Buffer total = rt.array(1);
+    f.apply([&](tcf::Lane& l) {
+      const Word count = l.read(hist, l.id());
+      l.write(offsets, l.id(), l.prefix_add(total, 0, count));
+    });
+    // Pass 3: scatter — lane i claims a slot in its bucket with a
+    // multiprefix on the bucket's offset cell.
+    f.thick(n);
+    f.apply([&](tcf::Lane& l) {
+      const Word v = l.read(data, l.id());
+      const Word bucket = v / width;
+      const Word slot =
+          l.prefix_add(offsets, static_cast<std::size_t>(bucket), 1);
+      l.write(sorted, static_cast<std::size_t>(slot), v);
+    });
+  });
+
+  // Verify: histogram matches a sequential count; sorted is bucket-ordered.
+  std::vector<Word> expect(buckets, 0);
+  for (Word s : samples) ++expect[static_cast<std::size_t>(s / width)];
+  const auto got = rt.fetch(hist);
+  bool ok = true;
+  Word total_count = 0;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    if (got[i] != expect[i]) ok = false;
+    total_count += got[i];
+  }
+  const auto sorted_v = rt.fetch(sorted);
+  for (std::size_t i = 1; i < n && ok; ++i) {
+    if (sorted_v[i - 1] / width > sorted_v[i] / width) ok = false;
+  }
+
+  std::printf("histogram of %zu samples into %zu buckets\n", n, buckets);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    std::printf("  bucket %2zu: %6lld %s\n", i,
+                static_cast<long long>(got[i]),
+                got[i] == expect[i] ? "" : "  <-- MISMATCH");
+  }
+  std::printf("total=%lld (expect %zu), bucket-sorted=%s\n",
+              static_cast<long long>(total_count), n, ok ? "yes" : "NO");
+  std::printf("thick statements=%llu, lane ops=%llu, makespan=%llu cycles\n",
+              static_cast<unsigned long long>(stats.statements),
+              static_cast<unsigned long long>(stats.operations),
+              static_cast<unsigned long long>(stats.makespan));
+  std::printf("(three thick statements replace every loop a thread-model\n"
+              " histogram needs; combining absorbs all bucket contention)\n");
+  return ok && total_count == static_cast<Word>(n) ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// TCFs as tasks: a miniature time-shared "job server".
+//
+// Eight jobs of different lengths are preempted round-robin on (a) the
+// extended TCF machine, where switching resident TCFs is free, and (b) a
+// threaded-ESM machine, where every preemption switches all T_p thread
+// contexts (Section 4's multitasking claim, Table 1's task-switch row).
+//
+// Build & run:  ./example_multitask_server
+#include <cstdio>
+
+#include "machine/machine.hpp"
+#include "sched/multitask.hpp"
+#include "tcf/builder.hpp"
+
+using namespace tcfpn;
+
+namespace {
+
+// A job: `iters` loop rounds, then announce completion via PRINT.
+isa::Program job_program(Word iters) {
+  tcf::AsmBuilder s;
+  using namespace tcf;
+  auto loop = s.make_label("loop");
+  s.ldi(r1, 0);
+  s.bind(loop);
+  s.add(r1, r1, Word{1});
+  s.slt(r2, r1, iters);
+  s.bnez(r2, loop);
+  s.fid(r3);
+  s.print(r3);  // "job <flow id> done"
+  s.halt();
+  return s.build();
+}
+
+struct ServerRun {
+  sched::TaskManager::Result result;
+  std::vector<Word> completion_order;
+};
+
+ServerRun serve(machine::Variant variant, std::uint32_t buffer_slots) {
+  machine::MachineConfig cfg;
+  cfg.groups = 1;
+  cfg.slots_per_group = buffer_slots;
+  cfg.variant = variant;
+  cfg.shared_words = 1 << 12;
+  machine::Machine m(cfg);
+  m.load(job_program(48));
+  std::vector<FlowId> jobs;
+  for (int j = 0; j < 8; ++j) {
+    const FlowId id = m.boot_at(0, 1, 0);
+    if (variant == machine::Variant::kSingleOperation) {
+      m.poke_reg(id, 0, 1, j);
+      m.poke_reg(id, 0, 2, 8);
+    }
+    jobs.push_back(id);
+  }
+  sched::TaskManager mgr(m, jobs);
+  ServerRun out{mgr.run_round_robin(/*quantum_steps=*/6), m.debug_output()};
+  return out;
+}
+
+void report(const char* label, const ServerRun& run) {
+  std::printf("%-38s switches=%4llu  switch-cycles=%8llu  total=%8llu\n",
+              label,
+              static_cast<unsigned long long>(run.result.switches),
+              static_cast<unsigned long long>(run.result.switch_cycles),
+              static_cast<unsigned long long>(run.result.total_cycles));
+  std::printf("  completion order:");
+  for (Word id : run.completion_order) {
+    std::printf(" J%lld", static_cast<long long>(id));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== TCFs as tasks: 8 jobs, round-robin, quantum 6 steps ==\n\n");
+  const auto tcf_roomy = serve(machine::Variant::kSingleInstruction, 16);
+  report("extended TCF, buffer 16 (all fit)", tcf_roomy);
+  const auto tcf_tight = serve(machine::Variant::kSingleInstruction, 2);
+  report("extended TCF, buffer 2 (spilling)", tcf_tight);
+  const auto esm = serve(machine::Variant::kSingleOperation, 16);
+  report("threaded ESM (Tp-context switches)", esm);
+
+  std::printf(
+      "\nAll three serve the jobs fairly, but the switch bill differs by\n"
+      "orders of magnitude: 0 while TCFs fit the storage buffer, swap\n"
+      "costs when they spill, and Tp*R every time on a thread machine.\n");
+  const bool ok = tcf_roomy.result.completed && tcf_tight.result.completed &&
+                  esm.result.completed &&
+                  tcf_roomy.result.switch_cycles == 0 &&
+                  esm.result.switch_cycles > tcf_tight.result.switch_cycles;
+  std::printf("invariants hold: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

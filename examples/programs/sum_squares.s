@@ -1,0 +1,10 @@
+; sum of squares of lane ids via one combining multioperation
+; run: tcfasm sum_squares.s --thickness=1
+main:   SETTHICK 32
+        TID r1
+        MUL r2, r1, r1
+        MPADD r2, [r0+0]
+        SETTHICK 1
+        LD r3, [r0+0]
+        PRINT r3          ; expect 10416
+        HALT

@@ -1,0 +1,91 @@
+// LSD radix sort on the TCF runtime — the full multiprefix toolkit in one
+// realistic kernel: per pass, a combining histogram of the current digit,
+// an exclusive-offset multiprefix, and a stable multiprefix scatter, each
+// a single thick statement of thickness n. log_b(maxkey) passes, zero
+// loops over the data inside a pass.
+//
+// Build & run:  ./example_radix_sort [n]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "tcf/runtime.hpp"
+
+using namespace tcfpn;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4000;
+  constexpr Word kBits = 4;              // digit width
+  constexpr Word kRadix = 1 << kBits;    // 16 buckets
+  constexpr Word kKeyBits = 16;
+
+  Rng rng(99);
+  std::vector<Word> keys(n);
+  for (auto& k : keys) k = static_cast<Word>(rng.below(1u << kKeyBits));
+
+  machine::MachineConfig cfg;
+  cfg.groups = 4;
+  cfg.slots_per_group = 16;
+  cfg.shared_words = 1u << 22;
+  tcf::Runtime rt(cfg);
+
+  tcf::Buffer cur = rt.array(keys);
+  tcf::Buffer nxt = rt.array(n);
+  const tcf::Buffer hist = rt.array(kRadix);
+  const tcf::Buffer offs = rt.array(kRadix);
+  const tcf::Buffer total = rt.array(1);
+
+  const auto stats = rt.run([&](tcf::Flow& f) {
+    for (Word shift = 0; shift < kKeyBits; shift += kBits) {
+      auto digit = [&](tcf::Lane& l) {
+        return (l.read(cur, l.id()) >> shift) & (kRadix - 1);
+      };
+      // 1: clear histogram (thin statement over the buckets)
+      f.thick(kRadix);
+      f.apply([&](tcf::Lane& l) {
+        l.write(hist, l.id(), 0);
+        l.write(total, 0, 0);
+      });
+      // 2: combining digit histogram, one statement of thickness n
+      f.thick(n);
+      f.apply([&](tcf::Lane& l) {
+        l.multi_add(hist, static_cast<std::size_t>(digit(l)), 1);
+      });
+      // 3: exclusive bucket offsets via multiprefix over one cell
+      f.thick(kRadix);
+      f.apply([&](tcf::Lane& l) {
+        l.write(offs, l.id(),
+                l.prefix_add(total, 0, l.read(hist, l.id())));
+      });
+      // 4: stable scatter — lanes claim slots in lane order (multiprefix
+      //    ordering == lane ordering, which keeps the sort stable)
+      f.thick(n);
+      f.apply([&](tcf::Lane& l) {
+        const Word slot =
+            l.prefix_add(offs, static_cast<std::size_t>(digit(l)), 1);
+        l.write(nxt, static_cast<std::size_t>(slot), l.read(cur, l.id()));
+      });
+      std::swap(cur, nxt);
+    }
+  });
+
+  auto got = rt.fetch(cur);
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  const bool ok = got == want;
+
+  std::printf("radix sort of %zu %lld-bit keys, %lld passes of %lld-bit "
+              "digits\n",
+              n, static_cast<long long>(kKeyBits),
+              static_cast<long long>(kKeyBits / kBits),
+              static_cast<long long>(kBits));
+  std::printf("thick statements %llu, lane ops %llu, makespan %llu cycles\n",
+              static_cast<unsigned long long>(stats.statements),
+              static_cast<unsigned long long>(stats.operations),
+              static_cast<unsigned long long>(stats.makespan));
+  std::printf("sorted correctly: %s\n", ok ? "yes" : "NO");
+  std::printf("(4 thick statements per pass — histogram, offsets, scatter —\n"
+              " replace every loop of a thread-model radix sort)\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Sparse matrix-vector multiply (CSR) — irregular memory traffic with
+// combining reductions, the access pattern ESM machines were designed to
+// survive. y = A·x in ONE thick statement of thickness nnz: each edge lane
+// multiplies its entry with x[col] and MPADDs into y[row]; rows of any
+// length combine without atomics or per-row loops.
+//
+// Build & run:  ./example_spmv [rows] [nnz-per-row]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "tcf/runtime.hpp"
+
+using namespace tcfpn;
+
+int main(int argc, char** argv) {
+  const std::size_t rows =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 500;
+  const std::size_t per_row =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+  const std::size_t nnz = rows * per_row;
+
+  // Synthetic CSR-ish matrix in coordinate form (row, col, val) with a
+  // skewed row distribution: a few very heavy rows, the irregular case.
+  Rng rng(31);
+  std::vector<Word> erow(nnz), ecol(nnz), eval_(nnz), xv(rows);
+  for (std::size_t e = 0; e < nnz; ++e) {
+    // 20% of the entries pile into the first 2% of the rows.
+    const bool heavy = rng.chance(0.2);
+    erow[e] = static_cast<Word>(heavy ? rng.below(std::max<std::size_t>(rows / 50, 1))
+                                      : rng.below(rows));
+    ecol[e] = static_cast<Word>(rng.below(rows));
+    eval_[e] = rng.range(-4, 4);
+  }
+  for (auto& x : xv) x = rng.range(-10, 10);
+
+  machine::MachineConfig cfg;
+  cfg.groups = 4;
+  cfg.slots_per_group = 16;
+  cfg.shared_words = 1u << 22;
+  tcf::Runtime rt(cfg);
+
+  const auto brow = rt.array(erow);
+  const auto bcol = rt.array(ecol);
+  const auto bval = rt.array(eval_);
+  const auto bx = rt.array(xv);
+  const auto by = rt.array(rows);
+
+  const auto stats = rt.run([&](tcf::Flow& f) {
+    f.thick(nnz);  // one lane per nonzero
+    f.apply([&](tcf::Lane& l) {
+      const Word r = l.read(brow, l.id());
+      const Word c = l.read(bcol, l.id());
+      const Word v = l.read(bval, l.id());
+      l.multi_add(by, static_cast<std::size_t>(r),
+                  v * l.read(bx, static_cast<std::size_t>(c)));
+    });
+  });
+
+  // Sequential reference.
+  std::vector<Word> want(rows, 0);
+  for (std::size_t e = 0; e < nnz; ++e) {
+    want[static_cast<std::size_t>(erow[e])] +=
+        eval_[e] * xv[static_cast<std::size_t>(ecol[e])];
+  }
+  const auto got = rt.fetch(by);
+  std::size_t mism = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (got[r] != want[r]) ++mism;
+  }
+
+  std::printf("SpMV: %zu rows, %zu nonzeros (skewed row lengths)\n", rows,
+              nnz);
+  std::printf("one thick statement: %llu lane ops, makespan %llu cycles, "
+              "%llu shared accesses\n",
+              static_cast<unsigned long long>(stats.operations),
+              static_cast<unsigned long long>(stats.makespan),
+              static_cast<unsigned long long>(stats.shared_accesses));
+  std::printf("matches sequential reference: %s (%zu mismatches)\n",
+              mism == 0 ? "yes" : "NO", mism);
+  std::printf("(heavy rows are absorbed by combining MPADDs — no per-row\n"
+              " reduction trees, no atomics, no load-balancing pass)\n");
+  return mism == 0 ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// Stream compaction (filter) with a thick multiprefix — the bread-and-
+// butter data-parallel primitive behind joins, ray sorting and sparse
+// kernels.
+//
+// keep[i] = pred(x[i]); out[prefix(keep)] = x[i]. On the extended
+// PRAM-NUMA model this is ONE thick statement: each lane evaluates the
+// predicate and claims its output slot with a same-step multiprefix.
+// The example also runs the dependent-doubling variant (no multiprefix
+// hardware) to show what lock-step steps alone can do.
+//
+// Build & run:  ./example_stream_compaction [n] [threshold]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "tcf/runtime.hpp"
+
+using namespace tcfpn;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4000;
+  const Word threshold =
+      argc > 2 ? std::strtol(argv[2], nullptr, 10) : 500;
+
+  machine::MachineConfig cfg;
+  cfg.groups = 4;
+  cfg.slots_per_group = 16;
+  cfg.shared_words = 1u << 22;
+
+  Rng rng(7);
+  std::vector<Word> xs(n);
+  for (auto& x : xs) x = static_cast<Word>(rng.below(1000));
+
+  // ---- variant A: multiprefix compaction (one thick statement) ----
+  tcf::Runtime rt(cfg);
+  const tcf::Buffer x = rt.array(xs);
+  const tcf::Buffer out = rt.array(n);
+  const tcf::Buffer count = rt.array(std::vector<Word>{0});
+  const auto stats_a = rt.run([&](tcf::Flow& f) {
+    f.thick(n);
+    f.apply([&](tcf::Lane& l) {
+      const Word v = l.read(x, l.id());
+      if (v > threshold) {
+        const Word slot = l.prefix_add(count, 0, 1);
+        l.write(out, static_cast<std::size_t>(slot), v);
+      }
+    });
+  });
+  const Word kept = rt.fetch(count)[0];
+
+  // ---- variant B: scan-based compaction (doubling scan of flags) ----
+  tcf::Runtime rt2(cfg);
+  const tcf::Buffer x2 = rt2.array(xs);
+  const tcf::Buffer flags = rt2.array(n);
+  const tcf::Buffer out2 = rt2.array(n);
+  const auto stats_b = rt2.run([&](tcf::Flow& f) {
+    f.thick(n);
+    f.apply([&](tcf::Lane& l) {
+      l.write(flags, l.id(), l.read(x2, l.id()) > threshold ? 1 : 0);
+    });
+    for (std::size_t i = 1; i < n; i <<= 1) {  // inclusive doubling scan
+      f.apply([&](tcf::Lane& l) {
+        const Word mine = l.read(flags, l.id());
+        const Word left = l.id() >= i ? l.read(flags, l.id() - i) : 0;
+        l.write(flags, l.id(), mine + left);
+      });
+    }
+    f.apply([&](tcf::Lane& l) {
+      const Word v = l.read(x2, l.id());
+      if (v > threshold) {
+        l.write(out2, static_cast<std::size_t>(l.read(flags, l.id()) - 1),
+                v);
+      }
+    });
+  });
+
+  // ---- verify both against the sequential answer ----
+  std::vector<Word> expect;
+  for (Word v : xs) {
+    if (v > threshold) expect.push_back(v);
+  }
+  const auto got_a = rt.fetch(out);
+  const auto got_b = rt2.fetch(out2);
+  bool ok = kept == static_cast<Word>(expect.size());
+  for (std::size_t i = 0; i < expect.size() && ok; ++i) {
+    if (got_a[i] != expect[i] || got_b[i] != expect[i]) ok = false;
+  }
+
+  std::printf("compacted %zu -> %lld elements (> %lld)\n", n,
+              static_cast<long long>(kept),
+              static_cast<long long>(threshold));
+  std::printf("multiprefix version: %llu statements, makespan %llu cycles\n",
+              static_cast<unsigned long long>(stats_a.statements),
+              static_cast<unsigned long long>(stats_a.makespan));
+  std::printf("doubling-scan version: %llu statements, makespan %llu "
+              "cycles (%0.1fx)\n",
+              static_cast<unsigned long long>(stats_b.statements),
+              static_cast<unsigned long long>(stats_b.makespan),
+              static_cast<double>(stats_b.makespan) /
+                  static_cast<double>(stats_a.makespan));
+  std::printf("order preserved, results %s\n", ok ? "correct" : "WRONG");
+  std::printf("(active-memory multiprefix turns an O(log n)-step scan into\n"
+              " one step — the hardware the ESM lineage provides)\n");
+  return ok ? 0 : 1;
+}

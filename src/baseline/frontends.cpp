@@ -1,0 +1,71 @@
+#include "baseline/frontends.hpp"
+
+#include "common/check.hpp"
+#include "tcf/kernels.hpp"
+
+namespace tcfpn::baseline {
+
+namespace {
+
+Outcome finish(machine::Machine& m) {
+  const auto run = m.run();
+  Outcome out;
+  out.completed = run.completed;
+  out.stats = m.stats();
+  out.debug_output = m.debug_output();
+  return out;
+}
+
+}  // namespace
+
+Outcome run_threaded_esm(machine::MachineConfig cfg,
+                         const isa::Program& program, std::uint64_t threads) {
+  cfg.variant = machine::Variant::kSingleOperation;
+  machine::Machine m(cfg);
+  m.load(program);
+  if (threads == 0) threads = cfg.total_slots();
+  tcf::kernels::boot_esm_threads(m, program.entry(), threads);
+  return finish(m);
+}
+
+Outcome run_pram_numa(machine::MachineConfig cfg, const isa::Program& program,
+                      std::uint64_t threads) {
+  cfg.variant = machine::Variant::kConfigSingleOperation;
+  machine::Machine m(cfg);
+  m.load(program);
+  if (threads == 0) threads = cfg.total_slots();
+  tcf::kernels::boot_esm_threads(m, program.entry(), threads);
+  return finish(m);
+}
+
+Outcome run_xmt(machine::MachineConfig cfg, const isa::Program& program) {
+  cfg.variant = machine::Variant::kMultiInstruction;
+  machine::Machine m(cfg);
+  m.load(program);
+  m.boot(1);
+  return finish(m);
+}
+
+Outcome run_simd(machine::MachineConfig cfg, const isa::Program& program,
+                 Word width) {
+  cfg.variant = machine::Variant::kFixedThickness;
+  cfg.groups = 1;  // "limit the number of processors to one"
+  machine::Machine m(cfg);
+  m.load(program);
+  if (width == 0) width = cfg.slots_per_group;
+  m.boot(width);
+  return finish(m);
+}
+
+Outcome run_tcf(machine::MachineConfig cfg, const isa::Program& program,
+                Word root_thickness) {
+  if (cfg.variant != machine::Variant::kBalanced) {
+    cfg.variant = machine::Variant::kSingleInstruction;
+  }
+  machine::Machine m(cfg);
+  m.load(program);
+  m.boot(root_thickness);
+  return finish(m);
+}
+
+}  // namespace tcfpn::baseline

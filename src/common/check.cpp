@@ -1,0 +1,15 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace tcfpn::detail {
+
+void fail_check(const char* expr, const char* file, int line,
+                const std::string& msg) {
+  std::ostringstream os;
+  os << "TCFPN_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw SimError(os.str());
+}
+
+}  // namespace tcfpn::detail

@@ -1,0 +1,62 @@
+// Error handling for tcfpn.
+//
+// The simulator distinguishes two failure classes:
+//  - SimError: a *simulated program* fault (bad address, EREW violation,
+//    malformed assembly, thickness underflow). These are reportable
+//    conditions a user of the library can trigger and catch.
+//  - logic bugs in the simulator itself, guarded by TCFPN_CHECK, which also
+//    throws SimError but with an internal-invariant message; tests rely on
+//    these throwing rather than aborting so death-free property tests can
+//    probe edge cases.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tcfpn {
+
+/// Exception thrown for all simulated-machine and API misuse errors.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_check(const char* expr, const char* file, int line,
+                             const std::string& msg);
+std::string format_check_message();
+template <typename... Args>
+std::string format_check_message(const Args&... args);
+}  // namespace detail
+
+}  // namespace tcfpn
+
+/// Always-on invariant check; throws tcfpn::SimError on failure.
+#define TCFPN_CHECK(expr, ...)                                             \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::tcfpn::detail::fail_check(#expr, __FILE__, __LINE__,               \
+                                  ::tcfpn::detail::format_check_message(   \
+                                      __VA_ARGS__));                       \
+    }                                                                      \
+  } while (false)
+
+/// Report a simulated-program fault with a formatted message.
+#define TCFPN_FAULT(...)                                                  \
+  throw ::tcfpn::SimError(                                                \
+      ::tcfpn::detail::format_check_message(__VA_ARGS__))
+
+#include <sstream>
+
+namespace tcfpn::detail {
+
+inline std::string format_check_message() { return {}; }
+
+template <typename... Args>
+std::string format_check_message(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace tcfpn::detail

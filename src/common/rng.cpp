@@ -1,0 +1,75 @@
+#include "common/rng.hpp"
+
+namespace tcfpn {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  TCFPN_CHECK(bound > 0, "Rng::below requires a positive bound");
+  // Lemire 2018: multiply the raw draw into [0, bound) and reject the thin
+  // biased strip so every residue is equally likely.
+  while (true) {
+    const std::uint64_t x = next();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound || low >= (-bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  TCFPN_CHECK(lo <= hi, "Rng::range requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next());
+  }
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform() {
+  // 53 top bits into the mantissa: uniform dyadic rationals in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  std::uint64_t x = next();
+  for (auto& word : child.s_) word = splitmix64(x);
+  return child;
+}
+
+}  // namespace tcfpn

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// Everything in tcfpn that looks random (synthetic traffic, workload shapes,
+// property-test inputs) flows through this generator so that a run is fully
+// reproducible from its seed (DESIGN.md decision 7).
+//
+// The generator is xoshiro256** 1.0 (Blackman & Vigna), seeded through
+// splitmix64 so that even seed 0 yields a well-mixed state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace tcfpn {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initialise the full 256-bit state from a 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface so <random> distributions work too.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Fork a statistically independent child generator (for per-module
+  /// streams that must not perturb each other's sequences).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace tcfpn

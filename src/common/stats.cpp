@@ -1,0 +1,131 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace tcfpn {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void Accumulator::reset() { *this = Accumulator{}; }
+
+double Accumulator::min() const {
+  TCFPN_CHECK(n_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  TCFPN_CHECK(n_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+double Accumulator::mean() const {
+  TCFPN_CHECK(n_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  TCFPN_CHECK(n_ > 0, "variance of empty accumulator");
+  return m2_ / static_cast<double>(n_);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  TCFPN_CHECK(!xs_.empty(), "mean of empty sample set");
+  double s = 0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Samples::percentile(double p) const {
+  TCFPN_CHECK(!xs_.empty(), "percentile of empty sample set");
+  TCFPN_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+  ensure_sorted();
+  if (xs_.size() == 1) return xs_[0];
+  const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs_.size()) return xs_.back();
+  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  TCFPN_CHECK(hi > lo, "histogram range must be non-empty");
+  TCFPN_CHECK(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::int64_t>((x - lo_) / width);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    os << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+       << std::string(std::max<std::size_t>(bar, 1), '#') << " " << counts_[i]
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tcfpn

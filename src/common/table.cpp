@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace tcfpn {
+
+namespace detail {
+
+std::string cell_to_string(const std::string& s) { return s; }
+std::string cell_to_string(const char* s) { return s; }
+
+std::string cell_to_string(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << v;
+  std::string s = os.str();
+  // Trim trailing zeros but keep at least one digit after the point.
+  while (s.size() > 1 && s.back() == '0' && s[s.size() - 2] != '.') {
+    s.pop_back();
+  }
+  return s;
+}
+
+std::string cell_to_string(bool v) { return v ? "yes" : "no"; }
+
+}  // namespace detail
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  TCFPN_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TCFPN_CHECK(cells.size() == header_.size(), "row arity ", cells.size(),
+              " != header arity ", header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << " |\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|" : "-|") << std::string(widths[c] + 2, '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace tcfpn

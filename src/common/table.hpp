@@ -1,0 +1,54 @@
+// Console table rendering for the bench harnesses.
+//
+// Every bench binary regenerates a paper table or figure as rows on stdout;
+// this printer keeps them aligned and machine-greppable (cells never contain
+// the column separator).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tcfpn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arbitrary streamable values into a row.
+  template <typename... Args>
+  void add(const Args&... args);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header rule and right-padded columns.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+namespace detail {
+std::string cell_to_string(const std::string& s);
+std::string cell_to_string(const char* s);
+std::string cell_to_string(double v);
+std::string cell_to_string(bool v);
+
+template <typename T>
+std::string cell_to_string(const T& v) {
+  return std::to_string(v);
+}
+}  // namespace detail
+
+template <typename... Args>
+void Table::add(const Args&... args) {
+  add_row({detail::cell_to_string(args)...});
+}
+
+}  // namespace tcfpn

@@ -1,0 +1,62 @@
+#include "common/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace tcfpn {
+
+void ScheduleTrace::add(std::uint32_t row, Cycle begin, Cycle end, char glyph,
+                        std::string label) {
+  if (!enabled_) return;
+  TCFPN_CHECK(end >= begin, "trace span ends before it begins");
+  spans_.push_back(TraceSpan{row, begin, end, glyph, std::move(label)});
+}
+
+std::string ScheduleTrace::render(std::uint64_t cycles_per_column,
+                                  std::size_t max_columns) const {
+  if (spans_.empty()) return "(empty trace)\n";
+  TCFPN_CHECK(cycles_per_column > 0, "cycles_per_column must be positive");
+
+  std::uint32_t max_row = 0;
+  Cycle max_cycle = 0;
+  for (const auto& s : spans_) {
+    max_row = std::max(max_row, s.row);
+    max_cycle = std::max(max_cycle, s.end);
+  }
+  // Widen the column granularity until the chart fits.
+  std::uint64_t cpc = cycles_per_column;
+  while ((max_cycle + cpc - 1) / cpc > max_columns) cpc *= 2;
+  const auto columns = static_cast<std::size_t>((max_cycle + cpc - 1) / cpc);
+
+  std::vector<std::string> lines(max_row + 1, std::string(columns, '.'));
+  std::map<char, std::string> legend;
+  for (const auto& s : spans_) {
+    if (s.begin == s.end) continue;
+    const auto c0 = static_cast<std::size_t>(s.begin / cpc);
+    const auto c1 = static_cast<std::size_t>((s.end - 1) / cpc);
+    for (std::size_t c = c0; c <= c1 && c < columns; ++c) {
+      lines[s.row][c] = s.glyph;
+    }
+    legend.emplace(s.glyph, s.label);
+  }
+
+  std::ostringstream os;
+  os << "cycles 0.." << max_cycle << " (" << cpc << " cycle(s)/column)\n";
+  for (std::uint32_t r = 0; r <= max_row; ++r) {
+    os << "P" << r << (r < 10 ? "  |" : " |") << lines[r] << "|\n";
+  }
+  os << "legend: ";
+  bool first = true;
+  for (const auto& [glyph, label] : legend) {
+    if (!first) os << ", ";
+    os << glyph << "=" << label;
+    first = false;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace tcfpn

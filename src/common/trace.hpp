@@ -1,0 +1,50 @@
+// Execution tracing and ASCII schedule rendering.
+//
+// The paper's Figures 4 and 6–12 illustrate which slice (TCF instruction,
+// thread slot, bunch fragment) occupies a processor's pipeline at each point
+// in time. ScheduleTrace records exactly that — (processor, cycle interval,
+// label) triples — and renders them as an ASCII Gantt chart so the figure
+// benches can regenerate the pictures from measured execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tcfpn {
+
+struct TraceSpan {
+  std::uint32_t row = 0;   ///< processor / pipeline row
+  Cycle begin = 0;         ///< first cycle occupied (inclusive)
+  Cycle end = 0;           ///< one past the last cycle occupied
+  char glyph = '#';        ///< single character used in the chart
+  std::string label;       ///< human-readable description (legend)
+};
+
+class ScheduleTrace {
+ public:
+  /// Enable/disable recording. Disabled traces drop spans at negligible cost.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void add(std::uint32_t row, Cycle begin, Cycle end, char glyph,
+           std::string label);
+
+  void clear() { spans_.clear(); }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  /// Renders a Gantt chart: one line per row, one column per cycle
+  /// (compressed by `cycles_per_column` when the run is long), '.' for idle.
+  /// Distinct glyphs come from the recorded spans; a legend maps glyph ->
+  /// label (first span that used the glyph).
+  std::string render(std::uint64_t cycles_per_column = 1,
+                     std::size_t max_columns = 160) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace tcfpn

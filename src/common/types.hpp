@@ -1,0 +1,42 @@
+// Core scalar types shared by every tcfpn module.
+//
+// The simulated machine is a word machine (Section 2.1 of the paper: a
+// "word-wise accessible global shared memory"). We model a word as a signed
+// 64-bit integer: wide enough for addresses, lane indices and arithmetic in
+// every example of the paper, and signed so that the ISA's comparison and
+// branch semantics match ordinary C arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace tcfpn {
+
+/// One machine word. All registers, memory cells and immediate operands.
+using Word = std::int64_t;
+
+/// An address into the simulated shared or local memory, in words.
+using Addr = std::uint64_t;
+
+/// A simulation time stamp, in clock cycles.
+using Cycle = std::uint64_t;
+
+/// A machine step (superstep) ordinal. All PRAM-mode reads in step s observe
+/// writes committed in steps < s.
+using StepId = std::uint64_t;
+
+/// Index of a processor group (0 .. P-1).
+using GroupId = std::uint32_t;
+
+/// Index of a thread/TCF slot within a group (0 .. T_p-1).
+using SlotId = std::uint32_t;
+
+/// Global lane index of an implicit thread within a TCF (0 .. thickness-1).
+using LaneId = std::uint64_t;
+
+/// Identifier of a thick control flow, unique within one program run.
+using FlowId = std::uint64_t;
+
+inline constexpr Addr kNullAddr = ~Addr{0};
+
+}  // namespace tcfpn

@@ -1,0 +1,36 @@
+// Two-pass assembler for the tcfpn ISA.
+//
+// Syntax (one statement per line):
+//   ; comment                      -- ';' starts a comment anywhere
+//   label:                         -- code label (may share a line with an op)
+//   .equ NAME, value               -- named constant
+//   .data addr, w0, w1, ...        -- initial shared-memory words
+//   OP operands                    -- see OpFormat in instr.hpp
+//
+// Operand forms:
+//   rN              register (r0..r15; r0 reads as zero)
+//   42, -7, 0x1F    immediate
+//   NAME            .equ constant or label (label -> its code address)
+//   [rA]            memory, offset 0
+//   [rA+imm]        memory with displacement (imm may be a symbol)
+//   [rA+imm+@]      lane-indexed: effective address += lane id
+//
+// Errors throw tcfpn::SimError with a line number and message.
+#pragma once
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace tcfpn::isa {
+
+class Assembler {
+ public:
+  /// Assembles a full source text.
+  Program assemble(const std::string& source);
+};
+
+/// Convenience free function.
+Program assemble(const std::string& source);
+
+}  // namespace tcfpn::isa

@@ -1,0 +1,166 @@
+#include "isa/instr.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace tcfpn::isa {
+
+namespace {
+
+constexpr std::size_t kOps = static_cast<std::size_t>(Opcode::kOpcodeCount);
+
+constexpr std::array<OpInfo, kOps> kOpTable = {{
+    // mnemonic      format                shared local  control
+    {"NOP",      OpFormat::kNone,     false, false, false},
+    {"ADD",      OpFormat::kRdRaRb,   false, false, false},
+    {"SUB",      OpFormat::kRdRaRb,   false, false, false},
+    {"MUL",      OpFormat::kRdRaRb,   false, false, false},
+    {"DIV",      OpFormat::kRdRaRb,   false, false, false},
+    {"MOD",      OpFormat::kRdRaRb,   false, false, false},
+    {"AND",      OpFormat::kRdRaRb,   false, false, false},
+    {"OR",       OpFormat::kRdRaRb,   false, false, false},
+    {"XOR",      OpFormat::kRdRaRb,   false, false, false},
+    {"SHL",      OpFormat::kRdRaRb,   false, false, false},
+    {"SHR",      OpFormat::kRdRaRb,   false, false, false},
+    {"SLT",      OpFormat::kRdRaRb,   false, false, false},
+    {"SLE",      OpFormat::kRdRaRb,   false, false, false},
+    {"SEQ",      OpFormat::kRdRaRb,   false, false, false},
+    {"SNE",      OpFormat::kRdRaRb,   false, false, false},
+    {"MAX",      OpFormat::kRdRaRb,   false, false, false},
+    {"MIN",      OpFormat::kRdRaRb,   false, false, false},
+    {"LDI",      OpFormat::kRdImm,    false, false, false},
+    {"LD",       OpFormat::kRdMem,    true,  false, false},
+    {"ST",       OpFormat::kValMem,   true,  false, false},
+    {"LLD",      OpFormat::kRdMem,    false, true,  false},
+    {"LST",      OpFormat::kValMem,   false, true,  false},
+    {"MPADD",    OpFormat::kValMem,   true,  false, false},
+    {"MPMAX",    OpFormat::kValMem,   true,  false, false},
+    {"MPMIN",    OpFormat::kValMem,   true,  false, false},
+    {"MPAND",    OpFormat::kValMem,   true,  false, false},
+    {"MPOR",     OpFormat::kValMem,   true,  false, false},
+    {"PPADD",    OpFormat::kRdValMem, true,  false, false},
+    {"PPMAX",    OpFormat::kRdValMem, true,  false, false},
+    {"PPMIN",    OpFormat::kRdValMem, true,  false, false},
+    {"PPAND",    OpFormat::kRdValMem, true,  false, false},
+    {"PPOR",     OpFormat::kRdValMem, true,  false, false},
+    {"JMP",      OpFormat::kImm,      false, false, true},
+    {"BEQZ",     OpFormat::kRaImm,    false, false, true},
+    {"BNEZ",     OpFormat::kRaImm,    false, false, true},
+    {"CALL",     OpFormat::kImm,      false, false, true},
+    {"RET",      OpFormat::kNone,     false, false, true},
+    {"HALT",     OpFormat::kNone,     false, false, true},
+    {"SETTHICK", OpFormat::kRaOrImm,  false, false, true},
+    {"NUMASET",  OpFormat::kImm,      false, false, true},
+    {"SPAWN",    OpFormat::kRaImm,    false, false, true},
+    {"JOINALL",  OpFormat::kNone,     false, false, true},
+    {"TID",      OpFormat::kRd,       false, false, false},
+    {"FID",      OpFormat::kRd,       false, false, false},
+    {"THICK",    OpFormat::kRd,       false, false, false},
+    {"GID",      OpFormat::kRd,       false, false, false},
+    {"PRINT",    OpFormat::kRaOrImm,  false, false, false},
+}};
+
+}  // namespace
+
+const OpInfo& op_info(Opcode op) {
+  const auto idx = static_cast<std::size_t>(op);
+  TCFPN_CHECK(idx < kOps, "bad opcode ", idx);
+  return kOpTable[idx];
+}
+
+Opcode opcode_from_mnemonic(const std::string& mnemonic) {
+  std::string upper(mnemonic);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  for (std::size_t i = 0; i < kOps; ++i) {
+    if (upper == kOpTable[i].mnemonic) return static_cast<Opcode>(i);
+  }
+  return Opcode::kOpcodeCount;
+}
+
+std::uint64_t Instr::encode() const {
+  return (static_cast<std::uint64_t>(op) << 56) |
+         (static_cast<std::uint64_t>(rd & 0x3F) << 50) |
+         (static_cast<std::uint64_t>(ra & 0x3F) << 44) |
+         (static_cast<std::uint64_t>(rb & 0x3F) << 38) |
+         (static_cast<std::uint64_t>(flags & 0x3F) << 32) |
+         static_cast<std::uint32_t>(imm);
+}
+
+Instr Instr::decode(std::uint64_t word) {
+  Instr instr;
+  const auto op_raw = static_cast<std::uint8_t>(word >> 56);
+  TCFPN_CHECK(op_raw < kOps, "cannot decode opcode ", int{op_raw});
+  instr.op = static_cast<Opcode>(op_raw);
+  instr.rd = static_cast<std::uint8_t>((word >> 50) & 0x3F);
+  instr.ra = static_cast<std::uint8_t>((word >> 44) & 0x3F);
+  instr.rb = static_cast<std::uint8_t>((word >> 38) & 0x3F);
+  instr.flags = static_cast<std::uint8_t>((word >> 32) & 0x3F);
+  instr.imm = static_cast<std::int32_t>(word & 0xFFFFFFFFu);
+  return instr;
+}
+
+std::string disassemble(const Instr& instr) {
+  const OpInfo& info = op_info(instr.op);
+  std::ostringstream os;
+  os << info.mnemonic;
+  auto reg = [](std::uint8_t r) { return "r" + std::to_string(r); };
+  auto mem = [&](const Instr& i) {
+    std::ostringstream m;
+    m << "[" << reg(i.ra);
+    // Always emit the '+' separator: the assembler splits memory operands
+    // on '+', so a negative displacement must appear as "+-4".
+    if (i.imm != 0) m << "+" << i.imm;
+    if (i.lane_addr()) m << "+@";
+    m << "]";
+    return m.str();
+  };
+  switch (info.format) {
+    case OpFormat::kNone:
+      break;
+    case OpFormat::kRd:
+      os << " " << reg(instr.rd);
+      break;
+    case OpFormat::kRdRaRb:
+      os << " " << reg(instr.rd) << ", " << reg(instr.ra) << ", ";
+      if (instr.use_imm()) {
+        os << instr.imm;
+      } else {
+        os << reg(instr.rb);
+      }
+      break;
+    case OpFormat::kRdImm:
+      os << " " << reg(instr.rd) << ", " << instr.imm;
+      break;
+    case OpFormat::kRdMem:
+      os << " " << reg(instr.rd) << ", " << mem(instr);
+      break;
+    case OpFormat::kValMem:
+      os << " " << reg(instr.rb) << ", " << mem(instr);
+      break;
+    case OpFormat::kRdValMem:
+      os << " " << reg(instr.rd) << ", " << reg(instr.rb) << ", "
+         << mem(instr);
+      break;
+    case OpFormat::kRaOrImm:
+      if (instr.use_imm()) {
+        os << " " << instr.imm;
+      } else {
+        os << " " << reg(instr.ra);
+      }
+      break;
+    case OpFormat::kImm:
+      os << " " << instr.imm;
+      break;
+    case OpFormat::kRaImm:
+      os << " " << reg(instr.ra) << ", " << instr.imm;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace tcfpn::isa

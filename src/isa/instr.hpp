@@ -1,0 +1,127 @@
+// The tcfpn instruction set.
+//
+// A small RISC ISA for the MBTAC-like TCF processors of Section 3.3. Design
+// points that come straight from the paper:
+//
+//  - registers are *lane-private*: a TCF instruction of thickness T executes
+//    its operation once per implicit thread (lane), each lane seeing its own
+//    register file instance (physically a cached register file / local
+//    memory, Section 3.3 — the machine layer charges for that);
+//  - the lane identity enters computation through the TID instruction and
+//    the '@' lane-indexed addressing flag, so `c[i] = a[i] + b[i]` is four
+//    instructions with no loop, whatever the thickness;
+//  - thickness is controlled by SETTHICK (the `#size;` statement of
+//    Section 4) and NUMASET enters NUMA mode with a given bunch length (the
+//    `#1/T;` statement);
+//  - SPAWN/JOINALL create and join parallel flows (the `parallel { }`
+//    construct); a child starts at a label with a given thickness and
+//    inherits a broadcast copy of the parent's lane-0 registers (this is
+//    what makes a flow branch cost O(R), Table 1);
+//  - MP*/PP* are the multioperation / multiprefix active-memory
+//    instructions (`prefix(source, MPADD, &sum, source)` in Section 4).
+//
+// Instructions encode into one 64-bit word:
+//   [63:56] opcode  [55:50] rd  [49:44] ra  [43:38] rb  [37:32] flags
+//   [31:0]  imm (signed)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace tcfpn::isa {
+
+inline constexpr std::uint32_t kNumRegisters = 16;  ///< r0 (always 0) .. r15
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  // ALU (rd, ra, rb-or-imm)
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr, kXor, kShl, kShr,
+  kSlt, kSle, kSeq, kSne, kMax, kMin,
+  // constants
+  kLdi,   ///< rd <- imm
+  // shared memory (step-synchronous PRAM access)
+  kLd,    ///< rd <- shared[ra + imm (+ lane)]
+  kSt,    ///< shared[ra + imm (+ lane)] <- rb
+  // local memory (NUMA-side block of the executing group)
+  kLld,   ///< rd <- local[ra + imm (+ lane)]
+  kLst,   ///< local[ra + imm (+ lane)] <- rb
+  // multioperations (combine all same-address contributions in one step)
+  kMpAdd, kMpMax, kMpMin, kMpAnd, kMpOr,      ///< shared[ea] op= rb
+  // multiprefix (as above, and rd <- reduction of lower-lane contributions)
+  kPpAdd, kPpMax, kPpMin, kPpAnd, kPpOr,
+  // control
+  kJmp,   ///< pc <- imm
+  kBeqz,  ///< if (ra == 0 for lane 0) pc <- imm  [flow-uniform branch]
+  kBnez,
+  kCall,  ///< flow-level call: push pc+1, pc <- imm
+  kRet,
+  kHalt,
+  // TCF control
+  kSetThick,  ///< thickness <- ra (or imm); the `#n;` statement
+  kNumaSet,   ///< enter NUMA mode, bunch length imm; imm==0 resumes PRAM
+  kSpawn,     ///< create child flow: thickness ra, entry imm
+  kJoinAll,   ///< wait for all children of this flow to halt
+  kTid,       ///< rd <- lane index within the flow
+  kFid,       ///< rd <- flow id
+  kThick,     ///< rd <- current thickness
+  kGid,       ///< rd <- processor-group id executing this slice
+  kPrint,     ///< debug trap: emit lane 0's ra
+  kOpcodeCount,
+};
+
+/// Operand shapes, used by the assembler and disassembler.
+enum class OpFormat : std::uint8_t {
+  kNone,      ///< op
+  kRd,        ///< op rd
+  kRdRaRb,    ///< op rd, ra, rb|imm
+  kRdImm,     ///< op rd, imm
+  kRdMem,     ///< op rd, [ra+imm(+@)]
+  kValMem,    ///< op rb, [ra+imm(+@)]
+  kRdValMem,  ///< op rd, rb, [ra+imm(+@)]
+  kRaOrImm,   ///< op ra | op imm
+  kImm,       ///< op imm|label
+  kRaImm,     ///< op ra, imm|label
+};
+
+struct OpInfo {
+  const char* mnemonic;
+  OpFormat format;
+  bool is_shared_mem;  ///< touches the emulated shared memory
+  bool is_local_mem;   ///< touches the group's local memory
+  bool is_control;     ///< may change pc / flow structure
+};
+
+const OpInfo& op_info(Opcode op);
+
+/// Looks up a mnemonic (case-insensitive). Returns kOpcodeCount when unknown.
+Opcode opcode_from_mnemonic(const std::string& mnemonic);
+
+namespace flag {
+inline constexpr std::uint8_t kUseImm = 1u << 0;   ///< operand B is imm
+inline constexpr std::uint8_t kLaneAddr = 1u << 1; ///< effective addr += lane
+}  // namespace flag
+
+struct Instr {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  std::uint8_t flags = 0;
+  std::int32_t imm = 0;
+
+  bool use_imm() const { return flags & flag::kUseImm; }
+  bool lane_addr() const { return flags & flag::kLaneAddr; }
+
+  std::uint64_t encode() const;
+  static Instr decode(std::uint64_t word);
+
+  bool operator==(const Instr&) const = default;
+};
+
+/// Renders one instruction back to assembler syntax.
+std::string disassemble(const Instr& instr);
+
+}  // namespace tcfpn::isa

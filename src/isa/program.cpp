@@ -1,0 +1,25 @@
+#include "isa/program.hpp"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace tcfpn::isa {
+
+std::string Program::listing() const {
+  // Invert the label map so each address shows its labels.
+  std::map<std::size_t, std::vector<std::string>> by_addr;
+  for (const auto& [name, addr] : labels) by_addr[addr].push_back(name);
+  std::ostringstream os;
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    if (auto it = by_addr.find(pc); it != by_addr.end()) {
+      for (const auto& name : it->second) os << name << ":\n";
+    }
+    os << "  " << std::setw(4) << pc << "  " << std::hex << std::setw(16)
+       << std::setfill('0') << code[pc].encode() << std::dec
+       << std::setfill(' ') << "  " << disassemble(code[pc]) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tcfpn::isa

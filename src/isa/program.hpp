@@ -1,0 +1,48 @@
+// Assembled program container: code, symbols and data initialisers.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "isa/instr.hpp"
+
+namespace tcfpn::isa {
+
+/// Words to place into shared memory before execution (.data directive).
+struct DataInit {
+  Addr addr = 0;
+  std::vector<Word> words;
+};
+
+class Program {
+ public:
+  std::vector<Instr> code;
+  std::unordered_map<std::string, std::size_t> labels;
+  std::vector<DataInit> data;
+
+  std::size_t size() const { return code.size(); }
+
+  bool has_label(const std::string& name) const {
+    return labels.contains(name);
+  }
+
+  std::size_t label(const std::string& name) const {
+    auto it = labels.find(name);
+    TCFPN_CHECK(it != labels.end(), "unknown label '", name, "'");
+    return it->second;
+  }
+
+  /// Entry point: the `main` label when present, else address 0.
+  std::size_t entry() const {
+    auto it = labels.find("main");
+    return it != labels.end() ? it->second : 0;
+  }
+
+  /// Full listing (address, encoding, disassembly) for debugging.
+  std::string listing() const;
+};
+
+}  // namespace tcfpn::isa

@@ -1,0 +1,133 @@
+// AST for the TCF source language (see lexer.hpp for the surface syntax
+// and codegen.hpp for the semantics of each node).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/shared_memory.hpp"
+
+namespace tcfpn::lang {
+
+// ---------------------------------------------------------------- exprs --
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kShl, kShr,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr, kXor,
+  kLAnd, kLOr,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    kNumber,   // value
+    kVar,      // name: register scalar, or memory cell
+    kLaneId,   // `id`
+    kThickness,// `thickness`
+    kElem,     // name.[index]  (thick array element)
+    kUnaryNeg,
+    kUnaryNot,
+    kBinary,
+  };
+  Kind kind;
+  Word value = 0;        // kNumber
+  std::string name;      // kVar / kElem
+  BinOp op = BinOp::kAdd;
+  ExprPtr lhs;           // kUnary*: operand; kBinary: left; kElem: index
+  ExprPtr rhs;
+  int line = 0;
+};
+
+// ----------------------------------------------------------------- stmts --
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class AssignOp : std::uint8_t { kSet, kAdd, kSub, kMul, kShl, kShr };
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    kSetThickness,  // `# expr ;`              expr in `thickness`
+    kNumaSet,       // `# 1/K ;` or numa(K)    constant in `value`
+    kThickPrefixed, // `# expr : stmt`         expr + body[0]
+    kAssign,        // lvalue in `target`(+index), op, expr in `thickness`
+    kParallel,      // branches: thicknesses[i] + body[i]
+    kNumaBlock,     // `numa (K) stmt`         value + body[0]
+    kIf,            // cond in `thickness`, body[0], optional body[1]
+    kWhile,         // cond + body[0]
+    kFor,           // init=body[0], cond, step=body[1], body[2]
+    kBlock,         // body*
+    kPrefix,        // prefix(src, MOP, &cell, dst)
+    kMulti,         // multi(arr.[i], MOP, v) — combining multioperation
+    kPrint,         // expr
+    kCall,          // name();  — flow-level call: once per FLOW, not per
+                    // implicit thread (the paper's novel method-call
+                    // semantics; the call stack belongs to the flow)
+  };
+  Kind kind;
+  int line = 0;
+
+  ExprPtr thickness;  // doubles as cond / assigned expr / printed expr
+  Word value = 0;     // NumaSet / NumaBlock block length
+
+  // kAssign
+  std::string target;      // scalar var, cell, or array name
+  bool target_is_elem = false;
+  ExprPtr target_index;    // for array elements
+  AssignOp assign_op = AssignOp::kSet;
+
+  // kParallel
+  std::vector<ExprPtr> branch_thickness;
+
+  // kPrefix
+  std::string src_array;
+  std::string dst_array;
+  std::string sum_cell;
+  mem::MultiOp mop = mem::MultiOp::kAdd;
+
+  std::vector<StmtPtr> body;
+};
+
+// --------------------------------------------------------------- program --
+
+struct ArrayDecl {
+  std::string name;
+  std::size_t size = 0;
+  std::vector<Word> init;  // empty or size elements
+  int line = 0;
+};
+
+struct VarDecl {
+  std::string name;
+  ExprPtr init;  // may be null
+  int line = 0;
+};
+
+struct CellDecl {
+  std::string name;
+  Word init = 0;
+  int line = 0;
+};
+
+/// `func name() stmt` — a method with the thickness of its calling flow.
+struct FuncDecl {
+  std::string name;
+  StmtPtr body;
+  int line = 0;
+};
+
+struct ProgramAst {
+  std::vector<ArrayDecl> arrays;
+  std::vector<VarDecl> vars;
+  std::vector<CellDecl> cells;
+  std::vector<FuncDecl> funcs;
+  std::vector<StmtPtr> stmts;
+};
+
+}  // namespace tcfpn::lang

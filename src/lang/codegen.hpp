@@ -1,0 +1,46 @@
+// Code generation: TCF source -> tcfpn ISA.
+//
+// This is the compiler the paper lists as future work ("attempts to create
+// an execution architecture and compiler for the extended PRAM-NUMA
+// model"): Section 4's statements map to the machine as
+//
+//   #e;                     SETTHICK (evaluated e)
+//   #1/K;  /  numa(K) s     NUMASET K ... NUMASET 0
+//   #e: s                   THICK save; SETTHICK e; s; SETTHICK save
+//   c. = a. + b.;           lane-addressed LD/LD/ADD/ST, one fetch each
+//   parallel { #t: s ... }  SPAWN per branch + JOINALL (implicit join)
+//   prefix(s, MPADD, &c, d) LD / PPADD / ST of thickness `thickness`
+//   if/while/for            flow-uniform branches (divergence faults)
+//
+// Storage model: `array` and `cell` declarations live in simulated shared
+// memory from `heap_base` up; `var` declarations live in registers r1..r7
+// (flow-level scalars — every lane holds the same value). Registers r8/r9
+// hold the scoped-thickness save stack and r10..r15 the expression stack.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "isa/program.hpp"
+#include "lang/ast.hpp"
+#include "tcf/buffer.hpp"
+
+namespace tcfpn::lang {
+
+struct Compiled {
+  isa::Program program;
+  std::map<std::string, tcf::Buffer> arrays;  ///< arrays and 1-word cells
+  Addr heap_base = 0;
+  Addr heap_end = 0;
+
+  const tcf::Buffer& buffer(const std::string& name) const;
+};
+
+/// Compiles a parsed program. Throws SimError on semantic errors
+/// (unknown names, too many scalars, nesting limits).
+Compiled compile(const ProgramAst& ast, Addr heap_base = 1024);
+
+/// Front door: parse + compile.
+Compiled compile_source(const std::string& source, Addr heap_base = 1024);
+
+}  // namespace tcfpn::lang

@@ -1,0 +1,53 @@
+// Lexer for the TCF source language.
+//
+// The language realises the notation of Section 4 of the paper: thickness
+// statements (`#size;`, `#size/2: stmt`, `#1/T;`), thick element-wise
+// expressions (`c. = a. + b.;`, `c.[id + n/2] = 0;`), `parallel { ... }`
+// split/join blocks, `prefix(src, MPADD, &sum, dst);` multioperations, and
+// ordinary flow-level control (`if`, `while`, `for`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tcfpn::lang {
+
+enum class Tok : std::uint8_t {
+  kEnd,
+  kIdent,    // names, keywords resolved by the parser
+  kNumber,
+  kHash,     // #
+  kDot,      // .  (thick marker suffix)
+  kAmp,      // &
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kColon, kComma,
+  kAssign,       // =
+  kPlusAssign,   // +=
+  kMinusAssign,  // -=
+  kStarAssign,   // *=
+  kShlAssign,    // <<=
+  kShrAssign,    // >>=
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kShl, kShr,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kBitAnd, kBitOr, kBitXor,
+  kAndAnd, kOrOr, kNot,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;   // identifier spelling
+  Word value = 0;     // number value
+  int line = 0;
+};
+
+const char* to_string(Tok t);
+
+/// Tokenises TCF source. `//` and `/* */` comments are skipped.
+/// Throws SimError with a line number on illegal input.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace tcfpn::lang

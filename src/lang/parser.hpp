@@ -1,0 +1,39 @@
+// Recursive-descent parser for the TCF source language.
+//
+// Grammar (EBNF, ws/comments elided):
+//   program   := decl* stmt*
+//   decl      := 'array' IDENT '[' const ']' ('=' '{' num {',' num} '}')? ';'
+//              | 'var'  IDENT ('=' expr)? ';'
+//              | 'cell' IDENT ('=' num)? ';'
+//   stmt      := '#' expr ';'                      -- thickness statement
+//              | '#' expr ':' stmt                 -- scoped thickness
+//              | 'numa' '(' const ')' stmt         -- #1/K block
+//              | 'parallel' '{' { '#' expr ':' stmt } '}'
+//              | 'if' '(' expr ')' stmt ('else' stmt)?
+//              | 'while' '(' expr ')' stmt
+//              | 'for' '(' simple? ';' expr? ';' simple? ')' stmt
+//              | 'prefix' '(' IDENT ',' MOP ',' '&' IDENT ',' IDENT ')' ';'
+//              | 'print' '(' expr ')' ';'
+//              | '{' stmt* '}'
+//              | simple ';'
+//   simple    := lvalue ('='|'+='|'-='|'*='|'<<='|'>>=') expr
+//   lvalue    := IDENT | IDENT '.' ('[' expr ']')?
+//   expr      := usual C precedence over || && |^& == != < <= > >=
+//                << >> + - * / % with unary -/! and primaries:
+//                NUMBER | IDENT | 'id' | 'thickness' | IDENT '.' ['[' e ']']
+//                | '(' expr ')'
+//
+// A thickness statement whose expression is `1/K` (K constant) switches to
+// NUMA mode with block length K — the paper's `#1/T;` notation.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace tcfpn::lang {
+
+/// Parses a full TCF program. Throws SimError with line info on errors.
+ProgramAst parse(const std::string& source);
+
+}  // namespace tcfpn::lang

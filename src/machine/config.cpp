@@ -1,0 +1,30 @@
+#include "machine/config.hpp"
+
+namespace tcfpn::machine {
+
+const char* to_string(Variant v) {
+  switch (v) {
+    case Variant::kSingleInstruction: return "single-instruction";
+    case Variant::kBalanced: return "balanced";
+    case Variant::kMultiInstruction: return "multi-instruction";
+    case Variant::kSingleOperation: return "single-operation";
+    case Variant::kConfigSingleOperation: return "config-single-operation";
+    case Variant::kFixedThickness: return "fixed-thickness";
+  }
+  return "?";
+}
+
+bool is_step_synchronous(Variant v) {
+  return v != Variant::kMultiInstruction;
+}
+
+const char* to_string(OperandStorage s) {
+  switch (s) {
+    case OperandStorage::kCachedRegisterFile: return "cached-register-file";
+    case OperandStorage::kMemoryToMemory: return "memory-to-memory";
+    case OperandStorage::kLocalMemory: return "local-memory";
+  }
+  return "?";
+}
+
+}  // namespace tcfpn::machine

@@ -1,0 +1,80 @@
+// Machine configuration: the parameters of the (extended) PRAM-NUMA model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "mem/shared_memory.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+
+namespace tcfpn::machine {
+
+/// The six execution variants of Section 3.2, in paper order.
+enum class Variant : std::uint8_t {
+  kSingleInstruction,      ///< full TCF model; 1 TCF instruction/flow/step (Fig. 7)
+  kBalanced,               ///< bounded ops per processor per step (Fig. 8)
+  kMultiInstruction,       ///< XMT-style run-to-completion, join barriers (Fig. 9)
+  kSingleOperation,        ///< plain interleaved ESM, thickness == 1 (Fig. 10)
+  kConfigSingleOperation,  ///< original PRAM-NUMA: thickness 1 + bunching (Fig. 11)
+  kFixedThickness,         ///< vector/SIMD: one processor, fixed thickness (Fig. 12)
+};
+
+const char* to_string(Variant v);
+
+/// True for the variants whose execution is PRAM-lockstep per machine step.
+bool is_step_synchronous(Variant v);
+
+/// Where lane-private intermediate results live (Section 3.3): "we see
+/// three possible solutions for this: memory-to-memory instructions,
+/// cached register file, and usage of a number of fast local memories".
+enum class OperandStorage : std::uint8_t {
+  kCachedRegisterFile,  ///< lanes beyond the cache pay a spill penalty
+  kMemoryToMemory,      ///< every operand through memory: flat penalty
+  kLocalMemory,         ///< operands in the group's local memory
+};
+
+const char* to_string(OperandStorage s);
+
+struct MachineConfig {
+  // ---- structural parameters (Section 3.1's P, T_p, M) ----
+  std::uint32_t groups = 4;            ///< P processor groups
+  std::uint32_t slots_per_group = 16;  ///< T_p: thread slots / TCF buffer entries
+  std::size_t shared_words = 1u << 20; ///< global shared memory size
+  std::size_t local_words = 1u << 16;  ///< per-group local memory size
+
+  // ---- memory & network ----
+  mem::CrcwPolicy crcw = mem::CrcwPolicy::kArbitrary;
+  net::TopologyKind topology = net::TopologyKind::kMesh2D;
+  net::NetworkConfig net;
+  bool detailed_network = false;  ///< route refs as packets vs analytic bound
+  Cycle local_latency = 1;        ///< NUMA local-memory access latency
+
+  // ---- execution variant & its knobs ----
+  Variant variant = Variant::kSingleInstruction;
+  std::uint32_t balanced_bound = 16;  ///< B: ops per processor per step (Balanced)
+  std::uint32_t pipeline_fill = 4;    ///< F: pipeline fill/drain cycles per step
+  Cycle spawn_cost = 2;               ///< flow creation base cost (cycles)
+  Cycle join_cost = 16;               ///< per-join barrier cost (Multi-instruction)
+
+  // ---- register architecture (Table 1's R, Section 3.3 operand storage) --
+  std::uint32_t registers_per_context = 16;  ///< R architectural registers
+  std::uint32_t register_cache_words = 1024; ///< physical register cache per group
+  OperandStorage operand_storage = OperandStorage::kCachedRegisterFile;
+  Cycle register_spill_penalty = 1;  ///< extra cycles per uncached lane-op
+
+  // ---- ILP co-execution (Section 3.2: "it is possible and even advisable
+  // to apply heterogeneous instruction-level parallelism to execution of
+  // TCFs") ----
+  std::uint32_t functional_units = 1;  ///< operations issued per cycle/group
+
+  // ---- instrumentation ----
+  bool record_trace = false;  ///< keep the per-step Gantt trace
+
+  /// Total thread/TCF slots across the machine: P * T_p.
+  std::uint64_t total_slots() const {
+    return static_cast<std::uint64_t>(groups) * slots_per_group;
+  }
+};
+
+}  // namespace tcfpn::machine

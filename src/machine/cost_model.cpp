@@ -1,0 +1,84 @@
+#include "machine/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tcfpn::machine {
+
+VariantTraits variant_traits(Variant v) {
+  switch (v) {
+    case Variant::kSingleInstruction:
+      return {true, true, true, "NUMA",
+              "P×Tp", "u", "R/u + m", "1"};
+    case Variant::kBalanced:
+      return {true, true, true, "NUMA",
+              "P×Tp", "u", "R/u + m", "u/b"};
+    case Variant::kMultiInstruction:
+      return {false, false, true, "single thr.",
+              "P×Tp", "P×Tp", "R", "Tp"};
+    case Variant::kSingleOperation:
+      return {true, false, true, "single thr.",
+              "P×Tp", "P×Tp", "R", "Tp"};
+    case Variant::kConfigSingleOperation:
+      return {true, true, true, "NUMA",
+              "P×Tp", "P×Tp", "R", "Tp"};
+    case Variant::kFixedThickness:
+      return {false, false, false, "scalar unit",
+              "P×Tp", "P×Tp", "R", "Tp"};
+  }
+  TCFPN_FAULT("unknown variant");
+}
+
+Cycle task_switch_cost(const MachineConfig& cfg, Word thickness,
+                       bool resident_in_buffer) {
+  const Cycle r = cfg.registers_per_context;
+  switch (cfg.variant) {
+    case Variant::kSingleInstruction:
+    case Variant::kBalanced: {
+      if (resident_in_buffer) return 0;  // pointer advance in the TCF buffer
+      // Swapping a TCF descriptor: flow-level registers plus whatever slice
+      // of the lane-register cache the flow occupied.
+      const auto cached_lanes = std::min<std::uint64_t>(
+          static_cast<std::uint64_t>(std::max<Word>(thickness, 1)),
+          cfg.register_cache_words / std::max<std::uint32_t>(r, 1));
+      return r + cached_lanes * r;
+    }
+    case Variant::kMultiInstruction:
+      return 1;  // O(1): enqueue/dequeue a run-to-completion work item
+    case Variant::kSingleOperation:
+    case Variant::kConfigSingleOperation:
+    case Variant::kFixedThickness:
+      // Thread machines switch all T_p contexts (Table 1: O(T_p)).
+      return static_cast<Cycle>(cfg.slots_per_group) * r;
+  }
+  TCFPN_FAULT("unknown variant");
+}
+
+Cycle flow_branch_cost(const MachineConfig& cfg) {
+  switch (cfg.variant) {
+    case Variant::kSingleInstruction:
+    case Variant::kBalanced:
+      return cfg.registers_per_context;  // O(R): copy flow-level state
+    case Variant::kMultiInstruction:
+    case Variant::kSingleOperation:
+    case Variant::kConfigSingleOperation:
+    case Variant::kFixedThickness:
+      return 1;  // O(1): threads have per-thread state already
+  }
+  TCFPN_FAULT("unknown variant");
+}
+
+double registers_per_thread(const MachineConfig& cfg, Word thickness) {
+  const double r = cfg.register_cache_words;
+  const double m = 4.0;  // flow-level scalars (pc, thickness, mode, spare)
+  switch (cfg.variant) {
+    case Variant::kSingleInstruction:
+    case Variant::kBalanced:
+      return r / static_cast<double>(std::max<Word>(thickness, 1)) + m;
+    default:
+      return cfg.registers_per_context;
+  }
+}
+
+}  // namespace tcfpn::machine

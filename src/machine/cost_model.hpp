@@ -1,0 +1,48 @@
+// Cost formulas behind Table 1 of the paper.
+//
+// These give the *analytic* rows (number of TCFs / threads, registers per
+// thread, operation-class support) and the cost formulas the machine charges
+// for task switches and flow branches. The bench for Table 1 combines these
+// with counters *measured* on real executions (instruction fetches, actual
+// switch/branch cycles) so the table is reproduced, not asserted.
+#pragma once
+
+#include <string>
+
+#include "machine/config.hpp"
+#include "machine/flow.hpp"
+
+namespace tcfpn::machine {
+
+/// Static, per-variant properties (the yes/no rows of Table 1).
+struct VariantTraits {
+  bool pram_operation;        ///< lockstep PRAM-style steps available
+  bool numa_operation;        ///< NUMA bunching / 1-over-T thickness available
+  bool mimd;                  ///< multiple independent control flows
+  const char* sequential_via; ///< how sequential sections run
+  const char* num_tcfs;       ///< symbolic row "Number of TCFs"
+  const char* num_threads;    ///< symbolic row "Number of threads"
+  const char* regs_per_thread;///< symbolic row "Registers per thread"
+  const char* fetches_per_tcf;///< symbolic row "Fetches per TCF"
+};
+
+VariantTraits variant_traits(Variant v);
+
+/// Cycles to switch a flow/task out of (or into) execution.
+///
+/// Table 1: 0 for the TCF variants while the flow is resident in the TCF
+/// storage buffer; O(1) for multi-instruction; O(T_p) for the thread-based
+/// variants (all T_p thread contexts must be switched).
+Cycle task_switch_cost(const MachineConfig& cfg, Word thickness,
+                       bool resident_in_buffer);
+
+/// Cycles to branch (split) a flow: the TCF variants copy the flow-level
+/// register state into the child, O(R); thread machines branch in O(1).
+Cycle flow_branch_cost(const MachineConfig& cfg);
+
+/// Architectural registers available per implicit thread when a flow of the
+/// given thickness runs under `cfg` (the R/u + m row: u lanes share the
+/// register cache, plus a few flow-level registers).
+double registers_per_thread(const MachineConfig& cfg, Word thickness);
+
+}  // namespace tcfpn::machine

@@ -1,0 +1,15 @@
+#include "machine/flow.hpp"
+
+namespace tcfpn::machine {
+
+const char* to_string(FlowStatus s) {
+  switch (s) {
+    case FlowStatus::kReady: return "ready";
+    case FlowStatus::kWaitingJoin: return "waiting-join";
+    case FlowStatus::kSuspended: return "suspended";
+    case FlowStatus::kHalted: return "halted";
+  }
+  return "?";
+}
+
+}  // namespace tcfpn::machine

@@ -1,0 +1,93 @@
+// Thick-control-flow descriptors: the contents of the TCF storage buffer.
+//
+// Section 3.3: "there needs to be a T_p-element storage block, e.g. ring
+// buffer or addressable register file that contains the TCF information,
+// e.g. thickness and mode as well as a pointer to the next yet not executed
+// operation in the case of the balanced variant."
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instr.hpp"
+
+namespace tcfpn::machine {
+
+inline constexpr FlowId kNoFlow = ~FlowId{0};
+
+enum class FlowMode : std::uint8_t {
+  kPram,  ///< thickness >= 1 data-parallel lanes, step-synchronous
+  kNuma,  ///< thickness "1/L": L consecutive instructions per step, local mem
+};
+
+enum class FlowStatus : std::uint8_t {
+  kReady,        ///< has an instruction to execute
+  kWaitingJoin,  ///< blocked in JOINALL until children halt
+  kSuspended,    ///< swapped out by the task scheduler
+  kHalted,
+};
+
+const char* to_string(FlowStatus s);
+
+/// Per-lane register file. r0 is hardwired to zero (writes ignored).
+using LaneRegs = std::array<Word, isa::kNumRegisters>;
+
+struct TcfDescriptor {
+  FlowId id = kNoFlow;
+  FlowId parent = kNoFlow;
+  GroupId home = 0;  ///< group whose TCF buffer holds this flow
+
+  std::size_t pc = 0;
+  FlowMode mode = FlowMode::kPram;
+  Word thickness = 1;          ///< PRAM lanes (>= 1 while ready)
+  std::uint32_t numa_block = 1;///< L: instructions per step in NUMA mode
+  FlowStatus status = FlowStatus::kReady;
+  std::uint32_t live_children = 0;
+
+  /// Balanced variant: first lane of the current instruction not yet
+  /// executed; 0 when the flow is at an instruction boundary.
+  LaneId next_unexecuted = 0;
+
+  /// Lane-private register files (physically a cached register file /
+  /// local memory; the cost model charges for the caching).
+  std::vector<LaneRegs> lane_regs;
+
+  /// Flow-level call stack (Section 2.2: "a call stack is not related to
+  /// each thread but to each of the parallel control flows").
+  std::vector<std::size_t> call_stack;
+
+  /// Store-forwarding buffer: this flow's shared-memory writes from
+  /// instructions *completed* during the current machine step. A flow is
+  /// sequentially consistent with itself even when a variant executes
+  /// several of its instructions within one step; other flows see these
+  /// writes only after the step commits.
+  std::unordered_map<Addr, Word> step_writes;
+
+  /// Writes staged by the instruction currently in (possibly interrupted)
+  /// execution. Merged into step_writes when the last lane completes, so
+  /// lanes of one instruction never observe each other's writes (lockstep
+  /// PRAM semantics within the flow).
+  std::unordered_map<Addr, Word> instr_writes;
+
+  /// Set when this flow issued a multioperation/multiprefix this step: the
+  /// result only materialises at step commit, so the flow must not run
+  /// further instructions within the same step.
+  bool multiop_blocked = false;
+
+  /// The flow has been evicted from the TCF storage buffer at least once;
+  /// its next promotion back into the buffer pays the swap-in cost.
+  bool evicted_once = false;
+
+  bool at_instruction_boundary() const { return next_unexecuted == 0; }
+
+  /// Operation slots one full instruction of this flow occupies.
+  std::uint64_t ops_per_instruction() const {
+    return mode == FlowMode::kPram ? static_cast<std::uint64_t>(thickness)
+                                   : numa_block;
+  }
+};
+
+}  // namespace tcfpn::machine

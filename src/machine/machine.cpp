@@ -1,0 +1,1122 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "machine/cost_model.hpp"
+
+namespace tcfpn::machine {
+
+namespace {
+
+// Priority-CRCW lane keys order accesses by (flow id, lane): lower flow ids
+// and lower lanes win ties deterministically.
+LaneId lane_key(FlowId flow, LaneId lane) { return (flow << 40) | lane; }
+
+constexpr std::uint64_t kUnlimited = std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint64_t kLaneOpGuard = 4'000'000;  // runaway-lane guard (XMT)
+
+}  // namespace
+
+Machine::Machine(MachineConfig cfg)
+    : cfg_(cfg),
+      shared_(cfg.shared_words, cfg.groups, cfg.crcw),
+      net_(std::make_unique<net::Network>(
+          net::make_topology(cfg.topology, cfg.groups), cfg.net)) {
+  TCFPN_CHECK(cfg_.groups >= 1, "machine needs at least one group");
+  TCFPN_CHECK(cfg_.slots_per_group >= 1, "machine needs at least one slot");
+  TCFPN_CHECK(cfg_.variant != Variant::kFixedThickness || cfg_.groups == 1,
+              "the fixed-thickness (vector/SIMD) variant has one processor");
+  TCFPN_CHECK(cfg_.balanced_bound >= 1, "balanced bound must be >= 1");
+  locals_.reserve(cfg_.groups);
+  for (GroupId g = 0; g < cfg_.groups; ++g) {
+    locals_.emplace_back(g, cfg_.local_words, cfg_.local_latency);
+  }
+  groups_.resize(cfg_.groups);
+  trace_.set_enabled(cfg_.record_trace);
+}
+
+void Machine::load(const isa::Program& program) {
+  program_ = program;
+  for (const auto& init : program_.data) {
+    for (std::size_t i = 0; i < init.words.size(); ++i) {
+      shared_.poke(init.addr + i, init.words[i]);
+    }
+  }
+}
+
+FlowId Machine::boot(Word thickness) {
+  return boot_at(program_.entry(), thickness, 0);
+}
+
+FlowId Machine::boot_at(std::size_t pc, Word thickness, GroupId home) {
+  TCFPN_CHECK(thickness >= 1, "boot thickness must be >= 1, got ", thickness);
+  TCFPN_CHECK(home < cfg_.groups, "boot group ", home, " out of range");
+  TCFPN_CHECK(pc < program_.code.size(), "boot pc ", pc, " out of range");
+  TcfDescriptor& f = make_flow(pc, thickness, home, kNoFlow);
+  auto& grp = groups_[home];
+  if (grp.resident.size() < cfg_.slots_per_group) {
+    grp.resident.push_back(f.id);
+  } else {
+    grp.overflow.push_back(f.id);
+  }
+  return f.id;
+}
+
+TcfDescriptor& Machine::flow(FlowId id) {
+  TCFPN_CHECK(id < flows_.size(), "unknown flow id ", id);
+  return *flows_[id];
+}
+
+const TcfDescriptor* Machine::find_flow(FlowId id) const {
+  return id < flows_.size() ? flows_[id].get() : nullptr;
+}
+
+void Machine::poke_reg(FlowId id, LaneId lane, std::uint8_t reg, Word value) {
+  TcfDescriptor& f = flow(id);
+  TCFPN_CHECK(lane < f.lane_regs.size(), "lane ", lane, " out of range");
+  TCFPN_CHECK(reg > 0 && reg < isa::kNumRegisters, "bad register r", reg);
+  f.lane_regs[lane][reg] = value;
+}
+
+Word Machine::peek_reg(FlowId id, LaneId lane, std::uint8_t reg) const {
+  TCFPN_CHECK(id < flows_.size(), "unknown flow id ", id);
+  const TcfDescriptor& f = *flows_[id];
+  TCFPN_CHECK(lane < f.lane_regs.size(), "lane ", lane, " out of range");
+  TCFPN_CHECK(reg < isa::kNumRegisters, "bad register r", reg);
+  return reg == 0 ? 0 : f.lane_regs[lane][reg];
+}
+
+TcfDescriptor& Machine::make_flow(std::size_t pc, Word thickness, GroupId home,
+                                  FlowId parent) {
+  auto f = std::make_unique<TcfDescriptor>();
+  f->id = flows_.size();
+  f->parent = parent;
+  f->home = home;
+  f->pc = pc;
+  f->thickness = thickness;
+  f->lane_regs.assign(static_cast<std::size_t>(thickness), LaneRegs{});
+  flows_.push_back(std::move(f));
+  return *flows_.back();
+}
+
+std::uint64_t Machine::group_load(GroupId g) const {
+  std::uint64_t load = 0;
+  auto add = [&](FlowId id) {
+    const auto& f = *flows_[id];
+    if (f.status == FlowStatus::kReady) {
+      load += f.ops_per_instruction();
+    }
+  };
+  for (FlowId id : groups_[g].resident) add(id);
+  for (FlowId id : groups_[g].overflow) add(id);
+  // Flows spawned this step but not yet admitted already have a home;
+  // placement must see them or sibling fragments pile onto one group.
+  for (FlowId id : pending_spawns_) {
+    if (flows_[id]->home == g) add(id);
+  }
+  return load;
+}
+
+GroupId Machine::pick_group(const TcfDescriptor& child) const {
+  if (alloc_) return alloc_(child);
+  GroupId best = 0;
+  std::uint64_t best_load = std::numeric_limits<std::uint64_t>::max();
+  for (GroupId g = 0; g < cfg_.groups; ++g) {
+    const std::uint64_t load = group_load(g);
+    if (load < best_load) {
+      best_load = load;
+      best = g;
+    }
+  }
+  return best;
+}
+
+void Machine::admit_pending_spawns() {
+  for (FlowId id : pending_spawns_) {
+    TcfDescriptor& f = flow(id);
+    auto& grp = groups_[f.home];
+    if (grp.resident.size() < cfg_.slots_per_group) {
+      grp.resident.push_back(id);
+    } else {
+      grp.overflow.push_back(id);
+    }
+  }
+  pending_spawns_.clear();
+}
+
+void Machine::promote_overflow(GroupId g) {
+  auto& grp = groups_[g];
+  std::size_t i = 0;
+  while (i < grp.overflow.size() &&
+         grp.resident.size() < cfg_.slots_per_group) {
+    const FlowId id = grp.overflow[i];
+    TcfDescriptor& f = flow(id);
+    if (f.status != FlowStatus::kReady) {
+      ++i;  // suspended/waiting flows keep their overflow seat
+      continue;
+    }
+    grp.overflow.erase(grp.overflow.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+    if (f.evicted_once) {
+      // Reloading a previously displaced TCF pays the swap-in.
+      const Cycle c = task_switch_cost(cfg_, f.thickness,
+                                       /*resident_in_buffer=*/false);
+      stats_.task_switch_cycles += c;
+      stats_.cycles += c;
+    }
+    grp.resident.push_back(id);
+  }
+}
+
+void Machine::on_flow_halted(TcfDescriptor& f) {
+  f.status = FlowStatus::kHalted;
+  if (f.parent != kNoFlow) {
+    TcfDescriptor& p = flow(f.parent);
+    TCFPN_CHECK(p.live_children > 0, "child halt underflows parent counter");
+    --p.live_children;
+  }
+}
+
+std::size_t Machine::live_flows() const {
+  std::size_t n = 0;
+  for (const auto& f : flows_) {
+    if (f->status != FlowStatus::kHalted) ++n;
+  }
+  return n;
+}
+
+std::size_t Machine::resident_flows(GroupId g) const {
+  TCFPN_CHECK(g < cfg_.groups, "group ", g, " out of range");
+  return groups_[g].resident.size();
+}
+
+bool Machine::done() const { return live_flows() == 0; }
+
+RunResult Machine::run(std::uint64_t max_steps) {
+  std::uint64_t n = 0;
+  while (n < max_steps && step()) ++n;
+  return RunResult{done(), stats_.cycles, stats_.steps};
+}
+
+bool Machine::step() {
+  if (cfg_.variant == Variant::kMultiInstruction) {
+    return step_multi_instruction();
+  }
+  return step_synchronous();
+}
+
+// --------------------------------------------------------------------------
+// Step-synchronous variants
+// --------------------------------------------------------------------------
+
+bool Machine::step_synchronous() {
+  bool any_ready = false;
+  for (GroupId g = 0; g < cfg_.groups; ++g) {
+    promote_overflow(g);
+    for (FlowId id : groups_[g].resident) {
+      if (flows_[id]->status == FlowStatus::kReady) any_ready = true;
+    }
+  }
+  if (!any_ready) return false;
+
+  const Cycle step_base = stats_.cycles + cfg_.pipeline_fill;
+  std::vector<Cycle> group_work(cfg_.groups, 0);
+
+  for (GroupId g = 0; g < cfg_.groups; ++g) {
+    auto& grp = groups_[g];
+    grp.step_ops = 0;
+    // Snapshot: flows spawned/woken during the step join the next one.
+    const std::vector<FlowId> active = grp.resident;
+
+    auto record = [&](const TcfDescriptor& f, std::uint64_t ops) {
+      if (ops == 0 || !trace_.enabled()) return;
+      trace_.add(g, step_base + grp.step_ops - ops, step_base + grp.step_ops,
+                 static_cast<char>('A' + f.id % 26),
+                 "flow " + std::to_string(f.id));
+    };
+
+    if (cfg_.variant == Variant::kBalanced) {
+      std::uint64_t budget = cfg_.balanced_bound;
+      // Round-robin over resident flows until the bound or no eligible work.
+      bool progressed = true;
+      std::vector<bool> numa_done(active.size(), false);
+      while (budget > 0 && progressed) {
+        progressed = false;
+        for (std::size_t i = 0; i < active.size() && budget > 0; ++i) {
+          TcfDescriptor& f = flow(active[i]);
+          if (f.status != FlowStatus::kReady || f.multiop_blocked) continue;
+          if (f.mode == FlowMode::kNuma) {
+            if (numa_done[i]) continue;
+            numa_done[i] = true;  // one block slice per step
+          }
+          const std::uint64_t ops = run_flow_slice(f, budget);
+          if (ops > 0) {
+            progressed = true;
+            budget -= std::min(budget, ops);
+            grp.step_ops += ops;
+            record(f, ops);
+          }
+        }
+      }
+    } else {
+      // One TCF instruction (or NUMA block) per ready flow per step.
+      for (FlowId id : active) {
+        TcfDescriptor& f = flow(id);
+        if (f.status != FlowStatus::kReady) continue;
+        const std::uint64_t ops = run_flow_slice(f, kUnlimited);
+        grp.step_ops += ops;
+        record(f, ops);
+      }
+    }
+    group_work[g] = grp.step_ops;
+  }
+
+  // Slot term per variant (DESIGN.md §4 item 3). ILP co-execution issues
+  // `functional_units` operations per group per cycle.
+  const Cycle fu = std::max<std::uint32_t>(cfg_.functional_units, 1);
+  Cycle slot_max = 0;
+  for (GroupId g = 0; g < cfg_.groups; ++g) {
+    Cycle term = 0;
+    switch (cfg_.variant) {
+      case Variant::kSingleInstruction:
+      case Variant::kFixedThickness:
+        term = group_work[g];
+        break;
+      case Variant::kBalanced:
+        term = cfg_.balanced_bound;
+        break;
+      case Variant::kSingleOperation:
+      case Variant::kConfigSingleOperation:
+        term = cfg_.slots_per_group;  // fixed interleaved pipeline
+        break;
+      case Variant::kMultiInstruction:
+        TCFPN_FAULT("multi-instruction variant in synchronous stepper");
+    }
+    slot_max = std::max(slot_max, (term + fu - 1) / fu);
+  }
+
+  finish_step(slot_max, group_work);
+  return true;
+}
+
+std::uint64_t Machine::run_flow_slice(TcfDescriptor& f,
+                                      std::uint64_t op_quota) {
+  TCFPN_CHECK(f.status == FlowStatus::kReady, "slicing a non-ready flow");
+  if (op_quota == 0) return 0;
+  if (f.mode == FlowMode::kNuma) return run_numa_block(f);
+
+  const isa::Instr& instr = fetch(f);
+  const isa::OpInfo& info = isa::op_info(instr.op);
+
+  if (info.is_control || instr.op == isa::Opcode::kPrint) {
+    TCFPN_CHECK(f.at_instruction_boundary(),
+                "control instruction interrupted mid-thickness");
+    std::uint64_t ops = 1;
+    if (instr.op == isa::Opcode::kSpawn) {
+      // The split copies the flow-level register state: O(R), Table 1.
+      const Cycle branch = flow_branch_cost(cfg_);
+      stats_.branch_cost_cycles += branch;
+      ops += branch + cfg_.spawn_cost;
+    }
+    const bool still_ready = exec_control(f, instr);
+    ++stats_.tcf_instructions;
+    ++stats_.operations;
+    if (still_ready) {
+      // Merge (control ops don't write memory, but keep the invariant).
+      complete_instruction(f, instr);
+    }
+    return ops;
+  }
+
+  // Data-parallel instruction: execute lanes [next_unexecuted, ...).
+  const auto thickness = static_cast<std::uint64_t>(f.thickness);
+  const std::uint64_t start = f.next_unexecuted;
+  TCFPN_CHECK(start < thickness, "resume point beyond thickness");
+  const std::uint64_t count = std::min(op_quota, thickness - start);
+  std::uint64_t cost = 0;
+  for (std::uint64_t lane = start; lane < start + count; ++lane) {
+    exec_data_lane(f, instr, lane);
+    cost += 1 + operand_penalty(lane);
+  }
+  stats_.operations += count;
+  f.next_unexecuted += count;
+  if (f.next_unexecuted == thickness) {
+    f.next_unexecuted = 0;
+    ++stats_.tcf_instructions;
+    complete_instruction(f, instr);
+    ++f.pc;
+  }
+  return cost;
+}
+
+Cycle Machine::operand_penalty(LaneId lane) const {
+  // Section 3.3: where do a thick instruction's lane-private intermediate
+  // results live? The choice prices every lane operation.
+  switch (cfg_.operand_storage) {
+    case OperandStorage::kCachedRegisterFile: {
+      // The first register_cache_words/R lanes hit the physical register
+      // cache; the rest spill to local memory per access.
+      const std::uint64_t cached =
+          cfg_.register_cache_words /
+          std::max<std::uint32_t>(cfg_.registers_per_context, 1);
+      return lane < cached ? 0 : cfg_.register_spill_penalty;
+    }
+    case OperandStorage::kMemoryToMemory:
+      // Operand fetch and writeback both go through memory.
+      return 2;
+    case OperandStorage::kLocalMemory:
+      return cfg_.local_latency;
+  }
+  TCFPN_FAULT("unknown operand storage model");
+}
+
+std::uint64_t Machine::run_numa_block(TcfDescriptor& f) {
+  // NUMA mode (thickness "1/L"): L consecutive instructions of a single
+  // sequential stream per step; each instruction is fetched separately —
+  // that asymmetry is the "Fetches per TCF" row of Table 1.
+  std::uint64_t executed = 0;
+  while (executed < f.numa_block && f.status == FlowStatus::kReady &&
+         !f.multiop_blocked) {
+    const isa::Instr& instr = fetch(f);
+    const isa::OpInfo& info = isa::op_info(instr.op);
+    ++executed;
+    ++stats_.operations;
+    ++stats_.tcf_instructions;
+    if (info.is_control || instr.op == isa::Opcode::kPrint) {
+      if (instr.op == isa::Opcode::kSpawn) {
+        const Cycle branch = flow_branch_cost(cfg_);
+        stats_.branch_cost_cycles += branch;
+        executed += branch + cfg_.spawn_cost;
+      }
+      if (!exec_control(f, instr)) break;
+      complete_instruction(f, instr);
+    } else {
+      exec_data_lane(f, instr, 0);
+      complete_instruction(f, instr);
+      ++f.pc;
+    }
+  }
+  return executed;
+}
+
+const isa::Instr& Machine::fetch(TcfDescriptor& f) {
+  if (f.pc >= program_.code.size()) {
+    TCFPN_FAULT("flow ", f.id, " ran off the end of the program (pc=", f.pc,
+                ")");
+  }
+  // Every activation — first execution or balanced-variant resume — costs
+  // one instruction-memory fetch. PRAM-mode flows therefore fetch once per
+  // TCF instruction regardless of thickness; NUMA streams fetch per
+  // instruction; interrupted instructions re-fetch on resume.
+  ++stats_.instruction_fetches;
+  return program_.code[f.pc];
+}
+
+Word Machine::read_operand_b(const TcfDescriptor& f, const isa::Instr& instr,
+                             LaneId lane) const {
+  if (instr.use_imm()) return instr.imm;
+  return instr.rb == 0 ? 0 : f.lane_regs[lane][instr.rb];
+}
+
+Word Machine::alu(const isa::Instr& instr, Word a, Word b) const {
+  using isa::Opcode;
+  const auto ua = static_cast<std::uint64_t>(a);
+  const auto ub = static_cast<std::uint64_t>(b);
+  switch (instr.op) {
+    case Opcode::kAdd: return static_cast<Word>(ua + ub);
+    case Opcode::kSub: return static_cast<Word>(ua - ub);
+    case Opcode::kMul: return static_cast<Word>(ua * ub);
+    case Opcode::kDiv:
+      if (b == 0) TCFPN_FAULT("division by zero");
+      return a / b;
+    case Opcode::kMod:
+      if (b == 0) TCFPN_FAULT("modulo by zero");
+      return a % b;
+    case Opcode::kAnd: return a & b;
+    case Opcode::kOr: return a | b;
+    case Opcode::kXor: return a ^ b;
+    case Opcode::kShl: return static_cast<Word>(ua << (ub & 63));
+    case Opcode::kShr: return static_cast<Word>(ua >> (ub & 63));
+    case Opcode::kSlt: return a < b ? 1 : 0;
+    case Opcode::kSle: return a <= b ? 1 : 0;
+    case Opcode::kSeq: return a == b ? 1 : 0;
+    case Opcode::kSne: return a != b ? 1 : 0;
+    case Opcode::kMax: return std::max(a, b);
+    case Opcode::kMin: return std::min(a, b);
+    default:
+      TCFPN_FAULT("alu() called with non-ALU opcode");
+  }
+}
+
+Addr Machine::effective_addr(const TcfDescriptor& f, const isa::Instr& instr,
+                             LaneId lane) const {
+  const Word base = instr.ra == 0 ? 0 : f.lane_regs[lane][instr.ra];
+  Word ea = base + instr.imm;
+  if (instr.lane_addr()) ea += static_cast<Word>(lane);
+  if (ea < 0) {
+    TCFPN_FAULT("negative effective address ", ea, " in flow ", f.id);
+  }
+  return static_cast<Addr>(ea);
+}
+
+Word Machine::read_shared(TcfDescriptor& f, Addr a, LaneId lane) {
+  // Store forwarding: the flow sees its own *completed* writes of this step;
+  // everything else is the pre-step committed state.
+  if (auto it = f.step_writes.find(a); it != f.step_writes.end()) {
+    // Still counts as a memory reference for traffic purposes.
+    step_refs_.emplace_back(f.home, shared_.module_of(a));
+    return it->second;
+  }
+  step_refs_.emplace_back(f.home, shared_.module_of(a));
+  return shared_.read(a, lane_key(f.id, lane));
+}
+
+void Machine::exec_data_lane(TcfDescriptor& f, const isa::Instr& instr,
+                             LaneId lane) {
+  using isa::Opcode;
+  auto& regs = f.lane_regs[lane];
+  auto write_reg = [&](std::uint8_t r, Word v) {
+    if (r != 0) regs[r] = v;
+  };
+  const auto key = lane_key(f.id, lane);
+  switch (instr.op) {
+    case Opcode::kLdi:
+      write_reg(instr.rd, instr.imm);
+      return;
+    case Opcode::kLd: {
+      const Addr a = effective_addr(f, instr, lane);
+      write_reg(instr.rd, read_shared(f, a, lane));
+      return;
+    }
+    case Opcode::kSt: {
+      const Addr a = effective_addr(f, instr, lane);
+      const Word v = instr.rb == 0 ? 0 : regs[instr.rb];
+      step_refs_.emplace_back(f.home, shared_.module_of(a));
+      shared_.write(a, v, key);
+      f.instr_writes[a] = v;
+      return;
+    }
+    case Opcode::kLld: {
+      const Addr a = effective_addr(f, instr, lane);
+      write_reg(instr.rd, locals_[f.home].read(a));
+      return;
+    }
+    case Opcode::kLst: {
+      const Addr a = effective_addr(f, instr, lane);
+      locals_[f.home].write(a, instr.rb == 0 ? 0 : regs[instr.rb]);
+      return;
+    }
+    case Opcode::kMpAdd:
+    case Opcode::kMpMax:
+    case Opcode::kMpMin:
+    case Opcode::kMpAnd:
+    case Opcode::kMpOr: {
+      const Addr a = effective_addr(f, instr, lane);
+      const Word v = instr.rb == 0 ? 0 : regs[instr.rb];
+      const auto op = static_cast<mem::MultiOp>(
+          static_cast<int>(instr.op) - static_cast<int>(Opcode::kMpAdd));
+      step_refs_.emplace_back(f.home, shared_.module_of(a));
+      shared_.multiop(a, op, v, key);
+      f.multiop_blocked = true;
+      return;
+    }
+    case Opcode::kPpAdd:
+    case Opcode::kPpMax:
+    case Opcode::kPpMin:
+    case Opcode::kPpAnd:
+    case Opcode::kPpOr: {
+      const Addr a = effective_addr(f, instr, lane);
+      const Word v = instr.rb == 0 ? 0 : regs[instr.rb];
+      const auto op = static_cast<mem::MultiOp>(
+          static_cast<int>(instr.op) - static_cast<int>(Opcode::kPpAdd));
+      step_refs_.emplace_back(f.home, shared_.module_of(a));
+      const std::size_t ticket = shared_.multiprefix(a, op, v, key);
+      pending_prefixes_.push_back(PendingPrefix{f.id, lane, instr.rd, ticket});
+      f.multiop_blocked = true;
+      return;
+    }
+    case Opcode::kTid:
+      write_reg(instr.rd, static_cast<Word>(lane));
+      return;
+    case Opcode::kFid:
+      write_reg(instr.rd, static_cast<Word>(f.id));
+      return;
+    case Opcode::kThick:
+      write_reg(instr.rd, f.mode == FlowMode::kPram ? f.thickness : 1);
+      return;
+    case Opcode::kGid:
+      write_reg(instr.rd, static_cast<Word>(f.home));
+      return;
+    case Opcode::kNop:
+      return;
+    default: {
+      const Word a = instr.ra == 0 ? 0 : regs[instr.ra];
+      write_reg(instr.rd, alu(instr, a, read_operand_b(f, instr, lane)));
+      return;
+    }
+  }
+}
+
+bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
+  using isa::Opcode;
+  auto target = [&](std::int32_t imm) {
+    if (imm < 0 || static_cast<std::size_t>(imm) > program_.code.size()) {
+      TCFPN_FAULT("branch target ", imm, " out of range in flow ", f.id);
+    }
+    return static_cast<std::size_t>(imm);
+  };
+  switch (instr.op) {
+    case Opcode::kJmp:
+      f.pc = target(instr.imm);
+      return true;
+    case Opcode::kBeqz:
+    case Opcode::kBnez: {
+      // The whole flow takes exactly one path through a control statement
+      // (Section 2.2); a divergent condition is a program fault.
+      const Word head =
+          instr.ra == 0 ? 0 : f.lane_regs[0][instr.ra];
+      if (f.mode == FlowMode::kPram) {
+        for (const auto& regs : f.lane_regs) {
+          const Word v = instr.ra == 0 ? 0 : regs[instr.ra];
+          if ((v == 0) != (head == 0)) {
+            TCFPN_FAULT("divergent branch condition in flow ", f.id,
+                        ": use parallel{} to split the flow");
+          }
+        }
+      }
+      const bool taken =
+          (instr.op == Opcode::kBeqz) ? (head == 0) : (head != 0);
+      f.pc = taken ? target(instr.imm) : f.pc + 1;
+      return true;
+    }
+    case Opcode::kCall:
+      f.call_stack.push_back(f.pc + 1);
+      f.pc = target(instr.imm);
+      return true;
+    case Opcode::kRet:
+      if (f.call_stack.empty()) {
+        TCFPN_FAULT("RET with empty call stack in flow ", f.id);
+      }
+      f.pc = f.call_stack.back();
+      f.call_stack.pop_back();
+      return true;
+    case Opcode::kHalt:
+      on_flow_halted(f);
+      return false;
+    case Opcode::kSetThick: {
+      const Word t = instr.use_imm()
+                         ? instr.imm
+                         : (instr.ra == 0 ? 0 : f.lane_regs[0][instr.ra]);
+      if (t < 0) TCFPN_FAULT("negative thickness ", t, " in flow ", f.id);
+      switch (cfg_.variant) {
+        case Variant::kSingleOperation:
+        case Variant::kConfigSingleOperation:
+          if (t != 1) {
+            TCFPN_FAULT(to_string(cfg_.variant),
+                        " variant has fixed thickness 1 (got SETTHICK ", t,
+                        "); use loops over the thread set");
+          }
+          break;
+        case Variant::kFixedThickness:
+          if (t != f.thickness) {
+            TCFPN_FAULT("fixed-thickness variant cannot change thickness");
+          }
+          break;
+        default:
+          break;
+      }
+      if (t == 0) {
+        // "If the thickness is set to zero then the processor does not
+        // execute anything" — the flow is over.
+        on_flow_halted(f);
+        return false;
+      }
+      const auto old = f.lane_regs.empty() ? LaneRegs{} : f.lane_regs[0];
+      f.lane_regs.resize(static_cast<std::size_t>(t), old);
+      f.thickness = t;
+      f.mode = FlowMode::kPram;
+      f.pc += 1;
+      return true;
+    }
+    case Opcode::kNumaSet: {
+      const auto l = instr.imm;
+      if (l < 0) TCFPN_FAULT("negative NUMA block length ", l);
+      if (l == 0) {
+        f.mode = FlowMode::kPram;
+        f.pc += 1;
+        return true;
+      }
+      switch (cfg_.variant) {
+        case Variant::kSingleOperation:
+          TCFPN_FAULT("single-operation variant has no NUMA support");
+        case Variant::kMultiInstruction:
+          TCFPN_FAULT("multi-instruction variant drops NUMA support");
+        default:
+          break;  // fixed-thickness: modelled as the scalar unit
+      }
+      f.mode = FlowMode::kNuma;
+      f.numa_block = static_cast<std::uint32_t>(l);
+      f.thickness = 1;
+      f.lane_regs.resize(1);
+      f.pc += 1;
+      return true;
+    }
+    case Opcode::kSpawn: {
+      if (cfg_.variant == Variant::kFixedThickness) {
+        TCFPN_FAULT("fixed-thickness (SIMD) variant has no control "
+                    "parallelism: SPAWN is unavailable");
+      }
+      const Word t = instr.ra == 0 ? 0 : f.lane_regs[0][instr.ra];
+      if (t < 0) TCFPN_FAULT("negative spawn thickness ", t);
+      if ((cfg_.variant == Variant::kSingleOperation ||
+           cfg_.variant == Variant::kConfigSingleOperation) &&
+          t > 1) {
+        TCFPN_FAULT(to_string(cfg_.variant),
+                    " variant spawns threads of thickness 1 only");
+      }
+      ++stats_.spawns;
+      if (t > 0) {
+        const std::size_t entry = target(instr.imm);
+        std::vector<Word> fragments{t};
+        if (splitter_) {
+          fragments = splitter_(t);
+          Word total = 0;
+          for (Word part : fragments) {
+            TCFPN_CHECK(part > 0, "spawn splitter returned an empty fragment");
+            total += part;
+          }
+          TCFPN_CHECK(total == t, "spawn splitter fragments sum to ", total,
+                      ", expected ", t);
+        }
+        const LaneRegs broadcast = f.lane_regs[0];
+        Word base = 0;
+        for (Word part : fragments) {
+          TcfDescriptor& child = make_flow(entry, part, 0, f.id);
+          child.home = pick_group(child);
+          // The child inherits a broadcast copy of the parent's lane-0
+          // registers (flow-level state); fragments learn their base lane
+          // offset through r15 (the fragment convention).
+          for (auto& regs : child.lane_regs) {
+            regs = broadcast;
+            if (fragments.size() > 1) regs[15] = base;
+          }
+          ++f.live_children;
+          pending_spawns_.push_back(child.id);
+          base += part;
+        }
+      }
+      f.pc += 1;
+      return true;
+    }
+    case Opcode::kJoinAll:
+      f.pc += 1;
+      if (f.live_children > 0) {
+        f.status = FlowStatus::kWaitingJoin;
+        return false;
+      }
+      ++stats_.joins;
+      return true;
+    case Opcode::kPrint: {
+      const Word v = instr.use_imm()
+                         ? instr.imm
+                         : (instr.ra == 0 ? 0 : f.lane_regs[0][instr.ra]);
+      debug_out_.push_back(v);
+      f.pc += 1;
+      return true;
+    }
+    default:
+      TCFPN_FAULT("exec_control() called with non-control opcode");
+  }
+}
+
+void Machine::complete_instruction(TcfDescriptor& f,
+                                   const isa::Instr& /*instr*/) {
+  if (!f.instr_writes.empty()) {
+    for (const auto& [a, v] : f.instr_writes) f.step_writes[a] = v;
+    f.instr_writes.clear();
+  }
+}
+
+Cycle Machine::memory_term() {
+  if (step_refs_.empty()) return 0;
+  if (cfg_.detailed_network) {
+    for (const auto& [src, module] : step_refs_) {
+      net_->inject(src, module % cfg_.groups);
+    }
+    return net_->drain();
+  }
+  std::vector<std::uint64_t> loads(shared_.modules(), 0);
+  std::uint32_t max_dist = 0;
+  for (const auto& [src, module] : step_refs_) {
+    ++loads[module];
+    max_dist = std::max(
+        max_dist, net_->topology().distance(src, module % cfg_.groups));
+  }
+  return net_->latency_bound(loads, max_dist);
+}
+
+void Machine::finish_step(Cycle slot_term_max,
+                          const std::vector<Cycle>& group_work) {
+  shared_.commit_step();
+  // Multiprefix results materialise at commit; deliver them to lanes.
+  for (const auto& p : pending_prefixes_) {
+    TcfDescriptor& f = flow(p.flow);
+    if (p.rd != 0 && p.lane < f.lane_regs.size()) {
+      f.lane_regs[p.lane][p.rd] = shared_.prefix_result(p.ticket);
+    }
+  }
+  pending_prefixes_.clear();
+
+  const Cycle mem = memory_term();
+  step_refs_.clear();
+  const Cycle body = std::max(slot_term_max, mem);
+  stats_.memory_wait_cycles += mem > slot_term_max ? mem - slot_term_max : 0;
+  stats_.cycles += cfg_.pipeline_fill + body;
+  ++stats_.steps;
+  for (GroupId g = 0; g < cfg_.groups; ++g) {
+    stats_.busy_slots += group_work[g];
+    stats_.idle_slots += body - std::min<Cycle>(body, group_work[g]);
+  }
+
+  // Step-boundary housekeeping: forwarding buffers, multiop blocks, wakes,
+  // buffer cleanup, freshly spawned flows.
+  for (auto& fp : flows_) {
+    fp->step_writes.clear();
+    fp->multiop_blocked = false;
+    if (fp->status == FlowStatus::kWaitingJoin && fp->live_children == 0) {
+      fp->status = FlowStatus::kReady;
+      ++stats_.joins;
+    }
+  }
+  for (auto& grp : groups_) {
+    std::erase_if(grp.resident, [&](FlowId id) {
+      return flows_[id]->status == FlowStatus::kHalted;
+    });
+    std::erase_if(grp.overflow, [&](FlowId id) {
+      return flows_[id]->status == FlowStatus::kHalted;
+    });
+  }
+  admit_pending_spawns();
+}
+
+// --------------------------------------------------------------------------
+// Multi-instruction (XMT-style) variant
+// --------------------------------------------------------------------------
+
+std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
+                                         std::size_t& lane_pc, bool& halted,
+                                         bool& wants_join) {
+  using isa::Opcode;
+  std::uint64_t ops = 0;
+  std::vector<std::size_t> stack;
+  auto& regs = f.lane_regs[lane];
+  auto write_reg = [&](std::uint8_t r, Word v) {
+    if (r != 0) regs[r] = v;
+  };
+  halted = false;
+  wants_join = false;
+  while (true) {
+    if (lane_pc >= program_.code.size()) {
+      TCFPN_FAULT("lane ", lane, " of flow ", f.id,
+                  " ran off the end of the program");
+    }
+    const isa::Instr& instr = program_.code[lane_pc];
+    ++stats_.instruction_fetches;  // every thread fetches every instruction
+    ++ops;
+    if (ops > kLaneOpGuard) {
+      TCFPN_FAULT("runaway lane (>", kLaneOpGuard, " ops) in flow ", f.id);
+    }
+    auto ea = [&]() {
+      const Word base = instr.ra == 0 ? 0 : regs[instr.ra];
+      Word a = base + instr.imm;
+      if (instr.lane_addr()) a += static_cast<Word>(lane);
+      if (a < 0) TCFPN_FAULT("negative effective address in flow ", f.id);
+      return static_cast<Addr>(a);
+    };
+    switch (instr.op) {
+      case Opcode::kJmp:
+        lane_pc = static_cast<std::size_t>(instr.imm);
+        continue;
+      case Opcode::kBeqz:
+      case Opcode::kBnez: {
+        const Word v = instr.ra == 0 ? 0 : regs[instr.ra];
+        const bool taken = instr.op == Opcode::kBeqz ? v == 0 : v != 0;
+        lane_pc = taken ? static_cast<std::size_t>(instr.imm) : lane_pc + 1;
+        continue;
+      }
+      case Opcode::kCall:
+        stack.push_back(lane_pc + 1);
+        lane_pc = static_cast<std::size_t>(instr.imm);
+        continue;
+      case Opcode::kRet:
+        TCFPN_CHECK(!stack.empty(), "RET with empty stack (XMT lane)");
+        lane_pc = stack.back();
+        stack.pop_back();
+        continue;
+      case Opcode::kHalt:
+        halted = true;
+        return ops;
+      case Opcode::kJoinAll:
+        wants_join = true;
+        ++lane_pc;
+        return ops;
+      case Opcode::kSpawn: {
+        const Word t = instr.ra == 0 ? 0 : regs[instr.ra];
+        if (t < 0) TCFPN_FAULT("negative spawn thickness ", t);
+        ++stats_.spawns;
+        stats_.branch_cost_cycles += 1;  // XMT fork: O(1) enqueue
+        if (t > 0) {
+          TcfDescriptor& child = make_flow(
+              static_cast<std::size_t>(instr.imm), t, 0, f.id);
+          child.home = pick_group(child);
+          for (auto& r : child.lane_regs) r = regs;
+          ++f.live_children;
+          pending_spawns_.push_back(child.id);
+        }
+        ++lane_pc;
+        continue;
+      }
+      case Opcode::kSetThick:
+        TCFPN_FAULT("SETTHICK on a running flow is not available in the "
+                    "multi-instruction variant: thickness is set at fork");
+      case Opcode::kNumaSet:
+        TCFPN_FAULT("multi-instruction variant drops NUMA support");
+      case Opcode::kLd:
+        write_reg(instr.rd, shared_.peek(ea()));
+        ++lane_pc;
+        continue;
+      case Opcode::kSt:
+        shared_.poke(ea(), instr.rb == 0 ? 0 : regs[instr.rb]);
+        ++lane_pc;
+        continue;
+      case Opcode::kLld:
+        write_reg(instr.rd, locals_[f.home].read(ea()));
+        ++lane_pc;
+        continue;
+      case Opcode::kLst:
+        locals_[f.home].write(ea(), instr.rb == 0 ? 0 : regs[instr.rb]);
+        ++lane_pc;
+        continue;
+      case Opcode::kMpAdd:
+      case Opcode::kMpMax:
+      case Opcode::kMpMin:
+      case Opcode::kMpAnd:
+      case Opcode::kMpOr: {
+        // Immediate fetch-and-op (XMT-style atomic): one legal asynchronous
+        // interleaving, serialised by simulation order.
+        const Addr a = ea();
+        const auto op = static_cast<mem::MultiOp>(
+            static_cast<int>(instr.op) - static_cast<int>(Opcode::kMpAdd));
+        shared_.poke(a, mem::apply_multiop(
+                            op, shared_.peek(a),
+                            instr.rb == 0 ? 0 : regs[instr.rb]));
+        ++lane_pc;
+        continue;
+      }
+      case Opcode::kPpAdd:
+      case Opcode::kPpMax:
+      case Opcode::kPpMin:
+      case Opcode::kPpAnd:
+      case Opcode::kPpOr: {
+        const Addr a = ea();
+        const auto op = static_cast<mem::MultiOp>(
+            static_cast<int>(instr.op) - static_cast<int>(Opcode::kPpAdd));
+        const Word old = shared_.peek(a);
+        write_reg(instr.rd, old);
+        shared_.poke(a, mem::apply_multiop(
+                            op, old, instr.rb == 0 ? 0 : regs[instr.rb]));
+        ++lane_pc;
+        continue;
+      }
+      case Opcode::kTid:
+        write_reg(instr.rd, static_cast<Word>(lane));
+        ++lane_pc;
+        continue;
+      case Opcode::kFid:
+        write_reg(instr.rd, static_cast<Word>(f.id));
+        ++lane_pc;
+        continue;
+      case Opcode::kThick:
+        write_reg(instr.rd, f.thickness);
+        ++lane_pc;
+        continue;
+      case Opcode::kGid:
+        write_reg(instr.rd, static_cast<Word>(f.home));
+        ++lane_pc;
+        continue;
+      case Opcode::kPrint:
+        if (lane == 0) {
+          debug_out_.push_back(instr.use_imm()
+                                   ? instr.imm
+                                   : (instr.ra == 0 ? 0 : regs[instr.ra]));
+        }
+        ++lane_pc;
+        continue;
+      case Opcode::kLdi:
+        write_reg(instr.rd, instr.imm);
+        ++lane_pc;
+        continue;
+      case Opcode::kNop:
+        ++lane_pc;
+        continue;
+      default: {
+        const Word a = instr.ra == 0 ? 0 : regs[instr.ra];
+        const Word b = instr.use_imm()
+                           ? instr.imm
+                           : (instr.rb == 0 ? 0 : regs[instr.rb]);
+        write_reg(instr.rd, alu(instr, a, b));
+        ++lane_pc;
+        continue;
+      }
+    }
+  }
+}
+
+bool Machine::step_multi_instruction() {
+  // One "phase": every ready flow's lanes run asynchronously to their next
+  // event (HALT or JOINALL); the phase costs ceil(total ops / thread units).
+  std::vector<FlowId> ready;
+  for (const auto& fp : flows_) {
+    if (fp->status == FlowStatus::kReady) ready.push_back(fp->id);
+  }
+  if (ready.empty()) return false;
+
+  std::uint64_t total_ops = 0;
+  for (FlowId id : ready) {
+    TcfDescriptor& f = flow(id);
+    bool flow_halt = true;
+    bool flow_join = false;
+    std::size_t uniform_pc = 0;
+    for (LaneId lane = 0;
+         lane < static_cast<std::uint64_t>(f.thickness); ++lane) {
+      std::size_t lane_pc = f.pc;
+      bool halted = false, wants_join = false;
+      total_ops += run_lane_to_event(f, lane, lane_pc, halted, wants_join);
+      if (lane == 0) {
+        flow_halt = halted;
+        flow_join = wants_join;
+        uniform_pc = lane_pc;
+      } else if (halted != flow_halt || wants_join != flow_join ||
+                 lane_pc != uniform_pc) {
+        TCFPN_FAULT("lanes of flow ", f.id,
+                    " diverged to different events in multi-instruction "
+                    "mode; join points must be uniform");
+      }
+    }
+    stats_.operations += 0;  // counted below via total_ops
+    if (flow_halt) {
+      on_flow_halted(f);
+    } else {
+      TCFPN_CHECK(flow_join, "lane stopped without halt or join");
+      f.pc = uniform_pc;
+      f.status = f.live_children > 0 ? FlowStatus::kWaitingJoin
+                                     : FlowStatus::kReady;
+      if (f.live_children == 0) ++stats_.joins;
+    }
+  }
+  stats_.operations += total_ops;
+
+  // P pipelines execute one operation per cycle each; the T_p thread units
+  // per processor hide latency rather than multiply throughput (the same
+  // capacity assumption the synchronous variants run under).
+  const std::uint64_t units = cfg_.groups;
+  const Cycle phase = (total_ops + units - 1) / units;
+  stats_.cycles += phase;
+  stats_.busy_slots += total_ops;
+  stats_.idle_slots += phase * units - total_ops;
+  ++stats_.steps;
+
+  // Wake joiners whose children have all halted; charge the join barrier.
+  for (auto& fp : flows_) {
+    if (fp->status == FlowStatus::kWaitingJoin && fp->live_children == 0) {
+      fp->status = FlowStatus::kReady;
+      stats_.cycles += cfg_.join_cost;
+      ++stats_.joins;
+    }
+  }
+  admit_pending_spawns();
+  if (!pending_spawns_.empty() || !ready.empty()) {
+    stats_.cycles += cfg_.spawn_cost;  // dispatch overhead per phase
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// Task management
+// --------------------------------------------------------------------------
+
+mem::LocalMemory& Machine::local(GroupId g) {
+  TCFPN_CHECK(g < locals_.size(), "group ", g, " out of range");
+  return locals_[g];
+}
+
+Cycle Machine::suspend_flow(FlowId id) {
+  TcfDescriptor& f = flow(id);
+  TCFPN_CHECK(f.status == FlowStatus::kReady, "can only suspend ready flows");
+  f.status = FlowStatus::kSuspended;
+  // The descriptor stays in the TCF buffer: for the TCF variants suspension
+  // is free (Table 1); thread machines pay the full context switch.
+  const bool resident =
+      std::find(groups_[f.home].resident.begin(),
+                groups_[f.home].resident.end(),
+                id) != groups_[f.home].resident.end();
+  const Cycle c = task_switch_cost(cfg_, f.thickness, resident);
+  stats_.task_switch_cycles += c;
+  stats_.cycles += c;
+  return c;
+}
+
+Cycle Machine::resume_flow(FlowId id) {
+  TcfDescriptor& f = flow(id);
+  TCFPN_CHECK(f.status == FlowStatus::kSuspended,
+              "can only resume suspended flows");
+  f.status = FlowStatus::kReady;
+  auto& grp = groups_[f.home];
+  bool resident =
+      std::find(grp.resident.begin(), grp.resident.end(), id) !=
+      grp.resident.end();
+  Cycle c = 0;
+  if (!resident) {
+    // Make room: displace a suspended resident flow if the buffer is full.
+    if (grp.resident.size() >= cfg_.slots_per_group) {
+      for (FlowId victim : grp.resident) {
+        if (flows_[victim]->status == FlowStatus::kSuspended) {
+          c += evict_flow(victim);
+          break;
+        }
+      }
+    }
+    std::erase(grp.overflow, id);
+    if (grp.resident.size() < cfg_.slots_per_group) {
+      grp.resident.push_back(id);
+      resident = true;
+      // Loading the descriptor and its cached lane registers back into the
+      // buffer is the swap-in half of the task switch.
+      c += task_switch_cost(cfg_, f.thickness, /*resident_in_buffer=*/false);
+    } else {
+      grp.overflow.push_back(id);
+    }
+  } else {
+    c += task_switch_cost(cfg_, f.thickness, /*resident_in_buffer=*/true);
+  }
+  stats_.task_switch_cycles += c;
+  stats_.cycles += c;
+  return c;
+}
+
+Cycle Machine::evict_flow(FlowId id) {
+  TcfDescriptor& f = flow(id);
+  auto& grp = groups_[f.home];
+  const auto it = std::find(grp.resident.begin(), grp.resident.end(), id);
+  TCFPN_CHECK(it != grp.resident.end(), "evicting a non-resident flow");
+  grp.resident.erase(it);
+  grp.overflow.push_back(id);
+  f.evicted_once = true;
+  const Cycle c =
+      task_switch_cost(cfg_, f.thickness, /*resident_in_buffer=*/false);
+  stats_.task_switch_cycles += c;
+  return c;
+}
+
+}  // namespace tcfpn::machine

@@ -1,0 +1,207 @@
+// The extended PRAM-NUMA machine simulator.
+//
+// Implements Section 3 of the paper: P groups of T_p TCF processors, a
+// word-wise shared memory behind a distance-aware network, per-group local
+// memories, a TCF storage buffer per group, and the six execution variants
+// of Section 3.2 as scheduling disciplines over the same substrate.
+//
+// Execution model (DESIGN.md §4):
+//  - step-synchronous variants advance in machine steps; shared-memory
+//    writes commit at step boundaries; a flow is sequentially consistent
+//    with itself via store forwarding (flow.hpp);
+//  - the multi-instruction (XMT-style) variant runs flows from creation to
+//    termination with immediate memory semantics and charges explicit
+//    spawn/join barrier costs;
+//  - cycle accounting per step: pipeline fill F plus the variant's slot
+//    term, extended by the memory term (serialisation at the hottest module
+//    vs wire distance — or a measured drain of the detailed router), so a
+//    step only hides memory latency when it carries enough parallel slack.
+//
+// The instruction semantics (src/isa) are interpreted per lane; control
+// instructions execute once per flow — that asymmetry is the TCF model's
+// core economy and what the Table 1 bench measures.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "common/types.hpp"
+#include "isa/program.hpp"
+#include "machine/config.hpp"
+#include "machine/flow.hpp"
+#include "mem/local_memory.hpp"
+#include "mem/shared_memory.hpp"
+#include "net/network.hpp"
+
+namespace tcfpn::machine {
+
+struct MachineStats {
+  Cycle cycles = 0;
+  StepId steps = 0;
+  std::uint64_t tcf_instructions = 0;   ///< instruction activations completed
+  std::uint64_t operations = 0;         ///< lane-level operations executed
+  std::uint64_t instruction_fetches = 0;
+  std::uint64_t spawns = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t busy_slots = 0;   ///< group-cycles spent executing operations
+  std::uint64_t idle_slots = 0;   ///< group-cycles idle inside steps
+  Cycle memory_wait_cycles = 0;   ///< step extension caused by the memory term
+  Cycle task_switch_cycles = 0;   ///< explicit suspend/resume + buffer spills
+  Cycle branch_cost_cycles = 0;   ///< SPAWN register-copy charges
+
+  /// Fraction of in-step group capacity that did useful operations.
+  double utilization() const {
+    const double total = static_cast<double>(busy_slots + idle_slots);
+    return total > 0 ? static_cast<double>(busy_slots) / total : 0.0;
+  }
+};
+
+struct RunResult {
+  bool completed = false;  ///< every flow halted
+  Cycle cycles = 0;
+  StepId steps = 0;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg);
+
+  // ----- program & flow setup -----
+  void load(const isa::Program& program);
+  const isa::Program& program() const { return program_; }
+
+  /// Creates a root flow at the program entry. Returns its id.
+  FlowId boot(Word thickness = 1);
+  /// Creates a root flow at an explicit pc on an explicit group.
+  FlowId boot_at(std::size_t pc, Word thickness, GroupId home);
+
+  // ----- execution -----
+  /// Runs machine steps until every flow halts or `max_steps` elapse.
+  RunResult run(std::uint64_t max_steps = 10'000'000);
+  /// Executes one machine step. Returns false when no flow can progress.
+  bool step();
+  bool done() const;
+
+  // ----- task management (used by src/sched) -----
+  /// Suspends a ready flow; returns (and accounts) the switch-out cost.
+  Cycle suspend_flow(FlowId id);
+  /// Makes a suspended flow ready again; returns the switch-in cost. If the
+  /// flow is not resident in its group's TCF buffer and the buffer is full,
+  /// a suspended resident flow is evicted (its swap-out cost included).
+  Cycle resume_flow(FlowId id);
+
+  /// Forces a flow out of its group's TCF buffer into the overflow list;
+  /// returns the swap-out cost. The next promotion pays the swap-in.
+  Cycle evict_flow(FlowId id);
+  /// Adds external cycles (scheduler decisions) to the run clock.
+  void charge(Cycle c) { stats_.cycles += c; }
+
+  /// Placement policy for spawned flows; default = least loaded group.
+  using AllocationHook = std::function<GroupId(const TcfDescriptor& child)>;
+  void set_allocation_hook(AllocationHook hook) { alloc_ = std::move(hook); }
+
+  /// OS-level automatic splitting of overly thick flows (Section 3.3: "the
+  /// OS can split such flows automatically"). When set, every SPAWN's
+  /// thickness is passed to the hook, which returns the fragment
+  /// thicknesses to create instead (return {thickness} to keep one flow).
+  /// Each fragment flow receives its base lane offset in register r15 —
+  /// the fragment convention used by sched:: and the fragment kernels —
+  /// and all fragments are children of the spawning flow (JOINALL waits
+  /// for every fragment).
+  using SpawnSplitter = std::function<std::vector<Word>(Word thickness)>;
+  void set_spawn_splitter(SpawnSplitter hook) { splitter_ = std::move(hook); }
+
+  // ----- accessors -----
+  const MachineConfig& config() const { return cfg_; }
+  mem::SharedMemory& shared() { return shared_; }
+  const mem::SharedMemory& shared() const { return shared_; }
+  mem::LocalMemory& local(GroupId g);
+  net::Network& network() { return *net_; }
+  const MachineStats& stats() const { return stats_; }
+  const ScheduleTrace& trace() const { return trace_; }
+  const std::vector<Word>& debug_output() const { return debug_out_; }
+
+  /// Sets a lane register of a flow before running (front-end/test setup).
+  void poke_reg(FlowId id, LaneId lane, std::uint8_t reg, Word value);
+  /// Reads a lane register of a flow (result checking).
+  Word peek_reg(FlowId id, LaneId lane, std::uint8_t reg) const;
+
+  const TcfDescriptor* find_flow(FlowId id) const;
+  std::size_t live_flows() const;  ///< flows not yet halted
+  /// Flows currently resident in group g's TCF storage buffer.
+  std::size_t resident_flows(GroupId g) const;
+
+ private:
+  struct PendingPrefix {
+    FlowId flow;
+    LaneId lane;
+    std::uint8_t rd;
+    std::size_t ticket;
+  };
+  struct GroupState {
+    std::vector<FlowId> resident;  ///< the TCF storage buffer (FIFO order)
+    std::vector<FlowId> overflow;  ///< ready flows waiting for a buffer slot
+    std::uint64_t step_ops = 0;    ///< operations executed this step
+  };
+
+  TcfDescriptor& flow(FlowId id);
+  TcfDescriptor& make_flow(std::size_t pc, Word thickness, GroupId home,
+                           FlowId parent);
+  GroupId pick_group(const TcfDescriptor& child) const;
+  std::uint64_t group_load(GroupId g) const;
+  void admit_pending_spawns();
+  void promote_overflow(GroupId g);
+  void on_flow_halted(TcfDescriptor& f);
+
+  // step-synchronous execution
+  bool step_synchronous();
+  /// Executes up to `op_quota` operation slots of flow f (a full instruction
+  /// when quota covers it). Returns ops consumed.
+  std::uint64_t run_flow_slice(TcfDescriptor& f, std::uint64_t op_quota);
+  std::uint64_t run_numa_block(TcfDescriptor& f);
+  const isa::Instr& fetch(TcfDescriptor& f);
+  void exec_data_lane(TcfDescriptor& f, const isa::Instr& instr, LaneId lane);
+  /// Executes a control instruction flow-wise; returns false if the flow
+  /// left the ready state (halt / join wait / thickness 0).
+  bool exec_control(TcfDescriptor& f, const isa::Instr& instr);
+  void complete_instruction(TcfDescriptor& f, const isa::Instr& instr);
+  Word read_operand_b(const TcfDescriptor& f, const isa::Instr& instr,
+                      LaneId lane) const;
+  Word alu(const isa::Instr& instr, Word a, Word b) const;
+  Addr effective_addr(const TcfDescriptor& f, const isa::Instr& instr,
+                      LaneId lane) const;
+  Word read_shared(TcfDescriptor& f, Addr a, LaneId lane);
+  Cycle operand_penalty(LaneId lane) const;
+  void finish_step(Cycle slot_term_max, const std::vector<Cycle>& group_work);
+  Cycle memory_term();
+
+  // multi-instruction (XMT) execution
+  bool step_multi_instruction();
+  std::uint64_t run_lane_to_event(TcfDescriptor& f, LaneId lane,
+                                  std::size_t& lane_pc, bool& halted,
+                                  bool& wants_join);
+
+  MachineConfig cfg_;
+  isa::Program program_;
+  mem::SharedMemory shared_;
+  std::vector<mem::LocalMemory> locals_;
+  std::unique_ptr<net::Network> net_;
+  AllocationHook alloc_;
+  SpawnSplitter splitter_;
+
+  std::vector<std::unique_ptr<TcfDescriptor>> flows_;
+  std::vector<GroupState> groups_;
+  std::vector<FlowId> pending_spawns_;
+  std::vector<PendingPrefix> pending_prefixes_;
+  std::vector<std::pair<GroupId, std::uint32_t>> step_refs_;  ///< (src, module)
+
+  MachineStats stats_;
+  ScheduleTrace trace_;
+  std::vector<Word> debug_out_;
+};
+
+}  // namespace tcfpn::machine

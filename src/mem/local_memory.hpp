@@ -1,0 +1,52 @@
+// Per-group local memory blocks (the NUMA side of PRAM-NUMA).
+//
+// Section 2.1: "each processor group is attached to its own local memory
+// block". NUMA-mode accesses hit this block with a small fixed latency and
+// *immediate* (non-step-buffered) semantics — a NUMA bunch is a single
+// sequential instruction stream, so ordinary sequential consistency within
+// the bunch is exactly the model.
+//
+// Accesses from a *different* group are legal in the model (the
+// interconnection network connects the local-memory access paths together)
+// but pay distance-proportional latency; the machine layer routes those
+// through src/net and merely calls remote_access() here for accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace tcfpn::mem {
+
+class LocalMemory {
+ public:
+  LocalMemory(GroupId owner, std::size_t words, Cycle access_latency = 1);
+
+  GroupId owner() const { return owner_; }
+  std::size_t size() const { return store_.size(); }
+  Cycle access_latency() const { return latency_; }
+
+  Word read(Addr a) const;
+  void write(Addr a, Word v);
+
+  /// Accounting hook for accesses that arrived over the network.
+  void remote_access() { ++remote_accesses_; }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t remote_accesses() const { return remote_accesses_; }
+
+ private:
+  void check_addr(Addr a) const;
+
+  GroupId owner_;
+  std::vector<Word> store_;
+  Cycle latency_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t remote_accesses_ = 0;
+};
+
+}  // namespace tcfpn::mem

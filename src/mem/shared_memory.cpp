@@ -1,0 +1,245 @@
+#include "mem/shared_memory.hpp"
+
+#include <algorithm>
+
+namespace tcfpn::mem {
+
+Word apply_multiop(MultiOp op, Word a, Word b) {
+  switch (op) {
+    case MultiOp::kAdd:
+      return static_cast<Word>(static_cast<std::uint64_t>(a) +
+                               static_cast<std::uint64_t>(b));
+    case MultiOp::kMax:
+      return std::max(a, b);
+    case MultiOp::kMin:
+      return std::min(a, b);
+    case MultiOp::kAnd:
+      return a & b;
+    case MultiOp::kOr:
+      return a | b;
+  }
+  TCFPN_FAULT("unknown multiop ", static_cast<int>(op));
+}
+
+const char* to_string(CrcwPolicy policy) {
+  switch (policy) {
+    case CrcwPolicy::kErew: return "EREW";
+    case CrcwPolicy::kCrew: return "CREW";
+    case CrcwPolicy::kCommon: return "Common-CRCW";
+    case CrcwPolicy::kArbitrary: return "Arbitrary-CRCW";
+    case CrcwPolicy::kPriority: return "Priority-CRCW";
+  }
+  return "?";
+}
+
+const char* to_string(MultiOp op) {
+  switch (op) {
+    case MultiOp::kAdd: return "MPADD";
+    case MultiOp::kMax: return "MPMAX";
+    case MultiOp::kMin: return "MPMIN";
+    case MultiOp::kAnd: return "MPAND";
+    case MultiOp::kOr: return "MPOR";
+  }
+  return "?";
+}
+
+SharedMemory::SharedMemory(std::size_t words, std::uint32_t modules,
+                           CrcwPolicy policy)
+    : store_(words, 0),
+      modules_(modules),
+      policy_(policy),
+      traffic_(modules),
+      last_traffic_(modules) {
+  TCFPN_CHECK(words > 0, "shared memory must hold at least one word");
+  TCFPN_CHECK(modules > 0, "shared memory needs at least one module");
+}
+
+std::uint32_t SharedMemory::module_of(Addr a) const {
+  if (hash_) {
+    const std::uint32_t m = hash_(a);
+    TCFPN_CHECK(m < modules_, "address hash returned module ", m,
+                " out of range ", modules_);
+    return m;
+  }
+  return static_cast<std::uint32_t>(a % modules_);
+}
+
+void SharedMemory::set_address_hash(std::function<std::uint32_t(Addr)> hash) {
+  hash_ = std::move(hash);
+}
+
+void SharedMemory::check_addr(Addr a) const {
+  if (a >= store_.size()) {
+    TCFPN_FAULT("shared memory access out of range: addr ", a, " >= ",
+                store_.size());
+  }
+}
+
+void SharedMemory::note_traffic(Addr a, std::uint64_t ModuleTraffic::*field) {
+  ++(traffic_[module_of(a)].*field);
+}
+
+Word SharedMemory::read(Addr a, LaneId lane) {
+  check_addr(a);
+  note_traffic(a, &ModuleTraffic::reads);
+  ++total_reads_;
+  if (policy_ == CrcwPolicy::kErew) {
+    step_reads_.emplace_back(a, lane);
+  }
+  return store_[a];
+}
+
+void SharedMemory::write(Addr a, Word v, LaneId lane) {
+  check_addr(a);
+  note_traffic(a, &ModuleTraffic::writes);
+  ++total_writes_;
+  pending_writes_.push_back(PendingWrite{a, v, lane});
+}
+
+void SharedMemory::multiop(Addr a, MultiOp op, Word v, LaneId lane) {
+  check_addr(a);
+  note_traffic(a, &ModuleTraffic::multiops);
+  ++total_multiops_;
+  pending_multis_.push_back(PendingMulti{a, op, v, lane, ~std::size_t{0}});
+}
+
+std::size_t SharedMemory::multiprefix(Addr a, MultiOp op, Word v, LaneId lane) {
+  check_addr(a);
+  note_traffic(a, &ModuleTraffic::multiops);
+  ++total_multiops_;
+  const std::size_t ticket = next_ticket_++;
+  pending_multis_.push_back(PendingMulti{a, op, v, lane, ticket});
+  return ticket;
+}
+
+Word SharedMemory::prefix_result(std::size_t ticket) const {
+  TCFPN_CHECK(ticket < prefix_results_.size(),
+              "prefix ticket ", ticket, " has no committed result");
+  return prefix_results_[ticket];
+}
+
+void SharedMemory::commit_writes() {
+  if (pending_writes_.empty()) return;
+  std::sort(pending_writes_.begin(), pending_writes_.end(),
+            [](const PendingWrite& x, const PendingWrite& y) {
+              return x.addr != y.addr ? x.addr < y.addr : x.lane < y.lane;
+            });
+  for (std::size_t i = 0; i < pending_writes_.size();) {
+    std::size_t j = i + 1;
+    while (j < pending_writes_.size() &&
+           pending_writes_[j].addr == pending_writes_[i].addr) {
+      ++j;
+    }
+    const std::size_t writers = j - i;
+    const Addr addr = pending_writes_[i].addr;
+    if (writers > 1) {
+      switch (policy_) {
+        case CrcwPolicy::kErew:
+        case CrcwPolicy::kCrew:
+          TCFPN_FAULT(to_string(policy_), " violation: ", writers,
+                      " concurrent writes to address ", addr, " in step ",
+                      step_);
+        case CrcwPolicy::kCommon:
+          for (std::size_t k = i + 1; k < j; ++k) {
+            if (pending_writes_[k].value != pending_writes_[i].value) {
+              TCFPN_FAULT("Common-CRCW violation: unequal concurrent writes "
+                          "to address ", addr, " in step ", step_, " (",
+                          pending_writes_[i].value, " vs ",
+                          pending_writes_[k].value, ")");
+            }
+          }
+          break;
+        case CrcwPolicy::kArbitrary:
+        case CrcwPolicy::kPriority:
+          break;  // lowest lane (= first after sort) wins
+      }
+    }
+    store_[addr] = pending_writes_[i].value;
+    i = j;
+  }
+  // Under EREW also forbid a read and a write touching the same cell.
+  if (policy_ == CrcwPolicy::kErew && !step_reads_.empty()) {
+    std::sort(step_reads_.begin(), step_reads_.end());
+    for (std::size_t r = 1; r < step_reads_.size(); ++r) {
+      if (step_reads_[r].first == step_reads_[r - 1].first) {
+        TCFPN_FAULT("EREW violation: concurrent reads of address ",
+                    step_reads_[r].first, " in step ", step_);
+      }
+    }
+    for (const auto& w : pending_writes_) {
+      const bool read_too = std::binary_search(
+          step_reads_.begin(), step_reads_.end(), w.addr,
+          [](const auto& lhs, const auto& rhs) {
+            if constexpr (std::is_same_v<std::decay_t<decltype(lhs)>, Addr>) {
+              return lhs < rhs.first;
+            } else {
+              return lhs.first < rhs;
+            }
+          });
+      if (read_too) {
+        TCFPN_FAULT("EREW violation: address ", w.addr,
+                    " both read and written in step ", step_);
+      }
+    }
+  }
+  pending_writes_.clear();
+}
+
+void SharedMemory::commit_multis() {
+  if (pending_multis_.empty()) return;
+  std::sort(pending_multis_.begin(), pending_multis_.end());
+  prefix_results_.resize(next_ticket_);
+  for (std::size_t i = 0; i < pending_multis_.size();) {
+    std::size_t j = i + 1;
+    while (j < pending_multis_.size() &&
+           pending_multis_[j].addr == pending_multis_[i].addr) {
+      ++j;
+    }
+    const Addr addr = pending_multis_[i].addr;
+    const MultiOp op = pending_multis_[i].op;
+    Word running = store_[addr];
+    for (std::size_t k = i; k < j; ++k) {
+      if (pending_multis_[k].op != op) {
+        TCFPN_FAULT("mixed multioperations (", to_string(op), " vs ",
+                    to_string(pending_multis_[k].op), ") on address ", addr,
+                    " in step ", step_);
+      }
+      if (pending_multis_[k].ticket != ~std::size_t{0}) {
+        // Multiprefix semantics: participant k receives the combination of
+        // the cell's previous value with all lower-lane contributions.
+        prefix_results_[pending_multis_[k].ticket] = running;
+      }
+      running = apply_multiop(op, running, pending_multis_[k].value);
+    }
+    store_[addr] = running;
+    i = j;
+  }
+  pending_multis_.clear();
+}
+
+void SharedMemory::commit_step() {
+  commit_writes();
+  commit_multis();
+  step_reads_.clear();
+  last_traffic_ = traffic_;
+  std::fill(traffic_.begin(), traffic_.end(), ModuleTraffic{});
+  ++step_;
+}
+
+Word SharedMemory::peek(Addr a) const {
+  check_addr(a);
+  return store_[a];
+}
+
+void SharedMemory::poke(Addr a, Word v) {
+  check_addr(a);
+  store_[a] = v;
+}
+
+std::uint64_t SharedMemory::last_step_max_module_load() const {
+  std::uint64_t peak = 0;
+  for (const auto& t : last_traffic_) peak = std::max(peak, t.total());
+  return peak;
+}
+
+}  // namespace tcfpn::mem

@@ -1,0 +1,167 @@
+// The emulated shared memory of the (extended) PRAM-NUMA machine.
+//
+// Section 2.1/3.1 of the paper: a word-wise accessible global shared memory,
+// physically distributed over M memory modules, accessed in synchronous
+// steps. This class implements the *memory semantics* of that model:
+//
+//  - module interleaving: word address a lives in module a mod M (the
+//    standard ESM randomization point; callers may also supply their own
+//    hashed placement through `set_address_hash`);
+//  - step-synchronous visibility: reads performed during step s observe the
+//    state committed at the end of step s-1; all writes of step s become
+//    visible atomically at commit_step();
+//  - concurrent-access policies: EREW / CREW / Common / Arbitrary / Priority
+//    CRCW, enforced per step with SimError on violation;
+//  - multioperations (MPADD/MPMAX/MPMIN/MPAND/MPOR): all same-address
+//    contributions of a step combine into one value (active memory, as in
+//    SB-PRAM and ECLIPSE);
+//  - ordered multiprefix: each participant additionally receives the
+//    reduction of the *preceding* participants (ordered by lane id) combined
+//    with the cell's previous value — the `prefix(...)` primitive used by
+//    Section 4's examples.
+//
+// Network latency and congestion are modelled separately (src/net); this
+// class only counts per-module traffic so the machine layer can couple the
+// two.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace tcfpn::mem {
+
+enum class CrcwPolicy : std::uint8_t {
+  kErew,       ///< exclusive read, exclusive write
+  kCrew,       ///< concurrent read, exclusive write
+  kCommon,     ///< concurrent writes allowed if all write the same value
+  kArbitrary,  ///< one of the concurrent writes wins (lowest lane, for determinism)
+  kPriority,   ///< lowest lane id wins
+};
+
+enum class MultiOp : std::uint8_t { kAdd, kMax, kMin, kAnd, kOr };
+
+/// Applies a multioperation to two words.
+Word apply_multiop(MultiOp op, Word a, Word b);
+
+const char* to_string(CrcwPolicy policy);
+const char* to_string(MultiOp op);
+
+/// Per-step, per-module traffic counters (reset at commit_step()).
+struct ModuleTraffic {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t multiops = 0;
+  std::uint64_t total() const { return reads + writes + multiops; }
+};
+
+class SharedMemory {
+ public:
+  /// `words` cells of shared memory spread over `modules` modules.
+  SharedMemory(std::size_t words, std::uint32_t modules,
+               CrcwPolicy policy = CrcwPolicy::kArbitrary);
+
+  std::size_t size() const { return store_.size(); }
+  std::uint32_t modules() const { return modules_; }
+  CrcwPolicy policy() const { return policy_; }
+  void set_policy(CrcwPolicy p) { policy_ = p; }
+
+  /// Module that owns address `a` under the current placement.
+  std::uint32_t module_of(Addr a) const;
+
+  /// Installs a custom address->module placement (e.g. a hashed placement to
+  /// break hot modules). Must map into [0, modules).
+  void set_address_hash(std::function<std::uint32_t(Addr)> hash);
+
+  // ----- step-synchronous access (PRAM mode) -----
+
+  /// Read the value committed before the current step.
+  Word read(Addr a, LaneId lane);
+
+  /// Stage a write; visible after commit_step().
+  void write(Addr a, Word v, LaneId lane);
+
+  /// Stage a multioperation contribution; combined at commit_step().
+  void multiop(Addr a, MultiOp op, Word v, LaneId lane);
+
+  /// Stage a multiprefix contribution. Returns a ticket whose result — the
+  /// cell's pre-step value combined with all strictly-lower-lane
+  /// contributions to the same cell — is readable after commit_step().
+  std::size_t multiprefix(Addr a, MultiOp op, Word v, LaneId lane);
+
+  /// Result of a multiprefix ticket from the *previous* commit.
+  Word prefix_result(std::size_t ticket) const;
+
+  /// Ends the step: applies writes under the CRCW policy, combines
+  /// multioperations, computes multiprefix results, resets traffic counters
+  /// into the last-step snapshot, and advances the step number.
+  void commit_step();
+
+  // ----- out-of-band access (initialisation, result checking, NUMA path) ---
+
+  /// Immediate read of committed state without traffic accounting.
+  Word peek(Addr a) const;
+  /// Immediate write to committed state (test/benchmark setup only).
+  void poke(Addr a, Word v);
+
+  // ----- statistics -----
+  StepId step() const { return step_; }
+  /// Traffic each module received during the last committed step.
+  const std::vector<ModuleTraffic>& last_step_traffic() const {
+    return last_traffic_;
+  }
+  /// Maximum single-module load of the last committed step (the serialisation
+  /// bound: a module serves one request per cycle).
+  std::uint64_t last_step_max_module_load() const;
+  std::uint64_t total_reads() const { return total_reads_; }
+  std::uint64_t total_writes() const { return total_writes_; }
+  std::uint64_t total_multiops() const { return total_multiops_; }
+
+ private:
+  struct PendingWrite {
+    Addr addr;
+    Word value;
+    LaneId lane;
+  };
+  struct PendingMulti {
+    Addr addr;
+    MultiOp op;
+    Word value;
+    LaneId lane;
+    std::size_t ticket;  ///< ~0 when no prefix result requested
+    bool operator<(const PendingMulti& o) const {
+      return addr != o.addr ? addr < o.addr : lane < o.lane;
+    }
+  };
+
+  void check_addr(Addr a) const;
+  void note_traffic(Addr a, std::uint64_t ModuleTraffic::*field);
+  void commit_writes();
+  void commit_multis();
+
+  std::vector<Word> store_;
+  std::uint32_t modules_;
+  CrcwPolicy policy_;
+  std::function<std::uint32_t(Addr)> hash_;
+
+  std::vector<PendingWrite> pending_writes_;
+  std::vector<PendingMulti> pending_multis_;
+  std::vector<Word> prefix_results_;
+  std::size_t next_ticket_ = 0;
+
+  // Per-step exclusive-access tracking (only maintained for EREW/CREW).
+  std::vector<std::pair<Addr, LaneId>> step_reads_;
+
+  std::vector<ModuleTraffic> traffic_;
+  std::vector<ModuleTraffic> last_traffic_;
+  StepId step_ = 0;
+  std::uint64_t total_reads_ = 0;
+  std::uint64_t total_writes_ = 0;
+  std::uint64_t total_multiops_ = 0;
+};
+
+}  // namespace tcfpn::mem

@@ -1,0 +1,132 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tcfpn::net {
+
+Network::Network(std::unique_ptr<Topology> topology, NetworkConfig cfg)
+    : topology_(std::move(topology)), cfg_(cfg) {
+  TCFPN_CHECK(topology_ != nullptr, "network needs a topology");
+  TCFPN_CHECK(cfg_.link_bandwidth >= 1, "link bandwidth must be >= 1");
+  TCFPN_CHECK(cfg_.ejection_bandwidth >= 1, "ejection bandwidth must be >= 1");
+  TCFPN_CHECK(cfg_.wire_latency >= 1, "wire latency must be >= 1");
+  node_queues_.resize(topology_->nodes());
+  ejection_queues_.resize(topology_->nodes());
+}
+
+std::uint64_t Network::inject(NodeId src, NodeId dst, Word payload) {
+  TCFPN_CHECK(src < topology_->nodes(), "bad source node ", src);
+  TCFPN_CHECK(dst < topology_->nodes(), "bad destination node ", dst);
+  Packet p{next_id_++, src, dst, now_, payload};
+  ++in_flight_;
+  ++injected_;
+  if (src == dst) {
+    // Local reference: still pays one ejection slot (module port) but no
+    // wire time.
+    ejection_queues_[dst].push_back(Hop{p, now_});
+  } else {
+    node_queues_[src].push_back(Hop{p, now_});
+  }
+  peak_queue_ = std::max(peak_queue_, node_queues_[src].size());
+  return p.id;
+}
+
+void Network::tick() {
+  // Stage 1: ejection — each destination absorbs up to ejection_bandwidth
+  // packets whose wire time has elapsed.
+  for (NodeId n = 0; n < ejection_queues_.size(); ++n) {
+    auto& q = ejection_queues_[n];
+    std::uint32_t served = 0;
+    while (!q.empty() && served < cfg_.ejection_bandwidth &&
+           q.front().ready_at <= now_) {
+      Delivery d{q.front().packet, now_ + 1};
+      q.pop_front();
+      deliveries_.push_back(d);
+      latencies_.add(static_cast<double>(d.latency()));
+      ++delivered_count_;
+      --in_flight_;
+      ++served;
+    }
+  }
+
+  // Stage 2: link traversal. Each (node -> next-hop) link moves up to
+  // link_bandwidth ready packets. Moves are staged so a packet advances at
+  // most one hop per cycle.
+  struct Move {
+    NodeId to;
+    Hop hop;
+    bool eject;
+  };
+  std::vector<Move> moves;
+  for (NodeId n = 0; n < node_queues_.size(); ++n) {
+    auto& q = node_queues_[n];
+    if (q.empty()) continue;
+    // Per-link departure budget for this node this cycle.
+    std::unordered_map<NodeId, std::uint32_t> budget;
+    std::size_t scanned = 0;
+    const std::size_t limit = q.size();
+    while (scanned < limit && !q.empty()) {
+      Hop hop = q.front();
+      q.pop_front();
+      ++scanned;
+      if (hop.ready_at > now_) {
+        q.push_back(hop);  // still on the wire; retry later
+        continue;
+      }
+      const NodeId next = topology_->route_next(n, hop.packet.dst);
+      auto& used = budget[next];
+      if (used >= cfg_.link_bandwidth) {
+        q.push_back(hop);  // link saturated this cycle
+        continue;
+      }
+      ++used;
+      hop.ready_at = now_ + cfg_.wire_latency;
+      moves.push_back(Move{next, hop, next == hop.packet.dst});
+    }
+  }
+  for (auto& m : moves) {
+    if (m.eject) {
+      ejection_queues_[m.to].push_back(m.hop);
+    } else {
+      node_queues_[m.to].push_back(m.hop);
+      peak_queue_ = std::max(peak_queue_, node_queues_[m.to].size());
+    }
+  }
+
+  ++now_;
+}
+
+Cycle Network::drain() {
+  const Cycle start = now_;
+  // Livelock guard: every packet advances at least one hop every
+  // (queue-length) cycles, so this bound is far beyond any legal schedule.
+  const Cycle bound =
+      now_ + 16 + (in_flight_ + 1) * (topology_->diameter() + 2) *
+                      cfg_.wire_latency * 4;
+  while (in_flight_ > 0) {
+    tick();
+    TCFPN_CHECK(now_ < bound, "network failed to drain ", in_flight_,
+                " packets within ", bound - start, " cycles (livelock?)");
+  }
+  return now_ - start;
+}
+
+std::vector<Delivery> Network::take_deliveries() {
+  std::vector<Delivery> out;
+  out.swap(deliveries_);
+  return out;
+}
+
+Cycle Network::latency_bound(const std::vector<std::uint64_t>& loads,
+                             std::uint32_t max_distance) const {
+  std::uint64_t hottest = 0;
+  for (auto l : loads) hottest = std::max(hottest, l);
+  const Cycle serial = hottest / cfg_.ejection_bandwidth +
+                       (hottest % cfg_.ejection_bandwidth != 0 ? 1 : 0);
+  const Cycle wire = cfg_.wire_latency * max_distance;
+  return std::max<Cycle>(serial, wire);
+}
+
+}  // namespace tcfpn::net

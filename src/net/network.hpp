@@ -1,0 +1,115 @@
+// Cycle-level network simulator over a Topology.
+//
+// Models the "high-bandwidth communication network" of ESM machines
+// (Figures 1/2/5) at hop granularity:
+//
+//  - each directed link moves `link_bandwidth` packets per cycle (default 1
+//    word/cycle) from its FIFO queue to the next node;
+//  - a packet injected at src towards dst follows the topology's
+//    deterministic minimal route, so its uncongested latency is
+//    `wire_latency * distance(src,dst)` — latency proportional to distance,
+//    exactly the model's requirement;
+//  - each node ejects at most `ejection_bandwidth` packets per cycle, so a
+//    hot memory module queues requests (hot-spot congestion);
+//  - per-packet latency samples and per-link peak queue lengths are kept for
+//    the congestion experiments.
+//
+// The machine layer (src/machine) uses Network in "analytic" or "detailed"
+// mode: analytic asks only for `latency_bound()` of a traffic batch, while
+// detailed injects real packets and ticks the router.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "net/topology.hpp"
+
+namespace tcfpn::net {
+
+struct NetworkConfig {
+  std::uint32_t link_bandwidth = 1;      ///< packets per link per cycle
+  std::uint32_t ejection_bandwidth = 1;  ///< packets a node absorbs per cycle
+  Cycle wire_latency = 1;                ///< cycles per hop
+};
+
+struct Packet {
+  std::uint64_t id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  Cycle injected = 0;
+  Word payload = 0;
+};
+
+struct Delivery {
+  Packet packet;
+  Cycle delivered = 0;
+  Cycle latency() const { return delivered - packet.injected; }
+};
+
+class Network {
+ public:
+  Network(std::unique_ptr<Topology> topology, NetworkConfig cfg = {});
+
+  const Topology& topology() const { return *topology_; }
+  const NetworkConfig& config() const { return cfg_; }
+  Cycle now() const { return now_; }
+
+  /// Queue a packet for injection at `src` this cycle. Returns its id.
+  std::uint64_t inject(NodeId src, NodeId dst, Word payload = 0);
+
+  /// Advance the router one cycle.
+  void tick();
+
+  /// Ticks until every in-flight packet is delivered; returns the number of
+  /// cycles that took. Guards against livelock with a generous bound.
+  Cycle drain();
+
+  bool idle() const { return in_flight_ == 0; }
+  std::uint64_t in_flight() const { return in_flight_; }
+
+  /// Deliveries completed since the last call (FIFO order).
+  std::vector<Delivery> take_deliveries();
+
+  // ----- analytic mode -----
+  /// Lower-bound cycles to deliver a batch where `loads[n]` packets target
+  /// node n and the worst source-destination distance is `max_distance`:
+  /// max(serialisation at the hottest node, wire time across the distance).
+  Cycle latency_bound(const std::vector<std::uint64_t>& loads,
+                      std::uint32_t max_distance) const;
+
+  // ----- statistics -----
+  std::uint64_t injected_count() const { return injected_; }
+  std::uint64_t delivered_count() const { return delivered_count_; }
+  const Samples& latency_samples() const { return latencies_; }
+  std::size_t peak_queue_length() const { return peak_queue_; }
+
+ private:
+  struct Hop {
+    Packet packet;
+    Cycle ready_at;  ///< cycle at which the packet may leave this queue
+  };
+
+  // Queue of packets waiting at node `n` to traverse their next link.
+  // Indexed by current node; each entry knows its own next hop via routing.
+  std::vector<std::deque<Hop>> node_queues_;
+  std::vector<std::deque<Hop>> ejection_queues_;
+
+  std::unique_ptr<Topology> topology_;
+  NetworkConfig cfg_;
+  Cycle now_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_count_ = 0;
+  std::vector<Delivery> deliveries_;
+  Samples latencies_;
+  std::size_t peak_queue_ = 0;
+};
+
+}  // namespace tcfpn::net

@@ -1,0 +1,184 @@
+#include "net/topology.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace tcfpn::net {
+
+std::uint32_t Topology::diameter() const {
+  std::uint32_t d = 0;
+  for (NodeId a = 0; a < nodes(); ++a) {
+    for (NodeId b = a + 1; b < nodes(); ++b) {
+      d = std::max(d, distance(a, b));
+    }
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------- Crossbar
+
+Crossbar::Crossbar(std::uint32_t n) : n_(n) {
+  TCFPN_CHECK(n > 0, "crossbar needs at least one node");
+}
+
+std::uint32_t Crossbar::distance(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  return a == b ? 0 : 1;
+}
+
+NodeId Crossbar::route_next(NodeId cur, NodeId dst) const {
+  check_node(cur);
+  check_node(dst);
+  TCFPN_CHECK(cur != dst, "routing a packet already at its destination");
+  return dst;
+}
+
+// -------------------------------------------------------------------- Ring
+
+Ring::Ring(std::uint32_t n) : n_(n) {
+  TCFPN_CHECK(n > 0, "ring needs at least one node");
+}
+
+std::uint32_t Ring::distance(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  const std::uint32_t fwd = (b + n_ - a) % n_;
+  return std::min(fwd, n_ - fwd);
+}
+
+NodeId Ring::route_next(NodeId cur, NodeId dst) const {
+  check_node(cur);
+  check_node(dst);
+  TCFPN_CHECK(cur != dst, "routing a packet already at its destination");
+  const std::uint32_t fwd = (dst + n_ - cur) % n_;
+  // Shorter direction; on a tie go clockwise (+1) for determinism.
+  if (fwd <= n_ - fwd) return (cur + 1) % n_;
+  return (cur + n_ - 1) % n_;
+}
+
+// ------------------------------------------------------------------ Mesh2D
+
+Mesh2D::Mesh2D(std::uint32_t cols, std::uint32_t rows)
+    : cols_(cols), rows_(rows) {
+  TCFPN_CHECK(cols > 0 && rows > 0, "mesh dimensions must be positive");
+}
+
+std::uint32_t Mesh2D::distance(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  const std::int64_t ax = a % cols_, ay = a / cols_;
+  const std::int64_t bx = b % cols_, by = b / cols_;
+  return static_cast<std::uint32_t>(std::abs(ax - bx) + std::abs(ay - by));
+}
+
+NodeId Mesh2D::route_next(NodeId cur, NodeId dst) const {
+  check_node(cur);
+  check_node(dst);
+  TCFPN_CHECK(cur != dst, "routing a packet already at its destination");
+  const std::uint32_t cx = cur % cols_, cy = cur / cols_;
+  const std::uint32_t dx = dst % cols_, dy = dst / cols_;
+  if (cx != dx) {  // dimension-order: X first
+    return cy * cols_ + (cx < dx ? cx + 1 : cx - 1);
+  }
+  return (cy < dy ? cy + 1 : cy - 1) * cols_ + cx;
+}
+
+// ----------------------------------------------------------------- Torus2D
+
+Torus2D::Torus2D(std::uint32_t cols, std::uint32_t rows)
+    : cols_(cols), rows_(rows) {
+  TCFPN_CHECK(cols > 0 && rows > 0, "torus dimensions must be positive");
+}
+
+std::uint32_t Torus2D::ring_dist(std::uint32_t a, std::uint32_t b,
+                                 std::uint32_t n) const {
+  const std::uint32_t fwd = (b + n - a) % n;
+  return std::min(fwd, n - fwd);
+}
+
+std::uint32_t Torus2D::distance(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  return ring_dist(a % cols_, b % cols_, cols_) +
+         ring_dist(a / cols_, b / cols_, rows_);
+}
+
+NodeId Torus2D::route_next(NodeId cur, NodeId dst) const {
+  check_node(cur);
+  check_node(dst);
+  TCFPN_CHECK(cur != dst, "routing a packet already at its destination");
+  const std::uint32_t cx = cur % cols_, cy = cur / cols_;
+  const std::uint32_t dx = dst % cols_, dy = dst / cols_;
+  if (cx != dx) {  // X ring first, shorter way (ties go +x)
+    const std::uint32_t fwd = (dx + cols_ - cx) % cols_;
+    const std::uint32_t nx =
+        fwd <= cols_ - fwd ? (cx + 1) % cols_ : (cx + cols_ - 1) % cols_;
+    return cy * cols_ + nx;
+  }
+  const std::uint32_t fwd = (dy + rows_ - cy) % rows_;
+  const std::uint32_t ny =
+      fwd <= rows_ - fwd ? (cy + 1) % rows_ : (cy + rows_ - 1) % rows_;
+  return ny * cols_ + cx;
+}
+
+// --------------------------------------------------------------- Hypercube
+
+Hypercube::Hypercube(std::uint32_t n) : n_(n) {
+  TCFPN_CHECK(n > 0 && std::has_single_bit(n),
+              "hypercube node count must be a power of two, got ", n);
+}
+
+std::uint32_t Hypercube::distance(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  return static_cast<std::uint32_t>(std::popcount(a ^ b));
+}
+
+NodeId Hypercube::route_next(NodeId cur, NodeId dst) const {
+  check_node(cur);
+  check_node(dst);
+  TCFPN_CHECK(cur != dst, "routing a packet already at its destination");
+  const std::uint32_t diff = cur ^ dst;
+  const std::uint32_t bit = diff & (~diff + 1);  // lowest set bit
+  return cur ^ bit;
+}
+
+// ----------------------------------------------------------------- factory
+
+std::unique_ptr<Topology> make_topology(TopologyKind kind,
+                                        std::uint32_t nodes) {
+  switch (kind) {
+    case TopologyKind::kCrossbar:
+      return std::make_unique<Crossbar>(nodes);
+    case TopologyKind::kRing:
+      return std::make_unique<Ring>(nodes);
+    case TopologyKind::kMesh2D: {
+      // Pick the most square factorisation cols >= rows.
+      std::uint32_t rows = static_cast<std::uint32_t>(std::sqrt(nodes));
+      while (rows > 1 && nodes % rows != 0) --rows;
+      return std::make_unique<Mesh2D>(nodes / rows, rows);
+    }
+    case TopologyKind::kTorus2D: {
+      std::uint32_t rows = static_cast<std::uint32_t>(std::sqrt(nodes));
+      while (rows > 1 && nodes % rows != 0) --rows;
+      return std::make_unique<Torus2D>(nodes / rows, rows);
+    }
+    case TopologyKind::kHypercube:
+      return std::make_unique<Hypercube>(nodes);
+  }
+  TCFPN_FAULT("unknown topology kind ", static_cast<int>(kind));
+}
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kCrossbar: return "crossbar";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kMesh2D: return "mesh2d";
+    case TopologyKind::kTorus2D: return "torus2d";
+    case TopologyKind::kHypercube: return "hypercube";
+  }
+  return "?";
+}
+
+}  // namespace tcfpn::net

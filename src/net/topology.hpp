@@ -1,0 +1,137 @@
+// Interconnection topologies with an explicit distance metric.
+//
+// The PRAM-NUMA model (Section 2.1) requires "a metric defining distance
+// between the processor groups and target memory blocks, and distance-aware
+// interconnection network ... the latency of routing is proportional to the
+// distance". Each topology here supplies that metric (hop count) plus a
+// deterministic oblivious route so the Network can move packets hop by hop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace tcfpn::net {
+
+using NodeId = std::uint32_t;
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual std::uint32_t nodes() const = 0;
+
+  /// Hop distance between two nodes (0 iff a == b).
+  virtual std::uint32_t distance(NodeId a, NodeId b) const = 0;
+
+  /// Next node on the deterministic route from `cur` towards `dst`.
+  /// Precondition: cur != dst. Postcondition: distance(next,dst) <
+  /// distance(cur,dst) (all provided routes are minimal).
+  virtual NodeId route_next(NodeId cur, NodeId dst) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Network diameter: max over node pairs of distance(). Default computes
+  /// it exactly; cheap for the node counts the simulator uses.
+  virtual std::uint32_t diameter() const;
+
+ protected:
+  void check_node(NodeId n) const {
+    TCFPN_CHECK(n < nodes(), "node id ", n, " out of range ", nodes());
+  }
+};
+
+/// All nodes one hop apart — the "ideal" network used to isolate processor
+/// behaviour from network behaviour in experiments.
+class Crossbar final : public Topology {
+ public:
+  explicit Crossbar(std::uint32_t n);
+  std::uint32_t nodes() const override { return n_; }
+  std::uint32_t distance(NodeId a, NodeId b) const override;
+  NodeId route_next(NodeId cur, NodeId dst) const override;
+  std::string name() const override { return "crossbar"; }
+
+ private:
+  std::uint32_t n_;
+};
+
+/// Bidirectional ring; packets take the shorter direction (ties go
+/// clockwise). Models ECLIPSE-style sparse meshes at their simplest.
+class Ring final : public Topology {
+ public:
+  explicit Ring(std::uint32_t n);
+  std::uint32_t nodes() const override { return n_; }
+  std::uint32_t distance(NodeId a, NodeId b) const override;
+  NodeId route_next(NodeId cur, NodeId dst) const override;
+  std::string name() const override { return "ring"; }
+
+ private:
+  std::uint32_t n_;
+};
+
+/// 2D mesh with dimension-order (X then Y) routing.
+class Mesh2D final : public Topology {
+ public:
+  Mesh2D(std::uint32_t cols, std::uint32_t rows);
+  std::uint32_t nodes() const override { return cols_ * rows_; }
+  std::uint32_t distance(NodeId a, NodeId b) const override;
+  NodeId route_next(NodeId cur, NodeId dst) const override;
+  std::string name() const override { return "mesh2d"; }
+  std::uint32_t cols() const { return cols_; }
+  std::uint32_t rows() const { return rows_; }
+
+ private:
+  std::uint32_t cols_;
+  std::uint32_t rows_;
+};
+
+/// 2D torus: mesh with wrap-around links, dimension-order routing taking
+/// the shorter way around each ring (ties go in the +direction).
+class Torus2D final : public Topology {
+ public:
+  Torus2D(std::uint32_t cols, std::uint32_t rows);
+  std::uint32_t nodes() const override { return cols_ * rows_; }
+  std::uint32_t distance(NodeId a, NodeId b) const override;
+  NodeId route_next(NodeId cur, NodeId dst) const override;
+  std::string name() const override { return "torus2d"; }
+
+ private:
+  std::uint32_t ring_dist(std::uint32_t a, std::uint32_t b,
+                          std::uint32_t n) const;
+  std::uint32_t cols_;
+  std::uint32_t rows_;
+};
+
+/// Hypercube with e-cube (lowest-differing-dimension-first) routing.
+/// Node count must be a power of two.
+class Hypercube final : public Topology {
+ public:
+  explicit Hypercube(std::uint32_t n);
+  std::uint32_t nodes() const override { return n_; }
+  std::uint32_t distance(NodeId a, NodeId b) const override;
+  NodeId route_next(NodeId cur, NodeId dst) const override;
+  std::string name() const override { return "hypercube"; }
+
+ private:
+  std::uint32_t n_;
+};
+
+enum class TopologyKind : std::uint8_t {
+  kCrossbar,
+  kRing,
+  kMesh2D,
+  kTorus2D,
+  kHypercube,
+};
+
+/// Factory used by machine configuration. For kMesh2D a near-square factor
+/// decomposition of `nodes` is chosen; for kHypercube `nodes` must be a
+/// power of two.
+std::unique_ptr<Topology> make_topology(TopologyKind kind, std::uint32_t nodes);
+
+const char* to_string(TopologyKind kind);
+
+}  // namespace tcfpn::net

@@ -1,0 +1,68 @@
+#include "sched/allocation.hpp"
+
+#include "sched/balancer.hpp"
+
+namespace tcfpn::sched {
+
+FlowId boot_vertical(machine::Machine& m, std::size_t entry, Word thickness,
+                     GroupId group) {
+  return m.boot_at(entry, thickness, group);
+}
+
+std::vector<FlowId> boot_horizontal(machine::Machine& m, std::size_t entry,
+                                    Word thickness, std::uint32_t fragments) {
+  const auto parts = split_even(thickness, fragments);
+  std::vector<FlowId> ids;
+  ids.reserve(parts.size());
+  const std::uint32_t groups = m.config().groups;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const FlowId id = m.boot_at(entry, parts[i].thickness,
+                                static_cast<GroupId>(i % groups));
+    m.poke_reg(id, 0, 15, parts[i].base);  // r15 = fragment base offset
+    // Broadcast the base to every lane (boot leaves lanes zeroed).
+    for (Word lane = 1; lane < parts[i].thickness; ++lane) {
+      m.poke_reg(id, static_cast<LaneId>(lane), 15, parts[i].base);
+    }
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void install_lpt_hook(machine::Machine& m) {
+  machine::Machine* mp = &m;
+  m.set_allocation_hook([mp](const machine::TcfDescriptor&) {
+    GroupId best = 0;
+    std::size_t best_load = ~std::size_t{0};
+    for (GroupId g = 0; g < mp->config().groups; ++g) {
+      const std::size_t load = mp->resident_flows(g);
+      if (load < best_load) {
+        best_load = load;
+        best = g;
+      }
+    }
+    return best;
+  });
+}
+
+void install_first_group_hook(machine::Machine& m) {
+  m.set_allocation_hook([](const machine::TcfDescriptor&) {
+    return GroupId{0};
+  });
+}
+
+void install_auto_splitter(machine::Machine& m, Word bound) {
+  TCFPN_CHECK(bound >= 1, "split bound must be >= 1");
+  m.set_spawn_splitter([bound](Word thickness) {
+    std::vector<Word> out;
+    if (thickness <= bound) {
+      out.push_back(thickness);
+      return out;
+    }
+    for (const auto& frag : split_thickness(thickness, bound)) {
+      out.push_back(frag.thickness);
+    }
+    return out;
+  });
+}
+
+}  // namespace tcfpn::sched

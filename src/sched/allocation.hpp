@@ -1,0 +1,39 @@
+// Applying the balancing algorithms to a Machine: horizontal vs vertical
+// flow allocation (Section 4's multitasking discussion: "it is much more
+// beneficial to allocate horizontally T_application/P-wide TCFs from each
+// processor core rather than ... vertically").
+#pragma once
+
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace tcfpn::sched {
+
+/// Boots one flow of the full thickness on a single group (vertical
+/// allocation — uses 1 of the P processors).
+FlowId boot_vertical(machine::Machine& m, std::size_t entry, Word thickness,
+                     GroupId group = 0);
+
+/// Boots `fragments` near-equal fragment flows round-robin over the groups
+/// (horizontal allocation). The fragment entry code must interpret r15 as
+/// its base lane offset (see tcf::kernels fragment kernels).
+std::vector<FlowId> boot_horizontal(machine::Machine& m, std::size_t entry,
+                                    Word thickness, std::uint32_t fragments);
+
+/// Installs an LPT allocation hook on the machine: spawned flows go to the
+/// group that currently has the smallest summed thickness. (This is also
+/// the machine's default; the explicit hook exists so experiments can
+/// compare against naive placements.)
+void install_lpt_hook(machine::Machine& m);
+
+/// Installs a naive hook: every spawned flow lands on group 0.
+void install_first_group_hook(machine::Machine& m);
+
+/// Installs the automatic splitter of Section 3.3: every SPAWN thicker than
+/// `bound` is cut into near-equal fragments no thicker than `bound` (at
+/// most one per group when that yields fewer fragments). The spawned code
+/// must follow the fragment convention (r15 = base lane offset).
+void install_auto_splitter(machine::Machine& m, Word bound);
+
+}  // namespace tcfpn::sched

@@ -1,0 +1,85 @@
+#include "sched/multitask.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tcfpn::sched {
+
+using machine::FlowStatus;
+
+TaskManager::TaskManager(machine::Machine& m, std::vector<FlowId> tasks)
+    : m_(m), tasks_(std::move(tasks)) {
+  TCFPN_CHECK(!tasks_.empty(), "TaskManager needs at least one task");
+  for (FlowId id : tasks_) {
+    const auto* f = m_.find_flow(id);
+    TCFPN_CHECK(f != nullptr, "unknown task flow ", id);
+    TCFPN_CHECK(f->status == FlowStatus::kReady, "task ", id, " not ready");
+  }
+}
+
+TaskManager::Result TaskManager::run_round_robin(std::uint64_t quantum_steps,
+                                                 std::uint64_t max_rounds) {
+  TCFPN_CHECK(quantum_steps >= 1, "quantum must be >= 1 step");
+  Result res;
+  auto alive = [&](FlowId id) {
+    return m_.find_flow(id)->status != FlowStatus::kHalted;
+  };
+
+  // Park everything except the first live task.
+  std::size_t current = tasks_.size();
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!alive(tasks_[i])) continue;
+    if (current == tasks_.size()) {
+      current = i;
+    } else {
+      res.switch_cycles += m_.suspend_flow(tasks_[i]);
+    }
+  }
+
+  while (current != tasks_.size() && res.rounds < max_rounds) {
+    ++res.rounds;
+    for (std::uint64_t s = 0; s < quantum_steps; ++s) {
+      if (!m_.step()) break;
+    }
+    // Pick the next live task after `current` (round robin).
+    std::size_t next = tasks_.size();
+    for (std::size_t k = 1; k <= tasks_.size(); ++k) {
+      const std::size_t cand = (current + k) % tasks_.size();
+      if (alive(tasks_[cand])) {
+        next = cand;
+        break;
+      }
+    }
+    if (next == tasks_.size()) {
+      current = tasks_.size();  // everything halted
+      break;
+    }
+    if (next != current) {
+      if (alive(tasks_[current])) {
+        res.switch_cycles += m_.suspend_flow(tasks_[current]);
+      }
+      res.switch_cycles += m_.resume_flow(tasks_[next]);
+      ++res.switches;
+    }
+    current = next;
+  }
+
+  res.completed = std::none_of(tasks_.begin(), tasks_.end(),
+                               [&](FlowId id) { return alive(id); });
+  res.total_cycles = m_.stats().cycles;
+  return res;
+}
+
+TaskManager::Result TaskManager::run_coscheduled(std::uint64_t max_steps) {
+  Result res;
+  const auto run = m_.run(max_steps);
+  res.completed = run.completed;
+  res.total_cycles = run.cycles;
+  res.switch_cycles = m_.stats().task_switch_cycles;
+  res.switches = 0;
+  res.rounds = run.steps;
+  return res;
+}
+
+}  // namespace tcfpn::sched

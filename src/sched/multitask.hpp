@@ -1,0 +1,49 @@
+// Time-shared multitasking over flows: TCFs as tasks.
+//
+// Section 4: "Time-shared multitasking is expensive in ESM, CESM and the
+// original PRAM-NUMA since it requires switching all the threads taking
+// T_p times more time than that in a single threaded computer. In the
+// extended model TCFs can be treated as tasks and ... switching between
+// TCFs is very cheap — it takes no time — as long as all the TCFs fit into
+// the TCF storage block."
+//
+// TaskManager drives a Machine with preemptive round-robin scheduling and
+// accounts the task-switch cost through the machine's variant cost model,
+// so the same experiment run under different variants reproduces the
+// "Cost of task switch" row of Table 1.
+#pragma once
+
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace tcfpn::sched {
+
+class TaskManager {
+ public:
+  /// `tasks` are already-booted root flows of the machine.
+  TaskManager(machine::Machine& m, std::vector<FlowId> tasks);
+
+  struct Result {
+    bool completed = false;       ///< every task ran to completion
+    Cycle total_cycles = 0;       ///< machine clock at the end
+    Cycle switch_cycles = 0;      ///< cycles spent switching tasks
+    std::uint64_t switches = 0;   ///< preemptions performed
+    std::uint64_t rounds = 0;
+  };
+
+  /// Runs the tasks one at a time with a `quantum_steps` time slice,
+  /// round-robin, until all halt (or `max_rounds` quanta elapse).
+  Result run_round_robin(std::uint64_t quantum_steps,
+                         std::uint64_t max_rounds = 1'000'000);
+
+  /// Runs all tasks co-resident (no preemption) — the TCF machine's natural
+  /// mode where resident task switching is free.
+  Result run_coscheduled(std::uint64_t max_steps = 1'000'000);
+
+ private:
+  machine::Machine& m_;
+  std::vector<FlowId> tasks_;
+};
+
+}  // namespace tcfpn::sched

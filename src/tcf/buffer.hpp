@@ -1,0 +1,48 @@
+// Shared-memory buffer handles for the TCF runtime.
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace tcfpn::tcf {
+
+/// A contiguous span of simulated shared memory. Plain value handle; the
+/// memory itself lives in mem::SharedMemory.
+struct Buffer {
+  Addr base = kNullAddr;
+  std::size_t size = 0;
+
+  Addr at(std::size_t i) const {
+    TCFPN_CHECK(i < size, "buffer index ", i, " out of range ", size);
+    return base + i;
+  }
+  bool valid() const { return base != kNullAddr; }
+};
+
+/// Bump allocator over the simulated shared address space.
+class BumpAllocator {
+ public:
+  explicit BumpAllocator(std::size_t capacity_words, Addr start = 0)
+      : next_(start), end_(start + capacity_words) {}
+
+  Buffer alloc(std::size_t words) {
+    TCFPN_CHECK(words > 0, "allocating an empty buffer");
+    if (next_ + words > end_) {
+      TCFPN_FAULT("simulated shared memory exhausted: need ", words,
+                  " words, have ", end_ - next_);
+    }
+    Buffer b{next_, words};
+    next_ += words;
+    return b;
+  }
+
+  Addr watermark() const { return next_; }
+
+ private:
+  Addr next_;
+  Addr end_;
+};
+
+}  // namespace tcfpn::tcf

@@ -1,0 +1,248 @@
+#include "tcf/builder.hpp"
+
+#include "common/check.hpp"
+
+namespace tcfpn::tcf {
+
+using isa::Instr;
+using isa::Opcode;
+
+AsmBuilder::Label AsmBuilder::make_label(std::string name) {
+  label_addr_.push_back(-1);
+  label_name_.push_back(name.empty()
+                            ? "L" + std::to_string(label_addr_.size() - 1)
+                            : std::move(name));
+  return label_addr_.size() - 1;
+}
+
+void AsmBuilder::bind(Label l) {
+  TCFPN_CHECK(l < label_addr_.size(), "unknown label handle ", l);
+  TCFPN_CHECK(label_addr_[l] < 0, "label '", label_name_[l],
+              "' bound twice");
+  label_addr_[l] = static_cast<std::ptrdiff_t>(code_.size());
+}
+
+void AsmBuilder::ldi(Reg rd, Word imm) {
+  TCFPN_CHECK(imm >= INT32_MIN && imm <= INT32_MAX,
+              "LDI immediate out of range: ", imm);
+  Instr i;
+  i.op = Opcode::kLdi;
+  i.rd = rd.n;
+  i.imm = static_cast<std::int32_t>(imm);
+  emit(i);
+}
+
+void AsmBuilder::alu(Opcode op, Reg rd, Reg ra, Reg rb) {
+  Instr i;
+  i.op = op;
+  i.rd = rd.n;
+  i.ra = ra.n;
+  i.rb = rb.n;
+  emit(i);
+}
+
+void AsmBuilder::alu(Opcode op, Reg rd, Reg ra, Word imm) {
+  TCFPN_CHECK(imm >= INT32_MIN && imm <= INT32_MAX,
+              "ALU immediate out of range: ", imm);
+  Instr i;
+  i.op = op;
+  i.rd = rd.n;
+  i.ra = ra.n;
+  i.flags = isa::flag::kUseImm;
+  i.imm = static_cast<std::int32_t>(imm);
+  emit(i);
+}
+
+namespace {
+Instr mem_instr(Opcode op, Reg base, Word off, bool lane) {
+  TCFPN_CHECK(off >= INT32_MIN && off <= INT32_MAX,
+              "memory offset out of range: ", off);
+  Instr i;
+  i.op = op;
+  i.ra = base.n;
+  i.imm = static_cast<std::int32_t>(off);
+  if (lane) i.flags |= isa::flag::kLaneAddr;
+  return i;
+}
+}  // namespace
+
+void AsmBuilder::ld(Reg rd, Reg base, Word off, bool lane) {
+  Instr i = mem_instr(Opcode::kLd, base, off, lane);
+  i.rd = rd.n;
+  emit(i);
+}
+
+void AsmBuilder::st(Reg val, Reg base, Word off, bool lane) {
+  Instr i = mem_instr(Opcode::kSt, base, off, lane);
+  i.rb = val.n;
+  emit(i);
+}
+
+void AsmBuilder::lld(Reg rd, Reg base, Word off, bool lane) {
+  Instr i = mem_instr(Opcode::kLld, base, off, lane);
+  i.rd = rd.n;
+  emit(i);
+}
+
+void AsmBuilder::lst(Reg val, Reg base, Word off, bool lane) {
+  Instr i = mem_instr(Opcode::kLst, base, off, lane);
+  i.rb = val.n;
+  emit(i);
+}
+
+void AsmBuilder::mp(Opcode op, Reg val, Reg base, Word off, bool lane) {
+  TCFPN_CHECK(op >= Opcode::kMpAdd && op <= Opcode::kMpOr,
+              "mp() requires a multioperation opcode");
+  Instr i = mem_instr(op, base, off, lane);
+  i.rb = val.n;
+  emit(i);
+}
+
+void AsmBuilder::pp(Opcode op, Reg rd, Reg val, Reg base, Word off,
+                    bool lane) {
+  TCFPN_CHECK(op >= Opcode::kPpAdd && op <= Opcode::kPpOr,
+              "pp() requires a multiprefix opcode");
+  Instr i = mem_instr(op, base, off, lane);
+  i.rd = rd.n;
+  i.rb = val.n;
+  emit(i);
+}
+
+void AsmBuilder::emit_branch(Instr instr, Label l) {
+  TCFPN_CHECK(l < label_addr_.size(), "unknown label handle ", l);
+  fixups_.push_back(Fixup{code_.size(), l});
+  emit(instr);
+}
+
+void AsmBuilder::jmp(Label l) {
+  Instr i;
+  i.op = Opcode::kJmp;
+  emit_branch(i, l);
+}
+
+void AsmBuilder::beqz(Reg ra, Label l) {
+  Instr i;
+  i.op = Opcode::kBeqz;
+  i.ra = ra.n;
+  emit_branch(i, l);
+}
+
+void AsmBuilder::bnez(Reg ra, Label l) {
+  Instr i;
+  i.op = Opcode::kBnez;
+  i.ra = ra.n;
+  emit_branch(i, l);
+}
+
+void AsmBuilder::call(Label l) {
+  Instr i;
+  i.op = Opcode::kCall;
+  emit_branch(i, l);
+}
+
+void AsmBuilder::ret() { emit(Instr{.op = Opcode::kRet}); }
+void AsmBuilder::halt() { emit(Instr{.op = Opcode::kHalt}); }
+
+void AsmBuilder::setthick(Reg ra) {
+  Instr i;
+  i.op = Opcode::kSetThick;
+  i.ra = ra.n;
+  emit(i);
+}
+
+void AsmBuilder::setthick(Word imm) {
+  TCFPN_CHECK(imm >= 0 && imm <= INT32_MAX, "SETTHICK range: ", imm);
+  Instr i;
+  i.op = Opcode::kSetThick;
+  i.flags = isa::flag::kUseImm;
+  i.imm = static_cast<std::int32_t>(imm);
+  emit(i);
+}
+
+void AsmBuilder::numaset(Word block_len) {
+  TCFPN_CHECK(block_len >= 0 && block_len <= INT32_MAX,
+              "NUMASET range: ", block_len);
+  Instr i;
+  i.op = Opcode::kNumaSet;
+  i.imm = static_cast<std::int32_t>(block_len);
+  emit(i);
+}
+
+void AsmBuilder::spawn(Reg thickness, Label entry) {
+  Instr i;
+  i.op = Opcode::kSpawn;
+  i.ra = thickness.n;
+  emit_branch(i, entry);
+}
+
+void AsmBuilder::joinall() { emit(Instr{.op = Opcode::kJoinAll}); }
+
+void AsmBuilder::tid(Reg rd) {
+  Instr i;
+  i.op = Opcode::kTid;
+  i.rd = rd.n;
+  emit(i);
+}
+
+void AsmBuilder::fid(Reg rd) {
+  Instr i;
+  i.op = Opcode::kFid;
+  i.rd = rd.n;
+  emit(i);
+}
+
+void AsmBuilder::thickq(Reg rd) {
+  Instr i;
+  i.op = Opcode::kThick;
+  i.rd = rd.n;
+  emit(i);
+}
+
+void AsmBuilder::gid(Reg rd) {
+  Instr i;
+  i.op = Opcode::kGid;
+  i.rd = rd.n;
+  emit(i);
+}
+
+void AsmBuilder::print(Reg ra) {
+  Instr i;
+  i.op = Opcode::kPrint;
+  i.ra = ra.n;
+  emit(i);
+}
+
+void AsmBuilder::print(Word imm) {
+  TCFPN_CHECK(imm >= INT32_MIN && imm <= INT32_MAX, "PRINT range: ", imm);
+  Instr i;
+  i.op = Opcode::kPrint;
+  i.flags = isa::flag::kUseImm;
+  i.imm = static_cast<std::int32_t>(imm);
+  emit(i);
+}
+
+void AsmBuilder::nop() { emit(Instr{}); }
+
+void AsmBuilder::data(Addr addr, std::vector<Word> words) {
+  data_.push_back(isa::DataInit{addr, std::move(words)});
+}
+
+isa::Program AsmBuilder::build() {
+  for (const auto& fx : fixups_) {
+    const std::ptrdiff_t addr = label_addr_[fx.label];
+    TCFPN_CHECK(addr >= 0, "label '", label_name_[fx.label],
+                "' referenced but never bound");
+    code_[fx.instr_index].imm = static_cast<std::int32_t>(addr);
+  }
+  isa::Program p;
+  p.code = code_;
+  p.data = data_;
+  for (std::size_t l = 0; l < label_addr_.size(); ++l) {
+    if (label_addr_[l] >= 0) {
+      p.labels[label_name_[l]] = static_cast<std::size_t>(label_addr_[l]);
+    }
+  }
+  return p;
+}
+
+}  // namespace tcfpn::tcf

@@ -1,0 +1,105 @@
+// Programmatic construction of ISA programs with label management.
+//
+// The assembler (src/isa) parses text; this builder is the API the kernel
+// generators and tests use to synthesise programs directly — effectively
+// the code-generation back half of a TCF compiler targeting the extended
+// PRAM-NUMA machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace tcfpn::tcf {
+
+/// Register operand (r0 is hardwired zero).
+struct Reg {
+  std::uint8_t n = 0;
+  explicit constexpr Reg(std::uint8_t r) : n(r) {}
+};
+
+inline constexpr Reg r0{0}, r1{1}, r2{2}, r3{3}, r4{4}, r5{5}, r6{6}, r7{7},
+    r8{8}, r9{9}, r10{10}, r11{11}, r12{12}, r13{13}, r14{14}, r15{15};
+
+class AsmBuilder {
+ public:
+  using Label = std::size_t;
+
+  /// Creates an unbound label; bind() attaches it to the next instruction.
+  Label make_label(std::string name = "");
+  void bind(Label l);
+
+  // ---- constants & ALU (imm overloads set the use-imm flag) ----
+  void ldi(Reg rd, Word imm);
+  void alu(isa::Opcode op, Reg rd, Reg ra, Reg rb);
+  void alu(isa::Opcode op, Reg rd, Reg ra, Word imm);
+  void add(Reg rd, Reg ra, Reg rb) { alu(isa::Opcode::kAdd, rd, ra, rb); }
+  void add(Reg rd, Reg ra, Word i) { alu(isa::Opcode::kAdd, rd, ra, i); }
+  void sub(Reg rd, Reg ra, Reg rb) { alu(isa::Opcode::kSub, rd, ra, rb); }
+  void sub(Reg rd, Reg ra, Word i) { alu(isa::Opcode::kSub, rd, ra, i); }
+  void mul(Reg rd, Reg ra, Reg rb) { alu(isa::Opcode::kMul, rd, ra, rb); }
+  void mul(Reg rd, Reg ra, Word i) { alu(isa::Opcode::kMul, rd, ra, i); }
+  void shl(Reg rd, Reg ra, Word i) { alu(isa::Opcode::kShl, rd, ra, i); }
+  void slt(Reg rd, Reg ra, Reg rb) { alu(isa::Opcode::kSlt, rd, ra, rb); }
+  void slt(Reg rd, Reg ra, Word i) { alu(isa::Opcode::kSlt, rd, ra, i); }
+  void sge_zero(Reg rd, Reg ra) { alu(isa::Opcode::kSlt, rd, ra, Word{0}); }
+
+  // ---- memory (lane=true adds the implicit-thread index to the address) --
+  void ld(Reg rd, Reg base, Word off = 0, bool lane = false);
+  void st(Reg val, Reg base, Word off = 0, bool lane = false);
+  void lld(Reg rd, Reg base, Word off = 0, bool lane = false);
+  void lst(Reg val, Reg base, Word off = 0, bool lane = false);
+  void mp(isa::Opcode op, Reg val, Reg base, Word off = 0, bool lane = false);
+  void pp(isa::Opcode op, Reg rd, Reg val, Reg base, Word off = 0,
+          bool lane = false);
+
+  // ---- control ----
+  void jmp(Label l);
+  void beqz(Reg ra, Label l);
+  void bnez(Reg ra, Label l);
+  void call(Label l);
+  void ret();
+  void halt();
+
+  // ---- TCF control ----
+  void setthick(Reg ra);
+  void setthick(Word imm);
+  void numaset(Word block_len);
+  void spawn(Reg thickness, Label entry);
+  void joinall();
+  void tid(Reg rd);
+  void fid(Reg rd);
+  void thickq(Reg rd);
+  void gid(Reg rd);
+  void print(Reg ra);
+  void print(Word imm);
+  void nop();
+
+  // ---- data ----
+  void data(Addr addr, std::vector<Word> words);
+
+  /// Current instruction count (address of the next emitted instruction).
+  std::size_t here() const { return code_.size(); }
+
+  /// Resolves all labels and returns the finished program. All labels must
+  /// be bound.
+  isa::Program build();
+
+ private:
+  struct Fixup {
+    std::size_t instr_index;
+    Label label;
+  };
+  void emit(isa::Instr instr) { code_.push_back(instr); }
+  void emit_branch(isa::Instr instr, Label l);
+
+  std::vector<isa::Instr> code_;
+  std::vector<std::ptrdiff_t> label_addr_;  // -1 = unbound
+  std::vector<std::string> label_name_;
+  std::vector<Fixup> fixups_;
+  std::vector<isa::DataInit> data_;
+};
+
+}  // namespace tcfpn::tcf

@@ -1,0 +1,381 @@
+#include "tcf/kernels.hpp"
+
+#include "common/check.hpp"
+#include "tcf/builder.hpp"
+
+namespace tcfpn::tcf::kernels {
+
+namespace {
+Word addr_imm(Addr a) {
+  TCFPN_CHECK(a <= INT32_MAX, "kernel operand address too large: ", a);
+  return static_cast<Word>(a);
+}
+}  // namespace
+
+isa::Program vecadd_tcf(Word n, Addr a, Addr b, Addr c) {
+  TCFPN_CHECK(n >= 0, "negative size");
+  AsmBuilder s;
+  s.setthick(n);                      // #n;
+  s.ld(r1, r0, addr_imm(a), true);    // a.
+  s.ld(r2, r0, addr_imm(b), true);    // b.
+  s.add(r3, r1, r2);                  // a. + b.
+  s.st(r3, r0, addr_imm(c), true);    // c. =
+  s.halt();
+  return s.build();
+}
+
+isa::Program vecadd_esm_loop(Word n, Addr a, Addr b, Addr c) {
+  // Convention: r1 = thread id, r2 = number of threads (boot_esm_threads).
+  AsmBuilder s;
+  auto loop = s.make_label("loop");
+  auto done = s.make_label("done");
+  s.add(r3, r1, Word{0});  // i = tid
+  s.bind(loop);
+  s.slt(r4, r3, n);
+  s.beqz(r4, done);
+  s.add(r5, r3, addr_imm(a));
+  s.ld(r6, r5);
+  s.add(r7, r3, addr_imm(b));
+  s.ld(r8, r7);
+  s.add(r9, r6, r8);
+  s.add(r10, r3, addr_imm(c));
+  s.st(r9, r10);
+  s.add(r3, r3, r2);  // i += nthreads
+  s.jmp(loop);
+  s.bind(done);
+  s.halt();
+  return s.build();
+}
+
+isa::Program vecadd_fork(Word n, Addr a, Addr b, Addr c) {
+  AsmBuilder s;
+  auto worker = s.make_label("worker");
+  // main
+  s.ldi(r1, n);
+  s.spawn(r1, worker);  // fork (tid = 0; tid < n)
+  s.joinall();
+  s.halt();
+  // worker: one implicit thread per element
+  s.bind(worker);
+  s.tid(r3);
+  s.add(r5, r3, addr_imm(a));
+  s.ld(r6, r5);
+  s.add(r7, r3, addr_imm(b));
+  s.ld(r8, r7);
+  s.add(r9, r6, r8);
+  s.add(r10, r3, addr_imm(c));
+  s.st(r9, r10);
+  s.halt();
+  return s.build();
+}
+
+isa::Program vecadd_simd(Word n, Word width, Addr a, Addr b, Addr c) {
+  // Fixed-thickness machine, boot thickness == width. Shared word 0 is used
+  // as the write dump for masked-off lanes.
+  TCFPN_CHECK(width >= 1, "SIMD width must be >= 1");
+  AsmBuilder s;
+  auto loop = s.make_label("loop");
+  auto done = s.make_label("done");
+  s.ldi(r1, 0);  // chunk base
+  s.bind(loop);
+  s.slt(r2, r1, n);
+  s.beqz(r2, done);
+  s.tid(r4);
+  s.add(r3, r1, r4);           // idx = base + lane
+  s.slt(r5, r3, n);            // in-bounds mask
+  s.mul(r6, r3, r5);           // safe idx (0 when masked)
+  s.add(r7, r6, addr_imm(a));
+  s.ld(r8, r7);
+  s.add(r9, r6, addr_imm(b));
+  s.ld(r10, r9);
+  s.add(r11, r8, r10);         // sum
+  s.mul(r11, r11, r5);         // masked value (uniform 0 for dead lanes)
+  s.add(r12, r6, addr_imm(c));
+  s.mul(r12, r12, r5);         // masked address -> dump (word 0)
+  s.st(r11, r12);
+  s.add(r1, r1, width);
+  s.jmp(loop);
+  s.bind(done);
+  s.halt();
+  return s.build();
+}
+
+isa::Program cond_split_tcf(Word n, Addr a, Addr b, Addr c) {
+  // parallel { #n/2: c. = a. + b.;  #(n - n/2): c.[n/2 + id] = 0; }
+  const Word lower = n / 2;
+  const Word upper = n - lower;
+  AsmBuilder s;
+  auto br_add = s.make_label("branch_add");
+  auto br_zero = s.make_label("branch_zero");
+  s.ldi(r4, lower);
+  s.spawn(r4, br_add);
+  s.ldi(r5, upper);
+  s.spawn(r5, br_zero);
+  s.joinall();
+  s.halt();
+  s.bind(br_add);
+  s.ld(r1, r0, addr_imm(a), true);
+  s.ld(r2, r0, addr_imm(b), true);
+  s.add(r3, r1, r2);
+  s.st(r3, r0, addr_imm(c), true);
+  s.halt();
+  s.bind(br_zero);
+  s.st(r0, r0, addr_imm(c) + lower, true);
+  s.halt();
+  return s.build();
+}
+
+isa::Program cond_masked_simd(Word n, Word width, Addr a, Addr b, Addr c) {
+  // Two sequential masked passes over the full index range (Fig. 12: the
+  // vector model has no control parallelism, so both paths execute).
+  TCFPN_CHECK(width >= 1, "SIMD width must be >= 1");
+  const Word half = n / 2;
+  AsmBuilder s;
+  auto loop = s.make_label("loop");
+  auto done = s.make_label("done");
+  s.ldi(r1, 0);
+  s.bind(loop);
+  s.slt(r2, r1, n);
+  s.beqz(r2, done);
+  s.tid(r4);
+  s.add(r3, r1, r4);  // idx
+  s.slt(r5, r3, n);   // in-bounds
+  s.mul(r6, r3, r5);  // safe idx
+  // ---- pass 1: if (idx < n/2) c[idx] = a[idx] + b[idx] ----
+  s.slt(r7, r6, half);  // path-1 mask
+  s.mul(r7, r7, r5);    // && in-bounds
+  s.add(r8, r6, addr_imm(a));
+  s.ld(r9, r8);
+  s.add(r10, r6, addr_imm(b));
+  s.ld(r11, r10);
+  s.add(r12, r9, r11);
+  s.mul(r12, r12, r7);  // value under mask
+  s.add(r13, r6, addr_imm(c));
+  s.mul(r13, r13, r7);  // address under mask (dump = word 0)
+  s.st(r12, r13);
+  // ---- pass 2: if (idx >= n/2) c[idx] = 0 ----
+  s.slt(r7, r6, half);
+  s.alu(isa::Opcode::kXor, r7, r7, Word{1});  // !(idx < n/2)
+  s.mul(r7, r7, r5);
+  s.add(r13, r6, addr_imm(c));
+  s.mul(r13, r13, r7);
+  s.st(r0, r13);
+  s.add(r1, r1, width);
+  s.jmp(loop);
+  s.bind(done);
+  s.halt();
+  return s.build();
+}
+
+isa::Program cond_esm(Word n, Addr a, Addr b, Addr c) {
+  // Thread style: each thread is its own flow, so branches may diverge.
+  const Word half = n / 2;
+  AsmBuilder s;
+  auto upper = s.make_label("upper");
+  auto done = s.make_label("done");
+  s.slt(r3, r1, n);
+  s.beqz(r3, done);
+  s.slt(r4, r1, half);
+  s.beqz(r4, upper);
+  s.add(r5, r1, addr_imm(a));
+  s.ld(r6, r5);
+  s.add(r7, r1, addr_imm(b));
+  s.ld(r8, r7);
+  s.add(r9, r6, r8);
+  s.add(r10, r1, addr_imm(c));
+  s.st(r9, r10);
+  s.jmp(done);
+  s.bind(upper);
+  s.add(r10, r1, addr_imm(c));
+  s.st(r0, r10);
+  s.bind(done);
+  s.halt();
+  return s.build();
+}
+
+isa::Program prefix_tcf(Word n, Addr src, Addr dst, Addr sum) {
+  AsmBuilder s;
+  s.setthick(n);
+  s.ld(r1, r0, addr_imm(src), true);
+  s.pp(isa::Opcode::kPpAdd, r2, r1, r0, addr_imm(sum));
+  s.st(r2, r0, addr_imm(dst), true);
+  s.halt();
+  return s.build();
+}
+
+isa::Program prefix_esm_loop(Word n, Addr src, Addr dst, Addr sum) {
+  AsmBuilder s;
+  auto loop = s.make_label("loop");
+  auto done = s.make_label("done");
+  s.add(r3, r1, Word{0});
+  s.bind(loop);
+  s.slt(r4, r3, n);
+  s.beqz(r4, done);
+  s.add(r5, r3, addr_imm(src));
+  s.ld(r6, r5);
+  s.pp(isa::Opcode::kPpAdd, r7, r6, r0, addr_imm(sum));
+  s.add(r8, r3, addr_imm(dst));
+  s.st(r7, r8);
+  s.add(r3, r3, r2);
+  s.jmp(loop);
+  s.bind(done);
+  s.halt();
+  return s.build();
+}
+
+isa::Program scan_doubling_tcf(Word n, Addr data) {
+  TCFPN_CHECK(data >= static_cast<Addr>(n),
+              "scan_doubling_tcf needs an n-word zero guard below data");
+  AsmBuilder s;
+  auto loop = s.make_label("loop");
+  s.setthick(n);
+  s.ldi(r2, 1);  // i
+  s.bind(loop);
+  s.tid(r5);
+  s.add(r6, r5, addr_imm(data));  // &data[tid]
+  s.sub(r7, r6, r2);              // &data[tid - i] (guard absorbs tid < i)
+  s.ld(r3, r6);
+  s.ld(r4, r7);
+  s.add(r3, r3, r4);
+  s.st(r3, r6);                   // lockstep: commits before the next read
+  s.shl(r2, r2, 1);
+  s.slt(r8, r2, n);
+  s.bnez(r8, loop);
+  s.halt();
+  return s.build();
+}
+
+isa::Program scan_doubling_fork(Word n, Addr data_a, Addr data_b,
+                                Addr result_ptr) {
+  TCFPN_CHECK(data_a >= static_cast<Addr>(n) && data_b >= static_cast<Addr>(n),
+              "scan_doubling_fork needs n-word zero guards below both arrays");
+  AsmBuilder s;
+  auto round = s.make_label("round");
+  auto body = s.make_label("body");
+  // main (thickness 1)
+  s.ldi(r2, 1);                 // i
+  s.ldi(r9, addr_imm(data_a));  // src base
+  s.ldi(r10, addr_imm(data_b)); // dst base
+  s.bind(round);
+  s.ldi(r1, n);
+  s.spawn(r1, body);            // fork (tid = 0; tid < n), inherits r2/r9/r10
+  s.joinall();                  // the "remarkable overhead" per round
+  s.add(r11, r9, Word{0});      // swap src/dst
+  s.add(r9, r10, Word{0});
+  s.add(r10, r11, Word{0});
+  s.shl(r2, r2, 1);
+  s.slt(r12, r2, n);
+  s.bnez(r12, round);
+  s.ldi(r13, addr_imm(result_ptr));
+  s.st(r9, r13);                // publish the final array base
+  s.halt();
+  // body: dst[tid] = src[tid] + src[tid - i]
+  s.bind(body);
+  s.tid(r5);
+  s.add(r6, r5, r9);
+  s.sub(r7, r6, r2);
+  s.ld(r3, r6);
+  s.ld(r4, r7);
+  s.add(r3, r3, r4);
+  s.sub(r8, r6, r9);            // tid
+  s.add(r8, r8, r10);           // &dst[tid]
+  s.st(r3, r8);
+  s.halt();
+  return s.build();
+}
+
+isa::Program low_tlp_numa(Word block_len, Word len) {
+  AsmBuilder s;
+  auto loop = s.make_label("loop");
+  s.numaset(block_len);  // #1/L;
+  s.ldi(r1, 0);
+  s.bind(loop);
+  s.lld(r2, r0, 0);
+  s.add(r2, r2, Word{1});
+  s.lst(r2, r0, 0);
+  s.add(r1, r1, Word{1});
+  s.slt(r3, r1, len);
+  s.bnez(r3, loop);
+  s.halt();
+  return s.build();
+}
+
+isa::Program low_tlp_pram(Word len) {
+  AsmBuilder s;
+  auto loop = s.make_label("loop");
+  s.ldi(r1, 0);
+  s.bind(loop);
+  s.ld(r2, r0, 0);
+  s.add(r2, r2, Word{1});
+  s.st(r2, r0, 0);
+  s.add(r1, r1, Word{1});
+  s.slt(r3, r1, len);
+  s.bnez(r3, loop);
+  s.halt();
+  return s.build();
+}
+
+isa::Program spin_ops(Word t, Word instrs) {
+  TCFPN_CHECK(instrs >= 1 && instrs <= 4096,
+              "spin_ops supports 1..4096 unrolled instructions");
+  AsmBuilder s;
+  s.setthick(t);
+  for (Word i = 0; i < instrs; ++i) s.add(r1, r1, Word{1});
+  s.halt();
+  return s.build();
+}
+
+isa::Program fig3_blocks() {
+  AsmBuilder s;
+  auto br_a = s.make_label("branch12");
+  auto br_b = s.make_label("branch3");
+  s.setthick(23);  // block of thickness 23
+  s.add(r1, r1, Word{1});
+  s.add(r1, r1, Word{1});
+  s.setthick(15);  // block of thickness 15, branching after 3 instructions
+  s.add(r1, r1, Word{1});
+  s.add(r1, r1, Word{1});
+  s.add(r1, r1, Word{1});
+  s.ldi(r4, 12);   // two parallel blocks, thicknesses 12 and 3
+  s.spawn(r4, br_a);
+  s.ldi(r4, 3);
+  s.spawn(r4, br_b);
+  s.joinall();
+  s.setthick(8);   // 8 consecutive instructions
+  for (int i = 0; i < 8; ++i) s.add(r1, r1, Word{1});
+  s.halt();
+  s.bind(br_a);
+  for (int i = 0; i < 3; ++i) s.add(r1, r1, Word{1});
+  s.halt();
+  s.bind(br_b);
+  for (int i = 0; i < 3; ++i) s.add(r1, r1, Word{1});
+  s.halt();
+  return s.build();
+}
+
+isa::Program thickness_script(const std::vector<Word>& thicknesses,
+                              Word instrs_per_block) {
+  AsmBuilder s;
+  for (Word t : thicknesses) {
+    s.setthick(t);
+    for (Word i = 0; i < instrs_per_block; ++i) s.add(r1, r1, Word{1});
+  }
+  s.halt();
+  return s.build();
+}
+
+std::vector<FlowId> boot_esm_threads(machine::Machine& m, std::size_t entry,
+                                     std::uint64_t threads) {
+  std::vector<FlowId> ids;
+  ids.reserve(threads);
+  const std::uint32_t groups = m.config().groups;
+  for (std::uint64_t t = 0; t < threads; ++t) {
+    const FlowId id = m.boot_at(entry, 1, static_cast<GroupId>(t % groups));
+    m.poke_reg(id, 0, 1, static_cast<Word>(t));        // r1 = thread id
+    m.poke_reg(id, 0, 2, static_cast<Word>(threads));  // r2 = thread count
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace tcfpn::tcf::kernels

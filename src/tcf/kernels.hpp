@@ -1,0 +1,101 @@
+// Canonical TCF kernel programs (Section 4 of the paper) generated at ISA
+// level, so every programming-style comparison runs on the cycle-level
+// machine simulator.
+//
+// Each generator returns an isa::Program; the companion run helpers boot it
+// with the conventions of the target variant. Address-space layout is the
+// caller's: kernels take base addresses of their operand arrays.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.hpp"
+#include "machine/machine.hpp"
+
+namespace tcfpn::tcf::kernels {
+
+/// `#n; c. = a. + b.;` — the extended-model vector add: four thick
+/// instructions, no loop, whatever n is.
+isa::Program vecadd_tcf(Word n, Addr a, Addr b, Addr c);
+
+/// `for (i = tid; i < n; i += nthreads) c[i] = a[i] + b[i];` — the
+/// fixed-thread ESM idiom. Boot one thickness-1 flow per thread with the
+/// thread id in r1 and the thread count in r2 (see boot_esm_threads).
+isa::Program vecadd_esm_loop(Word n, Addr a, Addr b, Addr c);
+
+/// `fork (tid = 0; tid < n) c[tid] = a[tid] + b[tid];` — multi-instruction
+/// (XMT) style: main spawns a flow of thickness n and joins.
+isa::Program vecadd_fork(Word n, Addr a, Addr b, Addr c);
+
+/// Vector/SIMD style for the fixed-thickness variant: chunks of width
+/// `width`, tail handled by arithmetic masking (no control parallelism).
+isa::Program vecadd_simd(Word n, Word width, Addr a, Addr b, Addr c);
+
+/// Two-way conditional, extended-model style (Section 4):
+///   parallel { #n/2: c. = a. + b.;  #n/2: c.[#+id] = 0; }
+isa::Program cond_split_tcf(Word n, Addr a, Addr b, Addr c);
+
+/// Two-way conditional, SIMD style: both paths executed sequentially with
+/// arithmetic masks over the full width (Fig. 12's cost shape).
+isa::Program cond_masked_simd(Word n, Word width, Addr a, Addr b, Addr c);
+
+/// Two-way conditional, ESM thread style: per-thread `if`; both halves of
+/// the thread set take different paths (threads are independent flows).
+isa::Program cond_esm(Word n, Addr a, Addr b, Addr c);
+
+/// Multiprefix sum, extended model: one thick PPADD instruction.
+///   prefix(src, MPADD, &sum, src)  ->  dst[i] = Σ_{j<i} src[j], sum = Σ src
+isa::Program prefix_tcf(Word n, Addr src, Addr dst, Addr sum);
+
+/// Multiprefix with looping (the PRAM-NUMA idiom when n > threads):
+///   for (i = tid; i < n; i += nthreads) prefix(src[i], MPADD, &sum, ...)
+/// Runs per-thread like vecadd_esm_loop; dst[i] receives the prefix.
+/// NOTE: with >1 rounds the interleaving differs from a single multiprefix,
+/// so only `sum` (the total) is order-independent; dst is per-round-prefix.
+isa::Program prefix_esm_loop(Word n, Addr src, Addr dst, Addr sum);
+
+/// Dependent doubling scan (Section 4's dependent loop):
+///   for (i = 1; i < n; i <<= 1) src[tid] += src[tid - i];
+/// Requires a guard region of n zeros immediately below `data` (the paper's
+/// trick for dropping the `if`). In-place inclusive scan of the n words at
+/// `data`. Runs in ⌈log2 n⌉ dependent thick steps with no explicit
+/// synchronisation — lockstep PRAM semantics do the synchronising.
+isa::Program scan_doubling_tcf(Word n, Addr data);
+
+/// Same dependent loop in multi-instruction style: one fork+join per round
+/// (the paper: "synchronizations provided by the fork construct are needed
+/// with the cost of remarkable overhead"). Because XMT threads are
+/// asynchronous within a round, a correct implementation ping-pongs between
+/// two arrays; both need n-word zero guards below them. The base address of
+/// the final result array is stored to `result_ptr`.
+isa::Program scan_doubling_fork(Word n, Addr data_a, Addr data_b,
+                                Addr result_ptr);
+
+/// Low-parallelism section (size < P): extended-model `#1/L` NUMA block of
+/// `len` local-memory operations, then halt.
+isa::Program low_tlp_numa(Word block_len, Word len);
+
+/// The same sequential section in PRAM mode (one lane, full step costs).
+isa::Program low_tlp_pram(Word len);
+
+/// Generic workload: `instrs` thick ALU instructions at thickness `t`.
+isa::Program spin_ops(Word t, Word instrs);
+
+/// Fig. 3's block structure: thickness 23 (2 instructions), thickness 15
+/// (3 instructions + a branch), parallel branches of thickness 12 and 3,
+/// then a thickness-8 block of 8 instructions.
+isa::Program fig3_blocks();
+
+/// Fig. 4: one TCF changing thickness through the given sequence,
+/// executing `instrs_per_block` instructions at each thickness.
+isa::Program thickness_script(const std::vector<Word>& thicknesses,
+                              Word instrs_per_block);
+
+// ---- boot helpers ----
+
+/// Boots `threads` thickness-1 flows for the ESM conventions: r1 = thread
+/// id, r2 = thread count, round-robin over groups. Returns the flow ids.
+std::vector<FlowId> boot_esm_threads(machine::Machine& m, std::size_t entry,
+                                     std::uint64_t threads);
+
+}  // namespace tcfpn::tcf::kernels

@@ -1,0 +1,294 @@
+#include "tcf/runtime.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "machine/cost_model.hpp"
+
+namespace tcfpn::tcf {
+
+namespace {
+// Per-statement multioperation accumulators live here so Lane can compute
+// same-step multiprefix returns incrementally (lanes are ordered).
+thread_local std::unordered_map<Addr, Word>* t_multi_acc = nullptr;
+thread_local std::uint64_t t_lane_actions = 0;
+}  // namespace
+
+// ---------------------------------------------------------------- Runtime
+
+Runtime::Runtime(machine::MachineConfig cfg)
+    : cfg_(cfg),
+      shared_(cfg.shared_words, cfg.groups, cfg.crcw),
+      net_(std::make_unique<net::Network>(
+          net::make_topology(cfg.topology, cfg.groups), cfg.net)),
+      alloc_(cfg.shared_words) {
+  locals_.reserve(cfg_.groups);
+  for (GroupId g = 0; g < cfg_.groups; ++g) {
+    locals_.emplace_back(g, cfg_.local_words, cfg_.local_latency);
+  }
+  TCFPN_CHECK(cfg_.variant == machine::Variant::kSingleInstruction ||
+                  cfg_.variant == machine::Variant::kBalanced,
+              "the TCF runtime targets the extended model's TCF-aware "
+              "variants; use src/baseline front-ends for ",
+              machine::to_string(cfg_.variant));
+  group_ready_.assign(cfg_.groups, 0);
+}
+
+Buffer Runtime::array(std::size_t words) { return alloc_.alloc(words); }
+
+Buffer Runtime::array(const std::vector<Word>& init) {
+  Buffer b = alloc_.alloc(init.size());
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    shared_.poke(b.at(i), init[i]);
+  }
+  return b;
+}
+
+std::vector<Word> Runtime::fetch(Buffer b) {
+  std::vector<Word> out(b.size);
+  for (std::size_t i = 0; i < b.size; ++i) out[i] = shared_.peek(b.at(i));
+  return out;
+}
+
+GroupId Runtime::pick_group(Cycle ready_after) const {
+  // Earliest possible start wins; ties go to the least-booked group so
+  // same-instant branches spread over the machine.
+  GroupId best = 0;
+  auto key = [&](GroupId g) {
+    return std::pair<Cycle, Cycle>(std::max(group_ready_[g], ready_after),
+                                   group_ready_[g]);
+  };
+  for (GroupId g = 1; g < cfg_.groups; ++g) {
+    if (key(g) < key(best)) best = g;
+  }
+  return best;
+}
+
+RunStats Runtime::run(const std::function<void(Flow&)>& body,
+                      Word thickness) {
+  TCFPN_CHECK(thickness >= 0, "negative root thickness");
+  stats_ = RunStats{};
+  std::fill(group_ready_.begin(), group_ready_.end(), 0);
+  next_flow_ = 0;
+  Flow root(*this, next_flow_++, thickness, 0, 0);
+  body(root);
+  group_ready_[root.group_] = std::max(group_ready_[root.group_],
+                                       root.clock_);
+  stats_.makespan = std::max(stats_.makespan, root.clock_);
+  return stats_;
+}
+
+Cycle Runtime::charge_statement(Flow& f) {
+  const Cycle mem = f.stmt_module_load_.empty()
+                        ? 0
+                        : net_->latency_bound(f.stmt_module_load_,
+                                              f.stmt_max_dist_);
+  const std::uint64_t ops = f.stmt_ops_;
+  Cycle len = 0;
+  if (cfg_.variant == machine::Variant::kBalanced) {
+    const std::uint64_t b = cfg_.balanced_bound;
+    const std::uint64_t chunks = std::max<std::uint64_t>(1, (ops + b - 1) / b);
+    len = chunks * (cfg_.pipeline_fill + b);
+    if (mem > len) {
+      stats_.memory_wait_cycles += mem - len;
+      len = mem;
+    }
+    stats_.instruction_fetches += chunks;
+  } else {
+    const Cycle body = std::max<Cycle>(ops, mem);
+    if (mem > ops) stats_.memory_wait_cycles += mem - ops;
+    len = cfg_.pipeline_fill + body;
+    stats_.instruction_fetches += 1;
+  }
+  ++stats_.statements;
+  stats_.operations += ops;
+  return len;
+}
+
+// ------------------------------------------------------------------- Flow
+
+void Flow::thick(Word t) {
+  TCFPN_CHECK(t >= 0, "negative thickness ", t);
+  thickness_ = t;
+  // The `#t;` statement is itself one (thin) instruction.
+  clock_ += rt_.cfg_.pipeline_fill + 1;
+  ++rt_.stats_.statements;
+  ++rt_.stats_.operations;
+  ++rt_.stats_.instruction_fetches;
+}
+
+void Flow::apply(const std::function<void(Lane&)>& fn) {
+  if (thickness_ == 0) return;  // "does not execute anything"
+  stmt_ops_ = 0;
+  stmt_module_load_.assign(rt_.shared_.modules(), 0);
+  stmt_max_dist_ = 0;
+  std::unordered_map<Addr, Word> multi_acc;
+  t_multi_acc = &multi_acc;
+
+  for (LaneId lane = 0; lane < static_cast<LaneId>(thickness_); ++lane) {
+    t_lane_actions = 0;
+    Lane handle(*this, lane);
+    fn(handle);
+    if (t_lane_actions == 0) ++stmt_ops_;  // an idle lane still fills a slot
+  }
+  t_multi_acc = nullptr;
+
+  // Commit the statement: ordinary writes via the CRCW machinery, then the
+  // combined multioperation results.
+  rt_.shared_.commit_step();
+  for (const auto& [addr, value] : multi_acc) {
+    rt_.shared_.poke(addr, value);
+  }
+  clock_ += rt_.charge_statement(*this);
+}
+
+void Flow::parallel(std::vector<Branch> branches) {
+  // Splitting copies the flow-level register state into each child: O(R)
+  // per branch (Table 1's cost of flow branch).
+  const Cycle branch_cost = machine::flow_branch_cost(rt_.cfg_);
+  Cycle join_at = clock_;
+  for (auto& br : branches) {
+    TCFPN_CHECK(br.thickness >= 0, "negative branch thickness");
+    const Cycle spawn_done =
+        clock_ + rt_.cfg_.spawn_cost + branch_cost;
+    const GroupId g = rt_.pick_group(spawn_done);
+    Flow child(rt_, rt_.next_flow_++, br.thickness, g,
+               std::max(spawn_done, rt_.group_ready_[g]));
+    ++rt_.stats_.splits;
+    br.body(child);
+    rt_.group_ready_[g] = std::max(rt_.group_ready_[g], child.clock_);
+    join_at = std::max(join_at, child.clock_);
+  }
+  // Implicit join of the flows back to the calling flow.
+  clock_ = join_at + rt_.cfg_.pipeline_fill;
+  ++rt_.stats_.joins;
+}
+
+void Flow::numa(std::size_t block_len,
+                const std::function<void(Seq&)>& fn) {
+  TCFPN_CHECK(block_len >= 1, "NUMA block length must be >= 1");
+  if (thickness_ == 0) return;
+  stmt_ops_ = 0;
+  stmt_module_load_.assign(rt_.shared_.modules(), 0);
+  stmt_max_dist_ = 0;
+  Seq seq(*this);
+  fn(seq);
+  // `#1/L;`: L instructions per step — amortise the per-step overhead over
+  // the block; every instruction is fetched individually (Table 1).
+  const std::uint64_t ops = std::max<std::uint64_t>(stmt_ops_, 1);
+  const std::uint64_t steps = (ops + block_len - 1) / block_len;
+  const Cycle mem = stmt_module_load_.empty()
+                        ? 0
+                        : rt_.net_->latency_bound(stmt_module_load_,
+                                                  stmt_max_dist_);
+  clock_ += steps * rt_.cfg_.pipeline_fill +
+            ops * rt_.cfg_.local_latency + mem;
+  rt_.stats_.statements += ops;
+  rt_.stats_.operations += ops;
+  rt_.stats_.instruction_fetches += ops;
+  rt_.shared_.commit_step();
+}
+
+void Flow::sync() { clock_ += rt_.cfg_.pipeline_fill; }
+
+// ------------------------------------------------------------------- Lane
+
+Word Lane::thickness() const { return flow_.thickness_; }
+
+Word Lane::read(Buffer b, std::size_t i) {
+  auto& rt = flow_.rt_;
+  const Addr a = b.at(i);
+  const std::uint32_t m = rt.shared_.module_of(a);
+  ++flow_.stmt_module_load_[m];
+  flow_.stmt_max_dist_ = std::max(
+      flow_.stmt_max_dist_,
+      rt.net_->topology().distance(flow_.group_, m % rt.cfg_.groups));
+  ++flow_.stmt_ops_;
+  ++rt.stats_.shared_accesses;
+  ++t_lane_actions;
+  return rt.shared_.read(a, (flow_.id_ << 40) | id_);
+}
+
+void Lane::write(Buffer b, std::size_t i, Word v) {
+  auto& rt = flow_.rt_;
+  const Addr a = b.at(i);
+  const std::uint32_t m = rt.shared_.module_of(a);
+  ++flow_.stmt_module_load_[m];
+  flow_.stmt_max_dist_ = std::max(
+      flow_.stmt_max_dist_,
+      rt.net_->topology().distance(flow_.group_, m % rt.cfg_.groups));
+  ++flow_.stmt_ops_;
+  ++rt.stats_.shared_accesses;
+  ++t_lane_actions;
+  rt.shared_.write(a, v, (flow_.id_ << 40) | id_);
+}
+
+void Lane::multi(Buffer b, std::size_t i, mem::MultiOp op, Word v) {
+  (void)prefix(b, i, op, v);
+}
+
+Word Lane::prefix(Buffer b, std::size_t i, mem::MultiOp op, Word v) {
+  auto& rt = flow_.rt_;
+  const Addr a = b.at(i);
+  const std::uint32_t m = rt.shared_.module_of(a);
+  ++flow_.stmt_module_load_[m];
+  flow_.stmt_max_dist_ = std::max(
+      flow_.stmt_max_dist_,
+      rt.net_->topology().distance(flow_.group_, m % rt.cfg_.groups));
+  ++flow_.stmt_ops_;
+  ++rt.stats_.shared_accesses;
+  ++t_lane_actions;
+  TCFPN_CHECK(t_multi_acc != nullptr,
+              "multiprefix outside a thick statement");
+  auto [it, inserted] = t_multi_acc->try_emplace(a, rt.shared_.peek(a));
+  const Word before = it->second;
+  it->second = mem::apply_multiop(op, before, v);
+  return before;
+}
+
+void Lane::compute(std::uint64_t n) {
+  flow_.stmt_ops_ += n;
+  t_lane_actions += n;
+}
+
+// -------------------------------------------------------------------- Seq
+
+Word Seq::local_read(std::size_t i) {
+  ++flow_.stmt_ops_;
+  return flow_.rt_.locals_[flow_.group_].read(i);
+}
+
+void Seq::local_write(std::size_t i, Word v) {
+  ++flow_.stmt_ops_;
+  flow_.rt_.locals_[flow_.group_].write(i, v);
+}
+
+Word Seq::shared_read(Buffer b, std::size_t i) {
+  auto& rt = flow_.rt_;
+  const Addr a = b.at(i);
+  const std::uint32_t m = rt.shared_.module_of(a);
+  ++flow_.stmt_module_load_[m];
+  flow_.stmt_max_dist_ = std::max(
+      flow_.stmt_max_dist_,
+      rt.net_->topology().distance(flow_.group_, m % rt.cfg_.groups));
+  ++flow_.stmt_ops_;
+  ++rt.stats_.shared_accesses;
+  return rt.shared_.peek(a);
+}
+
+void Seq::shared_write(Buffer b, std::size_t i, Word v) {
+  auto& rt = flow_.rt_;
+  const Addr a = b.at(i);
+  const std::uint32_t m = rt.shared_.module_of(a);
+  ++flow_.stmt_module_load_[m];
+  flow_.stmt_max_dist_ = std::max(
+      flow_.stmt_max_dist_,
+      rt.net_->topology().distance(flow_.group_, m % rt.cfg_.groups));
+  ++flow_.stmt_ops_;
+  ++rt.stats_.shared_accesses;
+  rt.shared_.poke(a, v);
+}
+
+void Seq::compute(std::uint64_t n) { flow_.stmt_ops_ += n; }
+
+}  // namespace tcfpn::tcf

@@ -1,0 +1,203 @@
+// The Thick Control Flow runtime: the paper's programming model as an
+// embedded C++ API.
+//
+// Section 2.2 / Section 4 semantics implemented here:
+//  - a program starts as one flow of a given thickness (default 1);
+//  - `Flow::thick(t)` is the `#t;` thickness statement: subsequent thick
+//    statements execute t implicit threads (lanes) in lockstep;
+//  - `Flow::apply(fn)` is one thick statement (one TCF instruction): fn runs
+//    once per lane; all lane reads observe the state *before* the statement
+//    and all writes commit together after it — exact PRAM lockstep within
+//    the flow;
+//  - `Flow::parallel({{t1, f1}, {t2, f2}, ...})` splits the flow into
+//    branches of the given thicknesses and implicitly joins them; branches
+//    are mutually asynchronous (nothing may be assumed about their relative
+//    progress), and the runtime schedules them over the machine's P groups;
+//  - `Flow::numa(L, fn)` is the `#1/L;` statement: a sequential block of L
+//    low-cost steps against the group's local memory;
+//  - `Lane::prefix_add(cell, v)` etc. are the multiprefix/multioperation
+//    primitives (`prefix(source, MPADD, &sum, source)` in the paper);
+//  - flow-level method calls are ordinary C++ calls made from flow scope:
+//    they cost O(1) per flow, not O(thickness) — claimed novel in the paper.
+//
+// Cost model: the runtime charges cycles per statement according to the
+// configured variant (single-instruction or balanced — the two "true
+// TCF-aware" variants; the other four are exercised through src/baseline
+// and the ISA-level machine). A greedy list-scheduler assigns flows to
+// processor groups, so the reported makespan reflects P-way hardware.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "machine/config.hpp"
+#include "mem/local_memory.hpp"
+#include "mem/shared_memory.hpp"
+#include "net/network.hpp"
+#include "tcf/buffer.hpp"
+
+namespace tcfpn::tcf {
+
+struct RunStats {
+  Cycle makespan = 0;              ///< critical-path cycles of the whole run
+  std::uint64_t statements = 0;    ///< thick statements (TCF instructions)
+  std::uint64_t operations = 0;    ///< lane-level chargeable actions
+  std::uint64_t instruction_fetches = 0;
+  std::uint64_t splits = 0;        ///< parallel branches created
+  std::uint64_t joins = 0;
+  Cycle memory_wait_cycles = 0;    ///< statement extension from module load
+  std::uint64_t shared_accesses = 0;
+
+  /// Work / (makespan × groups): how well the run filled the machine.
+  double utilization(std::uint32_t groups) const {
+    const double cap = static_cast<double>(makespan) * groups;
+    return cap > 0 ? static_cast<double>(operations) / cap : 0.0;
+  }
+};
+
+class Flow;
+class Runtime;
+
+/// Per-lane handle passed to thick-statement callbacks. All memory touched
+/// through a Lane is charged and follows PRAM step semantics.
+class Lane {
+ public:
+  LaneId id() const { return id_; }
+  Word thickness() const;
+
+  Word read(Buffer b, std::size_t i);
+  void write(Buffer b, std::size_t i, Word v);
+
+  /// Multioperation contribution: cell op= v (combined across lanes/flows
+  /// within the statement).
+  void multi(Buffer b, std::size_t i, mem::MultiOp op, Word v);
+  void multi_add(Buffer b, std::size_t i, Word v) {
+    multi(b, i, mem::MultiOp::kAdd, v);
+  }
+
+  /// Multiprefix contribution: returns the combination of the cell's prior
+  /// value with all lower-ordered contributions of this statement. Note the
+  /// result models the same-step return of the hardware multiprefix.
+  Word prefix(Buffer b, std::size_t i, mem::MultiOp op, Word v);
+  Word prefix_add(Buffer b, std::size_t i, Word v) {
+    return prefix(b, i, mem::MultiOp::kAdd, v);
+  }
+
+  /// Charges n pure-ALU operations (memory-free work inside the lambda).
+  void compute(std::uint64_t n = 1);
+
+ private:
+  friend class Flow;
+  Lane(Flow& flow, LaneId id) : flow_(flow), id_(id) {}
+  Flow& flow_;
+  LaneId id_;
+};
+
+/// Sequential handle passed to NUMA blocks: immediate local-memory
+/// semantics, one op per access, as the bunched/1-over-T execution mode.
+class Seq {
+ public:
+  Word local_read(std::size_t i);
+  void local_write(std::size_t i, Word v);
+  /// Shared access from NUMA mode: legal but pays unhidden network latency.
+  Word shared_read(Buffer b, std::size_t i);
+  void shared_write(Buffer b, std::size_t i, Word v);
+  void compute(std::uint64_t n = 1);
+
+ private:
+  friend class Flow;
+  explicit Seq(Flow& flow) : flow_(flow) {}
+  Flow& flow_;
+};
+
+class Flow {
+ public:
+  Word thickness() const { return thickness_; }
+  FlowId id() const { return id_; }
+  GroupId group() const { return group_; }
+
+  /// The `#t;` statement. t == 0 makes subsequent statements no-ops until
+  /// the thickness is raised again (the paper: "the processor does not
+  /// execute anything").
+  void thick(Word t);
+
+  /// One thick statement: fn(lane) runs for every lane in lockstep.
+  void apply(const std::function<void(Lane&)>& fn);
+
+  /// Split into branches with the given thicknesses; implicit join.
+  struct Branch {
+    Word thickness;
+    std::function<void(Flow&)> body;
+  };
+  void parallel(std::vector<Branch> branches);
+
+  /// The `#1/L;` statement: a NUMA/sequential block of up to L charged
+  /// low-latency steps. fn executes once (single implicit thread).
+  void numa(std::size_t block_len, const std::function<void(Seq&)>& fn);
+
+  /// Flow-level synchronisation point (rarely needed: every apply is
+  /// already a step). Commits nothing extra; charges one step of overhead.
+  void sync();
+
+  Runtime& runtime() { return rt_; }
+
+ private:
+  friend class Runtime;
+  friend class Lane;
+  friend class Seq;
+  Flow(Runtime& rt, FlowId id, Word thickness, GroupId group, Cycle clock)
+      : rt_(rt), id_(id), thickness_(thickness), group_(group),
+        clock_(clock) {}
+
+  Runtime& rt_;
+  FlowId id_;
+  Word thickness_;
+  GroupId group_;
+  Cycle clock_;  ///< this flow's virtual time
+
+  // Per-statement scratch, managed by apply():
+  std::uint64_t stmt_ops_ = 0;
+  std::vector<std::uint64_t> stmt_module_load_;
+  std::uint32_t stmt_max_dist_ = 0;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(machine::MachineConfig cfg);
+
+  /// Allocates a shared array.
+  Buffer array(std::size_t words);
+  /// Allocates and fills a shared array.
+  Buffer array(const std::vector<Word>& init);
+
+  /// Runs a TCF program: body receives the root flow (thickness as given).
+  RunStats run(const std::function<void(Flow&)>& body, Word thickness = 1);
+
+  mem::SharedMemory& shared() { return shared_; }
+  const machine::MachineConfig& config() const { return cfg_; }
+
+  /// Reads back a full buffer (for result checking).
+  std::vector<Word> fetch(Buffer b);
+
+ private:
+  friend class Flow;
+  friend class Lane;
+  friend class Seq;
+
+  /// Charges one completed thick statement of `ops` lane-operations with
+  /// the recorded module loads; returns the statement's cycle length.
+  Cycle charge_statement(Flow& f);
+  GroupId pick_group(Cycle ready_after) const;
+
+  machine::MachineConfig cfg_;
+  mem::SharedMemory shared_;
+  std::vector<mem::LocalMemory> locals_;
+  std::unique_ptr<net::Network> net_;
+  BumpAllocator alloc_;
+  RunStats stats_;
+  FlowId next_flow_ = 0;
+  std::vector<Cycle> group_ready_;  ///< greedy list-schedule availability
+};
+
+}  // namespace tcfpn::tcf

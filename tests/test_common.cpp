@@ -1,0 +1,223 @@
+// Unit tests for src/common: RNG determinism and distributions, statistics
+// accumulators, table rendering, trace rendering, check macros.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/trace.hpp"
+
+namespace tcfpn {
+namespace {
+
+TEST(Check, FailingCheckThrowsSimError) {
+  EXPECT_THROW(TCFPN_CHECK(false, "boom ", 42), SimError);
+}
+
+TEST(Check, FaultCarriesMessage) {
+  try {
+    TCFPN_FAULT("addr ", 7, " bad");
+    FAIL() << "expected throw";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("addr 7 bad"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowZeroBoundThrows) {
+  Rng r(7);
+  EXPECT_THROW(r.below(0), SimError);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.split();
+  // The child stream should not be a shifted copy of the parent's.
+  Rng b(5);
+  b.next();  // advance like a did
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += child.next() == b.next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 1.25);
+}
+
+TEST(Accumulator, EmptyThrowsOnStatistics) {
+  Accumulator acc;
+  EXPECT_THROW(acc.mean(), SimError);
+  EXPECT_THROW(acc.min(), SimError);
+  EXPECT_THROW(acc.variance(), SimError);
+}
+
+TEST(Accumulator, MergeEqualsCombinedStream) {
+  Accumulator a, b, all;
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    const double x = r.uniform() * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Samples, ExactPercentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 0.2);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Samples, SingleElement) {
+  Samples s;
+  s.add(42);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(Samples, OutOfRangePercentileThrows) {
+  Samples s;
+  s.add(1);
+  EXPECT_THROW(s.percentile(-1), SimError);
+  EXPECT_THROW(s.percentile(101), SimError);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0, 10, 5);
+  h.add(-1);   // clamps to bucket 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(25);   // clamps to last bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.add("alpha", 1);
+  t.add("b", 22.5);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.5"), std::string::npos);
+  // header + rule + 2 rows
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), SimError);
+}
+
+TEST(Table, BoolFormatting) {
+  Table t({"x"});
+  t.add(true);
+  t.add(false);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  EXPECT_NE(out.find("no"), std::string::npos);
+}
+
+TEST(Trace, DisabledTraceDropsSpans) {
+  ScheduleTrace tr;
+  tr.add(0, 0, 5, 'A', "x");
+  EXPECT_TRUE(tr.spans().empty());
+}
+
+TEST(Trace, RendersGantt) {
+  ScheduleTrace tr;
+  tr.set_enabled(true);
+  tr.add(0, 0, 4, 'A', "flow A");
+  tr.add(1, 2, 6, 'B', "flow B");
+  const std::string out = tr.render();
+  EXPECT_NE(out.find("AAAA"), std::string::npos);
+  EXPECT_NE(out.find("BBBB"), std::string::npos);
+  EXPECT_NE(out.find("A=flow A"), std::string::npos);
+}
+
+TEST(Trace, CompressesLongRuns) {
+  ScheduleTrace tr;
+  tr.set_enabled(true);
+  tr.add(0, 0, 100000, 'A', "long");
+  const std::string out = tr.render(1, 80);
+  // Must fit: the renderer widens cycles-per-column.
+  const auto first_line_end = out.find('\n');
+  ASSERT_NE(first_line_end, std::string::npos);
+  const auto second_line_end = out.find('\n', first_line_end + 1);
+  EXPECT_LE(second_line_end - first_line_end, 90u);
+}
+
+TEST(Trace, BackwardsSpanThrows) {
+  ScheduleTrace tr;
+  tr.set_enabled(true);
+  EXPECT_THROW(tr.add(0, 5, 3, 'A', "bad"), SimError);
+}
+
+}  // namespace
+}  // namespace tcfpn

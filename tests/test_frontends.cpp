@@ -1,0 +1,95 @@
+// Tests for the baseline front-ends (src/baseline): each helper boots with
+// its model's conventions and enforces the matching variant.
+#include <gtest/gtest.h>
+
+#include "baseline/frontends.hpp"
+#include "common/check.hpp"
+#include "isa/assembler.hpp"
+#include "machine/machine.hpp"
+#include "tcf/kernels.hpp"
+
+namespace tcfpn::baseline {
+namespace {
+
+machine::MachineConfig cfg4() {
+  machine::MachineConfig cfg;
+  cfg.groups = 4;
+  cfg.slots_per_group = 8;
+  cfg.shared_words = 1 << 14;
+  cfg.local_words = 1 << 10;
+  return cfg;
+}
+
+isa::Program with_arrays(isa::Program p, Word n) {
+  std::vector<Word> av(n), bv(n);
+  for (Word i = 0; i < n; ++i) {
+    av[i] = i;
+    bv[i] = 2 * i;
+  }
+  p.data.push_back({100, av});
+  p.data.push_back({400, bv});
+  return p;
+}
+
+TEST(Frontends, ThreadedEsmDefaultsToAllSlots) {
+  const auto out = run_threaded_esm(
+      cfg4(), with_arrays(tcf::kernels::vecadd_esm_loop(40, 100, 400, 700), 40));
+  EXPECT_TRUE(out.completed);
+  // 32 threads booted (4 groups x 8 slots), every step burns Tp slots.
+  EXPECT_GT(out.stats.operations, 40u);
+}
+
+TEST(Frontends, ThreadedEsmExplicitThreadCount) {
+  const auto out = run_threaded_esm(
+      cfg4(),
+      with_arrays(tcf::kernels::vecadd_esm_loop(16, 100, 400, 700), 16), 4);
+  EXPECT_TRUE(out.completed);
+}
+
+TEST(Frontends, PramNumaAllowsBunching) {
+  const auto out =
+      run_pram_numa(cfg4(), tcf::kernels::low_tlp_numa(4, 10), 1);
+  EXPECT_TRUE(out.completed);
+}
+
+TEST(Frontends, XmtRunsForkPrograms) {
+  const auto out = run_xmt(
+      cfg4(), with_arrays(tcf::kernels::vecadd_fork(30, 100, 400, 700), 30));
+  EXPECT_TRUE(out.completed);
+  EXPECT_GE(out.stats.spawns, 1u);
+  EXPECT_GE(out.stats.joins, 1u);
+}
+
+TEST(Frontends, SimdForcesOneGroup) {
+  auto cfg = cfg4();  // 4 groups requested; helper must clamp to 1
+  const auto out = run_simd(
+      cfg, with_arrays(tcf::kernels::vecadd_simd(20, 8, 100, 400, 700), 20),
+      8);
+  EXPECT_TRUE(out.completed);
+}
+
+TEST(Frontends, TcfRunsRootFlow) {
+  const auto out = run_tcf(
+      cfg4(), with_arrays(tcf::kernels::vecadd_tcf(25, 100, 400, 700), 25));
+  EXPECT_TRUE(out.completed);
+  // setthick + 4 thick + halt
+  EXPECT_EQ(out.stats.instruction_fetches, 6u);
+}
+
+TEST(Frontends, TcfHonoursBalancedConfig) {
+  auto cfg = cfg4();
+  cfg.variant = machine::Variant::kBalanced;
+  cfg.balanced_bound = 4;
+  const auto out = run_tcf(
+      cfg, with_arrays(tcf::kernels::vecadd_tcf(25, 100, 400, 700), 25));
+  EXPECT_TRUE(out.completed);
+  EXPECT_GT(out.stats.instruction_fetches, 6u);  // u/b re-fetches
+}
+
+TEST(Frontends, DebugOutputPropagates) {
+  const auto out = run_tcf(cfg4(), isa::assemble("PRINT 9\nHALT"));
+  EXPECT_EQ(out.debug_output, (std::vector<Word>{9}));
+}
+
+}  // namespace
+}  // namespace tcfpn::baseline

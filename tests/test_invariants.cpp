@@ -1,0 +1,217 @@
+// Machine-wide accounting and semantic invariants, checked over a sweep of
+// configurations and workloads (property-style TEST_P).
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "isa/assembler.hpp"
+#include "machine/machine.hpp"
+#include "tcf/kernels.hpp"
+
+namespace tcfpn::machine {
+namespace {
+
+struct InvCase {
+  Variant variant;
+  std::uint32_t groups;
+  std::uint32_t slots;
+  std::uint32_t fu;
+  const char* tag;
+};
+
+class Invariants : public ::testing::TestWithParam<InvCase> {};
+
+MachineConfig cfg_of(const InvCase& c) {
+  MachineConfig cfg;
+  cfg.variant = c.variant;
+  cfg.groups = c.variant == Variant::kFixedThickness ? 1 : c.groups;
+  cfg.slots_per_group = c.slots;
+  cfg.functional_units = c.fu;
+  cfg.shared_words = 1 << 15;
+  cfg.local_words = 1 << 10;
+  cfg.balanced_bound = 8;
+  return cfg;
+}
+
+void boot_workload(Machine& m, const InvCase& c) {
+  switch (c.variant) {
+    case Variant::kSingleOperation:
+    case Variant::kConfigSingleOperation:
+      m.load(tcf::kernels::vecadd_esm_loop(60, 1000, 2000, 3000));
+      tcf::kernels::boot_esm_threads(m, 0, m.config().total_slots());
+      break;
+    case Variant::kMultiInstruction:
+      m.load(tcf::kernels::vecadd_fork(60, 1000, 2000, 3000));
+      m.boot(1);
+      break;
+    case Variant::kFixedThickness:
+      m.load(tcf::kernels::vecadd_simd(60, m.config().slots_per_group, 1000,
+                                       2000, 3000));
+      m.boot(m.config().slots_per_group);
+      break;
+    default:
+      m.load(tcf::kernels::vecadd_tcf(60, 1000, 2000, 3000));
+      m.boot(1);
+      break;
+  }
+}
+
+TEST_P(Invariants, AccountingIsConsistent) {
+  Machine m(cfg_of(GetParam()));
+  boot_workload(m, GetParam());
+  const auto run = m.run();
+  ASSERT_TRUE(run.completed);
+  const auto& st = m.stats();
+
+  // Work conservation: busy slots carry exactly the executed operations
+  // plus operand-storage penalties (never less than operations).
+  EXPECT_GE(st.busy_slots, st.operations);
+  // Utilization is a fraction.
+  EXPECT_GE(st.utilization(), 0.0);
+  EXPECT_LE(st.utilization(), 1.0);
+  // Cycles cover at least the pipeline fill of every step.
+  EXPECT_GE(st.cycles, st.steps * m.config().pipeline_fill);
+  // Every instruction was fetched at least once.
+  EXPECT_GE(st.instruction_fetches, st.tcf_instructions > 0 ? 1u : 0u);
+  // The run result mirrors the stats.
+  EXPECT_EQ(run.cycles, st.cycles);
+  EXPECT_EQ(run.steps, st.steps);
+  // All flows accounted for: none live after completion.
+  EXPECT_EQ(m.live_flows(), 0u);
+  // Spawns and joins are balanced for fork programs.
+  EXPECT_LE(st.joins, st.spawns + 1);
+}
+
+TEST_P(Invariants, ResultsAreCorrect) {
+  Machine m(cfg_of(GetParam()));
+  boot_workload(m, GetParam());
+  for (Word i = 0; i < 60; ++i) {
+    m.shared().poke(1000 + i, 7 * i);
+    m.shared().poke(2000 + i, i + 1);
+  }
+  ASSERT_TRUE(m.run().completed);
+  for (Word i = 0; i < 60; ++i) {
+    ASSERT_EQ(m.shared().peek(3000 + i), 8 * i + 1)
+        << GetParam().tag << " element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Invariants,
+    ::testing::Values(
+        InvCase{Variant::kSingleInstruction, 1, 4, 1, "si_1g"},
+        InvCase{Variant::kSingleInstruction, 4, 16, 1, "si_4g"},
+        InvCase{Variant::kSingleInstruction, 4, 16, 4, "si_ilp4"},
+        InvCase{Variant::kBalanced, 2, 8, 1, "bal_2g"},
+        InvCase{Variant::kBalanced, 4, 16, 2, "bal_ilp2"},
+        InvCase{Variant::kMultiInstruction, 4, 16, 1, "xmt"},
+        InvCase{Variant::kSingleOperation, 2, 8, 1, "esm"},
+        InvCase{Variant::kConfigSingleOperation, 2, 8, 1, "pramnuma"},
+        InvCase{Variant::kFixedThickness, 1, 16, 1, "simd"}),
+    [](const auto& inf) { return std::string(inf.param.tag); });
+
+// ---- cross-flow CRCW enforcement through the machine ----
+
+TEST(MachineCrcw, ErewDetectsCrossFlowWriteConflicts) {
+  MachineConfig cfg;
+  cfg.groups = 2;
+  cfg.slots_per_group = 4;
+  cfg.shared_words = 1 << 12;
+  cfg.crcw = mem::CrcwPolicy::kErew;
+  Machine m(cfg);
+  // Two thickness-1 flows both store to word 7 in the same step.
+  m.load(isa::assemble("LDI r1, 5\nST r1, [r0+7]\nHALT"));
+  m.boot_at(0, 1, 0);
+  m.boot_at(0, 1, 1);
+  EXPECT_THROW(m.run(), SimError);
+}
+
+TEST(MachineCrcw, CommonAcceptsAgreeingCrossFlowWrites) {
+  MachineConfig cfg;
+  cfg.groups = 2;
+  cfg.slots_per_group = 4;
+  cfg.shared_words = 1 << 12;
+  cfg.crcw = mem::CrcwPolicy::kCommon;
+  Machine m(cfg);
+  m.load(isa::assemble("LDI r1, 5\nST r1, [r0+7]\nHALT"));
+  m.boot_at(0, 1, 0);
+  m.boot_at(0, 1, 1);
+  EXPECT_TRUE(m.run().completed);
+  EXPECT_EQ(m.shared().peek(7), 5);
+}
+
+TEST(MachineCrcw, MixedMultiopsAcrossFlowsFault) {
+  MachineConfig cfg;
+  cfg.groups = 2;
+  cfg.slots_per_group = 4;
+  cfg.shared_words = 1 << 12;
+  Machine m(cfg);
+  const auto prog = isa::assemble(R"(
+      a: LDI r1, 1
+         MPADD r1, [r0+9]
+         HALT
+      b: LDI r1, 1
+         MPMAX r1, [r0+9]
+         HALT
+  )");
+  m.load(prog);
+  m.boot_at(prog.label("a"), 1, 0);
+  m.boot_at(prog.label("b"), 1, 1);
+  EXPECT_THROW(m.run(), SimError);
+}
+
+// ---- extremes ----
+
+TEST(MachineExtremes, BalancedBoundOne) {
+  MachineConfig cfg;
+  cfg.groups = 1;
+  cfg.slots_per_group = 4;
+  cfg.variant = Variant::kBalanced;
+  cfg.balanced_bound = 1;  // one operation per step
+  cfg.shared_words = 1 << 12;
+  Machine m(cfg);
+  m.load(tcf::kernels::spin_ops(5, 4));
+  m.boot(1);
+  ASSERT_TRUE(m.run().completed);
+  // 4 instructions x 5 lanes + setthick + halt = 22 ops, 1 per step.
+  EXPECT_GE(m.stats().steps, 22u);
+}
+
+TEST(MachineExtremes, WideFlowSmoke) {
+  MachineConfig cfg;
+  cfg.groups = 1;
+  cfg.slots_per_group = 4;
+  cfg.shared_words = 1 << 12;
+  Machine m(cfg);
+  m.load(tcf::kernels::spin_ops(1 << 16, 3));  // 65536 lanes
+  m.boot(1);
+  ASSERT_TRUE(m.run().completed);
+  EXPECT_EQ(m.stats().operations, 2u + 3u * (1 << 16));
+  EXPECT_EQ(m.stats().instruction_fetches, 5u);
+}
+
+TEST(MachineExtremes, SingleSlotMachine) {
+  MachineConfig cfg;
+  cfg.groups = 1;
+  cfg.slots_per_group = 1;
+  cfg.shared_words = 1 << 12;
+  Machine m(cfg);
+  m.load(tcf::kernels::vecadd_tcf(8, 100, 200, 300));
+  m.boot(1);
+  EXPECT_TRUE(m.run().completed);
+}
+
+TEST(MachineExtremes, StepLimitReportsIncomplete) {
+  MachineConfig cfg;
+  cfg.groups = 1;
+  cfg.slots_per_group = 4;
+  cfg.shared_words = 1 << 12;
+  Machine m(cfg);
+  m.load(isa::assemble("loop: JMP loop"));  // never halts
+  m.boot(1);
+  const auto run = m.run(/*max_steps=*/100);
+  EXPECT_FALSE(run.completed);
+  EXPECT_EQ(run.steps, 100u);
+}
+
+}  // namespace
+}  // namespace tcfpn::machine

@@ -1,0 +1,210 @@
+// Fine-grained semantic tests for the TCF language: operator precedence
+// and arithmetic, scoped-thickness restore, control-flow shapes, and the
+// compiled programs' cost profile.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "lang/codegen.hpp"
+#include "machine/machine.hpp"
+
+namespace tcfpn::lang {
+namespace {
+
+machine::MachineConfig cfg2() {
+  machine::MachineConfig cfg;
+  cfg.groups = 2;
+  cfg.slots_per_group = 8;
+  cfg.shared_words = 1 << 13;
+  cfg.local_words = 1 << 10;
+  return cfg;
+}
+
+/// Evaluates a scalar expression in the language and returns the value.
+Word eval_expr(const std::string& expr) {
+  const auto compiled =
+      compile_source("cell out; out = " + expr + ";");
+  machine::Machine m(cfg2());
+  m.load(compiled.program);
+  m.boot(1);
+  TCFPN_CHECK(m.run().completed, "expression program did not halt");
+  return m.shared().peek(compiled.buffer("out").at(0));
+}
+
+struct ExprCase {
+  const char* name;
+  const char* expr;
+  Word want;
+};
+
+class ExprEval : public ::testing::TestWithParam<ExprCase> {};
+
+TEST_P(ExprEval, Evaluates) {
+  EXPECT_EQ(eval_expr(GetParam().expr), GetParam().want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ExprEval,
+    ::testing::Values(
+        ExprCase{"precedence_mul", "2 + 3 * 4", 14},
+        ExprCase{"parens", "(2 + 3) * 4", 20},
+        ExprCase{"div_trunc", "7 / 2", 3},
+        ExprCase{"mod", "17 % 5", 2},
+        ExprCase{"neg_div", "-7 / 2", -3},
+        ExprCase{"shift_left", "3 << 4", 48},
+        ExprCase{"shift_right", "255 >> 3", 31},
+        ExprCase{"shift_binds_looser_than_add", "1 << 2 + 1", 8},
+        ExprCase{"cmp_lt", "3 < 4", 1},
+        ExprCase{"cmp_ge", "3 >= 4", 0},
+        ExprCase{"cmp_chain_via_parens", "(1 < 2) == (3 < 4)", 1},
+        ExprCase{"bit_and_or", "12 & 10 | 1", 9},
+        ExprCase{"bit_xor", "12 ^ 10", 6},
+        ExprCase{"logical_and", "2 && 3", 1},
+        ExprCase{"logical_and_zero", "2 && 0", 0},
+        ExprCase{"logical_or", "0 || 5", 1},
+        ExprCase{"logical_not", "!7", 0},
+        ExprCase{"logical_not_zero", "!0", 1},
+        ExprCase{"unary_minus", "-(3 + 4)", -7},
+        ExprCase{"double_negative", "- -5", 5},
+        ExprCase{"hex", "0xFF & 0x0F", 15},
+        ExprCase{"mixed", "(1 << 10) - 1000 / 8 % 7", 1018}),
+    [](const auto& inf) { return std::string(inf.param.name); });
+
+TEST(ExprEval, DivisionByZeroFaultsAtRuntime) {
+  EXPECT_THROW(eval_expr("1 / (3 - 3)"), SimError);
+}
+
+TEST(ScopedThickness, RestoresOuterThickness) {
+  const auto compiled = compile_source(R"(
+      array t[8];
+      #8;
+      #2: t.[id] = t.[id] + 0;  // inner statement at thickness 2
+      t. = thickness;           // back at 8
+  )");
+  machine::Machine m(cfg2());
+  m.load(compiled.program);
+  m.boot(1);
+  ASSERT_TRUE(m.run().completed);
+  for (Word i = 0; i < 8; ++i) {
+    EXPECT_EQ(m.shared().peek(compiled.buffer("t").at(i)), 8);
+  }
+}
+
+TEST(ScopedThickness, NestsTwice) {
+  const auto compiled = compile_source(R"(
+      array t[6];
+      cell probe;
+      #6;
+      #3: {
+        #2: probe = thickness;
+        t.[id] = 100 + thickness;   // thickness 3 here
+      }
+      t.[5] = thickness;            // thickness 6 again
+  )");
+  machine::Machine m(cfg2());
+  m.load(compiled.program);
+  m.boot(1);
+  ASSERT_TRUE(m.run().completed);
+  EXPECT_EQ(m.shared().peek(compiled.buffer("probe").at(0)), 2);
+  EXPECT_EQ(m.shared().peek(compiled.buffer("t").at(0)), 103);
+  EXPECT_EQ(m.shared().peek(compiled.buffer("t").at(5)), 6);
+}
+
+TEST(ControlShapes, ForWithoutInitOrStep) {
+  const auto compiled = compile_source(R"(
+      cell out;
+      var i = 0;
+      for (; i < 5;) { out += 2; i += 1; }
+  )");
+  machine::Machine m(cfg2());
+  m.load(compiled.program);
+  m.boot(1);
+  ASSERT_TRUE(m.run().completed);
+  EXPECT_EQ(m.shared().peek(compiled.buffer("out").at(0)), 10);
+}
+
+TEST(ControlShapes, NestedLoops) {
+  const auto compiled = compile_source(R"(
+      cell out;
+      var i; var j;
+      for (i = 0; i < 4; i += 1)
+        for (j = 0; j < 3; j += 1)
+          out += 1;
+  )");
+  machine::Machine m(cfg2());
+  m.load(compiled.program);
+  m.boot(1);
+  ASSERT_TRUE(m.run().completed);
+  EXPECT_EQ(m.shared().peek(compiled.buffer("out").at(0)), 12);
+}
+
+TEST(ControlShapes, ElseIfChain) {
+  auto pick = [&](Word x) {
+    const auto compiled = compile_source(
+        "cell out; var x = " + std::to_string(x) +
+        "; if (x < 10) out = 1; else if (x < 20) out = 2; else out = 3;");
+    machine::Machine m(cfg2());
+    m.load(compiled.program);
+    m.boot(1);
+    TCFPN_CHECK(m.run().completed, "no halt");
+    return m.shared().peek(compiled.buffer("out").at(0));
+  };
+  EXPECT_EQ(pick(5), 1);
+  EXPECT_EQ(pick(15), 2);
+  EXPECT_EQ(pick(25), 3);
+}
+
+TEST(CostProfile, VecAddIsSizeIndependentInFetches) {
+  auto fetches = [&](Word n) {
+    const std::string src = "array a[" + std::to_string(n) + "];" +
+                            "array b[" + std::to_string(n) + "];" +
+                            "array c[" + std::to_string(n) + "];" +
+                            "#" + std::to_string(n) + "; c. = a. + b.;";
+    const auto compiled = compile_source(src);
+    machine::Machine m(cfg2());
+    m.load(compiled.program);
+    m.boot(1);
+    TCFPN_CHECK(m.run().completed, "no halt");
+    return m.stats().instruction_fetches;
+  };
+  EXPECT_EQ(fetches(4), fetches(512));
+}
+
+TEST(CostProfile, ThickStatementsUseLaneAddressing) {
+  // `c. = a. + b.;` must compile to lane-addressed LD/ST (no per-lane
+  // address arithmetic instructions).
+  const auto compiled = compile_source(
+      "array a[4]; array b[4]; array c[4]; #4; c. = a. + b.;");
+  int lane_addr = 0;
+  for (const auto& instr : compiled.program.code) {
+    if (instr.lane_addr()) ++lane_addr;
+  }
+  EXPECT_EQ(lane_addr, 3);  // two loads + one store
+}
+
+TEST(HeapLayout, SequentialBases) {
+  const auto c = compile_source(
+      "array a[10]; array b[5]; cell x; cell y;", /*heap_base=*/2000);
+  EXPECT_EQ(c.buffer("a").base, 2000u);
+  EXPECT_EQ(c.buffer("b").base, 2010u);
+  EXPECT_EQ(c.buffer("x").base, 2015u);
+  EXPECT_EQ(c.buffer("y").base, 2016u);
+  EXPECT_EQ(c.heap_end, 2017u);
+}
+
+TEST(Initialisers, CellAndVarInitials) {
+  const auto compiled = compile_source(R"(
+      cell a = -9;
+      cell b;
+      var v = 3 * 4;
+      b = v;
+  )");
+  machine::Machine m(cfg2());
+  m.load(compiled.program);
+  m.boot(1);
+  ASSERT_TRUE(m.run().completed);
+  EXPECT_EQ(m.shared().peek(compiled.buffer("a").at(0)), -9);
+  EXPECT_EQ(m.shared().peek(compiled.buffer("b").at(0)), 12);
+}
+
+}  // namespace
+}  // namespace tcfpn::lang

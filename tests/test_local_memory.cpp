@@ -1,0 +1,48 @@
+// Unit tests for the per-group local memories (the NUMA side).
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "mem/local_memory.hpp"
+
+namespace tcfpn::mem {
+namespace {
+
+TEST(LocalMemory, ReadWriteRoundTrip) {
+  LocalMemory lm(2, 64);
+  lm.write(10, 42);
+  EXPECT_EQ(lm.read(10), 42);
+  EXPECT_EQ(lm.owner(), 2u);
+  EXPECT_EQ(lm.size(), 64u);
+}
+
+TEST(LocalMemory, InitiallyZero) {
+  LocalMemory lm(0, 16);
+  for (Addr a = 0; a < 16; ++a) EXPECT_EQ(lm.read(a), 0);
+}
+
+TEST(LocalMemory, BoundsChecked) {
+  LocalMemory lm(0, 16);
+  EXPECT_THROW(lm.read(16), SimError);
+  EXPECT_THROW(lm.write(100, 1), SimError);
+}
+
+TEST(LocalMemory, CountsAccesses) {
+  LocalMemory lm(0, 16);
+  lm.write(0, 1);
+  lm.write(1, 2);
+  lm.read(0);
+  lm.remote_access();
+  EXPECT_EQ(lm.writes(), 2u);
+  EXPECT_EQ(lm.reads(), 1u);
+  EXPECT_EQ(lm.remote_accesses(), 1u);
+}
+
+TEST(LocalMemory, LatencyConfigured) {
+  LocalMemory lm(0, 16, 3);
+  EXPECT_EQ(lm.access_latency(), 3u);
+  EXPECT_THROW(LocalMemory(0, 16, 0), SimError);
+  EXPECT_THROW(LocalMemory(0, 0), SimError);
+}
+
+}  // namespace
+}  // namespace tcfpn::mem

@@ -1,0 +1,227 @@
+// Tests for the topologies (distance metric, minimal routing) and the
+// cycle-level router (uncongested latency ∝ distance, hot-spot queueing,
+// analytic bounds).
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+
+namespace tcfpn::net {
+namespace {
+
+// ---- topology properties as parameterised sweeps ----
+
+struct TopoCase {
+  TopologyKind kind;
+  std::uint32_t nodes;
+};
+
+class TopologyProperties : public ::testing::TestWithParam<TopoCase> {};
+
+TEST_P(TopologyProperties, DistanceIsAMetric) {
+  auto topo = make_topology(GetParam().kind, GetParam().nodes);
+  const auto n = topo->nodes();
+  for (NodeId a = 0; a < n; ++a) {
+    EXPECT_EQ(topo->distance(a, a), 0u);
+    for (NodeId b = 0; b < n; ++b) {
+      EXPECT_EQ(topo->distance(a, b), topo->distance(b, a));  // symmetry
+      if (a != b) {
+        EXPECT_GT(topo->distance(a, b), 0u);
+      }
+    }
+  }
+}
+
+TEST_P(TopologyProperties, RoutesAreMinimalAndProgress) {
+  auto topo = make_topology(GetParam().kind, GetParam().nodes);
+  const auto n = topo->nodes();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      NodeId cur = a;
+      std::uint32_t hops = 0;
+      while (cur != b) {
+        const NodeId next = topo->route_next(cur, b);
+        EXPECT_LT(topo->distance(next, b), topo->distance(cur, b))
+            << topo->name() << " route stalls " << cur << "->" << b;
+        cur = next;
+        ASSERT_LE(++hops, n) << "routing loop";
+      }
+      EXPECT_EQ(hops, topo->distance(a, b)) << "non-minimal route";
+    }
+  }
+}
+
+TEST_P(TopologyProperties, DiameterMatchesMaxDistance) {
+  auto topo = make_topology(GetParam().kind, GetParam().nodes);
+  std::uint32_t d = 0;
+  for (NodeId a = 0; a < topo->nodes(); ++a) {
+    for (NodeId b = 0; b < topo->nodes(); ++b) {
+      d = std::max(d, topo->distance(a, b));
+    }
+  }
+  EXPECT_EQ(topo->diameter(), d);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, TopologyProperties,
+    ::testing::Values(TopoCase{TopologyKind::kCrossbar, 7},
+                      TopoCase{TopologyKind::kRing, 2},
+                      TopoCase{TopologyKind::kRing, 9},
+                      TopoCase{TopologyKind::kMesh2D, 12},
+                      TopoCase{TopologyKind::kMesh2D, 16},
+                      TopoCase{TopologyKind::kTorus2D, 16},
+                      TopoCase{TopologyKind::kTorus2D, 15},
+                      TopoCase{TopologyKind::kHypercube, 8},
+                      TopoCase{TopologyKind::kHypercube, 16}),
+    [](const auto& inf) {
+      return std::string(to_string(inf.param.kind)) + "_" +
+             std::to_string(inf.param.nodes);
+    });
+
+TEST(Topology, SpecificDistances) {
+  Ring ring(8);
+  EXPECT_EQ(ring.distance(0, 1), 1u);
+  EXPECT_EQ(ring.distance(0, 4), 4u);
+  EXPECT_EQ(ring.distance(0, 7), 1u);  // wraps the short way
+  Mesh2D mesh(4, 4);
+  EXPECT_EQ(mesh.distance(0, 15), 6u);  // (0,0) -> (3,3)
+  EXPECT_EQ(mesh.distance(0, 3), 3u);
+  Hypercube cube(8);
+  EXPECT_EQ(cube.distance(0, 7), 3u);
+  EXPECT_EQ(cube.distance(5, 5), 0u);
+}
+
+TEST(Topology, HypercubeRequiresPowerOfTwo) {
+  EXPECT_THROW(Hypercube(6), SimError);
+}
+
+TEST(Topology, TorusWrapsBothDimensions) {
+  Torus2D torus(4, 4);
+  // Opposite corners are 1+1 through the wrap links, not 6 as in the mesh.
+  EXPECT_EQ(torus.distance(0, 15), 2u);
+  EXPECT_EQ(torus.distance(0, 3), 1u);   // x wrap
+  EXPECT_EQ(torus.distance(0, 12), 1u);  // y wrap
+  Mesh2D mesh(4, 4);
+  for (NodeId a = 0; a < 16; ++a) {
+    for (NodeId b = 0; b < 16; ++b) {
+      EXPECT_LE(torus.distance(a, b), mesh.distance(a, b));
+    }
+  }
+}
+
+TEST(Topology, TorusDiameterHalvesMesh) {
+  Torus2D torus(8, 8);
+  Mesh2D mesh(8, 8);
+  EXPECT_EQ(torus.diameter(), 8u);
+  EXPECT_EQ(mesh.diameter(), 14u);
+}
+
+TEST(Topology, RouteToSelfFaults) {
+  Ring ring(4);
+  EXPECT_THROW(ring.route_next(1, 1), SimError);
+}
+
+// ---- router behaviour ----
+
+TEST(Network, UncongestedLatencyProportionalToDistance) {
+  for (std::uint32_t span : {1u, 2u, 3u, 4u}) {
+    Network net(std::make_unique<Ring>(9));
+    net.inject(0, span);
+    net.drain();
+    const auto d = net.take_deliveries();
+    ASSERT_EQ(d.size(), 1u);
+    // hop latency + one ejection cycle
+    EXPECT_EQ(d[0].latency(), span + 1);
+  }
+}
+
+TEST(Network, LocalReferencePaysOnlyEjection) {
+  Network net(std::make_unique<Ring>(4));
+  net.inject(2, 2);
+  net.drain();
+  const auto d = net.take_deliveries();
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].latency(), 1u);
+}
+
+TEST(Network, HotSpotSerialises) {
+  // 8 packets to one node: ejection bandwidth 1/cycle forces >= 8 cycles.
+  Network net(std::make_unique<Crossbar>(8));
+  for (NodeId s = 0; s < 8; ++s) net.inject(s, 0);
+  const Cycle took = net.drain();
+  EXPECT_GE(took, 8u);
+  EXPECT_EQ(net.delivered_count(), 8u);
+}
+
+TEST(Network, WireLatencyScalesHops) {
+  NetworkConfig cfg;
+  cfg.wire_latency = 3;
+  Network net(std::make_unique<Ring>(8), cfg);
+  net.inject(0, 2);  // 2 hops
+  net.drain();
+  const auto d = net.take_deliveries();
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_GE(d[0].latency(), 6u);
+}
+
+TEST(Network, AllPacketsDelivered) {
+  Network net(std::make_unique<Mesh2D>(4, 4));
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    net.inject(static_cast<NodeId>(rng.below(16)),
+               static_cast<NodeId>(rng.below(16)), i);
+  }
+  net.drain();
+  EXPECT_TRUE(net.idle());
+  EXPECT_EQ(net.delivered_count(), 200u);
+  auto deliveries = net.take_deliveries();
+  EXPECT_EQ(deliveries.size(), 200u);
+  // Payloads survive transit.
+  std::int64_t sum = 0;
+  for (const auto& d : deliveries) sum += d.packet.payload;
+  EXPECT_EQ(sum, 199 * 200 / 2);
+}
+
+TEST(Network, CongestionRaisesLatencyAboveDistance) {
+  // Random all-to-one vs spread traffic on the same ring.
+  Network spread(std::make_unique<Ring>(8));
+  Network hotspot(std::make_unique<Ring>(8));
+  for (NodeId s = 0; s < 8; ++s) {
+    spread.inject(s, (s + 1) % 8);
+    hotspot.inject(s, 0);
+  }
+  spread.drain();
+  hotspot.drain();
+  EXPECT_GT(hotspot.latency_samples().max(),
+            spread.latency_samples().max());
+}
+
+TEST(Network, LatencyBound) {
+  Network net(std::make_unique<Ring>(8));
+  // Hottest module 10 requests, distance 3 -> serialisation dominates.
+  EXPECT_EQ(net.latency_bound({10, 1, 0, 0, 0, 0, 0, 0}, 3), 10u);
+  // Distance dominates when loads are light.
+  EXPECT_EQ(net.latency_bound({1, 1, 0, 0, 0, 0, 0, 0}, 4), 4u);
+}
+
+TEST(Network, BadNodeInjectFaults) {
+  Network net(std::make_unique<Ring>(4));
+  EXPECT_THROW(net.inject(4, 0), SimError);
+  EXPECT_THROW(net.inject(0, 9), SimError);
+}
+
+TEST(Network, StatsAccumulate) {
+  Network net(std::make_unique<Crossbar>(4));
+  net.inject(0, 1);
+  net.inject(1, 2);
+  net.drain();
+  EXPECT_EQ(net.injected_count(), 2u);
+  EXPECT_EQ(net.delivered_count(), 2u);
+  EXPECT_EQ(net.latency_samples().count(), 2u);
+}
+
+}  // namespace
+}  // namespace tcfpn::net

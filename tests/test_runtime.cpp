@@ -1,0 +1,366 @@
+// Tests for the TCF runtime EDSL: thickness statements, lockstep apply
+// semantics, parallel split/join, NUMA blocks, multiprefix, cost charging.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/check.hpp"
+#include "tcf/runtime.hpp"
+
+namespace tcfpn::tcf {
+namespace {
+
+machine::MachineConfig cfg4() {
+  machine::MachineConfig cfg;
+  cfg.groups = 4;
+  cfg.slots_per_group = 8;
+  cfg.shared_words = 1 << 14;
+  cfg.local_words = 1 << 10;
+  return cfg;
+}
+
+TEST(Runtime, VectorAddTheTcfWay) {
+  Runtime rt(cfg4());
+  const std::size_t n = 100;
+  std::vector<Word> av(n), bv(n);
+  std::iota(av.begin(), av.end(), 0);
+  std::iota(bv.begin(), bv.end(), 1000);
+  const Buffer a = rt.array(av), b = rt.array(bv), c = rt.array(n);
+
+  const auto stats = rt.run([&](Flow& f) {
+    f.thick(n);  // #n;
+    f.apply([&](Lane& l) {  // c. = a. + b.;
+      l.write(c, l.id(), l.read(a, l.id()) + l.read(b, l.id()));
+    });
+  });
+
+  const auto out = rt.fetch(c);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], static_cast<Word>(1000 + 2 * i));
+  }
+  EXPECT_GT(stats.makespan, 0u);
+  EXPECT_EQ(stats.statements, 2u);  // #n; and the add statement
+  EXPECT_GE(stats.operations, 3 * n);
+}
+
+TEST(Runtime, ApplyIsLockstepWithinTheFlow) {
+  // Every lane swaps x[i] with x[n-1-i]; lockstep reads-before-writes make
+  // this a clean reversal with no temporary array.
+  Runtime rt(cfg4());
+  const std::size_t n = 9;
+  std::vector<Word> init(n);
+  std::iota(init.begin(), init.end(), 0);
+  const Buffer x = rt.array(init);
+  rt.run([&](Flow& f) {
+    f.thick(n);
+    f.apply([&](Lane& l) {
+      const Word v = l.read(x, n - 1 - l.id());
+      l.write(x, l.id(), v);
+    });
+  });
+  const auto out = rt.fetch(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], static_cast<Word>(n - 1 - i));
+  }
+}
+
+TEST(Runtime, SequencedAppliesSeeEarlierWrites) {
+  Runtime rt(cfg4());
+  const Buffer x = rt.array(std::vector<Word>{1});
+  rt.run([&](Flow& f) {
+    f.thick(1);
+    f.apply([&](Lane& l) { l.write(x, 0, l.read(x, 0) + 10); });
+    f.apply([&](Lane& l) { l.write(x, 0, l.read(x, 0) * 2); });
+  });
+  EXPECT_EQ(rt.fetch(x)[0], 22);
+}
+
+TEST(Runtime, ThicknessZeroExecutesNothing) {
+  Runtime rt(cfg4());
+  const Buffer x = rt.array(std::vector<Word>{5});
+  rt.run([&](Flow& f) {
+    f.thick(0);
+    f.apply([&](Lane& l) { l.write(x, 0, 99); });
+  });
+  EXPECT_EQ(rt.fetch(x)[0], 5);
+}
+
+TEST(Runtime, NegativeThicknessThrows) {
+  Runtime rt(cfg4());
+  EXPECT_THROW(rt.run([&](Flow& f) { f.thick(-1); }), SimError);
+}
+
+TEST(Runtime, ParallelSplitJoin) {
+  // parallel { #n/2: c. = a. + b.;  #n/2: c.[id + n/2] = 0; }
+  Runtime rt(cfg4());
+  const std::size_t n = 16;
+  std::vector<Word> av(n, 3), bv(n, 4), cv(n, -1);
+  const Buffer a = rt.array(av), b = rt.array(bv), c = rt.array(cv);
+  const auto stats = rt.run([&](Flow& f) {
+    f.parallel({
+        {static_cast<Word>(n / 2),
+         [&](Flow& g) {
+           g.apply([&](Lane& l) {
+             l.write(c, l.id(), l.read(a, l.id()) + l.read(b, l.id()));
+           });
+         }},
+        {static_cast<Word>(n / 2),
+         [&](Flow& g) {
+           g.apply([&](Lane& l) { l.write(c, n / 2 + l.id(), 0); });
+         }},
+    });
+  });
+  const auto out = rt.fetch(c);
+  for (std::size_t i = 0; i < n / 2; ++i) EXPECT_EQ(out[i], 7);
+  for (std::size_t i = n / 2; i < n; ++i) EXPECT_EQ(out[i], 0);
+  EXPECT_EQ(stats.splits, 2u);
+  EXPECT_EQ(stats.joins, 1u);
+}
+
+TEST(Runtime, ParallelBranchesLandOnDifferentGroups) {
+  Runtime rt(cfg4());
+  std::vector<GroupId> seen;
+  rt.run([&](Flow& f) {
+    f.parallel({
+        {4, [&](Flow& g) { seen.push_back(g.group()); }},
+        {4, [&](Flow& g) { seen.push_back(g.group()); }},
+        {4, [&](Flow& g) { seen.push_back(g.group()); }},
+    });
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_NE(seen[0], seen[1]);  // greedy scheduler spreads the branches
+}
+
+TEST(Runtime, MultiprefixReturnsOrderedPrefixes) {
+  Runtime rt(cfg4());
+  const std::size_t n = 6;
+  const Buffer cell = rt.array(std::vector<Word>{100});
+  const Buffer out = rt.array(n);
+  rt.run([&](Flow& f) {
+    f.thick(n);
+    f.apply([&](Lane& l) {
+      const Word p = l.prefix_add(cell, 0, static_cast<Word>(l.id() + 1));
+      l.write(out, l.id(), p);
+    });
+  });
+  const auto res = rt.fetch(out);
+  Word run = 100;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(res[i], run);
+    run += static_cast<Word>(i + 1);
+  }
+  EXPECT_EQ(rt.fetch(cell)[0], 100 + 21);
+}
+
+TEST(Runtime, MultiAddCombines) {
+  Runtime rt(cfg4());
+  const Buffer cell = rt.array(std::vector<Word>{0});
+  rt.run([&](Flow& f) {
+    f.thick(32);
+    f.apply([&](Lane& l) { l.multi_add(cell, 0, 2); });
+  });
+  EXPECT_EQ(rt.fetch(cell)[0], 64);
+}
+
+TEST(Runtime, NumaBlockUsesLocalMemoryCheaply) {
+  auto cfg = cfg4();
+  Runtime rt(cfg);
+  Word result = 0;
+  const auto stats = rt.run([&](Flow& f) {
+    f.numa(8, [&](Seq& s) {  // #1/8;
+      s.local_write(0, 3);
+      for (int i = 0; i < 10; ++i) s.local_write(0, s.local_read(0) + 1);
+      result = s.local_read(0);
+    });
+  });
+  EXPECT_EQ(result, 13);
+  EXPECT_GT(stats.operations, 20u);
+}
+
+TEST(Runtime, DependentDoublingScan) {
+  // The Section 4 dependent loop expressed in the EDSL; guard handled by
+  // explicit bounds check at flow level (thickness stays n).
+  Runtime rt(cfg4());
+  const std::size_t n = 32;
+  std::vector<Word> init(n, 1);
+  const Buffer x = rt.array(init);
+  rt.run([&](Flow& f) {
+    f.thick(n);
+    for (std::size_t i = 1; i < n; i <<= 1) {
+      f.apply([&](Lane& l) {
+        const Word mine = l.read(x, l.id());
+        const Word left = l.id() >= i ? l.read(x, l.id() - i) : 0;
+        l.write(x, l.id(), mine + left);
+      });
+    }
+  });
+  const auto out = rt.fetch(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], static_cast<Word>(i + 1));
+  }
+}
+
+TEST(Runtime, BalancedVariantSameResultsMoreFetches) {
+  auto cfg_si = cfg4();
+  auto cfg_bal = cfg4();
+  cfg_bal.variant = machine::Variant::kBalanced;
+  cfg_bal.balanced_bound = 8;
+  Word out_si = 0, out_bal = 0;
+  RunStats st_si, st_bal;
+  for (auto* p : {&out_si, &out_bal}) {
+    auto& cfg = (p == &out_si) ? cfg_si : cfg_bal;
+    Runtime rt(cfg);
+    const Buffer x = rt.array(std::vector<Word>(64, 2));
+    const Buffer cell = rt.array(std::vector<Word>{0});
+    auto st = rt.run([&](Flow& f) {
+      f.thick(64);
+      f.apply([&](Lane& l) { l.multi_add(cell, 0, l.read(x, l.id())); });
+    });
+    *p = rt.fetch(cell)[0];
+    (p == &out_si ? st_si : st_bal) = st;
+  }
+  EXPECT_EQ(out_si, 128);
+  EXPECT_EQ(out_bal, 128);
+  EXPECT_GT(st_bal.instruction_fetches, st_si.instruction_fetches);
+}
+
+TEST(Runtime, RejectsNonTcfVariants) {
+  auto cfg = cfg4();
+  cfg.variant = machine::Variant::kSingleOperation;
+  EXPECT_THROW(Runtime rt(cfg), SimError);
+}
+
+TEST(Runtime, UtilizationImprovesWithParallelBranches) {
+  auto work = [](Flow& g) {
+    g.apply([](Lane& l) { l.compute(4); });
+  };
+  auto cfg = cfg4();
+  Runtime rt(cfg);
+  // One fat flow on one group:
+  const auto seq = rt.run([&](Flow& f) {
+    f.thick(400);
+    work(f);
+  });
+  // Four branches over four groups:
+  Runtime rt2(cfg);
+  const auto par = rt2.run([&](Flow& f) {
+    f.parallel({{100, work}, {100, work}, {100, work}, {100, work}});
+  });
+  EXPECT_LT(par.makespan, seq.makespan);
+}
+
+TEST(Runtime, ZeroThicknessBranchRunsNothing) {
+  Runtime rt(cfg4());
+  const Buffer x = rt.array(std::vector<Word>{1});
+  rt.run([&](Flow& f) {
+    f.parallel({
+        {0, [&](Flow& g) { g.apply([&](Lane& l) { l.write(x, 0, 9); }); }},
+        {2, [&](Flow& g) {
+           g.apply([&](Lane& l) { l.multi_add(x, 0, 1); });
+         }},
+    });
+  });
+  EXPECT_EQ(rt.fetch(x)[0], 3);  // only the thickness-2 branch contributed
+}
+
+TEST(Runtime, NestedParallelSpreadsAndJoins) {
+  Runtime rt(cfg4());
+  const Buffer out = rt.array(8);
+  rt.run([&](Flow& f) {
+    f.parallel({
+        {4,
+         [&](Flow& g) {
+           g.parallel({
+               {2, [&](Flow& h) {
+                  h.apply([&](Lane& l) { l.write(out, l.id(), 1); });
+                }},
+               {2, [&](Flow& h) {
+                  h.apply([&](Lane& l) { l.write(out, 2 + l.id(), 2); });
+                }},
+           });
+         }},
+        {4, [&](Flow& g) {
+           g.apply([&](Lane& l) { l.write(out, 4 + l.id(), 3); });
+         }},
+    });
+  });
+  const auto v = rt.fetch(out);
+  EXPECT_EQ(v, (std::vector<Word>{1, 1, 2, 2, 3, 3, 3, 3}));
+}
+
+TEST(Runtime, MultipleRunsShareMemoryState) {
+  Runtime rt(cfg4());
+  const Buffer x = rt.array(std::vector<Word>{10});
+  rt.run([&](Flow& f) {
+    f.thick(1);
+    f.apply([&](Lane& l) { l.write(x, 0, l.read(x, 0) + 5); });
+  });
+  const auto second = rt.run([&](Flow& f) {
+    f.thick(1);
+    f.apply([&](Lane& l) { l.write(x, 0, l.read(x, 0) * 2); });
+  });
+  EXPECT_EQ(rt.fetch(x)[0], 30);
+  // stats are per-run, not cumulative
+  EXPECT_EQ(second.statements, 2u);
+}
+
+TEST(Runtime, ComputeChargesWork) {
+  Runtime rt(cfg4());
+  const auto light = rt.run([&](Flow& f) {
+    f.thick(10);
+    f.apply([](Lane& l) { l.compute(1); });
+  });
+  Runtime rt2(cfg4());
+  const auto heavy = rt2.run([&](Flow& f) {
+    f.thick(10);
+    f.apply([](Lane& l) { l.compute(50); });
+  });
+  EXPECT_GT(heavy.operations, light.operations);
+  EXPECT_GT(heavy.makespan, light.makespan);
+}
+
+TEST(Runtime, SeqSharedAccessAccounted) {
+  Runtime rt(cfg4());
+  const Buffer x = rt.array(std::vector<Word>{7});
+  Word seen = 0;
+  const auto stats = rt.run([&](Flow& f) {
+    f.numa(4, [&](Seq& s) {
+      seen = s.shared_read(x, 0);
+      s.shared_write(x, 0, seen + 1);
+    });
+  });
+  EXPECT_EQ(seen, 7);
+  EXPECT_EQ(rt.fetch(x)[0], 8);
+  EXPECT_GE(stats.shared_accesses, 2u);
+}
+
+TEST(Runtime, SyncAdvancesClockOnly) {
+  Runtime rt(cfg4());
+  const auto stats = rt.run([&](Flow& f) {
+    f.sync();
+    f.sync();
+  });
+  EXPECT_EQ(stats.statements, 0u);
+  EXPECT_GT(stats.makespan, 0u);
+}
+
+TEST(Runtime, BufferBoundsChecked) {
+  Runtime rt(cfg4());
+  const Buffer x = rt.array(4);
+  EXPECT_THROW(rt.run([&](Flow& f) {
+    f.thick(1);
+    f.apply([&](Lane& l) { l.read(x, 4); });
+  }),
+               SimError);
+}
+
+TEST(Runtime, AllocatorExhaustionFaults) {
+  auto cfg = cfg4();
+  cfg.shared_words = 64;
+  Runtime rt(cfg);
+  (void)rt.array(60);
+  EXPECT_THROW(rt.array(10), SimError);
+}
+
+}  // namespace
+}  // namespace tcfpn::tcf

@@ -1,0 +1,258 @@
+// Unit tests for the step-synchronous shared memory: visibility, CRCW
+// policies, multioperations and multiprefix, traffic accounting.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "mem/shared_memory.hpp"
+
+namespace tcfpn::mem {
+namespace {
+
+TEST(SharedMemory, WritesInvisibleUntilCommit) {
+  SharedMemory m(64, 4);
+  m.write(10, 42, 0);
+  EXPECT_EQ(m.read(10, 1), 0);  // pre-step state
+  m.commit_step();
+  EXPECT_EQ(m.read(10, 1), 42);
+}
+
+TEST(SharedMemory, PeekPokeBypassStaging) {
+  SharedMemory m(64, 4);
+  m.poke(3, 7);
+  EXPECT_EQ(m.peek(3), 7);
+}
+
+TEST(SharedMemory, OutOfRangeAccessFaults) {
+  SharedMemory m(16, 2);
+  EXPECT_THROW(m.read(16, 0), SimError);
+  EXPECT_THROW(m.write(100, 1, 0), SimError);
+  EXPECT_THROW(m.peek(16), SimError);
+}
+
+TEST(SharedMemory, ModuleInterleaving) {
+  SharedMemory m(64, 4);
+  EXPECT_EQ(m.module_of(0), 0u);
+  EXPECT_EQ(m.module_of(1), 1u);
+  EXPECT_EQ(m.module_of(5), 1u);
+  EXPECT_EQ(m.module_of(7), 3u);
+}
+
+TEST(SharedMemory, CustomAddressHash) {
+  SharedMemory m(64, 4);
+  m.set_address_hash([](Addr a) { return static_cast<std::uint32_t>((a / 2) % 4); });
+  EXPECT_EQ(m.module_of(0), 0u);
+  EXPECT_EQ(m.module_of(2), 1u);
+  EXPECT_EQ(m.module_of(3), 1u);
+}
+
+TEST(SharedMemory, BadHashRangeFaults) {
+  SharedMemory m(64, 4);
+  m.set_address_hash([](Addr) { return 99u; });
+  EXPECT_THROW(m.module_of(0), SimError);
+}
+
+// ---- CRCW policies ----
+
+TEST(CrcwPolicy, ErewRejectsConcurrentWrites) {
+  SharedMemory m(64, 4, CrcwPolicy::kErew);
+  m.write(5, 1, 0);
+  m.write(5, 2, 1);
+  EXPECT_THROW(m.commit_step(), SimError);
+}
+
+TEST(CrcwPolicy, ErewRejectsConcurrentReads) {
+  SharedMemory m(64, 4, CrcwPolicy::kErew);
+  m.read(5, 0);
+  m.read(5, 1);
+  m.write(6, 1, 2);  // commit path runs when there are writes
+  EXPECT_THROW(m.commit_step(), SimError);
+}
+
+TEST(CrcwPolicy, ErewRejectsReadWriteSameCell) {
+  SharedMemory m(64, 4, CrcwPolicy::kErew);
+  m.read(5, 0);
+  m.write(5, 1, 1);
+  EXPECT_THROW(m.commit_step(), SimError);
+}
+
+TEST(CrcwPolicy, ErewAllowsDisjointTraffic) {
+  SharedMemory m(64, 4, CrcwPolicy::kErew);
+  m.read(1, 0);
+  m.read(2, 1);
+  m.write(3, 9, 2);
+  EXPECT_NO_THROW(m.commit_step());
+  EXPECT_EQ(m.peek(3), 9);
+}
+
+TEST(CrcwPolicy, CrewAllowsConcurrentReads) {
+  SharedMemory m(64, 4, CrcwPolicy::kCrew);
+  m.read(5, 0);
+  m.read(5, 1);
+  m.write(6, 1, 2);
+  EXPECT_NO_THROW(m.commit_step());
+}
+
+TEST(CrcwPolicy, CrewRejectsConcurrentWrites) {
+  SharedMemory m(64, 4, CrcwPolicy::kCrew);
+  m.write(5, 1, 0);
+  m.write(5, 2, 1);
+  EXPECT_THROW(m.commit_step(), SimError);
+}
+
+TEST(CrcwPolicy, CommonAcceptsEqualWrites) {
+  SharedMemory m(64, 4, CrcwPolicy::kCommon);
+  m.write(5, 7, 0);
+  m.write(5, 7, 1);
+  EXPECT_NO_THROW(m.commit_step());
+  EXPECT_EQ(m.peek(5), 7);
+}
+
+TEST(CrcwPolicy, CommonRejectsUnequalWrites) {
+  SharedMemory m(64, 4, CrcwPolicy::kCommon);
+  m.write(5, 7, 0);
+  m.write(5, 8, 1);
+  EXPECT_THROW(m.commit_step(), SimError);
+}
+
+TEST(CrcwPolicy, PriorityLowestLaneWins) {
+  SharedMemory m(64, 4, CrcwPolicy::kPriority);
+  m.write(5, 20, 2);
+  m.write(5, 10, 1);
+  m.write(5, 30, 3);
+  m.commit_step();
+  EXPECT_EQ(m.peek(5), 10);
+}
+
+TEST(CrcwPolicy, ArbitraryIsDeterministic) {
+  SharedMemory a(64, 4, CrcwPolicy::kArbitrary);
+  SharedMemory b(64, 4, CrcwPolicy::kArbitrary);
+  for (auto* m : {&a, &b}) {
+    m->write(5, 20, 2);
+    m->write(5, 10, 1);
+    m->commit_step();
+  }
+  EXPECT_EQ(a.peek(5), b.peek(5));
+}
+
+// ---- multioperations ----
+
+TEST(MultiOps, AddCombinesAllContributions) {
+  SharedMemory m(64, 4);
+  m.poke(8, 100);
+  m.multiop(8, MultiOp::kAdd, 1, 0);
+  m.multiop(8, MultiOp::kAdd, 2, 1);
+  m.multiop(8, MultiOp::kAdd, 3, 2);
+  m.commit_step();
+  EXPECT_EQ(m.peek(8), 106);
+}
+
+TEST(MultiOps, MaxMinAndOr) {
+  SharedMemory m(64, 4);
+  m.poke(1, 5);
+  m.multiop(1, MultiOp::kMax, 9, 0);
+  m.multiop(1, MultiOp::kMax, 3, 1);
+  m.commit_step();
+  EXPECT_EQ(m.peek(1), 9);
+
+  m.poke(2, 5);
+  m.multiop(2, MultiOp::kMin, 9, 0);
+  m.multiop(2, MultiOp::kMin, 3, 1);
+  m.commit_step();
+  EXPECT_EQ(m.peek(2), 3);
+
+  m.poke(3, 0b1111);
+  m.multiop(3, MultiOp::kAnd, 0b1100, 0);
+  m.multiop(3, MultiOp::kAnd, 0b1010, 1);
+  m.commit_step();
+  EXPECT_EQ(m.peek(3), 0b1000);
+
+  m.poke(4, 0b0001);
+  m.multiop(4, MultiOp::kOr, 0b0100, 0);
+  m.multiop(4, MultiOp::kOr, 0b0010, 1);
+  m.commit_step();
+  EXPECT_EQ(m.peek(4), 0b0111);
+}
+
+TEST(MultiOps, MixedOpsOnSameCellFault) {
+  SharedMemory m(64, 4);
+  m.multiop(8, MultiOp::kAdd, 1, 0);
+  m.multiop(8, MultiOp::kMax, 2, 1);
+  EXPECT_THROW(m.commit_step(), SimError);
+}
+
+TEST(MultiPrefix, OrderedByLane) {
+  SharedMemory m(64, 4);
+  m.poke(8, 100);
+  // Issue out of lane order; results must follow lane order.
+  const auto t2 = m.multiprefix(8, MultiOp::kAdd, 30, 2);
+  const auto t0 = m.multiprefix(8, MultiOp::kAdd, 10, 0);
+  const auto t1 = m.multiprefix(8, MultiOp::kAdd, 20, 1);
+  m.commit_step();
+  EXPECT_EQ(m.prefix_result(t0), 100);
+  EXPECT_EQ(m.prefix_result(t1), 110);
+  EXPECT_EQ(m.prefix_result(t2), 130);
+  EXPECT_EQ(m.peek(8), 160);
+}
+
+TEST(MultiPrefix, SeparateCellsIndependent) {
+  SharedMemory m(64, 4);
+  const auto ta = m.multiprefix(1, MultiOp::kAdd, 5, 0);
+  const auto tb = m.multiprefix(2, MultiOp::kAdd, 7, 0);
+  m.commit_step();
+  EXPECT_EQ(m.prefix_result(ta), 0);
+  EXPECT_EQ(m.prefix_result(tb), 0);
+  EXPECT_EQ(m.peek(1), 5);
+  EXPECT_EQ(m.peek(2), 7);
+}
+
+TEST(MultiPrefix, UnknownTicketThrows) {
+  SharedMemory m(64, 4);
+  EXPECT_THROW(m.prefix_result(0), SimError);
+}
+
+// ---- traffic ----
+
+TEST(Traffic, PerModuleCountsReflectInterleaving) {
+  SharedMemory m(64, 4);
+  m.read(0, 0);   // module 0
+  m.read(4, 1);   // module 0
+  m.write(1, 1, 2);  // module 1
+  m.commit_step();
+  const auto& t = m.last_step_traffic();
+  EXPECT_EQ(t[0].reads, 2u);
+  EXPECT_EQ(t[1].writes, 1u);
+  EXPECT_EQ(m.last_step_max_module_load(), 2u);
+}
+
+TEST(Traffic, ResetsEachStep) {
+  SharedMemory m(64, 4);
+  m.read(0, 0);
+  m.commit_step();
+  m.commit_step();
+  EXPECT_EQ(m.last_step_max_module_load(), 0u);
+  EXPECT_EQ(m.total_reads(), 1u);
+}
+
+TEST(Traffic, StepCounterAdvances) {
+  SharedMemory m(64, 4);
+  EXPECT_EQ(m.step(), 0u);
+  m.commit_step();
+  m.commit_step();
+  EXPECT_EQ(m.step(), 2u);
+}
+
+TEST(MultiOpsHelper, ApplyMultiop) {
+  EXPECT_EQ(apply_multiop(MultiOp::kAdd, 2, 3), 5);
+  EXPECT_EQ(apply_multiop(MultiOp::kMax, 2, 3), 3);
+  EXPECT_EQ(apply_multiop(MultiOp::kMin, 2, 3), 2);
+  EXPECT_EQ(apply_multiop(MultiOp::kAnd, 6, 3), 2);
+  EXPECT_EQ(apply_multiop(MultiOp::kOr, 6, 3), 7);
+}
+
+TEST(Strings, PolicyAndOpNames) {
+  EXPECT_STREQ(to_string(CrcwPolicy::kErew), "EREW");
+  EXPECT_STREQ(to_string(MultiOp::kAdd), "MPADD");
+}
+
+}  // namespace
+}  // namespace tcfpn::mem

@@ -1,0 +1,163 @@
+// Shared command-line plumbing for the tcfrun / tcfasm drivers.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "machine/machine.hpp"
+
+namespace tcfpn::cli {
+
+struct Options {
+  std::string input;
+  machine::MachineConfig cfg;
+  Word boot_thickness = 1;
+  bool trace = false;
+  bool listing = false;
+  bool stats = true;
+};
+
+inline void usage(const char* tool, const char* what) {
+  std::printf(
+      "usage: %s <file> [options]\n"
+      "  runs a %s on the extended PRAM-NUMA machine simulator\n\n"
+      "options:\n"
+      "  --variant=NAME    single-instruction (default), balanced,\n"
+      "                    multi-instruction, single-operation,\n"
+      "                    config-single-operation, fixed-thickness\n"
+      "  --groups=P        processor groups (default 4)\n"
+      "  --slots=T         TCF buffer slots / threads per group (default 16)\n"
+      "  --thickness=T     boot thickness of the root flow (default 1)\n"
+      "  --bound=B         balanced-variant operation bound (default 16)\n"
+      "  --topology=NAME   mesh2d (default), ring, hypercube, crossbar\n"
+      "  --fu=N            functional units per processor (default 1)\n"
+      "  --trace           print the ASCII execution schedule\n"
+      "  --listing         print the compiled/assembled instruction listing\n"
+      "  --no-stats        suppress the statistics block\n",
+      tool, what);
+}
+
+inline bool parse_flag(const std::string& arg, const char* name,
+                       std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+/// Parses argv; returns false (after printing usage) on bad input.
+inline bool parse_args(int argc, char** argv, const char* tool,
+                       const char* what, Options* opt) {
+  if (argc < 2) {
+    usage(tool, what);
+    return false;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (arg == "--help" || arg == "-h") {
+      usage(tool, what);
+      return false;
+    } else if (arg == "--trace") {
+      opt->trace = true;
+      opt->cfg.record_trace = true;
+    } else if (arg == "--listing") {
+      opt->listing = true;
+    } else if (arg == "--no-stats") {
+      opt->stats = false;
+    } else if (parse_flag(arg, "variant", &v)) {
+      using machine::Variant;
+      if (v == "single-instruction") opt->cfg.variant = Variant::kSingleInstruction;
+      else if (v == "balanced") opt->cfg.variant = Variant::kBalanced;
+      else if (v == "multi-instruction") opt->cfg.variant = Variant::kMultiInstruction;
+      else if (v == "single-operation") opt->cfg.variant = Variant::kSingleOperation;
+      else if (v == "config-single-operation") opt->cfg.variant = Variant::kConfigSingleOperation;
+      else if (v == "fixed-thickness") opt->cfg.variant = Variant::kFixedThickness;
+      else {
+        std::fprintf(stderr, "unknown variant '%s'\n", v.c_str());
+        return false;
+      }
+    } else if (parse_flag(arg, "topology", &v)) {
+      using net::TopologyKind;
+      if (v == "mesh2d") opt->cfg.topology = TopologyKind::kMesh2D;
+      else if (v == "ring") opt->cfg.topology = TopologyKind::kRing;
+      else if (v == "hypercube") opt->cfg.topology = TopologyKind::kHypercube;
+      else if (v == "crossbar") opt->cfg.topology = TopologyKind::kCrossbar;
+      else {
+        std::fprintf(stderr, "unknown topology '%s'\n", v.c_str());
+        return false;
+      }
+    } else if (parse_flag(arg, "groups", &v)) {
+      opt->cfg.groups = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (parse_flag(arg, "slots", &v)) {
+      opt->cfg.slots_per_group = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (parse_flag(arg, "thickness", &v)) {
+      opt->boot_thickness = std::stoll(v);
+    } else if (parse_flag(arg, "bound", &v)) {
+      opt->cfg.balanced_bound = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (parse_flag(arg, "fu", &v)) {
+      opt->cfg.functional_units = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(tool, what);
+      return false;
+    } else {
+      opt->input = arg;
+    }
+  }
+  if (opt->input.empty()) {
+    std::fprintf(stderr, "no input file given\n");
+    return false;
+  }
+  if (opt->cfg.variant == machine::Variant::kFixedThickness) {
+    opt->cfg.groups = 1;
+  }
+  return true;
+}
+
+inline std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) TCFPN_FAULT("cannot open '", path, "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+inline void print_outcome(const machine::Machine& m,
+                          const machine::RunResult& run,
+                          const Options& opt) {
+  if (!m.debug_output().empty()) {
+    std::printf("output:");
+    for (Word w : m.debug_output()) {
+      std::printf(" %lld", static_cast<long long>(w));
+    }
+    std::printf("\n");
+  }
+  if (opt.stats) {
+    const auto& st = m.stats();
+    std::printf(
+        "%s after %llu steps / %llu cycles on %s (P=%u, Tp=%u)\n"
+        "  TCF instructions %llu, lane ops %llu, fetches %llu\n"
+        "  utilization %.3f, memory-wait %llu, task-switch %llu\n",
+        run.completed ? "halted" : "STOPPED (step limit)",
+        static_cast<unsigned long long>(run.steps),
+        static_cast<unsigned long long>(run.cycles),
+        machine::to_string(m.config().variant), m.config().groups,
+        m.config().slots_per_group,
+        static_cast<unsigned long long>(st.tcf_instructions),
+        static_cast<unsigned long long>(st.operations),
+        static_cast<unsigned long long>(st.instruction_fetches),
+        st.utilization(),
+        static_cast<unsigned long long>(st.memory_wait_cycles),
+        static_cast<unsigned long long>(st.task_switch_cycles));
+  }
+  if (opt.trace) {
+    std::printf("schedule:\n%s", m.trace().render().c_str());
+  }
+}
+
+}  // namespace tcfpn::cli

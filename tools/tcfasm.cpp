@@ -1,0 +1,29 @@
+// tcfasm — assemble a tcfpn ISA source file and run it on the simulator.
+//
+//   ./tcfasm prog.s --thickness=64 --variant=single-instruction --trace
+#include <cstdio>
+
+#include "isa/assembler.hpp"
+#include "machine/machine.hpp"
+#include "cli_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcfpn;
+  cli::Options opt;
+  if (!cli::parse_args(argc, argv, "tcfasm", "assembly program", &opt)) {
+    return 2;
+  }
+  try {
+    const auto program = isa::assemble(cli::read_file(opt.input));
+    if (opt.listing) std::printf("%s", program.listing().c_str());
+    machine::Machine m(opt.cfg);
+    m.load(program);
+    m.boot(opt.boot_thickness);
+    const auto run = m.run();
+    cli::print_outcome(m, run, opt);
+    return run.completed ? 0 : 1;
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "tcfasm: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,49 @@
+// tcfrun — compile a TCF source file and run it on the simulator.
+//
+//   ./tcfrun examples/programs/scan.tcf --trace
+//   ./tcfrun prog.tcf --variant=balanced --bound=8 --groups=8
+#include <cstdio>
+
+#include "lang/codegen.hpp"
+#include "machine/machine.hpp"
+#include "cli_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcfpn;
+  cli::Options opt;
+  if (!cli::parse_args(argc, argv, "tcfrun", "TCF source program", &opt)) {
+    return 2;
+  }
+  try {
+    const auto compiled = lang::compile_source(cli::read_file(opt.input));
+    if (opt.listing) {
+      std::printf("%s", compiled.program.listing().c_str());
+      std::printf("data segment: words %llu..%llu\n",
+                  static_cast<unsigned long long>(compiled.heap_base),
+                  static_cast<unsigned long long>(compiled.heap_end));
+    }
+    machine::Machine m(opt.cfg);
+    m.load(compiled.program);
+    m.boot(opt.boot_thickness);
+    const auto run = m.run();
+    cli::print_outcome(m, run, opt);
+    // Dump declared arrays/cells so programs have observable results even
+    // without print statements.
+    if (opt.stats) {
+      for (const auto& [name, buf] : compiled.arrays) {
+        std::printf("  %s =", name.c_str());
+        const std::size_t show = std::min<std::size_t>(buf.size, 16);
+        for (std::size_t i = 0; i < show; ++i) {
+          std::printf(" %lld",
+                      static_cast<long long>(m.shared().peek(buf.at(i))));
+        }
+        if (show < buf.size) std::printf(" ... (%zu words)", buf.size);
+        std::printf("\n");
+      }
+    }
+    return run.completed ? 0 : 1;
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "tcfrun: %s\n", e.what());
+    return 1;
+  }
+}
