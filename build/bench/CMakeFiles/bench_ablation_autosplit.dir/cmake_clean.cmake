@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_autosplit.dir/bench_ablation_autosplit.cpp.o"
+  "CMakeFiles/bench_ablation_autosplit.dir/bench_ablation_autosplit.cpp.o.d"
+  "bench_ablation_autosplit"
+  "bench_ablation_autosplit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_autosplit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

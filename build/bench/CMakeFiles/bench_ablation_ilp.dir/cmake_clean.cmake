@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ilp.dir/bench_ablation_ilp.cpp.o"
+  "CMakeFiles/bench_ablation_ilp.dir/bench_ablation_ilp.cpp.o.d"
+  "bench_ablation_ilp"
+  "bench_ablation_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

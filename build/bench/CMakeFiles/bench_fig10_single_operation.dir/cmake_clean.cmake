@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_single_operation.dir/bench_fig10_single_operation.cpp.o"
+  "CMakeFiles/bench_fig10_single_operation.dir/bench_fig10_single_operation.cpp.o.d"
+  "bench_fig10_single_operation"
+  "bench_fig10_single_operation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_single_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

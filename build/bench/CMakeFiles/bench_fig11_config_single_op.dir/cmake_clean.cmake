@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_config_single_op.dir/bench_fig11_config_single_op.cpp.o"
+  "CMakeFiles/bench_fig11_config_single_op.dir/bench_fig11_config_single_op.cpp.o.d"
+  "bench_fig11_config_single_op"
+  "bench_fig11_config_single_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_config_single_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

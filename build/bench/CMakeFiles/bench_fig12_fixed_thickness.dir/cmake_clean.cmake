@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_fixed_thickness.dir/bench_fig12_fixed_thickness.cpp.o"
+  "CMakeFiles/bench_fig12_fixed_thickness.dir/bench_fig12_fixed_thickness.cpp.o.d"
+  "bench_fig12_fixed_thickness"
+  "bench_fig12_fixed_thickness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_fixed_thickness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

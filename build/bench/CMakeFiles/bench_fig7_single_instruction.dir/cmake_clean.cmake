@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_single_instruction.dir/bench_fig7_single_instruction.cpp.o"
+  "CMakeFiles/bench_fig7_single_instruction.dir/bench_fig7_single_instruction.cpp.o.d"
+  "bench_fig7_single_instruction"
+  "bench_fig7_single_instruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_single_instruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

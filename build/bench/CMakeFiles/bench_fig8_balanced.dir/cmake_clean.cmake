@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_balanced.dir/bench_fig8_balanced.cpp.o"
+  "CMakeFiles/bench_fig8_balanced.dir/bench_fig8_balanced.cpp.o.d"
+  "bench_fig8_balanced"
+  "bench_fig8_balanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_balanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

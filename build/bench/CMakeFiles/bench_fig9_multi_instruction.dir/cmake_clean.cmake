@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_multi_instruction.dir/bench_fig9_multi_instruction.cpp.o"
+  "CMakeFiles/bench_fig9_multi_instruction.dir/bench_fig9_multi_instruction.cpp.o.d"
+  "bench_fig9_multi_instruction"
+  "bench_fig9_multi_instruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_multi_instruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_net_substrate.dir/bench_net_substrate.cpp.o"
+  "CMakeFiles/bench_net_substrate.dir/bench_net_substrate.cpp.o.d"
+  "bench_net_substrate"
+  "bench_net_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_net_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

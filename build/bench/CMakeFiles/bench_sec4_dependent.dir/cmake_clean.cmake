@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_dependent.dir/bench_sec4_dependent.cpp.o"
+  "CMakeFiles/bench_sec4_dependent.dir/bench_sec4_dependent.cpp.o.d"
+  "bench_sec4_dependent"
+  "bench_sec4_dependent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_dependent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

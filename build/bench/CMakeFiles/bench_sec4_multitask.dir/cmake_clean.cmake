@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_multitask.dir/bench_sec4_multitask.cpp.o"
+  "CMakeFiles/bench_sec4_multitask.dir/bench_sec4_multitask.cpp.o.d"
+  "bench_sec4_multitask"
+  "bench_sec4_multitask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_numa.dir/bench_sec4_numa.cpp.o"
+  "CMakeFiles/bench_sec4_numa.dir/bench_sec4_numa.cpp.o.d"
+  "bench_sec4_numa"
+  "bench_sec4_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_prefix.dir/bench_sec4_prefix.cpp.o"
+  "CMakeFiles/bench_sec4_prefix.dir/bench_sec4_prefix.cpp.o.d"
+  "bench_sec4_prefix"
+  "bench_sec4_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

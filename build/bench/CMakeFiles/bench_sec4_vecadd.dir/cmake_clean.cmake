@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_vecadd.dir/bench_sec4_vecadd.cpp.o"
+  "CMakeFiles/bench_sec4_vecadd.dir/bench_sec4_vecadd.cpp.o.d"
+  "bench_sec4_vecadd"
+  "bench_sec4_vecadd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_vecadd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

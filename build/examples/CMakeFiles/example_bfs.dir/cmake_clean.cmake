@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bfs.dir/bfs.cpp.o"
+  "CMakeFiles/example_bfs.dir/bfs.cpp.o.d"
+  "example_bfs"
+  "example_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

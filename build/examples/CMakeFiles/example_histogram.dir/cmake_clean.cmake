@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_histogram.dir/histogram.cpp.o"
+  "CMakeFiles/example_histogram.dir/histogram.cpp.o.d"
+  "example_histogram"
+  "example_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multitask_server.dir/multitask_server.cpp.o"
+  "CMakeFiles/example_multitask_server.dir/multitask_server.cpp.o.d"
+  "example_multitask_server"
+  "example_multitask_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multitask_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_radix_sort.dir/radix_sort.cpp.o"
+  "CMakeFiles/example_radix_sort.dir/radix_sort.cpp.o.d"
+  "example_radix_sort"
+  "example_radix_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_radix_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stream_compaction.dir/stream_compaction.cpp.o"
+  "CMakeFiles/example_stream_compaction.dir/stream_compaction.cpp.o.d"
+  "example_stream_compaction"
+  "example_stream_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stream_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

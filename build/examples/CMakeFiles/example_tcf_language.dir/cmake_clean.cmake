@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tcf_language.dir/tcf_language.cpp.o"
+  "CMakeFiles/example_tcf_language.dir/tcf_language.cpp.o.d"
+  "example_tcf_language"
+  "example_tcf_language.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tcf_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_variants_tour.dir/variants_tour.cpp.o"
+  "CMakeFiles/example_variants_tour.dir/variants_tour.cpp.o.d"
+  "example_variants_tour"
+  "example_variants_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_variants_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfpn_baseline.dir/frontends.cpp.o"
+  "CMakeFiles/tcfpn_baseline.dir/frontends.cpp.o.d"
+  "libtcfpn_baseline.a"
+  "libtcfpn_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfpn_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

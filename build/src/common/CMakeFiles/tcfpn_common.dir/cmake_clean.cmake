@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfpn_common.dir/check.cpp.o"
+  "CMakeFiles/tcfpn_common.dir/check.cpp.o.d"
+  "CMakeFiles/tcfpn_common.dir/rng.cpp.o"
+  "CMakeFiles/tcfpn_common.dir/rng.cpp.o.d"
+  "CMakeFiles/tcfpn_common.dir/stats.cpp.o"
+  "CMakeFiles/tcfpn_common.dir/stats.cpp.o.d"
+  "CMakeFiles/tcfpn_common.dir/table.cpp.o"
+  "CMakeFiles/tcfpn_common.dir/table.cpp.o.d"
+  "CMakeFiles/tcfpn_common.dir/trace.cpp.o"
+  "CMakeFiles/tcfpn_common.dir/trace.cpp.o.d"
+  "libtcfpn_common.a"
+  "libtcfpn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfpn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

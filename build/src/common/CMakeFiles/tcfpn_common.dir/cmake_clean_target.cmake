@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcfpn_common.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfpn_isa.dir/assembler.cpp.o"
+  "CMakeFiles/tcfpn_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/tcfpn_isa.dir/instr.cpp.o"
+  "CMakeFiles/tcfpn_isa.dir/instr.cpp.o.d"
+  "CMakeFiles/tcfpn_isa.dir/program.cpp.o"
+  "CMakeFiles/tcfpn_isa.dir/program.cpp.o.d"
+  "libtcfpn_isa.a"
+  "libtcfpn_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfpn_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

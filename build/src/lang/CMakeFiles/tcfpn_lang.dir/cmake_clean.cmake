@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfpn_lang.dir/codegen.cpp.o"
+  "CMakeFiles/tcfpn_lang.dir/codegen.cpp.o.d"
+  "CMakeFiles/tcfpn_lang.dir/lexer.cpp.o"
+  "CMakeFiles/tcfpn_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/tcfpn_lang.dir/parser.cpp.o"
+  "CMakeFiles/tcfpn_lang.dir/parser.cpp.o.d"
+  "libtcfpn_lang.a"
+  "libtcfpn_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfpn_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

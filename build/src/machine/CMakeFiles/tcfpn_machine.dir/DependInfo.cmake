@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/config.cpp" "src/machine/CMakeFiles/tcfpn_machine.dir/config.cpp.o" "gcc" "src/machine/CMakeFiles/tcfpn_machine.dir/config.cpp.o.d"
+  "/root/repo/src/machine/cost_model.cpp" "src/machine/CMakeFiles/tcfpn_machine.dir/cost_model.cpp.o" "gcc" "src/machine/CMakeFiles/tcfpn_machine.dir/cost_model.cpp.o.d"
+  "/root/repo/src/machine/flow.cpp" "src/machine/CMakeFiles/tcfpn_machine.dir/flow.cpp.o" "gcc" "src/machine/CMakeFiles/tcfpn_machine.dir/flow.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/machine/CMakeFiles/tcfpn_machine.dir/machine.cpp.o" "gcc" "src/machine/CMakeFiles/tcfpn_machine.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tcfpn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tcfpn_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcfpn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tcfpn_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

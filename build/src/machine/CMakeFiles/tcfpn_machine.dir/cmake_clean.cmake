@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfpn_machine.dir/config.cpp.o"
+  "CMakeFiles/tcfpn_machine.dir/config.cpp.o.d"
+  "CMakeFiles/tcfpn_machine.dir/cost_model.cpp.o"
+  "CMakeFiles/tcfpn_machine.dir/cost_model.cpp.o.d"
+  "CMakeFiles/tcfpn_machine.dir/flow.cpp.o"
+  "CMakeFiles/tcfpn_machine.dir/flow.cpp.o.d"
+  "CMakeFiles/tcfpn_machine.dir/machine.cpp.o"
+  "CMakeFiles/tcfpn_machine.dir/machine.cpp.o.d"
+  "libtcfpn_machine.a"
+  "libtcfpn_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfpn_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfpn_mem.dir/local_memory.cpp.o"
+  "CMakeFiles/tcfpn_mem.dir/local_memory.cpp.o.d"
+  "CMakeFiles/tcfpn_mem.dir/shared_memory.cpp.o"
+  "CMakeFiles/tcfpn_mem.dir/shared_memory.cpp.o.d"
+  "libtcfpn_mem.a"
+  "libtcfpn_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfpn_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

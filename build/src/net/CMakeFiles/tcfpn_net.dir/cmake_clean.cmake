@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfpn_net.dir/network.cpp.o"
+  "CMakeFiles/tcfpn_net.dir/network.cpp.o.d"
+  "CMakeFiles/tcfpn_net.dir/topology.cpp.o"
+  "CMakeFiles/tcfpn_net.dir/topology.cpp.o.d"
+  "libtcfpn_net.a"
+  "libtcfpn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfpn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfpn_sched.dir/allocation.cpp.o"
+  "CMakeFiles/tcfpn_sched.dir/allocation.cpp.o.d"
+  "CMakeFiles/tcfpn_sched.dir/balancer.cpp.o"
+  "CMakeFiles/tcfpn_sched.dir/balancer.cpp.o.d"
+  "CMakeFiles/tcfpn_sched.dir/multitask.cpp.o"
+  "CMakeFiles/tcfpn_sched.dir/multitask.cpp.o.d"
+  "libtcfpn_sched.a"
+  "libtcfpn_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfpn_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcf/builder.cpp" "src/tcf/CMakeFiles/tcfpn_tcf.dir/builder.cpp.o" "gcc" "src/tcf/CMakeFiles/tcfpn_tcf.dir/builder.cpp.o.d"
+  "/root/repo/src/tcf/kernels.cpp" "src/tcf/CMakeFiles/tcfpn_tcf.dir/kernels.cpp.o" "gcc" "src/tcf/CMakeFiles/tcfpn_tcf.dir/kernels.cpp.o.d"
+  "/root/repo/src/tcf/runtime.cpp" "src/tcf/CMakeFiles/tcfpn_tcf.dir/runtime.cpp.o" "gcc" "src/tcf/CMakeFiles/tcfpn_tcf.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tcfpn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tcfpn_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcfpn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tcfpn_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/tcfpn_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

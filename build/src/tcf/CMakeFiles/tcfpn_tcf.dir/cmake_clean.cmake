@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfpn_tcf.dir/builder.cpp.o"
+  "CMakeFiles/tcfpn_tcf.dir/builder.cpp.o.d"
+  "CMakeFiles/tcfpn_tcf.dir/kernels.cpp.o"
+  "CMakeFiles/tcfpn_tcf.dir/kernels.cpp.o.d"
+  "CMakeFiles/tcfpn_tcf.dir/runtime.cpp.o"
+  "CMakeFiles/tcfpn_tcf.dir/runtime.cpp.o.d"
+  "libtcfpn_tcf.a"
+  "libtcfpn_tcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfpn_tcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

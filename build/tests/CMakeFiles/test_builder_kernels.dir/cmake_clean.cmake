@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_builder_kernels.dir/test_builder_kernels.cpp.o"
+  "CMakeFiles/test_builder_kernels.dir/test_builder_kernels.cpp.o.d"
+  "test_builder_kernels"
+  "test_builder_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_builder_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontends.dir/test_frontends.cpp.o"
+  "CMakeFiles/test_frontends.dir/test_frontends.cpp.o.d"
+  "test_frontends"
+  "test_frontends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

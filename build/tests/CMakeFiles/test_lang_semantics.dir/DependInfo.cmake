@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_lang_semantics.cpp" "tests/CMakeFiles/test_lang_semantics.dir/test_lang_semantics.cpp.o" "gcc" "tests/CMakeFiles/test_lang_semantics.dir/test_lang_semantics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tcfpn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tcfpn_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcfpn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tcfpn_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/tcfpn_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcf/CMakeFiles/tcfpn_tcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/tcfpn_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tcfpn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tcfpn_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

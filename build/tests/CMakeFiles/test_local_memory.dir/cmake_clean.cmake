@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_memory.dir/test_local_memory.cpp.o"
+  "CMakeFiles/test_local_memory.dir/test_local_memory.cpp.o.d"
+  "test_local_memory"
+  "test_local_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfasm.dir/tcfasm.cpp.o"
+  "CMakeFiles/tcfasm.dir/tcfasm.cpp.o.d"
+  "tcfasm"
+  "tcfasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfrun.dir/tcfrun.cpp.o"
+  "CMakeFiles/tcfrun.dir/tcfrun.cpp.o.d"
+  "tcfrun"
+  "tcfrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

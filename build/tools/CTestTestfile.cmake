@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_tcfrun_vecadd "/root/repo/build/tools/tcfrun" "/root/repo/examples/programs/vecadd.tcf")
+set_tests_properties(tool_tcfrun_vecadd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_tcfrun_scan "/root/repo/build/tools/tcfrun" "/root/repo/examples/programs/scan.tcf" "--variant=balanced" "--bound=8")
+set_tests_properties(tool_tcfrun_scan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_tcfrun_histogram "/root/repo/build/tools/tcfrun" "/root/repo/examples/programs/histogram.tcf")
+set_tests_properties(tool_tcfrun_histogram PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_tcfasm_sum_squares "/root/repo/build/tools/tcfasm" "/root/repo/examples/programs/sum_squares.s")
+set_tests_properties(tool_tcfasm_sum_squares PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
