@@ -1,0 +1,173 @@
+// Host-parallel stepping engine: wall-clock scaling and determinism.
+//
+// The simulated machine is bit-identical for every --host-threads value;
+// this bench measures how much host wall-clock the worker pool saves on a
+// Table-1-scale workload (P groups, one flow per group at thickness 4096,
+// single-instruction variant) and verifies the determinism contract along
+// the way: every MachineStats field and the shared-memory image must match
+// the host_threads=1 run exactly.
+//
+// Results land in BENCH_parallel_step.json next to the working directory;
+// the JSON includes std::thread::hardware_concurrency() so a reader can
+// tell real scaling from a core-starved host.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+#include "tcf/builder.hpp"
+
+using namespace tcfpn;
+
+namespace {
+
+constexpr Word kThickness = 4096;
+constexpr std::uint32_t kGroups = 8;
+constexpr Word kIters = 64;  // x 10 thick instructions/iter = 640 per flow
+constexpr Addr kBase = 1 << 16;
+
+// Each group's flow sweeps its own 8K-word window: thick loads, an ALU
+// chain, thick stores, and a scalar loop counter — the per-step mix the
+// engine sees on the Table 1 kernels.
+isa::Program workload() {
+  tcf::AsmBuilder s;
+  using namespace tcf;
+  auto loop = s.make_label("loop");
+  s.ldi(r1, kIters);
+  s.bind(loop);
+  s.tid(r2);
+  s.gid(r3);
+  s.shl(r3, r3, Word{13});
+  s.add(r3, r3, static_cast<Word>(kBase));
+  s.add(r3, r3, r2);  // per-lane address inside the group window
+  s.ld(r4, r3);
+  s.add(r4, r4, Word{1});
+  s.mul(r5, r4, Word{3});
+  s.st(r5, r3);
+  s.sub(r1, r1, Word{1});
+  s.bnez(r1, loop);
+  s.halt();
+  return s.build();
+}
+
+struct Sample {
+  std::uint32_t host_threads;
+  double seconds;
+  machine::MachineStats stats;
+  std::uint64_t mem_fingerprint;
+};
+
+bool stats_equal(const machine::MachineStats& a,
+                 const machine::MachineStats& b) {
+  return a.cycles == b.cycles && a.steps == b.steps &&
+         a.tcf_instructions == b.tcf_instructions &&
+         a.operations == b.operations &&
+         a.instruction_fetches == b.instruction_fetches &&
+         a.spawns == b.spawns && a.joins == b.joins &&
+         a.busy_slots == b.busy_slots && a.idle_slots == b.idle_slots &&
+         a.memory_wait_cycles == b.memory_wait_cycles &&
+         a.task_switch_cycles == b.task_switch_cycles &&
+         a.branch_cost_cycles == b.branch_cost_cycles;
+}
+
+Sample run_once(std::uint32_t host_threads, const isa::Program& prog) {
+  auto cfg = bench::default_cfg(kGroups, 16);
+  cfg.shared_words = 1u << 21;
+  cfg.host_threads = host_threads;
+  machine::Machine m(cfg);
+  m.load(prog);
+  for (GroupId g = 0; g < kGroups; ++g) {
+    m.boot_at(prog.entry(), kThickness, g);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto run = m.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!run.completed) {
+    std::fprintf(stderr, "workload did not complete\n");
+    std::exit(1);
+  }
+  // FNV-1a over the touched shared-memory windows: a cheap but sensitive
+  // commit-order witness.
+  std::uint64_t h = 1469598103934665603ull;
+  for (GroupId g = 0; g < kGroups; ++g) {
+    for (Word i = 0; i < kThickness; ++i) {
+      const Addr a = kBase + (static_cast<Addr>(g) << 13) +
+                     static_cast<Addr>(i);
+      h ^= static_cast<std::uint64_t>(m.shared().peek(a));
+      h *= 1099511628211ull;
+    }
+  }
+  return Sample{host_threads, std::chrono::duration<double>(t1 - t0).count(),
+                m.stats(), h};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "HOST-PARALLEL STEPPING — wall-clock scaling, bit-identical results",
+      "per-group phase fans out over a worker pool; effects merge at the "
+      "step barrier in group order, so results never depend on N");
+  bench::note("hardware_concurrency = " +
+              std::to_string(std::thread::hardware_concurrency()));
+
+  const isa::Program prog = workload();
+  std::vector<Sample> samples;
+  for (std::uint32_t n : {1u, 2u, 4u, 8u}) {
+    samples.push_back(run_once(n, prog));
+  }
+
+  const Sample& base = samples.front();
+  Table t({"host threads", "wall-clock s", "speedup", "identical"});
+  for (const Sample& s : samples) {
+    const bool same = stats_equal(s.stats, base.stats) &&
+                      s.mem_fingerprint == base.mem_fingerprint;
+    if (!same) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION at host_threads=%u\n",
+                   s.host_threads);
+      return 1;
+    }
+    t.add_row({std::to_string(s.host_threads),
+               std::to_string(s.seconds),
+               std::to_string(base.seconds / s.seconds),
+               same ? "yes" : "NO"});
+  }
+  t.print();
+
+  std::FILE* f = std::fopen("BENCH_parallel_step.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_parallel_step.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"workload\": \"P=%u groups, thickness %lld, %lld thick "
+               "instructions/flow\",\n"
+               "  \"variant\": \"single-instruction\",\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"simulated_cycles\": %llu,\n"
+               "  \"simulated_steps\": %llu,\n"
+               "  \"runs\": [\n",
+               kGroups, static_cast<long long>(kThickness),
+               static_cast<long long>(kIters * 10),
+               std::thread::hardware_concurrency(),
+               static_cast<unsigned long long>(base.stats.cycles),
+               static_cast<unsigned long long>(base.stats.steps));
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(f,
+                 "    {\"host_threads\": %u, \"wall_clock_s\": %.6f, "
+                 "\"speedup\": %.3f, \"bit_identical\": true}%s\n",
+                 s.host_threads, s.seconds, base.seconds / s.seconds,
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  bench::note("wrote BENCH_parallel_step.json");
+  return 0;
+}

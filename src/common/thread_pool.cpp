@@ -1,0 +1,94 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tcfpn::common {
+
+ThreadPool::ThreadPool(std::uint32_t threads) : threads_(std::max(threads, 1u)) {
+  workers_.reserve(threads_ - 1);
+  for (std::uint32_t i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::uint32_t ThreadPool::hardware_threads() {
+  return std::max(std::thread::hardware_concurrency(), 1u);
+}
+
+void ThreadPool::work_until_drained(std::uint64_t gen) {
+  // Claims happen under the mutex, tagged with the job generation: a
+  // straggler that raced past the drain of job N can never claim an index
+  // of job N+1 or touch its (stack-lifetime) function object. The indices
+  // are coarse (one per group per machine step), so contention here is
+  // noise next to the work they carry.
+  while (true) {
+    std::size_t i;
+    const std::function<void(std::size_t)>* fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (gen != generation_ || next_ >= size_) return;
+      i = next_++;
+      fn = fn_;
+    }
+    (*fn)(i);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Every claimed index reports before parallel_for can return, so the
+      // generation still matches; the check is belt-and-braces.
+      if (gen == generation_) {
+        ++done_;
+        if (done_ == size_) cv_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    work_until_drained(seen);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TCFPN_CHECK(done_ == size_, "parallel_for is not reentrant");
+    fn_ = &fn;
+    size_ = n;
+    done_ = 0;
+    next_ = 0;
+    gen = ++generation_;
+  }
+  cv_work_.notify_all();
+  work_until_drained(gen);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return done_ == size_; });
+  fn_ = nullptr;
+}
+
+}  // namespace tcfpn::common

@@ -1,0 +1,70 @@
+// A persistent host-side worker pool for the parallel stepping engine.
+//
+// The machine layer commits shared-memory effects at step boundaries
+// (DESIGN.md §4), which makes the per-group work inside one machine step
+// embarrassingly parallel: each group touches only its own flows, local
+// memory and effect buffers, and everything cross-group merges at the step
+// barrier in a fixed order. ThreadPool provides the fan-out half of that
+// contract: `parallel_for(n, fn)` runs fn(0..n-1) across the pool (the
+// calling thread participates) and blocks until every index completed.
+//
+// Index->thread assignment is dynamic (a shared claim cursor) and therefore
+// nondeterministic; callers that need determinism must make fn(i)'s effects
+// independent of assignment and merge them afterwards in index order —
+// exactly what Machine::step_synchronous does.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tcfpn::common {
+
+class ThreadPool {
+ public:
+  /// A pool that runs work on `threads` host threads total: `threads - 1`
+  /// persistent workers plus the thread that calls parallel_for.
+  explicit ThreadPool(std::uint32_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::uint32_t threads() const { return threads_; }
+
+  /// Runs fn(i) for every i in [0, n), distributing indices over the pool;
+  /// blocks until all n calls returned. fn must not throw (wrap and capture
+  /// exceptions per index if needed) and must not call parallel_for
+  /// reentrantly.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Host threads the hardware supports (>= 1 even when unknown).
+  static std::uint32_t hardware_threads();
+
+ private:
+  void worker_loop();
+  /// Claims and runs indices of job `gen` until none remain (or the job is
+  /// no longer current). Claims are mutex-guarded and generation-tagged so
+  /// stragglers can never touch a later job's state.
+  void work_until_drained(std::uint64_t gen);
+
+  std::uint32_t threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;  ///< workers wait here for a new job
+  std::condition_variable cv_done_;  ///< parallel_for waits here for drain
+  std::uint64_t generation_ = 0;     ///< bumped once per parallel_for
+  bool stop_ = false;
+
+  // Current job; all fields guarded by mu_.
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t next_ = 0;  ///< next unclaimed index
+  std::size_t done_ = 0;  ///< completed indices
+};
+
+}  // namespace tcfpn::common

@@ -38,10 +38,13 @@ Cycle task_switch_cost(const MachineConfig& cfg, Word thickness,
     case Variant::kBalanced: {
       if (resident_in_buffer) return 0;  // pointer advance in the TCF buffer
       // Swapping a TCF descriptor: flow-level registers plus whatever slice
-      // of the lane-register cache the flow occupied.
-      const auto cached_lanes = std::min<std::uint64_t>(
-          static_cast<std::uint64_t>(std::max<Word>(thickness, 1)),
-          cfg.register_cache_words / std::max<std::uint32_t>(r, 1));
+      // of the lane-register cache the flow occupied. All factors widen to
+      // Cycle (64-bit) before multiplying: T_p, R and cache sizes are 32-bit
+      // config fields whose products overflow 32 bits at plausible scales.
+      const auto cached_lanes = std::min<Cycle>(
+          static_cast<Cycle>(std::max<Word>(thickness, 1)),
+          static_cast<Cycle>(cfg.register_cache_words) /
+              std::max<Cycle>(r, 1));
       return r + cached_lanes * r;
     }
     case Variant::kMultiInstruction:

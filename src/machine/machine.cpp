@@ -28,12 +28,30 @@ Machine::Machine(MachineConfig cfg)
   TCFPN_CHECK(cfg_.variant != Variant::kFixedThickness || cfg_.groups == 1,
               "the fixed-thickness (vector/SIMD) variant has one processor");
   TCFPN_CHECK(cfg_.balanced_bound >= 1, "balanced bound must be >= 1");
+  TCFPN_CHECK(cfg_.host_threads >= 1, "host_threads must be >= 1");
   locals_.reserve(cfg_.groups);
   for (GroupId g = 0; g < cfg_.groups; ++g) {
     locals_.emplace_back(g, cfg_.local_words, cfg_.local_latency);
   }
   groups_.resize(cfg_.groups);
+  step_ctx_.resize(cfg_.groups);
+  for (auto& ctx : step_ctx_) ctx.port.attach(&shared_);
+  if (cfg_.host_threads > 1 && is_step_synchronous(cfg_.variant)) {
+    pool_ = std::make_unique<common::ThreadPool>(cfg_.host_threads);
+  }
   trace_.set_enabled(cfg_.record_trace);
+}
+
+void Machine::GroupCtx::reset() {
+  port.clear();
+  delta = MachineStats{};
+  refs.clear();
+  prefix_reqs.clear();
+  spawns.clear();
+  halted.clear();
+  prints.clear();
+  trace.clear();
+  error = nullptr;
 }
 
 void Machine::load(const isa::Program& program) {
@@ -178,6 +196,24 @@ void Machine::on_flow_halted(TcfDescriptor& f) {
   }
 }
 
+void Machine::halt_in_step(TcfDescriptor& f) {
+  f.status = FlowStatus::kHalted;
+  if (f.parent == kNoFlow) return;
+  TcfDescriptor& p = flow(f.parent);
+  if (p.home == f.home) {
+    // Same group: the parent is driven by this host thread, so the notice
+    // can land immediately — a later JOINALL of the parent in this very
+    // step already sees the child gone (the sequential-engine semantics).
+    TCFPN_CHECK(p.live_children > 0, "child halt underflows parent counter");
+    --p.live_children;
+    return;
+  }
+  // Cross-group: the parent may be executing on another host thread right
+  // now; the join notice travels through the group context and lands at the
+  // barrier, in group order, independent of host-thread interleaving.
+  step_ctx_[f.home].halted.push_back(f.id);
+}
+
 std::size_t Machine::live_flows() const {
   std::size_t n = 0;
   for (const auto& f : flows_) {
@@ -221,55 +257,34 @@ bool Machine::step_synchronous() {
   if (!any_ready) return false;
 
   const Cycle step_base = stats_.cycles + cfg_.pipeline_fill;
-  std::vector<Cycle> group_work(cfg_.groups, 0);
 
-  for (GroupId g = 0; g < cfg_.groups; ++g) {
-    auto& grp = groups_[g];
-    grp.step_ops = 0;
-    // Snapshot: flows spawned/woken during the step join the next one.
-    const std::vector<FlowId> active = grp.resident;
-
-    auto record = [&](const TcfDescriptor& f, std::uint64_t ops) {
-      if (ops == 0 || !trace_.enabled()) return;
-      trace_.add(g, step_base + grp.step_ops - ops, step_base + grp.step_ops,
-                 static_cast<char>('A' + f.id % 26),
-                 "flow " + std::to_string(f.id));
-    };
-
-    if (cfg_.variant == Variant::kBalanced) {
-      std::uint64_t budget = cfg_.balanced_bound;
-      // Round-robin over resident flows until the bound or no eligible work.
-      bool progressed = true;
-      std::vector<bool> numa_done(active.size(), false);
-      while (budget > 0 && progressed) {
-        progressed = false;
-        for (std::size_t i = 0; i < active.size() && budget > 0; ++i) {
-          TcfDescriptor& f = flow(active[i]);
-          if (f.status != FlowStatus::kReady || f.multiop_blocked) continue;
-          if (f.mode == FlowMode::kNuma) {
-            if (numa_done[i]) continue;
-            numa_done[i] = true;  // one block slice per step
-          }
-          const std::uint64_t ops = run_flow_slice(f, budget);
-          if (ops > 0) {
-            progressed = true;
-            budget -= std::min(budget, ops);
-            grp.step_ops += ops;
-            record(f, ops);
-          }
-        }
-      }
-    } else {
-      // One TCF instruction (or NUMA block) per ready flow per step.
-      for (FlowId id : active) {
-        TcfDescriptor& f = flow(id);
-        if (f.status != FlowStatus::kReady) continue;
-        const std::uint64_t ops = run_flow_slice(f, kUnlimited);
-        grp.step_ops += ops;
-        record(f, ops);
-      }
+  // Per-group phase. Each group executes against its own effect buffer
+  // (GroupCtx): it reads only committed shared memory and its own flows, so
+  // the groups are independent and may run on separate host threads. Faults
+  // are captured per group and rethrown deterministically below.
+  auto run_group = [&](std::size_t g) {
+    auto& ctx = step_ctx_[g];
+    ctx.reset();
+    try {
+      execute_group(static_cast<GroupId>(g), step_base);
+    } catch (...) {
+      ctx.error = std::current_exception();
     }
-    group_work[g] = grp.step_ops;
+  };
+  if (pool_) {
+    pool_->parallel_for(cfg_.groups, run_group);
+  } else {
+    for (GroupId g = 0; g < cfg_.groups; ++g) run_group(g);
+  }
+
+  // Step barrier: merge every group's effects in group order — the same
+  // order the sequential engine produced them in, so the machine state after
+  // the merge is bit-identical for every host_threads value.
+  merge_group_effects();
+
+  std::vector<Cycle> group_work(cfg_.groups, 0);
+  for (GroupId g = 0; g < cfg_.groups; ++g) {
+    group_work[g] = groups_[g].step_ops;
   }
 
   // Slot term per variant (DESIGN.md §4 item 3). ILP co-execution issues
@@ -300,6 +315,124 @@ bool Machine::step_synchronous() {
   return true;
 }
 
+void Machine::execute_group(GroupId g, Cycle step_base) {
+  auto& grp = groups_[g];
+  auto& ctx = step_ctx_[g];
+  grp.step_ops = 0;
+  // Snapshot: flows spawned/woken during the step join the next one.
+  const std::vector<FlowId> active = grp.resident;
+
+  auto record = [&](const TcfDescriptor& f, std::uint64_t ops) {
+    if (ops == 0 || !trace_.enabled()) return;
+    ctx.trace.push_back(TraceSpan{g, step_base + grp.step_ops - ops,
+                                  step_base + grp.step_ops,
+                                  static_cast<char>('A' + f.id % 26),
+                                  "flow " + std::to_string(f.id)});
+  };
+
+  if (cfg_.variant == Variant::kBalanced) {
+    std::uint64_t budget = cfg_.balanced_bound;
+    // Round-robin over resident flows until the bound or no eligible work.
+    bool progressed = true;
+    std::vector<bool> numa_done(active.size(), false);
+    while (budget > 0 && progressed) {
+      progressed = false;
+      for (std::size_t i = 0; i < active.size() && budget > 0; ++i) {
+        TcfDescriptor& f = flow(active[i]);
+        if (f.status != FlowStatus::kReady || f.multiop_blocked) continue;
+        if (f.mode == FlowMode::kNuma) {
+          if (numa_done[i]) continue;
+          numa_done[i] = true;  // one block slice per step
+        }
+        const std::uint64_t ops = run_flow_slice(f, budget);
+        if (ops > 0) {
+          progressed = true;
+          budget -= std::min(budget, ops);
+          grp.step_ops += ops;
+          record(f, ops);
+        }
+      }
+    }
+  } else {
+    // One TCF instruction (or NUMA block) per ready flow per step.
+    for (FlowId id : active) {
+      TcfDescriptor& f = flow(id);
+      if (f.status != FlowStatus::kReady) continue;
+      const std::uint64_t ops = run_flow_slice(f, kUnlimited);
+      grp.step_ops += ops;
+      record(f, ops);
+    }
+  }
+}
+
+void Machine::merge_group_effects() {
+  // A fault anywhere in the phase aborts the step like the sequential
+  // engine would; the lowest-numbered faulting group wins so the surfaced
+  // error does not depend on host-thread timing.
+  for (GroupId g = 0; g < cfg_.groups; ++g) {
+    if (step_ctx_[g].error) std::rethrow_exception(step_ctx_[g].error);
+  }
+  for (GroupId g = 0; g < cfg_.groups; ++g) {
+    auto& ctx = step_ctx_[g];
+
+    stats_.tcf_instructions += ctx.delta.tcf_instructions;
+    stats_.operations += ctx.delta.operations;
+    stats_.instruction_fetches += ctx.delta.instruction_fetches;
+    stats_.spawns += ctx.delta.spawns;
+    stats_.joins += ctx.delta.joins;
+    stats_.branch_cost_cycles += ctx.delta.branch_cost_cycles;
+
+    // Memory-term references in issue order: the detailed router is
+    // injection-order sensitive, so the merged order must be the sequential
+    // one (group by group, flows in resident order).
+    step_refs_.insert(step_refs_.end(), ctx.refs.begin(), ctx.refs.end());
+
+    // Drain the group's staged shared-memory traffic; multiprefix tickets
+    // are assigned here, in drain order, exactly as a sequential run would.
+    const auto tickets = shared_.drain(ctx.port);
+    for (const auto& req : ctx.prefix_reqs) {
+      pending_prefixes_.push_back(
+          PendingPrefix{req.flow, req.lane, req.rd, tickets[req.local]});
+    }
+
+    // Join notices: a child halting this step reaches its parent only at
+    // the barrier, so JOINALL outcomes never depend on which host thread
+    // finished first. finish_step wakes satisfied joiners right after.
+    for (FlowId id : ctx.halted) {
+      const TcfDescriptor& child = *flows_[id];
+      if (child.parent == kNoFlow) continue;
+      TcfDescriptor& p = flow(child.parent);
+      TCFPN_CHECK(p.live_children > 0, "child halt underflows parent counter");
+      --p.live_children;
+    }
+
+    // Deferred SPAWN placement: creating and placing children in group
+    // order fixes flow ids and allocation decisions across thread counts.
+    for (const auto& sp : ctx.spawns) {
+      Word base = 0;
+      for (Word part : sp.fragments) {
+        TcfDescriptor& child = make_flow(sp.entry, part, 0, sp.parent);
+        child.home = pick_group(child);
+        // The child inherits a broadcast copy of the parent's lane-0
+        // registers (flow-level state); fragments learn their base lane
+        // offset through r15 (the fragment convention).
+        for (auto& regs : child.lane_regs) {
+          regs = sp.broadcast;
+          if (sp.fragments.size() > 1) regs[15] = base;
+        }
+        pending_spawns_.push_back(child.id);
+        base += part;
+      }
+    }
+
+    debug_out_.insert(debug_out_.end(), ctx.prints.begin(), ctx.prints.end());
+    for (auto& span : ctx.trace) {
+      trace_.add(span.row, span.begin, span.end, span.glyph,
+                 std::move(span.label));
+    }
+  }
+}
+
 std::uint64_t Machine::run_flow_slice(TcfDescriptor& f,
                                       std::uint64_t op_quota) {
   TCFPN_CHECK(f.status == FlowStatus::kReady, "slicing a non-ready flow");
@@ -308,6 +441,7 @@ std::uint64_t Machine::run_flow_slice(TcfDescriptor& f,
 
   const isa::Instr& instr = fetch(f);
   const isa::OpInfo& info = isa::op_info(instr.op);
+  auto& delta = step_ctx_[f.home].delta;
 
   if (info.is_control || instr.op == isa::Opcode::kPrint) {
     TCFPN_CHECK(f.at_instruction_boundary(),
@@ -316,12 +450,12 @@ std::uint64_t Machine::run_flow_slice(TcfDescriptor& f,
     if (instr.op == isa::Opcode::kSpawn) {
       // The split copies the flow-level register state: O(R), Table 1.
       const Cycle branch = flow_branch_cost(cfg_);
-      stats_.branch_cost_cycles += branch;
+      delta.branch_cost_cycles += branch;
       ops += branch + cfg_.spawn_cost;
     }
     const bool still_ready = exec_control(f, instr);
-    ++stats_.tcf_instructions;
-    ++stats_.operations;
+    ++delta.tcf_instructions;
+    ++delta.operations;
     if (still_ready) {
       // Merge (control ops don't write memory, but keep the invariant).
       complete_instruction(f, instr);
@@ -339,11 +473,11 @@ std::uint64_t Machine::run_flow_slice(TcfDescriptor& f,
     exec_data_lane(f, instr, lane);
     cost += 1 + operand_penalty(lane);
   }
-  stats_.operations += count;
+  delta.operations += count;
   f.next_unexecuted += count;
   if (f.next_unexecuted == thickness) {
     f.next_unexecuted = 0;
-    ++stats_.tcf_instructions;
+    ++delta.tcf_instructions;
     complete_instruction(f, instr);
     ++f.pc;
   }
@@ -376,17 +510,18 @@ std::uint64_t Machine::run_numa_block(TcfDescriptor& f) {
   // sequential stream per step; each instruction is fetched separately —
   // that asymmetry is the "Fetches per TCF" row of Table 1.
   std::uint64_t executed = 0;
+  auto& delta = step_ctx_[f.home].delta;
   while (executed < f.numa_block && f.status == FlowStatus::kReady &&
          !f.multiop_blocked) {
     const isa::Instr& instr = fetch(f);
     const isa::OpInfo& info = isa::op_info(instr.op);
     ++executed;
-    ++stats_.operations;
-    ++stats_.tcf_instructions;
+    ++delta.operations;
+    ++delta.tcf_instructions;
     if (info.is_control || instr.op == isa::Opcode::kPrint) {
       if (instr.op == isa::Opcode::kSpawn) {
         const Cycle branch = flow_branch_cost(cfg_);
-        stats_.branch_cost_cycles += branch;
+        delta.branch_cost_cycles += branch;
         executed += branch + cfg_.spawn_cost;
       }
       if (!exec_control(f, instr)) break;
@@ -409,7 +544,7 @@ const isa::Instr& Machine::fetch(TcfDescriptor& f) {
   // one instruction-memory fetch. PRAM-mode flows therefore fetch once per
   // TCF instruction regardless of thickness; NUMA streams fetch per
   // instruction; interrupted instructions re-fetch on resume.
-  ++stats_.instruction_fetches;
+  ++step_ctx_[f.home].delta.instruction_fetches;
   return program_.code[f.pc];
 }
 
@@ -461,15 +596,17 @@ Addr Machine::effective_addr(const TcfDescriptor& f, const isa::Instr& instr,
 }
 
 Word Machine::read_shared(TcfDescriptor& f, Addr a, LaneId lane) {
+  auto& ctx = step_ctx_[f.home];
   // Store forwarding: the flow sees its own *completed* writes of this step;
   // everything else is the pre-step committed state.
   if (auto it = f.step_writes.find(a); it != f.step_writes.end()) {
-    // Still counts as a memory reference for traffic purposes.
-    step_refs_.emplace_back(f.home, shared_.module_of(a));
+    // Still counts as a memory reference for traffic purposes (but not as
+    // shared-memory traffic — the value never left the group).
+    ctx.refs.emplace_back(f.home, shared_.module_of(a));
     return it->second;
   }
-  step_refs_.emplace_back(f.home, shared_.module_of(a));
-  return shared_.read(a, lane_key(f.id, lane));
+  ctx.refs.emplace_back(f.home, shared_.module_of(a));
+  return ctx.port.read(a, lane_key(f.id, lane));
 }
 
 void Machine::exec_data_lane(TcfDescriptor& f, const isa::Instr& instr,
@@ -492,8 +629,9 @@ void Machine::exec_data_lane(TcfDescriptor& f, const isa::Instr& instr,
     case Opcode::kSt: {
       const Addr a = effective_addr(f, instr, lane);
       const Word v = instr.rb == 0 ? 0 : regs[instr.rb];
-      step_refs_.emplace_back(f.home, shared_.module_of(a));
-      shared_.write(a, v, key);
+      auto& ctx = step_ctx_[f.home];
+      ctx.refs.emplace_back(f.home, shared_.module_of(a));
+      ctx.port.write(a, v, key);
       f.instr_writes[a] = v;
       return;
     }
@@ -516,8 +654,9 @@ void Machine::exec_data_lane(TcfDescriptor& f, const isa::Instr& instr,
       const Word v = instr.rb == 0 ? 0 : regs[instr.rb];
       const auto op = static_cast<mem::MultiOp>(
           static_cast<int>(instr.op) - static_cast<int>(Opcode::kMpAdd));
-      step_refs_.emplace_back(f.home, shared_.module_of(a));
-      shared_.multiop(a, op, v, key);
+      auto& ctx = step_ctx_[f.home];
+      ctx.refs.emplace_back(f.home, shared_.module_of(a));
+      ctx.port.multiop(a, op, v, key);
       f.multiop_blocked = true;
       return;
     }
@@ -530,9 +669,10 @@ void Machine::exec_data_lane(TcfDescriptor& f, const isa::Instr& instr,
       const Word v = instr.rb == 0 ? 0 : regs[instr.rb];
       const auto op = static_cast<mem::MultiOp>(
           static_cast<int>(instr.op) - static_cast<int>(Opcode::kPpAdd));
-      step_refs_.emplace_back(f.home, shared_.module_of(a));
-      const std::size_t ticket = shared_.multiprefix(a, op, v, key);
-      pending_prefixes_.push_back(PendingPrefix{f.id, lane, instr.rd, ticket});
+      auto& ctx = step_ctx_[f.home];
+      ctx.refs.emplace_back(f.home, shared_.module_of(a));
+      const std::size_t local = ctx.port.multiprefix(a, op, v, key);
+      ctx.prefix_reqs.push_back(PrefixRequest{f.id, lane, instr.rd, local});
       f.multiop_blocked = true;
       return;
     }
@@ -602,7 +742,7 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
       f.call_stack.pop_back();
       return true;
     case Opcode::kHalt:
-      on_flow_halted(f);
+      halt_in_step(f);
       return false;
     case Opcode::kSetThick: {
       const Word t = instr.use_imm()
@@ -629,7 +769,7 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
       if (t == 0) {
         // "If the thickness is set to zero then the processor does not
         // execute anything" — the flow is over.
-        on_flow_halted(f);
+        halt_in_step(f);
         return false;
       }
       const auto old = f.lane_regs.empty() ? LaneRegs{} : f.lane_regs[0];
@@ -675,7 +815,8 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
         TCFPN_FAULT(to_string(cfg_.variant),
                     " variant spawns threads of thickness 1 only");
       }
-      ++stats_.spawns;
+      auto& ctx = step_ctx_[f.home];
+      ++ctx.delta.spawns;
       if (t > 0) {
         const std::size_t entry = target(instr.imm);
         std::vector<Word> fragments{t};
@@ -689,22 +830,13 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
           TCFPN_CHECK(total == t, "spawn splitter fragments sum to ", total,
                       ", expected ", t);
         }
-        const LaneRegs broadcast = f.lane_regs[0];
-        Word base = 0;
-        for (Word part : fragments) {
-          TcfDescriptor& child = make_flow(entry, part, 0, f.id);
-          child.home = pick_group(child);
-          // The child inherits a broadcast copy of the parent's lane-0
-          // registers (flow-level state); fragments learn their base lane
-          // offset through r15 (the fragment convention).
-          for (auto& regs : child.lane_regs) {
-            regs = broadcast;
-            if (fragments.size() > 1) regs[15] = base;
-          }
-          ++f.live_children;
-          pending_spawns_.push_back(child.id);
-          base += part;
-        }
+        // The children are created at the step barrier (merge_group_effects)
+        // so that flow ids and group placement are independent of host-thread
+        // interleaving; the parent's live-children counter rises now so a
+        // same-step JOINALL already sees them.
+        f.live_children += static_cast<std::uint32_t>(fragments.size());
+        ctx.spawns.push_back(
+            SpawnRequest{f.id, entry, std::move(fragments), f.lane_regs[0]});
       }
       f.pc += 1;
       return true;
@@ -715,13 +847,13 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
         f.status = FlowStatus::kWaitingJoin;
         return false;
       }
-      ++stats_.joins;
+      ++step_ctx_[f.home].delta.joins;
       return true;
     case Opcode::kPrint: {
       const Word v = instr.use_imm()
                          ? instr.imm
                          : (instr.ra == 0 ? 0 : f.lane_regs[0][instr.ra]);
-      debug_out_.push_back(v);
+      step_ctx_[f.home].prints.push_back(v);
       f.pc += 1;
       return true;
     }

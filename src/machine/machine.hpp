@@ -15,19 +15,26 @@
 //  - cycle accounting per step: pipeline fill F plus the variant's slot
 //    term, extended by the memory term (serialisation at the hottest module
 //    vs wire distance — or a measured drain of the detailed router), so a
-//    step only hides memory latency when it carries enough parallel slack.
+//    step only hides memory latency when it carries enough parallel slack;
+//  - host parallelism: with cfg.host_threads > 1 the per-group phase of each
+//    step fans out over a persistent worker pool; every group's effects are
+//    buffered (GroupCtx) and merged at the step barrier in group order, so
+//    cycle counts, MachineStats and memory images are bit-identical to the
+//    sequential engine (the determinism differential test asserts this).
 //
 // The instruction semantics (src/isa) are interpreted per lane; control
 // instructions execute once per flow — that asymmetry is the TCF model's
 // core economy and what the Table 1 bench measures.
 #pragma once
 
+#include <exception>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "common/types.hpp"
 #include "isa/program.hpp"
@@ -111,7 +118,9 @@ class Machine {
   /// Each fragment flow receives its base lane offset in register r15 —
   /// the fragment convention used by sched:: and the fragment kernels —
   /// and all fragments are children of the spawning flow (JOINALL waits
-  /// for every fragment).
+  /// for every fragment). The hook runs at SPAWN execution time — under
+  /// host_threads > 1 possibly on a worker thread — so it must be a pure
+  /// function of the thickness (no reads of mutable machine state).
   using SpawnSplitter = std::function<std::vector<Word>(Word thickness)>;
   void set_spawn_splitter(SpawnSplitter hook) { splitter_ = std::move(hook); }
 
@@ -148,6 +157,45 @@ class Machine {
     std::uint64_t step_ops = 0;    ///< operations executed this step
   };
 
+  /// A deferred SPAWN: the child flows are created (and placed) at the step
+  /// barrier, in group order, so flow ids and allocation decisions do not
+  /// depend on how host threads interleave the per-group phase.
+  struct SpawnRequest {
+    FlowId parent;
+    std::size_t entry;
+    std::vector<Word> fragments;  ///< thickness per child (splitter applied)
+    LaneRegs broadcast;           ///< parent lane-0 registers at spawn time
+  };
+
+  /// A multiprefix issued this step; `local` indexes into the group port's
+  /// drain() ticket mapping.
+  struct PrefixRequest {
+    FlowId flow;
+    LaneId lane;
+    std::uint8_t rd;
+    std::size_t local;
+  };
+
+  /// Per-group effect buffer for one machine step. During the per-group
+  /// phase a group's execution touches only its own flows, its local memory
+  /// and this context; everything cross-group (stats, shared-memory staging,
+  /// spawns, join notifications, trace, debug prints, memory-term refs)
+  /// accumulates here and is merged at the step barrier in group order —
+  /// the determinism contract of the parallel stepping engine.
+  struct GroupCtx {
+    mem::MemoryPort port;
+    MachineStats delta;  ///< counter deltas (cycles/steps stay untouched)
+    std::vector<std::pair<GroupId, std::uint32_t>> refs;  ///< (src, module)
+    std::vector<PrefixRequest> prefix_reqs;
+    std::vector<SpawnRequest> spawns;
+    std::vector<FlowId> halted;  ///< flows halted this step (join notices)
+    std::vector<Word> prints;
+    std::vector<TraceSpan> trace;
+    std::exception_ptr error;
+
+    void reset();
+  };
+
   TcfDescriptor& flow(FlowId id);
   TcfDescriptor& make_flow(std::size_t pc, Word thickness, GroupId home,
                            FlowId parent);
@@ -156,9 +204,17 @@ class Machine {
   void admit_pending_spawns();
   void promote_overflow(GroupId g);
   void on_flow_halted(TcfDescriptor& f);
+  /// Step-synchronous halt: marks the flow halted and records a join notice
+  /// in its group context; the parent's live-children counter is decremented
+  /// at the step barrier (deterministic under host parallelism).
+  void halt_in_step(TcfDescriptor& f);
 
   // step-synchronous execution
   bool step_synchronous();
+  /// Runs one group's share of the current step into step_ctx_[g].
+  void execute_group(GroupId g, Cycle step_base);
+  /// Merges every group's effect buffer, in group order, into the machine.
+  void merge_group_effects();
   /// Executes up to `op_quota` operation slots of flow f (a full instruction
   /// when quota covers it). Returns ops consumed.
   std::uint64_t run_flow_slice(TcfDescriptor& f, std::uint64_t op_quota);
@@ -198,6 +254,9 @@ class Machine {
   std::vector<FlowId> pending_spawns_;
   std::vector<PendingPrefix> pending_prefixes_;
   std::vector<std::pair<GroupId, std::uint32_t>> step_refs_;  ///< (src, module)
+
+  std::vector<GroupCtx> step_ctx_;  ///< one effect buffer per group
+  std::unique_ptr<common::ThreadPool> pool_;  ///< nullptr => sequential
 
   MachineStats stats_;
   ScheduleTrace trace_;

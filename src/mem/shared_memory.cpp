@@ -43,6 +43,30 @@ const char* to_string(MultiOp op) {
   return "?";
 }
 
+Word MemoryPort::read(Addr a, LaneId lane) {
+  TCFPN_CHECK(shm_ != nullptr, "memory port used before attach()");
+  staged_.push_back(Staged{Kind::kRead, MultiOp::kAdd, a, 0, lane});
+  return shm_->peek(a);  // committed pre-step state; check_addr included
+}
+
+void MemoryPort::write(Addr a, Word v, LaneId lane) {
+  staged_.push_back(Staged{Kind::kWrite, MultiOp::kAdd, a, v, lane});
+}
+
+void MemoryPort::multiop(Addr a, MultiOp op, Word v, LaneId lane) {
+  staged_.push_back(Staged{Kind::kMulti, op, a, v, lane});
+}
+
+std::size_t MemoryPort::multiprefix(Addr a, MultiOp op, Word v, LaneId lane) {
+  staged_.push_back(Staged{Kind::kPrefix, op, a, v, lane});
+  return prefixes_++;
+}
+
+void MemoryPort::clear() {
+  staged_.clear();
+  prefixes_ = 0;
+}
+
 SharedMemory::SharedMemory(std::size_t words, std::uint32_t modules,
                            CrcwPolicy policy)
     : store_(words, 0),
@@ -215,6 +239,35 @@ void SharedMemory::commit_multis() {
     i = j;
   }
   pending_multis_.clear();
+}
+
+std::vector<std::size_t> SharedMemory::drain(MemoryPort& port) {
+  std::vector<std::size_t> tickets;
+  tickets.reserve(port.prefixes_);
+  for (const auto& s : port.staged_) {
+    switch (s.kind) {
+      case MemoryPort::Kind::kRead:
+        // The value was served from committed state at issue time; only the
+        // accounting (traffic, totals, EREW exclusivity) lands here.
+        note_traffic(s.addr, &ModuleTraffic::reads);
+        ++total_reads_;
+        if (policy_ == CrcwPolicy::kErew) {
+          step_reads_.emplace_back(s.addr, s.lane);
+        }
+        break;
+      case MemoryPort::Kind::kWrite:
+        write(s.addr, s.value, s.lane);
+        break;
+      case MemoryPort::Kind::kMulti:
+        multiop(s.addr, s.op, s.value, s.lane);
+        break;
+      case MemoryPort::Kind::kPrefix:
+        tickets.push_back(multiprefix(s.addr, s.op, s.value, s.lane));
+        break;
+    }
+  }
+  port.clear();
+  return tickets;
 }
 
 void SharedMemory::commit_step() {

@@ -59,6 +59,55 @@ struct ModuleTraffic {
   std::uint64_t total() const { return reads + writes + multiops; }
 };
 
+class SharedMemory;
+
+/// A per-group staging port for concurrent host-side stepping.
+///
+/// During the per-group phase of a machine step every group issues its
+/// shared-memory traffic through its own port: reads return the committed
+/// (pre-step) state — safe to perform concurrently, since nothing mutates
+/// the store mid-step — while writes, multioperations and multiprefixes are
+/// buffered in issue order together with the read accounting. At the step
+/// barrier the machine drains the ports into the SharedMemory in a fixed
+/// group order (SharedMemory::drain), so traffic counters, CRCW checks and
+/// multiprefix ticket numbering are bit-identical to a sequential run.
+class MemoryPort {
+ public:
+  MemoryPort() = default;
+  explicit MemoryPort(const SharedMemory* shm) : shm_(shm) {}
+
+  void attach(const SharedMemory* shm) { shm_ = shm; }
+
+  /// Committed-state read (concurrent-safe); accounting is deferred to
+  /// drain().
+  Word read(Addr a, LaneId lane);
+  /// Stages a write for the next commit.
+  void write(Addr a, Word v, LaneId lane);
+  /// Stages a multioperation contribution.
+  void multiop(Addr a, MultiOp op, Word v, LaneId lane);
+  /// Stages a multiprefix contribution; returns a port-local request index.
+  /// drain() maps it to the global ticket.
+  std::size_t multiprefix(Addr a, MultiOp op, Word v, LaneId lane);
+
+  bool empty() const { return staged_.empty(); }
+  void clear();
+
+ private:
+  friend class SharedMemory;
+  enum class Kind : std::uint8_t { kRead, kWrite, kMulti, kPrefix };
+  struct Staged {
+    Kind kind;
+    MultiOp op;
+    Addr addr;
+    Word value;
+    LaneId lane;
+  };
+
+  const SharedMemory* shm_ = nullptr;
+  std::vector<Staged> staged_;  ///< in issue order
+  std::size_t prefixes_ = 0;
+};
+
 class SharedMemory {
  public:
   /// `words` cells of shared memory spread over `modules` modules.
@@ -95,6 +144,13 @@ class SharedMemory {
 
   /// Result of a multiprefix ticket from the *previous* commit.
   Word prefix_result(std::size_t ticket) const;
+
+  /// Replays a port's staged accesses (in the port's issue order) into this
+  /// memory: read accounting, pending writes, multioperations. Returns the
+  /// global tickets assigned to the port's multiprefix requests, indexed by
+  /// the port-local request index. Draining ports in a fixed order makes a
+  /// host-parallel step bit-identical to a sequential one.
+  std::vector<std::size_t> drain(MemoryPort& port);
 
   /// Ends the step: applies writes under the CRCW policy, combines
   /// multioperations, computes multiprefix results, resets traffic counters

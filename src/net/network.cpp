@@ -60,11 +60,16 @@ void Network::tick() {
     bool eject;
   };
   std::vector<Move> moves;
+  // Per-link departure budget, indexed by next-hop node. A flat array keyed
+  // by node id (reused across nodes, reset per node) keeps the hot loop
+  // hash-free and its traversal order trivially deterministic.
+  std::vector<std::uint32_t> budget(topology_->nodes(), 0);
+  std::vector<NodeId> touched;
   for (NodeId n = 0; n < node_queues_.size(); ++n) {
     auto& q = node_queues_[n];
     if (q.empty()) continue;
-    // Per-link departure budget for this node this cycle.
-    std::unordered_map<NodeId, std::uint32_t> budget;
+    for (NodeId t : touched) budget[t] = 0;
+    touched.clear();
     std::size_t scanned = 0;
     const std::size_t limit = q.size();
     while (scanned < limit && !q.empty()) {
@@ -77,6 +82,7 @@ void Network::tick() {
       }
       const NodeId next = topology_->route_next(n, hop.packet.dst);
       auto& used = budget[next];
+      if (used == 0) touched.push_back(next);
       if (used >= cfg_.link_bandwidth) {
         q.push_back(hop);  // link saturated this cycle
         continue;

@@ -23,7 +23,6 @@
 #include <deque>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hpp"

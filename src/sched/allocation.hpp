@@ -2,6 +2,14 @@
 // flow allocation (Section 4's multitasking discussion: "it is much more
 // beneficial to allocate horizontally T_application/P-wide TCFs from each
 // processor core rather than ... vertically").
+//
+// Threading contract under host-parallel stepping (machine.hpp): allocation
+// hooks run at the step barrier (deferred SPAWN placement) on the thread
+// that called Machine::step — never from the worker pool and never
+// concurrently — so they may freely read machine state. Spawn splitters run
+// at SPAWN execution time, possibly on a worker-pool thread, and therefore
+// must stay pure functions of the thickness argument (as the ones installed
+// here are); placement then stays bit-identical for every host_threads.
 #pragma once
 
 #include <vector>

@@ -134,9 +134,14 @@ void Flow::apply(const std::function<void(Lane&)>& fn) {
   t_multi_acc = nullptr;
 
   // Commit the statement: ordinary writes via the CRCW machinery, then the
-  // combined multioperation results.
+  // combined multioperation results — in address order, not hash order, so
+  // that an ordinary write and a multiop racing on the same cell resolve
+  // identically on every run and standard library.
   rt_.shared_.commit_step();
-  for (const auto& [addr, value] : multi_acc) {
+  std::vector<std::pair<Addr, Word>> combined(multi_acc.begin(),
+                                              multi_acc.end());
+  std::sort(combined.begin(), combined.end());
+  for (const auto& [addr, value] : combined) {
     rt_.shared_.poke(addr, value);
   }
   clock_ += rt_.charge_statement(*this);

@@ -1,0 +1,236 @@
+// Differential determinism tests for the host-parallel stepping engine.
+//
+// The contract (DESIGN.md §4, machine/config.hpp): for any host_threads
+// value the simulated machine is bit-identical — every MachineStats field,
+// the final shared-memory image, the debug output and the step trace. These
+// tests run the same program under every execution variant with 1, 2 and 8
+// host threads and compare everything. They are the gate for the worker
+// pool: any cross-group effect that leaks past the step barrier shows up
+// here as a diff (and under TSan in CI as a race).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "machine/cost_model.hpp"
+#include "machine/machine.hpp"
+#include "tcf/builder.hpp"
+#include "tcf/kernels.hpp"
+
+namespace tcfpn::machine {
+namespace {
+
+constexpr Word kN = 48;
+constexpr Addr kA = 100, kB = 400, kC = 700, kSum = 900;
+
+/// Everything observable about a finished run.
+struct Snapshot {
+  MachineStats stats;
+  std::vector<Word> memory;
+  std::vector<Word> debug;
+  std::string trace;
+  bool completed = false;
+};
+
+bool operator==(const Snapshot& x, const Snapshot& y) {
+  return x.completed == y.completed && x.stats.cycles == y.stats.cycles &&
+         x.stats.steps == y.stats.steps &&
+         x.stats.tcf_instructions == y.stats.tcf_instructions &&
+         x.stats.operations == y.stats.operations &&
+         x.stats.instruction_fetches == y.stats.instruction_fetches &&
+         x.stats.spawns == y.stats.spawns && x.stats.joins == y.stats.joins &&
+         x.stats.busy_slots == y.stats.busy_slots &&
+         x.stats.idle_slots == y.stats.idle_slots &&
+         x.stats.memory_wait_cycles == y.stats.memory_wait_cycles &&
+         x.stats.task_switch_cycles == y.stats.task_switch_cycles &&
+         x.stats.branch_cost_cycles == y.stats.branch_cost_cycles &&
+         x.memory == y.memory && x.debug == y.debug && x.trace == y.trace;
+}
+
+isa::Program with_arrays(isa::Program p) {
+  std::vector<Word> av(kN), bv(kN);
+  for (Word i = 0; i < kN; ++i) {
+    av[i] = 3 * i + 1;
+    bv[i] = 7 * i;
+  }
+  p.data.push_back({kA, av});
+  p.data.push_back({kB, bv});
+  return p;
+}
+
+/// SPAWN / JOINALL / PPADD / PRINT across groups: the cross-group effects
+/// (deferred spawns, join notices, multiprefix tickets) all in one program.
+isa::Program spawn_prefix_program() {
+  tcf::AsmBuilder s;
+  using namespace tcf;
+  auto worker = s.make_label("worker");
+  s.ldi(r1, kN);
+  s.spawn(r1, worker);
+  s.joinall();
+  s.ld(r2, r0, static_cast<Word>(kSum));
+  s.print(r2);
+  s.halt();
+  s.bind(worker);  // fragment convention: r15 = base lane offset
+  s.tid(r2);
+  s.add(r2, r2, r15);
+  s.add(r3, r2, static_cast<Word>(kA));
+  s.ld(r4, r3);
+  s.pp(isa::Opcode::kPpAdd, r5, r4, r0, static_cast<Word>(kSum));
+  s.add(r6, r2, static_cast<Word>(kC));
+  s.st(r5, r6);
+  s.halt();
+  return s.build();
+}
+
+MachineConfig base_cfg(Variant v, std::uint32_t host_threads) {
+  MachineConfig cfg;
+  cfg.groups = v == Variant::kFixedThickness ? 1 : 4;
+  cfg.slots_per_group = 8;
+  cfg.shared_words = 1 << 12;
+  cfg.local_words = 1 << 10;
+  cfg.variant = v;
+  cfg.balanced_bound = 8;
+  cfg.host_threads = host_threads;
+  cfg.record_trace = true;
+  return cfg;
+}
+
+/// Configures, boots and runs one variant; returns everything observable.
+Snapshot run_variant(Variant v, std::uint32_t host_threads,
+                     bool spawn_heavy) {
+  MachineConfig cfg = base_cfg(v, host_threads);
+  Machine m(cfg);
+  switch (v) {
+    case Variant::kSingleInstruction:
+    case Variant::kBalanced:
+      if (spawn_heavy) {
+        m.load(with_arrays(spawn_prefix_program()));
+        m.boot(1);
+      } else {
+        m.load(with_arrays(tcf::kernels::vecadd_tcf(kN, kA, kB, kC)));
+        m.boot(1);
+      }
+      break;
+    case Variant::kMultiInstruction:
+      m.load(with_arrays(tcf::kernels::vecadd_fork(kN, kA, kB, kC)));
+      m.boot(1);
+      break;
+    case Variant::kSingleOperation:
+    case Variant::kConfigSingleOperation: {
+      m.load(with_arrays(tcf::kernels::vecadd_esm_loop(kN, kA, kB, kC)));
+      tcf::kernels::boot_esm_threads(m, m.program().entry(), 16);
+      break;
+    }
+    case Variant::kFixedThickness:
+      m.load(with_arrays(tcf::kernels::vecadd_simd(kN, 16, kA, kB, kC)));
+      m.boot(16);
+      break;
+  }
+  const RunResult run = m.run();
+  Snapshot s;
+  s.completed = run.completed;
+  s.stats = m.stats();
+  s.memory.reserve(m.shared().size());
+  for (Addr a = 0; a < m.shared().size(); ++a) {
+    s.memory.push_back(m.shared().peek(a));
+  }
+  s.debug = m.debug_output();
+  s.trace = m.trace().render();
+  return s;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(DeterminismTest, BitIdenticalAcrossHostThreads) {
+  const Variant v = GetParam();
+  const Snapshot one = run_variant(v, 1, /*spawn_heavy=*/false);
+  ASSERT_TRUE(one.completed);
+  EXPECT_TRUE(one == run_variant(v, 2, false)) << to_string(v) << " @2";
+  EXPECT_TRUE(one == run_variant(v, 8, false)) << to_string(v) << " @8";
+}
+
+TEST_P(DeterminismTest, SpawnJoinPrefixBitIdentical) {
+  const Variant v = GetParam();
+  if (v != Variant::kSingleInstruction && v != Variant::kBalanced) {
+    GTEST_SKIP() << "spawn/prefix program targets the TCF variants";
+  }
+  const Snapshot one = run_variant(v, 1, /*spawn_heavy=*/true);
+  ASSERT_TRUE(one.completed);
+  // The multiprefix result is the running sum over lanes in lane order.
+  Word expect = 0;
+  for (Word i = 0; i < kN; ++i) expect += 3 * i + 1;
+  ASSERT_EQ(one.debug, (std::vector<Word>{expect}));
+  EXPECT_TRUE(one == run_variant(v, 2, true)) << to_string(v) << " @2";
+  EXPECT_TRUE(one == run_variant(v, 8, true)) << to_string(v) << " @8";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, DeterminismTest,
+    ::testing::Values(Variant::kSingleInstruction, Variant::kBalanced,
+                      Variant::kMultiInstruction, Variant::kSingleOperation,
+                      Variant::kConfigSingleOperation,
+                      Variant::kFixedThickness),
+    [](const ::testing::TestParamInfo<Variant>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(DeterminismTest, HostThreadsBeyondGroupsIsFine) {
+  // More host threads than groups: the extra workers find no indices.
+  const Snapshot one = run_variant(Variant::kSingleInstruction, 1, true);
+  const Snapshot many = run_variant(Variant::kSingleInstruction, 16, true);
+  EXPECT_TRUE(one == many);
+}
+
+// ---- Rng reproducibility (the other half of run-to-run determinism) ----
+
+TEST(RngDeterminism, ReseedReproducesTheStream) {
+  tcfpn::Rng rng(1234);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 64; ++i) first.push_back(rng.next());
+  rng.reseed(1234);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(rng.next(), first[i]) << i;
+}
+
+TEST(RngDeterminism, SplitStreamsAreStableAndDistinct) {
+  tcfpn::Rng a(99), b(99);
+  tcfpn::Rng sa = a.split(), sb = b.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(sa.next(), sb.next());
+  // The parent stream and the split stream must not collide trivially.
+  tcfpn::Rng c(99);
+  tcfpn::Rng sc = c.split();
+  EXPECT_NE(c.next(), sc.next());
+}
+
+// ---- Cycle-arithmetic regression: products of 32-bit config fields ----
+
+TEST(CostModelWidth, TaskSwitchCostSurvives32BitOverflow) {
+  MachineConfig cfg;
+  cfg.variant = Variant::kSingleOperation;
+  cfg.slots_per_group = 1u << 20;        // T_p
+  cfg.registers_per_context = 1u << 13;  // R; product = 2^33 > uint32
+  const Cycle c = task_switch_cost(cfg, /*thickness=*/1,
+                                   /*resident_in_buffer=*/false);
+  EXPECT_EQ(c, Cycle{1} << 33);
+}
+
+TEST(CostModelWidth, CachedLaneSwapCostSurvives32BitOverflow) {
+  MachineConfig cfg;
+  cfg.variant = Variant::kSingleInstruction;
+  cfg.registers_per_context = 1u << 16;   // R
+  cfg.register_cache_words = 1u << 31;    // cache holds 2^15 lanes
+  const Word thickness = Word{1} << 20;   // more lanes than the cache
+  const Cycle r = cfg.registers_per_context;
+  const Cycle cached_lanes = Cycle{1} << 15;
+  const Cycle c = task_switch_cost(cfg, thickness,
+                                   /*resident_in_buffer=*/false);
+  EXPECT_EQ(c, r + cached_lanes * r);  // 2^16 + 2^31: needs 64-bit math
+}
+
+}  // namespace
+}  // namespace tcfpn::machine

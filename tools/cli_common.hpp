@@ -35,6 +35,8 @@ inline void usage(const char* tool, const char* what) {
       "  --bound=B         balanced-variant operation bound (default 16)\n"
       "  --topology=NAME   mesh2d (default), ring, hypercube, crossbar\n"
       "  --fu=N            functional units per processor (default 1)\n"
+      "  --host-threads=N  host threads driving the step loop (default 1);\n"
+      "                    simulated results are identical for every N\n"
       "  --trace           print the ASCII execution schedule\n"
       "  --listing         print the compiled/assembled instruction listing\n"
       "  --no-stats        suppress the statistics block\n",
@@ -101,6 +103,8 @@ inline bool parse_args(int argc, char** argv, const char* tool,
       opt->cfg.balanced_bound = static_cast<std::uint32_t>(std::stoul(v));
     } else if (parse_flag(arg, "fu", &v)) {
       opt->cfg.functional_units = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (parse_flag(arg, "host-threads", &v)) {
+      opt->cfg.host_threads = static_cast<std::uint32_t>(std::stoul(v));
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage(tool, what);
