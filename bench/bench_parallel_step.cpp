@@ -59,6 +59,7 @@ struct Sample {
   double seconds;
   machine::MachineStats stats;
   std::uint64_t mem_fingerprint;
+  metrics::MetricsSnapshot metrics;
 };
 
 bool stats_equal(const machine::MachineStats& a,
@@ -101,8 +102,11 @@ Sample run_once(std::uint32_t host_threads, const isa::Program& prog) {
       h *= 1099511628211ull;
     }
   }
+  if (host_threads == 1) {
+    bench::export_metrics_if_requested(m, run, "parallel_step");
+  }
   return Sample{host_threads, std::chrono::duration<double>(t1 - t0).count(),
-                m.stats(), h};
+                m.stats(), h, m.metrics_snapshot()};
 }
 
 }  // namespace
@@ -124,8 +128,11 @@ int main() {
   const Sample& base = samples.front();
   Table t({"host threads", "wall-clock s", "speedup", "identical"});
   for (const Sample& s : samples) {
+    // The metrics snapshot (every registered counter/accumulator, including
+    // float-valued ones) is part of the determinism contract too.
     const bool same = stats_equal(s.stats, base.stats) &&
-                      s.mem_fingerprint == base.mem_fingerprint;
+                      s.mem_fingerprint == base.mem_fingerprint &&
+                      s.metrics == base.metrics;
     if (!same) {
       std::fprintf(stderr,
                    "DETERMINISM VIOLATION at host_threads=%u\n",

@@ -66,7 +66,10 @@ double measure_fetches(Variant v) {
   } else {
     m.boot(kThickness);
   }
-  m.run();
+  const auto run = m.run();
+  // One exemplar metrics document per variant (TCFPN_METRICS_DIR hook).
+  bench::export_metrics_if_requested(
+      m, run, std::string("table1_fetches_") + machine::to_string(v));
   // Total fetches include the HALT epilogue; normalise by the payload.
   return static_cast<double>(m.stats().instruction_fetches) /
          static_cast<double>(kPayload + 1);

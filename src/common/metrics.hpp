@@ -1,0 +1,171 @@
+// Structured telemetry: a hierarchical metrics registry.
+//
+// The paper's whole argument is quantitative — Table 1 counts steps and
+// overheads per primitive, Figures 4-13 are schedules and cost curves — so
+// the simulator needs first-class measurement, not a fixed handful of
+// counters. MetricsRegistry holds named instruments addressed by
+// slash-separated paths ("net/ejection_latency", "sched/slot_occupancy"):
+//
+//  - Counter      monotone 64-bit event/cycle count
+//  - Gauge        last-set level (double)
+//  - Accumulator  streaming moments (count/sum/min/max/mean/variance)
+//  - Histogram    fixed-bucket distribution
+//
+// Determinism contract (DESIGN.md §4): registries support merge() in a
+// caller-chosen order. The machine layer gives every processor group its own
+// registry inside the per-step effect buffer (Machine::GroupCtx) and merges
+// them at the step barrier in group order, so metric values — including
+// floating-point accumulators, whose merge order matters bit-wise — are
+// identical for every --host-threads value.
+//
+// snapshot() freezes all instruments into plain values; diff() subtracts the
+// monotone parts of two snapshots (per-phase attribution); to_json() nests
+// the path hierarchy into the machine-readable export behind --metrics-json.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace tcfpn::metrics {
+
+/// Monotone event or cycle count.
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) { v_ += d; }
+  std::uint64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Last-written level (queue depth, occupancy, configuration value).
+class Gauge {
+ public:
+  void set(double v) {
+    v_ = v;
+    set_ = true;
+  }
+  double value() const { return v_; }
+  bool is_set() const { return set_; }
+  void reset() {
+    v_ = 0;
+    set_ = false;
+  }
+
+ private:
+  double v_ = 0;
+  bool set_ = false;
+};
+
+enum class InstrumentKind : std::uint8_t {
+  kCounter,
+  kGauge,
+  kAccumulator,
+  kHistogram,
+};
+
+const char* to_string(InstrumentKind k);
+
+/// One instrument frozen into plain values. Which fields are meaningful
+/// depends on `kind`; unused fields stay zero so equality is well-defined.
+struct MetricValue {
+  InstrumentKind kind = InstrumentKind::kCounter;
+  std::uint64_t count = 0;  ///< counter value / accumulator n / histogram total
+  double value = 0;         ///< gauge level (when set)
+  bool gauge_set = false;
+  double sum = 0, min = 0, max = 0, mean = 0, variance = 0;  ///< accumulator
+  double lo = 0, hi = 0;                ///< histogram range
+  std::vector<std::uint64_t> buckets;   ///< histogram buckets
+
+  bool operator==(const MetricValue&) const = default;
+};
+
+/// A frozen registry: path -> value, ordered by path.
+struct MetricsSnapshot {
+  std::map<std::string, MetricValue> entries;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+  bool empty() const { return entries.empty(); }
+
+  /// Subtracts the monotone parts (counter values, accumulator count/sum,
+  /// histogram buckets) of `before` from `after`; gauges and the
+  /// non-subtractable accumulator moments (min/max/mean/variance) keep
+  /// `after`'s values. Entries missing from `before` pass through unchanged.
+  static MetricsSnapshot diff(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after);
+
+  /// Nested JSON: path segments become nested objects, each leaf a typed
+  /// object ({"type":"counter","value":N}, ...). `indent` is the base
+  /// indentation of the emitted block (the opening '{' is not indented so
+  /// the result can be embedded after a key).
+  std::string to_json(int indent = 0) const;
+};
+
+/// Named instruments addressed by slash-separated paths. Registration is
+/// idempotent: asking for an existing path returns the same instrument;
+/// asking with a different kind (or conflicting histogram shape) faults, as
+/// does registering a path that nests under (or over) an existing leaf.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  MetricsRegistry(MetricsRegistry&&) = default;
+  MetricsRegistry& operator=(MetricsRegistry&&) = default;
+
+  Counter& counter(const std::string& path);
+  Gauge& gauge(const std::string& path);
+  Accumulator& accumulator(const std::string& path);
+  Histogram& histogram(const std::string& path, double lo, double hi,
+                       std::size_t buckets);
+
+  bool contains(const std::string& path) const;
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  MetricsSnapshot snapshot() const;
+
+  /// Folds `other`'s instruments into this registry: counters add,
+  /// accumulators merge (Welford combine — order-sensitive in floating
+  /// point, so callers fix the merge order), histograms add bucket-wise,
+  /// gauges take `other`'s value when it was set. Instruments missing here
+  /// are created; kind mismatches fault.
+  void merge(const MetricsRegistry& other);
+
+  /// Zeroes every instrument, keeping the structure (and therefore every
+  /// reference handed out) intact.
+  void reset();
+
+ private:
+  struct Entry {
+    InstrumentKind kind;
+    // Stable addresses across map growth: each instrument is heap-allocated
+    // once and never moves, so cached Counter*/Histogram* stay valid.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Accumulator> accumulator;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* find(const std::string& path, InstrumentKind kind);
+  void check_path(const std::string& path) const;
+
+  std::map<std::string, Entry> entries_;
+};
+
+/// Escapes a string for embedding inside a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view s);
+
+/// Minimal structural JSON validator (objects, arrays, strings, numbers,
+/// literals; full-input consumption; bounded depth). Used by the tests to
+/// assert the exporters emit loadable documents without a JSON dependency.
+bool json_valid(std::string_view text, std::string* error = nullptr);
+
+}  // namespace tcfpn::metrics

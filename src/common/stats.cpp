@@ -96,6 +96,21 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
   TCFPN_CHECK(buckets > 0, "histogram needs at least one bucket");
 }
 
+void Histogram::merge(const Histogram& other) {
+  TCFPN_CHECK(lo_ == other.lo_ && hi_ == other.hi_ &&
+                  counts_.size() == other.counts_.size(),
+              "merging histograms of different shapes");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
 void Histogram::add(double x) {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   auto idx = static_cast<std::int64_t>((x - lo_) / width);

@@ -39,7 +39,10 @@ class Accumulator {
 /// bench-scale sample counts (≤ millions).
 class Samples {
  public:
-  void add(double x) { xs_.push_back(x); }
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
   std::size_t count() const { return xs_.size(); }
   double mean() const;
   double percentile(double p) const;  ///< p in [0,100], linear interpolation
@@ -60,9 +63,16 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t buckets);
 
   void add(double x);
+  /// Adds another histogram bucket-wise; both must have the same shape
+  /// (lo, hi, bucket count).
+  void merge(const Histogram& other);
+  /// Zeroes every bucket, keeping the shape.
+  void reset();
   std::uint64_t count() const { return total_; }
   std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
   std::size_t buckets() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   double bucket_lo(std::size_t i) const;
   double bucket_hi(std::size_t i) const;
 

@@ -1,10 +1,13 @@
 #include "common/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <sstream>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 
 namespace tcfpn {
 
@@ -32,7 +35,10 @@ std::string ScheduleTrace::render(std::uint64_t cycles_per_column,
   const auto columns = static_cast<std::size_t>((max_cycle + cpc - 1) / cpc);
 
   std::vector<std::string> lines(max_row + 1, std::string(columns, '.'));
-  std::map<char, std::string> legend;
+  // A glyph can be claimed by several distinct labels (flow ids 26 apart
+  // share 'A' + id % 26); keep every distinct label so the legend flags the
+  // collision instead of silently attributing all spans to the first label.
+  std::map<char, std::vector<std::string>> legend;
   for (const auto& s : spans_) {
     if (s.begin == s.end) continue;
     const auto c0 = static_cast<std::size_t>(s.begin / cpc);
@@ -40,22 +46,104 @@ std::string ScheduleTrace::render(std::uint64_t cycles_per_column,
     for (std::size_t c = c0; c <= c1 && c < columns; ++c) {
       lines[s.row][c] = s.glyph;
     }
-    legend.emplace(s.glyph, s.label);
+    auto& labels = legend[s.glyph];
+    if (std::find(labels.begin(), labels.end(), s.label) == labels.end()) {
+      labels.push_back(s.label);
+    }
   }
+
+  // Row labels pad to the widest row number so "P9  |", "P99 |" and
+  // "P100|" columns all line up.
+  const std::size_t row_digits = std::to_string(max_row).size();
 
   std::ostringstream os;
   os << "cycles 0.." << max_cycle << " (" << cpc << " cycle(s)/column)\n";
   for (std::uint32_t r = 0; r <= max_row; ++r) {
-    os << "P" << r << (r < 10 ? "  |" : " |") << lines[r] << "|\n";
+    const std::string rs = std::to_string(r);
+    os << "P" << rs << std::string(row_digits - rs.size() + 1, ' ') << "|"
+       << lines[r] << "|\n";
   }
   os << "legend: ";
   bool first = true;
-  for (const auto& [glyph, label] : legend) {
+  for (const auto& [glyph, labels] : legend) {
     if (!first) os << ", ";
-    os << glyph << "=" << label;
     first = false;
+    os << glyph << "=" << labels[0];
+    if (labels.size() > 1) {
+      // Collided glyph: list the other claimants (capped) so no span is
+      // silently mislabelled.
+      constexpr std::size_t kShown = 3;
+      for (std::size_t i = 1; i < labels.size() && i < kShown; ++i) {
+        os << "|" << labels[i];
+      }
+      if (labels.size() > kShown) {
+        os << "|+" << labels.size() - kShown << " more";
+      }
+    }
   }
   os << "\n";
+  return os.str();
+}
+
+std::string chrome_trace_json(
+    const ScheduleTrace& sim, const std::vector<HostSpan>& host,
+    const std::vector<std::pair<std::string, std::string>>& metadata) {
+  std::ostringstream os;
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  sep();
+  os << "    {\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": "
+        "\"process_name\", \"args\": {\"name\": \"simulated schedule (1 "
+        "cycle = 1us)\"}}";
+
+  std::uint32_t max_row = 0;
+  for (const auto& s : sim.spans()) max_row = std::max(max_row, s.row);
+  if (!sim.spans().empty()) {
+    for (std::uint32_t r = 0; r <= max_row; ++r) {
+      sep();
+      os << "    {\"ph\": \"M\", \"pid\": 0, \"tid\": " << r
+         << ", \"name\": \"thread_name\", \"args\": {\"name\": \"P" << r
+         << "\"}}";
+    }
+  }
+  for (const auto& s : sim.spans()) {
+    if (s.begin == s.end) continue;
+    sep();
+    os << "    {\"ph\": \"X\", \"pid\": 0, \"tid\": " << s.row
+       << ", \"name\": \"" << metrics::json_escape(s.label)
+       << "\", \"ts\": " << s.begin << ", \"dur\": " << s.end - s.begin
+       << "}";
+  }
+
+  if (!host.empty()) {
+    sep();
+    os << "    {\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+          "\"process_name\", \"args\": {\"name\": \"host stepping engine "
+          "(wall clock)\"}}";
+    for (const auto& h : host) {
+      sep();
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "\"ts\": %.3f, \"dur\": %.3f", h.ts_us,
+                    h.dur_us);
+      os << "    {\"ph\": \"X\", \"pid\": 1, \"tid\": " << h.tid
+         << ", \"name\": \"" << metrics::json_escape(h.name) << "\", " << buf
+         << "}";
+    }
+  }
+
+  os << "\n  ],\n  \"otherData\": {";
+  for (std::size_t i = 0; i < metadata.size(); ++i) {
+    if (i) os << ",";
+    os << "\n    \"" << metrics::json_escape(metadata[i].first) << "\": \""
+       << metrics::json_escape(metadata[i].second) << "\"";
+  }
+  if (!metadata.empty()) os << "\n  ";
+  os << "}\n}\n";
   return os.str();
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -46,5 +47,25 @@ class ScheduleTrace {
   bool enabled_ = false;
   std::vector<TraceSpan> spans_;
 };
+
+/// A host-side (wall-clock) span: one timed phase of the stepping engine on
+/// one host thread. Recorded by the machine when host profiling is enabled
+/// and exported into the Chrome trace alongside the simulated schedule.
+struct HostSpan {
+  std::string name;    ///< "subsystem/phase", e.g. "machine/group_phase"
+  std::uint32_t tid = 0;
+  double ts_us = 0;    ///< start, microseconds since profiling began
+  double dur_us = 0;
+};
+
+/// Renders the simulated schedule and the host-side phase spans as one
+/// Chrome trace-event / Perfetto JSON document (open in ui.perfetto.dev or
+/// chrome://tracing). Simulated spans land in process 0 with one track per
+/// processor row, mapping 1 simulated cycle to 1 microsecond; host spans
+/// land in process 1 on the wall clock. `metadata` key/value pairs are
+/// embedded under "otherData".
+std::string chrome_trace_json(
+    const ScheduleTrace& sim, const std::vector<HostSpan>& host,
+    const std::vector<std::pair<std::string, std::string>>& metadata = {});
 
 }  // namespace tcfpn

@@ -81,6 +81,18 @@ struct MachineConfig {
   // ---- instrumentation ----
   bool record_trace = false;  ///< keep the per-step Gantt trace
 
+  /// Record a StepSample (cumulative stats snapshot) every N machine steps
+  /// into Machine::step_samples(). 0 disables sampling. Sampling reads only
+  /// barrier-side state, so it never perturbs determinism.
+  std::uint32_t sample_every = 0;
+
+  /// Time the host-side phases of the stepping engine (group phase, effect
+  /// merge, memory commit, memory term, housekeeping) with a wall clock and
+  /// keep them as HostSpans for the Chrome trace export. Wall-clock values
+  /// are inherently non-deterministic; they live outside the metrics
+  /// registry and never feed back into simulated state.
+  bool profile_host = false;
+
   /// Total thread/TCF slots across the machine: P * T_p.
   std::uint64_t total_slots() const {
     return static_cast<std::uint64_t>(groups) * slots_per_group;

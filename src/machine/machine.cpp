@@ -16,7 +16,22 @@ LaneId lane_key(FlowId flow, LaneId lane) { return (flow << 40) | lane; }
 constexpr std::uint64_t kUnlimited = std::numeric_limits<std::uint64_t>::max();
 constexpr std::uint64_t kLaneOpGuard = 4'000'000;  // runaway-lane guard (XMT)
 
+// Host-profiling span cap: a span is ~50 bytes, so this bounds the buffer at
+// a few tens of MB even for million-step runs.
+constexpr std::size_t kMaxHostSpans = 1u << 20;
+
 }  // namespace
+
+void Machine::bind_lane_counters(metrics::MetricsRegistry& reg,
+                                 LaneCounters& lc) {
+  lc.shared_reads = &reg.counter("mem/shared_reads");
+  lc.shared_writes = &reg.counter("mem/shared_writes");
+  lc.local_reads = &reg.counter("mem/local_reads");
+  lc.local_writes = &reg.counter("mem/local_writes");
+  lc.multiop_contributions = &reg.counter("mem/multiop_contributions");
+  lc.prefix_contributions = &reg.counter("mem/prefix_contributions");
+  lc.store_forwards = &reg.counter("mem/store_forwards");
+}
 
 Machine::Machine(MachineConfig cfg)
     : cfg_(cfg),
@@ -35,7 +50,17 @@ Machine::Machine(MachineConfig cfg)
   }
   groups_.resize(cfg_.groups);
   step_ctx_.resize(cfg_.groups);
-  for (auto& ctx : step_ctx_) ctx.port.attach(&shared_);
+  for (auto& ctx : step_ctx_) {
+    ctx.port.attach(&shared_);
+    bind_lane_counters(ctx.metrics, ctx.lanes);
+  }
+  // The machine-level registry also carries the lane counters (fed directly
+  // by the single-threaded XMT path, and by the group registries' merges)
+  // plus the commit-side memory and router instruments — all of which are
+  // only touched at the step barrier.
+  bind_lane_counters(metrics_, gm_);
+  shared_.bind_metrics(&metrics_);
+  net_->bind_metrics(&metrics_);
   if (cfg_.host_threads > 1 && is_step_synchronous(cfg_.variant)) {
     pool_ = std::make_unique<common::ThreadPool>(cfg_.host_threads);
   }
@@ -52,6 +77,35 @@ void Machine::GroupCtx::reset() {
   prints.clear();
   trace.clear();
   error = nullptr;
+  metrics.reset();  // zeroes values, keeps instruments: lane pointers survive
+}
+
+double Machine::host_clock_us() {
+  if (!host_t0_set_) {
+    host_t0_ = std::chrono::steady_clock::now();
+    host_t0_set_ = true;
+  }
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - host_t0_)
+      .count();
+}
+
+void Machine::host_span(const char* name, double start_us) {
+  if (host_spans_.size() >= kMaxHostSpans) return;
+  const double now = host_clock_us();
+  host_spans_.push_back(HostSpan{name, 0, start_us, now - start_us});
+}
+
+void Machine::maybe_sample_step() {
+  if (cfg_.sample_every == 0 || stats_.steps % cfg_.sample_every != 0) return;
+  step_samples_.push_back(StepSample{stats_.steps, stats_.cycles,
+                                     stats_.operations, stats_.busy_slots,
+                                     stats_.idle_slots, live_flows()});
+}
+
+void Machine::charge(Cycle c) {
+  stats_.cycles += c;
+  metrics_.counter("sched/charged_cycles").add(c);
 }
 
 void Machine::load(const isa::Program& program) {
@@ -176,12 +230,14 @@ void Machine::promote_overflow(GroupId g) {
     }
     grp.overflow.erase(grp.overflow.begin() +
                        static_cast<std::ptrdiff_t>(i));
+    metrics_.counter("sched/overflow_promotions").add();
     if (f.evicted_once) {
       // Reloading a previously displaced TCF pays the swap-in.
       const Cycle c = task_switch_cost(cfg_, f.thickness,
                                        /*resident_in_buffer=*/false);
       stats_.task_switch_cycles += c;
       stats_.cycles += c;
+      metrics_.counter("sched/swap_in_cycles").add(c);
     }
     grp.resident.push_back(id);
   }
@@ -271,16 +327,22 @@ bool Machine::step_synchronous() {
       ctx.error = std::current_exception();
     }
   };
+  double t0 = cfg_.profile_host ? host_clock_us() : 0;
   if (pool_) {
     pool_->parallel_for(cfg_.groups, run_group);
   } else {
     for (GroupId g = 0; g < cfg_.groups; ++g) run_group(g);
+  }
+  if (cfg_.profile_host) {
+    host_span("machine/group_phase", t0);
+    t0 = host_clock_us();
   }
 
   // Step barrier: merge every group's effects in group order — the same
   // order the sequential engine produced them in, so the machine state after
   // the merge is bit-identical for every host_threads value.
   merge_group_effects();
+  if (cfg_.profile_host) host_span("machine/merge_effects", t0);
 
   std::vector<Cycle> group_work(cfg_.groups, 0);
   for (GroupId g = 0; g < cfg_.groups; ++g) {
@@ -382,6 +444,10 @@ void Machine::merge_group_effects() {
     stats_.joins += ctx.delta.joins;
     stats_.branch_cost_cycles += ctx.delta.branch_cost_cycles;
 
+    // Per-group metric instruments land in the machine registry here, in
+    // group order, so snapshots are bit-identical across host_threads.
+    metrics_.merge(ctx.metrics);
+
     // Memory-term references in issue order: the detailed router is
     // injection-order sensitive, so the merged order must be the sequential
     // one (group by group, flows in resident order).
@@ -413,6 +479,9 @@ void Machine::merge_group_effects() {
       for (Word part : sp.fragments) {
         TcfDescriptor& child = make_flow(sp.entry, part, 0, sp.parent);
         child.home = pick_group(child);
+        metrics_.counter("sched/spawn_placements").add();
+        metrics_.accumulator("sched/placement_load")
+            .add(static_cast<double>(group_load(child.home)));
         // The child inherits a broadcast copy of the parent's lane-0
         // registers (flow-level state); fragments learn their base lane
         // offset through r15 (the fragment convention).
@@ -603,9 +672,11 @@ Word Machine::read_shared(TcfDescriptor& f, Addr a, LaneId lane) {
     // Still counts as a memory reference for traffic purposes (but not as
     // shared-memory traffic — the value never left the group).
     ctx.refs.emplace_back(f.home, shared_.module_of(a));
+    ctx.lanes.store_forwards->add();
     return it->second;
   }
   ctx.refs.emplace_back(f.home, shared_.module_of(a));
+  ctx.lanes.shared_reads->add();
   return ctx.port.read(a, lane_key(f.id, lane));
 }
 
@@ -631,17 +702,20 @@ void Machine::exec_data_lane(TcfDescriptor& f, const isa::Instr& instr,
       const Word v = instr.rb == 0 ? 0 : regs[instr.rb];
       auto& ctx = step_ctx_[f.home];
       ctx.refs.emplace_back(f.home, shared_.module_of(a));
+      ctx.lanes.shared_writes->add();
       ctx.port.write(a, v, key);
       f.instr_writes[a] = v;
       return;
     }
     case Opcode::kLld: {
       const Addr a = effective_addr(f, instr, lane);
+      step_ctx_[f.home].lanes.local_reads->add();
       write_reg(instr.rd, locals_[f.home].read(a));
       return;
     }
     case Opcode::kLst: {
       const Addr a = effective_addr(f, instr, lane);
+      step_ctx_[f.home].lanes.local_writes->add();
       locals_[f.home].write(a, instr.rb == 0 ? 0 : regs[instr.rb]);
       return;
     }
@@ -656,6 +730,7 @@ void Machine::exec_data_lane(TcfDescriptor& f, const isa::Instr& instr,
           static_cast<int>(instr.op) - static_cast<int>(Opcode::kMpAdd));
       auto& ctx = step_ctx_[f.home];
       ctx.refs.emplace_back(f.home, shared_.module_of(a));
+      ctx.lanes.multiop_contributions->add();
       ctx.port.multiop(a, op, v, key);
       f.multiop_blocked = true;
       return;
@@ -671,6 +746,7 @@ void Machine::exec_data_lane(TcfDescriptor& f, const isa::Instr& instr,
           static_cast<int>(instr.op) - static_cast<int>(Opcode::kPpAdd));
       auto& ctx = step_ctx_[f.home];
       ctx.refs.emplace_back(f.home, shared_.module_of(a));
+      ctx.lanes.prefix_contributions->add();
       const std::size_t local = ctx.port.multiprefix(a, op, v, key);
       ctx.prefix_reqs.push_back(PrefixRequest{f.id, lane, instr.rd, local});
       f.multiop_blocked = true;
@@ -885,11 +961,17 @@ Cycle Machine::memory_term() {
     max_dist = std::max(
         max_dist, net_->topology().distance(src, module % cfg_.groups));
   }
+  std::uint64_t hottest = 0;
+  for (auto l : loads) hottest = std::max(hottest, l);
+  metrics_.accumulator("net/hot_module_load")
+      .add(static_cast<double>(hottest));
+  metrics_.accumulator("net/wire_distance").add(max_dist);
   return net_->latency_bound(loads, max_dist);
 }
 
 void Machine::finish_step(Cycle slot_term_max,
                           const std::vector<Cycle>& group_work) {
+  double t0 = cfg_.profile_host ? host_clock_us() : 0;
   shared_.commit_step();
   // Multiprefix results materialise at commit; deliver them to lanes.
   for (const auto& p : pending_prefixes_) {
@@ -899,8 +981,16 @@ void Machine::finish_step(Cycle slot_term_max,
     }
   }
   pending_prefixes_.clear();
+  if (cfg_.profile_host) {
+    host_span("mem/commit_step", t0);
+    t0 = host_clock_us();
+  }
 
   const Cycle mem = memory_term();
+  if (cfg_.profile_host) {
+    host_span("net/memory_term", t0);
+    t0 = host_clock_us();
+  }
   step_refs_.clear();
   const Cycle body = std::max(slot_term_max, mem);
   stats_.memory_wait_cycles += mem > slot_term_max ? mem - slot_term_max : 0;
@@ -909,6 +999,23 @@ void Machine::finish_step(Cycle slot_term_max,
   for (GroupId g = 0; g < cfg_.groups; ++g) {
     stats_.busy_slots += group_work[g];
     stats_.idle_slots += body - std::min<Cycle>(body, group_work[g]);
+  }
+
+  // Cost-category accounting: where the step's cycles went (the cost model
+  // of DESIGN.md §4 item 3, one counter per term) and how full the TCF
+  // buffers ran. All barrier-side, so plain registry lookups are fine.
+  metrics_.counter("machine/pipeline_fill_cycles").add(cfg_.pipeline_fill);
+  metrics_.counter("machine/slot_term_cycles").add(slot_term_max);
+  metrics_.counter("machine/memory_term_cycles").add(mem);
+  metrics_.counter("machine/memory_wait_cycles")
+      .add(mem > slot_term_max ? mem - slot_term_max : 0);
+  {
+    auto& occupancy = metrics_.accumulator("sched/slot_occupancy");
+    auto& overflow = metrics_.accumulator("sched/overflow_depth");
+    for (GroupId g = 0; g < cfg_.groups; ++g) {
+      occupancy.add(static_cast<double>(groups_[g].resident.size()));
+      overflow.add(static_cast<double>(groups_[g].overflow.size()));
+    }
   }
 
   // Step-boundary housekeeping: forwarding buffers, multiop blocks, wakes,
@@ -930,6 +1037,8 @@ void Machine::finish_step(Cycle slot_term_max,
     });
   }
   admit_pending_spawns();
+  maybe_sample_step();
+  if (cfg_.profile_host) host_span("sched/step_housekeeping", t0);
 }
 
 // --------------------------------------------------------------------------
@@ -1015,18 +1124,22 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
       case Opcode::kNumaSet:
         TCFPN_FAULT("multi-instruction variant drops NUMA support");
       case Opcode::kLd:
+        gm_.shared_reads->add();
         write_reg(instr.rd, shared_.peek(ea()));
         ++lane_pc;
         continue;
       case Opcode::kSt:
+        gm_.shared_writes->add();
         shared_.poke(ea(), instr.rb == 0 ? 0 : regs[instr.rb]);
         ++lane_pc;
         continue;
       case Opcode::kLld:
+        gm_.local_reads->add();
         write_reg(instr.rd, locals_[f.home].read(ea()));
         ++lane_pc;
         continue;
       case Opcode::kLst:
+        gm_.local_writes->add();
         locals_[f.home].write(ea(), instr.rb == 0 ? 0 : regs[instr.rb]);
         ++lane_pc;
         continue;
@@ -1037,6 +1150,7 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
       case Opcode::kMpOr: {
         // Immediate fetch-and-op (XMT-style atomic): one legal asynchronous
         // interleaving, serialised by simulation order.
+        gm_.multiop_contributions->add();
         const Addr a = ea();
         const auto op = static_cast<mem::MultiOp>(
             static_cast<int>(instr.op) - static_cast<int>(Opcode::kMpAdd));
@@ -1051,6 +1165,7 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
       case Opcode::kPpMin:
       case Opcode::kPpAnd:
       case Opcode::kPpOr: {
+        gm_.prefix_contributions->add();
         const Addr a = ea();
         const auto op = static_cast<mem::MultiOp>(
             static_cast<int>(instr.op) - static_cast<int>(Opcode::kPpAdd));
@@ -1114,6 +1229,7 @@ bool Machine::step_multi_instruction() {
   }
   if (ready.empty()) return false;
 
+  const double t0 = cfg_.profile_host ? host_clock_us() : 0;
   std::uint64_t total_ops = 0;
   for (FlowId id : ready) {
     TcfDescriptor& f = flow(id);
@@ -1158,6 +1274,7 @@ bool Machine::step_multi_instruction() {
   stats_.busy_slots += total_ops;
   stats_.idle_slots += phase * units - total_ops;
   ++stats_.steps;
+  metrics_.counter("machine/phase_cycles").add(phase);
 
   // Wake joiners whose children have all halted; charge the join barrier.
   for (auto& fp : flows_) {
@@ -1165,12 +1282,16 @@ bool Machine::step_multi_instruction() {
       fp->status = FlowStatus::kReady;
       stats_.cycles += cfg_.join_cost;
       ++stats_.joins;
+      metrics_.counter("machine/join_cycles").add(cfg_.join_cost);
     }
   }
   admit_pending_spawns();
   if (!pending_spawns_.empty() || !ready.empty()) {
     stats_.cycles += cfg_.spawn_cost;  // dispatch overhead per phase
+    metrics_.counter("machine/spawn_cycles").add(cfg_.spawn_cost);
   }
+  maybe_sample_step();
+  if (cfg_.profile_host) host_span("machine/xmt_phase", t0);
   return true;
 }
 
@@ -1196,6 +1317,8 @@ Cycle Machine::suspend_flow(FlowId id) {
   const Cycle c = task_switch_cost(cfg_, f.thickness, resident);
   stats_.task_switch_cycles += c;
   stats_.cycles += c;
+  metrics_.counter("sched/suspends").add();
+  metrics_.counter("sched/swap_out_cycles").add(c);
   return c;
 }
 
@@ -1234,6 +1357,8 @@ Cycle Machine::resume_flow(FlowId id) {
   }
   stats_.task_switch_cycles += c;
   stats_.cycles += c;
+  metrics_.counter("sched/resumes").add();
+  metrics_.counter("sched/swap_in_cycles").add(c);
   return c;
 }
 
@@ -1248,6 +1373,8 @@ Cycle Machine::evict_flow(FlowId id) {
   const Cycle c =
       task_switch_cost(cfg_, f.thickness, /*resident_in_buffer=*/false);
   stats_.task_switch_cycles += c;
+  metrics_.counter("sched/evictions").add();
+  metrics_.counter("sched/swap_out_cycles").add(c);
   return c;
 }
 

@@ -27,6 +27,7 @@
 // core economy and what the Table 1 bench measures.
 #pragma once
 
+#include <chrono>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -34,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "common/types.hpp"
@@ -73,6 +75,17 @@ struct RunResult {
   StepId steps = 0;
 };
 
+/// One point of the optional per-step time series (cfg.sample_every): the
+/// cumulative MachineStats counters as they stood after sampled steps.
+struct StepSample {
+  StepId step = 0;
+  Cycle cycles = 0;
+  std::uint64_t operations = 0;
+  std::uint64_t busy_slots = 0;
+  std::uint64_t idle_slots = 0;
+  std::uint64_t live_flows = 0;
+};
+
 class Machine {
  public:
   explicit Machine(MachineConfig cfg);
@@ -105,7 +118,7 @@ class Machine {
   /// returns the swap-out cost. The next promotion pays the swap-in.
   Cycle evict_flow(FlowId id);
   /// Adds external cycles (scheduler decisions) to the run clock.
-  void charge(Cycle c) { stats_.cycles += c; }
+  void charge(Cycle c);
 
   /// Placement policy for spawned flows; default = least loaded group.
   using AllocationHook = std::function<GroupId(const TcfDescriptor& child)>;
@@ -133,6 +146,22 @@ class Machine {
   const MachineStats& stats() const { return stats_; }
   const ScheduleTrace& trace() const { return trace_; }
   const std::vector<Word>& debug_output() const { return debug_out_; }
+
+  /// The machine's metrics registry ("net/...", "mem/...", "sched/...",
+  /// "machine/..." instruments). Per-group counters accumulate in each
+  /// group's effect buffer during the parallel phase and merge here at the
+  /// step barrier in group order, so a snapshot is bit-identical for every
+  /// cfg.host_threads value.
+  metrics::MetricsRegistry& metrics() { return metrics_; }
+  const metrics::MetricsRegistry& metrics() const { return metrics_; }
+  metrics::MetricsSnapshot metrics_snapshot() const {
+    return metrics_.snapshot();
+  }
+
+  /// Wall-clock phase timings recorded when cfg.profile_host is set.
+  const std::vector<HostSpan>& host_spans() const { return host_spans_; }
+  /// Per-step time series recorded when cfg.sample_every > 0.
+  const std::vector<StepSample>& step_samples() const { return step_samples_; }
 
   /// Sets a lane register of a flow before running (front-end/test setup).
   void poke_reg(FlowId id, LaneId lane, std::uint8_t reg, Word value);
@@ -176,12 +205,30 @@ class Machine {
     std::size_t local;
   };
 
+  /// Raw pointers to the per-lane-operation counters of one registry, bound
+  /// once at construction so the hot path never pays a path lookup.
+  struct LaneCounters {
+    metrics::Counter* shared_reads = nullptr;
+    metrics::Counter* shared_writes = nullptr;
+    metrics::Counter* local_reads = nullptr;
+    metrics::Counter* local_writes = nullptr;
+    metrics::Counter* multiop_contributions = nullptr;
+    metrics::Counter* prefix_contributions = nullptr;
+    metrics::Counter* store_forwards = nullptr;
+  };
+
+  /// Registers the per-lane-operation counters in `reg` and caches their
+  /// addresses in `lc` (registry entries are heap-allocated, so the pointers
+  /// survive registry moves).
+  static void bind_lane_counters(metrics::MetricsRegistry& reg,
+                                 LaneCounters& lc);
+
   /// Per-group effect buffer for one machine step. During the per-group
   /// phase a group's execution touches only its own flows, its local memory
   /// and this context; everything cross-group (stats, shared-memory staging,
-  /// spawns, join notifications, trace, debug prints, memory-term refs)
-  /// accumulates here and is merged at the step barrier in group order —
-  /// the determinism contract of the parallel stepping engine.
+  /// spawns, join notifications, trace, debug prints, memory-term refs,
+  /// metric counters) accumulates here and is merged at the step barrier in
+  /// group order — the determinism contract of the parallel stepping engine.
   struct GroupCtx {
     mem::MemoryPort port;
     MachineStats delta;  ///< counter deltas (cycles/steps stay untouched)
@@ -192,6 +239,8 @@ class Machine {
     std::vector<Word> prints;
     std::vector<TraceSpan> trace;
     std::exception_ptr error;
+    metrics::MetricsRegistry metrics;  ///< merged at the barrier, group order
+    LaneCounters lanes;                ///< bound into `metrics`
 
     void reset();
   };
@@ -261,6 +310,21 @@ class Machine {
   MachineStats stats_;
   ScheduleTrace trace_;
   std::vector<Word> debug_out_;
+
+  // ---- telemetry ----
+  /// Microseconds since the first host-profiling observation.
+  double host_clock_us();
+  /// Appends a HostSpan named `name` covering [start_us, now] (main-thread
+  /// only; bounded so pathological runs cannot exhaust memory).
+  void host_span(const char* name, double start_us);
+  void maybe_sample_step();
+
+  metrics::MetricsRegistry metrics_;
+  LaneCounters gm_;  ///< machine-level lane counters (single-threaded paths)
+  std::vector<HostSpan> host_spans_;
+  std::vector<StepSample> step_samples_;
+  std::chrono::steady_clock::time_point host_t0_{};
+  bool host_t0_set_ = false;
 };
 
 }  // namespace tcfpn::machine

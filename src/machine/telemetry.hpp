@@ -1,0 +1,41 @@
+// Machine-readable telemetry documents for a finished (or in-flight) run.
+//
+// Two formats, both dependency-free:
+//
+//  - metrics_json_document: run metadata + the machine's full metrics
+//    registry snapshot as a nested JSON object (one subtree per subsystem:
+//    "net", "mem", "sched", "machine") + the optional per-step time series
+//    (cfg.sample_every). The snapshot is bit-identical for every
+//    cfg.host_threads value — the registry merges per-group instruments at
+//    the step barrier in group order — so two runs of the same program at
+//    different host parallelism produce byte-identical "metrics" subtrees.
+//
+//  - trace_json_document: the Chrome trace-event / Perfetto rendering of the
+//    simulated schedule (cfg.record_trace) and the host-side phase timings
+//    (cfg.profile_host). Open in ui.perfetto.dev or chrome://tracing.
+//
+// The CLI drivers (--metrics-json / --trace-json), the benches and the tests
+// all build their documents through these two functions.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace tcfpn::machine {
+
+using MetaPairs = std::vector<std::pair<std::string, std::string>>;
+
+/// Serialises run metadata, the metrics snapshot and any step samples as one
+/// JSON document. `extra` key/value pairs (tool name, input file, ...) are
+/// merged into the "run" object.
+std::string metrics_json_document(const Machine& m, const RunResult& run,
+                                  const MetaPairs& extra = {});
+
+/// Serialises the schedule trace and host spans as Chrome trace-event JSON.
+/// `extra` pairs land under "otherData" alongside the machine description.
+std::string trace_json_document(const Machine& m, const MetaPairs& extra = {});
+
+}  // namespace tcfpn::machine

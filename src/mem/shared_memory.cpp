@@ -142,6 +142,20 @@ Word SharedMemory::prefix_result(std::size_t ticket) const {
   return prefix_results_[ticket];
 }
 
+void SharedMemory::bind_metrics(metrics::MetricsRegistry* reg) {
+  if (reg == nullptr) {
+    m_write_cells_ = nullptr;
+    m_concurrent_write_cells_ = nullptr;
+    m_multiop_cells_ = nullptr;
+    m_prefix_tickets_ = nullptr;
+    return;
+  }
+  m_write_cells_ = &reg->counter("mem/committed_write_cells");
+  m_concurrent_write_cells_ = &reg->counter("mem/concurrent_write_cells");
+  m_multiop_cells_ = &reg->counter("mem/multiop_cells_combined");
+  m_prefix_tickets_ = &reg->counter("mem/prefix_tickets");
+}
+
 void SharedMemory::commit_writes() {
   if (pending_writes_.empty()) return;
   std::sort(pending_writes_.begin(), pending_writes_.end(),
@@ -156,7 +170,11 @@ void SharedMemory::commit_writes() {
     }
     const std::size_t writers = j - i;
     const Addr addr = pending_writes_[i].addr;
+    if (m_write_cells_ != nullptr) m_write_cells_->add();
     if (writers > 1) {
+      if (m_concurrent_write_cells_ != nullptr) {
+        m_concurrent_write_cells_->add();
+      }
       switch (policy_) {
         case CrcwPolicy::kErew:
         case CrcwPolicy::kCrew:
@@ -221,6 +239,7 @@ void SharedMemory::commit_multis() {
     }
     const Addr addr = pending_multis_[i].addr;
     const MultiOp op = pending_multis_[i].op;
+    if (m_multiop_cells_ != nullptr) m_multiop_cells_->add();
     Word running = store_[addr];
     for (std::size_t k = i; k < j; ++k) {
       if (pending_multis_[k].op != op) {
@@ -232,6 +251,7 @@ void SharedMemory::commit_multis() {
         // Multiprefix semantics: participant k receives the combination of
         // the cell's previous value with all lower-lane contributions.
         prefix_results_[pending_multis_[k].ticket] = running;
+        if (m_prefix_tickets_ != nullptr) m_prefix_tickets_->add();
       }
       running = apply_multiop(op, running, pending_multis_[k].value);
     }

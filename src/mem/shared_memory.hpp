@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/types.hpp"
 
 namespace tcfpn::mem {
@@ -177,6 +178,12 @@ class SharedMemory {
   std::uint64_t total_writes() const { return total_writes_; }
   std::uint64_t total_multiops() const { return total_multiops_; }
 
+  /// Registers commit-side instruments under "mem/" in `reg`: cells written
+  /// per commit, cells that saw concurrent writers, and multiop cells
+  /// combined. Commits run single-threaded at the step barrier, so the
+  /// instruments need no synchronisation. Pass nullptr to detach.
+  void bind_metrics(metrics::MetricsRegistry* reg);
+
  private:
   struct PendingWrite {
     Addr addr;
@@ -218,6 +225,12 @@ class SharedMemory {
   std::uint64_t total_reads_ = 0;
   std::uint64_t total_writes_ = 0;
   std::uint64_t total_multiops_ = 0;
+
+  // Bound instruments (nullptr when no registry is attached).
+  metrics::Counter* m_write_cells_ = nullptr;
+  metrics::Counter* m_concurrent_write_cells_ = nullptr;
+  metrics::Counter* m_multiop_cells_ = nullptr;
+  metrics::Counter* m_prefix_tickets_ = nullptr;
 };
 
 }  // namespace tcfpn::mem

@@ -16,12 +16,33 @@ Network::Network(std::unique_ptr<Topology> topology, NetworkConfig cfg)
   ejection_queues_.resize(topology_->nodes());
 }
 
+void Network::bind_metrics(metrics::MetricsRegistry* reg) {
+  if (reg == nullptr) {
+    m_injected_ = nullptr;
+    m_delivered_ = nullptr;
+    m_link_stalls_ = nullptr;
+    m_ejection_latency_ = nullptr;
+    m_node_queue_depth_ = nullptr;
+    m_ejection_queue_depth_ = nullptr;
+    return;
+  }
+  m_injected_ = &reg->counter("net/packets_injected");
+  m_delivered_ = &reg->counter("net/packets_delivered");
+  m_link_stalls_ = &reg->counter("net/link_stalls");
+  // Latencies above 128 cycles clamp into the top bucket; the congestion
+  // experiments care about the shape near zero, the tail count suffices.
+  m_ejection_latency_ = &reg->histogram("net/ejection_latency", 0.0, 128.0, 32);
+  m_node_queue_depth_ = &reg->accumulator("net/node_queue_depth");
+  m_ejection_queue_depth_ = &reg->accumulator("net/ejection_queue_depth");
+}
+
 std::uint64_t Network::inject(NodeId src, NodeId dst, Word payload) {
   TCFPN_CHECK(src < topology_->nodes(), "bad source node ", src);
   TCFPN_CHECK(dst < topology_->nodes(), "bad destination node ", dst);
   Packet p{next_id_++, src, dst, now_, payload};
   ++in_flight_;
   ++injected_;
+  if (m_injected_ != nullptr) m_injected_->add();
   if (src == dst) {
     // Local reference: still pays one ejection slot (module port) but no
     // wire time.
@@ -48,6 +69,10 @@ void Network::tick() {
       ++delivered_count_;
       --in_flight_;
       ++served;
+      if (m_delivered_ != nullptr) m_delivered_->add();
+      if (m_ejection_latency_ != nullptr) {
+        m_ejection_latency_->add(static_cast<double>(d.latency()));
+      }
     }
   }
 
@@ -85,6 +110,7 @@ void Network::tick() {
       if (used == 0) touched.push_back(next);
       if (used >= cfg_.link_bandwidth) {
         q.push_back(hop);  // link saturated this cycle
+        if (m_link_stalls_ != nullptr) m_link_stalls_->add();
         continue;
       }
       ++used;
@@ -98,6 +124,25 @@ void Network::tick() {
     } else {
       node_queues_[m.to].push_back(m.hop);
       peak_queue_ = std::max(peak_queue_, node_queues_[m.to].size());
+    }
+  }
+
+  // Sample the deepest queue of each kind this cycle: the accumulators track
+  // how hot the hottest node runs, which is what the hot-spot experiments
+  // plot. Sampled only while traffic is in flight so idle drain cycles don't
+  // flatten the average.
+  if (in_flight_ > 0) {
+    if (m_node_queue_depth_ != nullptr) {
+      std::size_t deepest = 0;
+      for (const auto& q : node_queues_) deepest = std::max(deepest, q.size());
+      m_node_queue_depth_->add(static_cast<double>(deepest));
+    }
+    if (m_ejection_queue_depth_ != nullptr) {
+      std::size_t deepest = 0;
+      for (const auto& q : ejection_queues_) {
+        deepest = std::max(deepest, q.size());
+      }
+      m_ejection_queue_depth_->add(static_cast<double>(deepest));
     }
   }
 

@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "net/topology.hpp"
@@ -88,6 +89,13 @@ class Network {
   const Samples& latency_samples() const { return latencies_; }
   std::size_t peak_queue_length() const { return peak_queue_; }
 
+  /// Registers the router's instruments under "net/" in `reg` and streams
+  /// into them from then on: packet counts, an ejection-latency histogram,
+  /// link-budget stall events, and per-tick queue-depth accumulators.
+  /// Pass nullptr to detach. The router only ticks at the step barrier
+  /// (single-threaded), so no synchronisation is needed.
+  void bind_metrics(metrics::MetricsRegistry* reg);
+
  private:
   struct Hop {
     Packet packet;
@@ -109,6 +117,14 @@ class Network {
   std::vector<Delivery> deliveries_;
   Samples latencies_;
   std::size_t peak_queue_ = 0;
+
+  // Bound instruments (nullptr when no registry is attached).
+  metrics::Counter* m_injected_ = nullptr;
+  metrics::Counter* m_delivered_ = nullptr;
+  metrics::Counter* m_link_stalls_ = nullptr;
+  Histogram* m_ejection_latency_ = nullptr;
+  Accumulator* m_node_queue_depth_ = nullptr;
+  Accumulator* m_ejection_queue_depth_ = nullptr;
 };
 
 }  // namespace tcfpn::net

@@ -61,6 +61,7 @@ TaskManager::Result TaskManager::run_round_robin(std::uint64_t quantum_steps,
       }
       res.switch_cycles += m_.resume_flow(tasks_[next]);
       ++res.switches;
+      m_.metrics().counter("sched/task_preemptions").add();
     }
     current = next;
   }

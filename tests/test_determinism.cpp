@@ -13,9 +13,11 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "machine/cost_model.hpp"
 #include "machine/machine.hpp"
+#include "machine/telemetry.hpp"
 #include "tcf/builder.hpp"
 #include "tcf/kernels.hpp"
 
@@ -31,6 +33,7 @@ struct Snapshot {
   std::vector<Word> memory;
   std::vector<Word> debug;
   std::string trace;
+  metrics::MetricsSnapshot metrics;  ///< every registered instrument
   bool completed = false;
 };
 
@@ -46,7 +49,11 @@ bool operator==(const Snapshot& x, const Snapshot& y) {
          x.stats.memory_wait_cycles == y.stats.memory_wait_cycles &&
          x.stats.task_switch_cycles == y.stats.task_switch_cycles &&
          x.stats.branch_cost_cycles == y.stats.branch_cost_cycles &&
-         x.memory == y.memory && x.debug == y.debug && x.trace == y.trace;
+         x.memory == y.memory && x.debug == y.debug && x.trace == y.trace &&
+         // MetricValue::operator== is defaulted, so the float-valued
+         // accumulator fields (sum/mean/variance) compare bit-exactly —
+         // any merge-order dependence in the metrics layer fails here.
+         x.metrics == y.metrics;
 }
 
 isa::Program with_arrays(isa::Program p) {
@@ -138,6 +145,7 @@ Snapshot run_variant(Variant v, std::uint32_t host_threads,
   }
   s.debug = m.debug_output();
   s.trace = m.trace().render();
+  s.metrics = m.metrics_snapshot();
   return s;
 }
 
@@ -185,6 +193,88 @@ TEST(DeterminismTest, HostThreadsBeyondGroupsIsFine) {
   const Snapshot one = run_variant(Variant::kSingleInstruction, 1, true);
   const Snapshot many = run_variant(Variant::kSingleInstruction, 16, true);
   EXPECT_TRUE(one == many);
+}
+
+// ---- Telemetry documents: valid JSON, deterministic, subsystem coverage ---
+
+class TelemetryTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(TelemetryTest, MetricsDocumentIsValidAndThreadInvariant) {
+  const Variant v = GetParam();
+  auto doc_for = [&](std::uint32_t threads) {
+    MachineConfig cfg = base_cfg(v, threads);
+    cfg.sample_every = 4;
+    Machine m(cfg);
+    if (v == Variant::kSingleOperation ||
+        v == Variant::kConfigSingleOperation) {
+      m.load(with_arrays(tcf::kernels::vecadd_esm_loop(kN, kA, kB, kC)));
+      tcf::kernels::boot_esm_threads(m, m.program().entry(), 16);
+    } else if (v == Variant::kMultiInstruction) {
+      m.load(with_arrays(tcf::kernels::vecadd_fork(kN, kA, kB, kC)));
+      m.boot(1);
+    } else if (v == Variant::kFixedThickness) {
+      m.load(with_arrays(tcf::kernels::vecadd_simd(kN, 16, kA, kB, kC)));
+      m.boot(16);
+    } else {
+      m.load(with_arrays(tcf::kernels::vecadd_tcf(kN, kA, kB, kC)));
+      m.boot(1);
+    }
+    const RunResult run = m.run();
+    EXPECT_TRUE(run.completed);
+    return metrics_json_document(m, run, {{"tool", "test"}});
+  };
+  const std::string one = doc_for(1);
+  std::string err;
+  ASSERT_TRUE(metrics::json_valid(one, &err)) << err;
+  // The whole document except the "host_threads" metadata line must be
+  // byte-identical across host parallelism.
+  auto strip = [](std::string s) {
+    const auto pos = s.find("\"host_threads\"");
+    if (pos != std::string::npos) {
+      s.erase(pos, s.find('\n', pos) - pos);
+    }
+    return s;
+  };
+  EXPECT_EQ(strip(one), strip(doc_for(2))) << to_string(v) << " @2";
+  EXPECT_EQ(strip(one), strip(doc_for(8))) << to_string(v) << " @8";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TelemetryTest,
+    ::testing::Values(Variant::kSingleInstruction, Variant::kBalanced,
+                      Variant::kMultiInstruction, Variant::kSingleOperation,
+                      Variant::kConfigSingleOperation,
+                      Variant::kFixedThickness),
+    [](const ::testing::TestParamInfo<Variant>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(TelemetryTest, TraceJsonIsValidAndCoversEverySubsystem) {
+  MachineConfig cfg = base_cfg(Variant::kSingleInstruction, 2);
+  cfg.record_trace = true;
+  cfg.profile_host = true;
+  Machine m(cfg);
+  m.load(with_arrays(spawn_prefix_program()));
+  m.boot(1);
+  const RunResult run = m.run();
+  ASSERT_TRUE(run.completed);
+
+  const std::string doc = trace_json_document(m, {{"tool", "test"}});
+  std::string err;
+  ASSERT_TRUE(metrics::json_valid(doc, &err)) << err;
+  // At least one host-side span per instrumented subsystem, named with the
+  // subsystem prefix, must appear in the trace.
+  for (const char* span : {"\"machine/group_phase\"", "\"mem/commit_step\"",
+                           "\"net/memory_term\"",
+                           "\"sched/step_housekeeping\""}) {
+    EXPECT_NE(doc.find(span), std::string::npos) << span;
+  }
+  // Simulated schedule spans ride along in process 0.
+  EXPECT_NE(doc.find("\"flow 0\""), std::string::npos);
 }
 
 // ---- Rng reproducibility (the other half of run-to-run determinism) ----

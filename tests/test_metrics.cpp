@@ -1,0 +1,204 @@
+// Unit tests for the metrics registry (src/common/metrics): registration
+// semantics, path validation, snapshot/diff/merge, reset-keeps-structure
+// (the property the machine's cached instrument pointers rely on), and the
+// JSON emitter/validator pair.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.hpp"
+#include "common/metrics.hpp"
+
+namespace tcfpn::metrics {
+namespace {
+
+// ---- Registration & path validation --------------------------------------
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("net/packets");
+  Counter& b = reg.counter("net/packets");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_TRUE(reg.contains("net/packets"));
+  EXPECT_FALSE(reg.contains("net"));
+}
+
+TEST(MetricsRegistryTest, KindMismatchFaults) {
+  MetricsRegistry reg;
+  reg.counter("x/events");
+  EXPECT_THROW(reg.gauge("x/events"), SimError);
+  EXPECT_THROW(reg.accumulator("x/events"), SimError);
+  EXPECT_THROW(reg.histogram("x/events", 0, 1, 4), SimError);
+}
+
+TEST(MetricsRegistryTest, HistogramShapeMismatchFaults) {
+  MetricsRegistry reg;
+  reg.histogram("net/latency", 0.0, 128.0, 32);
+  EXPECT_NO_THROW(reg.histogram("net/latency", 0.0, 128.0, 32));
+  EXPECT_THROW(reg.histogram("net/latency", 0.0, 64.0, 32), SimError);
+  EXPECT_THROW(reg.histogram("net/latency", 0.0, 128.0, 16), SimError);
+}
+
+TEST(MetricsRegistryTest, MalformedPathsFault) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter(""), SimError);
+  EXPECT_THROW(reg.counter("/leading"), SimError);
+  EXPECT_THROW(reg.counter("trailing/"), SimError);
+  EXPECT_THROW(reg.counter("a//b"), SimError);
+}
+
+TEST(MetricsRegistryTest, LeafCannotBecomeBranch) {
+  MetricsRegistry reg;
+  reg.counter("sched/steps");
+  // Nesting under an existing leaf, or registering a leaf that is a prefix
+  // of an existing path, would make the JSON tree ambiguous.
+  EXPECT_THROW(reg.counter("sched/steps/retries"), SimError);
+  EXPECT_THROW(reg.counter("sched"), SimError);
+}
+
+// ---- Snapshot, diff ------------------------------------------------------
+
+TEST(MetricsSnapshotTest, CapturesEveryInstrumentKind) {
+  MetricsRegistry reg;
+  reg.counter("a/count").add(3);
+  reg.gauge("a/level").set(2.5);
+  Accumulator& acc = reg.accumulator("a/depth");
+  acc.add(1.0);
+  acc.add(3.0);
+  reg.histogram("a/lat", 0.0, 10.0, 5).add(4.0);
+
+  const MetricsSnapshot s = reg.snapshot();
+  ASSERT_EQ(s.entries.size(), 4u);
+  EXPECT_EQ(s.entries.at("a/count").count, 3u);
+  EXPECT_TRUE(s.entries.at("a/level").gauge_set);
+  EXPECT_DOUBLE_EQ(s.entries.at("a/level").value, 2.5);
+  EXPECT_EQ(s.entries.at("a/depth").count, 2u);
+  EXPECT_DOUBLE_EQ(s.entries.at("a/depth").mean, 2.0);
+  EXPECT_EQ(s.entries.at("a/lat").buckets.size(), 5u);
+  EXPECT_EQ(s.entries.at("a/lat").buckets[2], 1u);
+}
+
+TEST(MetricsSnapshotTest, EqualitySeesSingleEventDifference) {
+  MetricsRegistry a, b;
+  a.counter("x/n").add(5);
+  b.counter("x/n").add(5);
+  EXPECT_TRUE(a.snapshot() == b.snapshot());
+  b.counter("x/n").add();
+  EXPECT_FALSE(a.snapshot() == b.snapshot());
+}
+
+TEST(MetricsSnapshotTest, DiffSubtractsMonotoneParts) {
+  MetricsRegistry reg;
+  Counter& n = reg.counter("x/n");
+  Histogram& h = reg.histogram("x/h", 0.0, 4.0, 2);
+  n.add(10);
+  h.add(1.0);
+  const MetricsSnapshot before = reg.snapshot();
+  n.add(7);
+  h.add(3.0);
+  reg.counter("x/fresh").add(2);  // registered after `before`
+  const MetricsSnapshot after = reg.snapshot();
+
+  const MetricsSnapshot d = MetricsSnapshot::diff(before, after);
+  EXPECT_EQ(d.entries.at("x/n").count, 7u);
+  EXPECT_EQ(d.entries.at("x/h").count, 1u);
+  EXPECT_EQ(d.entries.at("x/h").buckets[0], 0u);
+  EXPECT_EQ(d.entries.at("x/h").buckets[1], 1u);
+  // Entries absent from `before` pass through unchanged.
+  EXPECT_EQ(d.entries.at("x/fresh").count, 2u);
+}
+
+// ---- Merge ---------------------------------------------------------------
+
+TEST(MetricsRegistryTest, MergeFoldsEveryKind) {
+  MetricsRegistry a, b;
+  a.counter("m/n").add(2);
+  b.counter("m/n").add(3);
+  b.counter("m/only_b").add(1);  // missing in `a` → created by merge
+  a.accumulator("m/acc").add(1.0);
+  b.accumulator("m/acc").add(3.0);
+  a.histogram("m/h", 0.0, 4.0, 2).add(1.0);
+  b.histogram("m/h", 0.0, 4.0, 2).add(3.0);
+  b.gauge("m/g").set(9.0);
+
+  a.merge(b);
+  const MetricsSnapshot s = a.snapshot();
+  EXPECT_EQ(s.entries.at("m/n").count, 5u);
+  EXPECT_EQ(s.entries.at("m/only_b").count, 1u);
+  EXPECT_EQ(s.entries.at("m/acc").count, 2u);
+  EXPECT_DOUBLE_EQ(s.entries.at("m/acc").mean, 2.0);
+  EXPECT_EQ(s.entries.at("m/h").count, 2u);
+  EXPECT_EQ(s.entries.at("m/h").buckets[1], 1u);
+  EXPECT_DOUBLE_EQ(s.entries.at("m/g").value, 9.0);
+}
+
+TEST(MetricsRegistryTest, MergeKindMismatchFaults) {
+  MetricsRegistry a, b;
+  a.counter("m/x");
+  b.gauge("m/x").set(1.0);
+  EXPECT_THROW(a.merge(b), SimError);
+}
+
+// ---- Reset keeps structure (cached-pointer contract) ---------------------
+
+TEST(MetricsRegistryTest, ResetKeepsInstrumentAddresses) {
+  MetricsRegistry reg;
+  Counter& n = reg.counter("x/n");
+  Histogram& h = reg.histogram("x/h", 0.0, 4.0, 2);
+  n.add(5);
+  h.add(1.0);
+
+  reg.reset();
+  EXPECT_EQ(reg.size(), 2u);  // structure intact
+  EXPECT_EQ(n.value(), 0u);   // values zeroed, same objects
+  EXPECT_EQ(h.count(), 0u);
+  n.add(1);  // cached references stay usable — the GroupCtx hot path
+  EXPECT_EQ(reg.snapshot().entries.at("x/n").count, 1u);
+  EXPECT_EQ(&reg.counter("x/n"), &n);
+}
+
+// ---- JSON emitter & validator --------------------------------------------
+
+TEST(MetricsJsonTest, EscapeHandlesControlAndQuotes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+}
+
+TEST(MetricsJsonTest, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid(R"({"a": [1, -2.5e3, true, null, "s\n"]})"));
+  std::string err;
+  EXPECT_FALSE(json_valid("{", &err));
+  EXPECT_FALSE(json_valid("{} trailing", &err));
+  EXPECT_FALSE(json_valid(R"({"a": 01})", &err));
+  EXPECT_FALSE(json_valid(R"({"a": [1,]})", &err));
+  EXPECT_FALSE(json_valid("", &err));
+}
+
+TEST(MetricsJsonTest, SnapshotToJsonIsValidAndNested) {
+  MetricsRegistry reg;
+  reg.counter("net/packets").add(7);
+  reg.gauge("net/load").set(0.5);
+  Accumulator& acc = reg.accumulator("sched/occupancy");
+  acc.add(2.0);
+  reg.histogram("net/latency", 0.0, 8.0, 4).add(3.0);
+  reg.accumulator("mem/depth");  // empty accumulator must still emit
+
+  const std::string j = reg.snapshot().to_json();
+  std::string err;
+  EXPECT_TRUE(json_valid(j, &err)) << err << "\n" << j;
+  // Path segments become nested objects.
+  EXPECT_NE(j.find("\"net\""), std::string::npos);
+  EXPECT_NE(j.find("\"packets\""), std::string::npos);
+  EXPECT_NE(j.find("\"counter\""), std::string::npos);
+  EXPECT_NE(j.find("\"histogram\""), std::string::npos);
+  // Embedding after a key (the --metrics-json composition) stays valid.
+  const std::string doc = "{\"metrics\": " + reg.snapshot().to_json(2) + "}";
+  EXPECT_TRUE(json_valid(doc, &err)) << err;
+}
+
+}  // namespace
+}  // namespace tcfpn::metrics

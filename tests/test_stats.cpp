@@ -1,0 +1,181 @@
+// Unit tests for the statistics accumulators (src/common/stats): the
+// metrics layer builds on these, so their edge cases — merge vs
+// single-pass equivalence, percentile interpolation, histogram clamping —
+// are pinned down here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace tcfpn {
+namespace {
+
+// ---- Accumulator ---------------------------------------------------------
+
+TEST(AccumulatorTest, EmptyFaultsOnMoments) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.sum(), 0.0);
+  EXPECT_THROW(a.mean(), SimError);
+  EXPECT_THROW(a.min(), SimError);
+  EXPECT_THROW(a.variance(), SimError);
+}
+
+TEST(AccumulatorTest, MomentsMatchClosedForm) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 9.0);
+}
+
+// Welford parallel combine must agree with feeding every sample to one
+// accumulator. Counts, sums, min/max are exact; mean/variance to double
+// precision.
+TEST(AccumulatorTest, MergeMatchesSinglePass) {
+  std::vector<double> xs;
+  double v = 0.25;
+  for (int i = 0; i < 1000; ++i) {
+    v = v * 1.37 + static_cast<double>(i % 97) - 48.0;
+    if (std::abs(v) > 1e6) v *= 1e-6;
+    xs.push_back(v);
+  }
+
+  Accumulator whole;
+  for (double x : xs) whole.add(x);
+
+  // Split at an uneven boundary, including an empty third shard.
+  Accumulator a, b, c;
+  for (std::size_t i = 0; i < 341; ++i) a.add(xs[i]);
+  for (std::size_t i = 341; i < xs.size(); ++i) b.add(xs[i]);
+  a.merge(b);
+  a.merge(c);  // merging an empty accumulator is a no-op
+
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+  EXPECT_NEAR(a.sum(), whole.sum(), 1e-9 * std::abs(whole.sum()) + 1e-9);
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9 * std::abs(whole.mean()) + 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(),
+              1e-9 * whole.variance() + 1e-9);
+}
+
+TEST(AccumulatorTest, MergeIntoEmptyCopiesOther) {
+  Accumulator a, b;
+  b.add(3.0);
+  b.add(-7.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), -7.0);
+  EXPECT_EQ(a.max(), 3.0);
+  EXPECT_DOUBLE_EQ(a.mean(), -2.0);
+}
+
+TEST(AccumulatorTest, ResetClearsEverything) {
+  Accumulator a;
+  a.add(5.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.sum(), 0.0);
+}
+
+// ---- Samples / percentile ------------------------------------------------
+
+TEST(SamplesTest, PercentileInterpolatesLinearly) {
+  Samples s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+  // rank = p/100 * (n-1): p=50 lands exactly between 20 and 30.
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  // p=25 → rank 0.75 → 10 + 0.75*(20-10).
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 17.5);
+  EXPECT_DOUBLE_EQ(s.percentile(75.0), 32.5);
+}
+
+TEST(SamplesTest, SingleSampleIsEveryPercentile) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 42.0);
+}
+
+TEST(SamplesTest, UnsortedInsertOrderDoesNotMatter) {
+  Samples s;
+  for (double x : {5.0, 1.0, 4.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  // Adding after a sorted query must re-sort.
+  s.add(0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+// ---- Histogram -----------------------------------------------------------
+
+TEST(HistogramTest, SamplesLandInTheRightBuckets) {
+  Histogram h(0.0, 10.0, 5);  // buckets of width 2
+  h.add(0.0);   // bucket 0
+  h.add(1.99);  // bucket 0
+  h.add(2.0);   // bucket 1
+  h.add(9.99);  // bucket 4
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);  // below lo → first bucket
+  h.add(-0.001);
+  h.add(10.0);  // hi itself is outside [lo, hi) → last bucket
+  h.add(1e9);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(4), 2u);
+}
+
+TEST(HistogramTest, MergeAddsBucketWise) {
+  Histogram a(0.0, 8.0, 4), b(0.0, 8.0, 4);
+  a.add(1.0);
+  b.add(1.0);
+  b.add(7.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bucket_count(0), 2u);
+  EXPECT_EQ(a.bucket_count(3), 1u);
+}
+
+TEST(HistogramTest, MergeRejectsShapeMismatch) {
+  Histogram a(0.0, 8.0, 4);
+  Histogram wrong_range(0.0, 16.0, 4);
+  Histogram wrong_buckets(0.0, 8.0, 8);
+  EXPECT_THROW(a.merge(wrong_range), SimError);
+  EXPECT_THROW(a.merge(wrong_buckets), SimError);
+}
+
+TEST(HistogramTest, ResetKeepsShape) {
+  Histogram h(0.0, 8.0, 4);
+  h.add(3.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.buckets(), 4u);
+  EXPECT_DOUBLE_EQ(h.lo(), 0.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 8.0);
+  h.add(3.0);  // still usable after reset
+  EXPECT_EQ(h.bucket_count(1), 1u);
+}
+
+}  // namespace
+}  // namespace tcfpn

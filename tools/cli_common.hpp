@@ -4,11 +4,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
 #include "common/check.hpp"
 #include "machine/machine.hpp"
+#include "machine/telemetry.hpp"
 
 namespace tcfpn::cli {
 
@@ -19,6 +21,8 @@ struct Options {
   bool trace = false;
   bool listing = false;
   bool stats = true;
+  std::string metrics_json;  ///< write the metrics document here (empty=off)
+  std::string trace_json;    ///< write the Chrome trace here (empty=off)
 };
 
 inline void usage(const char* tool, const char* what) {
@@ -39,7 +43,14 @@ inline void usage(const char* tool, const char* what) {
       "                    simulated results are identical for every N\n"
       "  --trace           print the ASCII execution schedule\n"
       "  --listing         print the compiled/assembled instruction listing\n"
-      "  --no-stats        suppress the statistics block\n",
+      "  --no-stats        suppress the statistics block\n"
+      "  --metrics-json=F  write the metrics registry snapshot + run\n"
+      "                    metadata to F as JSON\n"
+      "  --trace-json=F    write a Chrome trace-event / Perfetto JSON trace\n"
+      "                    to F (implies schedule recording and host-phase\n"
+      "                    profiling)\n"
+      "  --sample-every=N  record a stats sample every N machine steps into\n"
+      "                    the metrics document (default off)\n",
       tool, what);
 }
 
@@ -48,6 +59,50 @@ inline bool parse_flag(const std::string& arg, const char* name,
   const std::string prefix = std::string("--") + name + "=";
   if (arg.rfind(prefix, 0) != 0) return false;
   *value = arg.substr(prefix.size());
+  return true;
+}
+
+/// Parses `v` as an unsigned decimal into *out ∈ [min, max]. Prints a
+/// diagnostic naming `flag` and returns false on junk, trailing characters,
+/// overflow, or range violation — no exception ever escapes to main().
+inline bool parse_uint(const std::string& v, const char* flag,
+                       std::uint64_t min, std::uint64_t max,
+                       std::uint64_t* out) {
+  if (v.empty()) {
+    std::fprintf(stderr, "--%s needs a number\n", flag);
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (char c : v) {
+    if (c < '0' || c > '9') {
+      std::fprintf(stderr, "--%s: '%s' is not a non-negative integer\n", flag,
+                   v.c_str());
+      return false;
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      std::fprintf(stderr, "--%s: '%s' is out of range\n", flag, v.c_str());
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  if (value < min || value > max) {
+    std::fprintf(stderr, "--%s must be in [%llu, %llu], got %s\n", flag,
+                 static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max), v.c_str());
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+/// parse_uint into a narrower integer type.
+template <typename T>
+inline bool parse_uint_as(const std::string& v, const char* flag,
+                          std::uint64_t min, std::uint64_t max, T* out) {
+  std::uint64_t wide = 0;
+  if (!parse_uint(v, flag, min, max, &wide)) return false;
+  *out = static_cast<T>(wide);
   return true;
 }
 
@@ -94,17 +149,54 @@ inline bool parse_args(int argc, char** argv, const char* tool,
         return false;
       }
     } else if (parse_flag(arg, "groups", &v)) {
-      opt->cfg.groups = static_cast<std::uint32_t>(std::stoul(v));
+      if (!parse_uint_as(v, "groups", 1, 4096, &opt->cfg.groups)) return false;
     } else if (parse_flag(arg, "slots", &v)) {
-      opt->cfg.slots_per_group = static_cast<std::uint32_t>(std::stoul(v));
+      if (!parse_uint_as(v, "slots", 1, 1u << 20,
+                         &opt->cfg.slots_per_group)) {
+        return false;
+      }
     } else if (parse_flag(arg, "thickness", &v)) {
-      opt->boot_thickness = std::stoll(v);
+      std::uint64_t t = 0;
+      if (!parse_uint(v, "thickness", 1,
+                      std::uint64_t{1} << 32, &t)) {
+        return false;
+      }
+      opt->boot_thickness = static_cast<Word>(t);
     } else if (parse_flag(arg, "bound", &v)) {
-      opt->cfg.balanced_bound = static_cast<std::uint32_t>(std::stoul(v));
+      if (!parse_uint_as(v, "bound", 1, 1u << 20, &opt->cfg.balanced_bound)) {
+        return false;
+      }
     } else if (parse_flag(arg, "fu", &v)) {
-      opt->cfg.functional_units = static_cast<std::uint32_t>(std::stoul(v));
+      if (!parse_uint_as(v, "fu", 1, 1024, &opt->cfg.functional_units)) {
+        return false;
+      }
     } else if (parse_flag(arg, "host-threads", &v)) {
-      opt->cfg.host_threads = static_cast<std::uint32_t>(std::stoul(v));
+      if (!parse_uint_as(v, "host-threads", 1, 1024,
+                         &opt->cfg.host_threads)) {
+        return false;
+      }
+    } else if (parse_flag(arg, "sample-every", &v)) {
+      if (!parse_uint_as(v, "sample-every", 1,
+                         std::numeric_limits<std::uint32_t>::max(),
+                         &opt->cfg.sample_every)) {
+        return false;
+      }
+    } else if (parse_flag(arg, "metrics-json", &v)) {
+      if (v.empty()) {
+        std::fprintf(stderr, "--metrics-json needs a file name\n");
+        return false;
+      }
+      opt->metrics_json = v;
+    } else if (parse_flag(arg, "trace-json", &v)) {
+      if (v.empty()) {
+        std::fprintf(stderr, "--trace-json needs a file name\n");
+        return false;
+      }
+      opt->trace_json = v;
+      // A useful trace needs both the simulated schedule and the host-side
+      // phase spans; switch both recorders on.
+      opt->cfg.record_trace = true;
+      opt->cfg.profile_host = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage(tool, what);
@@ -162,6 +254,33 @@ inline void print_outcome(const machine::Machine& m,
   if (opt.trace) {
     std::printf("schedule:\n%s", m.trace().render().c_str());
   }
+}
+
+/// Writes the telemetry documents requested by --metrics-json/--trace-json.
+/// Returns false (with a diagnostic) if a file cannot be written.
+inline bool export_telemetry(const machine::Machine& m,
+                             const machine::RunResult& run,
+                             const Options& opt, const char* tool) {
+  const machine::MetaPairs meta = {{"tool", tool}, {"input", opt.input}};
+  if (!opt.metrics_json.empty()) {
+    std::ofstream out(opt.metrics_json);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write '%s'\n", tool,
+                   opt.metrics_json.c_str());
+      return false;
+    }
+    out << machine::metrics_json_document(m, run, meta);
+  }
+  if (!opt.trace_json.empty()) {
+    std::ofstream out(opt.trace_json);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write '%s'\n", tool,
+                   opt.trace_json.c_str());
+      return false;
+    }
+    out << machine::trace_json_document(m, meta);
+  }
+  return true;
 }
 
 }  // namespace tcfpn::cli

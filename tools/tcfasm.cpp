@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
     m.boot(opt.boot_thickness);
     const auto run = m.run();
     cli::print_outcome(m, run, opt);
+    if (!cli::export_telemetry(m, run, opt, "tcfasm")) return 1;
     return run.completed ? 0 : 1;
   } catch (const SimError& e) {
     std::fprintf(stderr, "tcfasm: %s\n", e.what());

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
     m.boot(opt.boot_thickness);
     const auto run = m.run();
     cli::print_outcome(m, run, opt);
+    if (!cli::export_telemetry(m, run, opt, "tcfrun")) return 1;
     // Dump declared arrays/cells so programs have observable results even
     // without print statements.
     if (opt.stats) {

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate tcfpn telemetry documents (CI smoke check).
+
+Usage:
+    validate_metrics.py --metrics metrics.json [--trace trace.json]
+
+Checks, using only the Python standard library:
+  * both files parse as JSON (json.load — the real consumer-side test of
+    the hand-rolled C++ emitters);
+  * the metrics document has the {"run", "metrics"} shape, with the four
+    instrumented subsystem subtrees and well-formed leaf instruments;
+  * the trace document is Chrome trace-event JSON ("traceEvents" array of
+    complete "X"/metadata "M" events) and contains at least one host span
+    per instrumented subsystem prefix.
+
+Exit status 0 on success; 1 with a diagnostic on the first failure.
+"""
+
+import argparse
+import json
+import sys
+
+SUBSYSTEMS = ("machine", "mem", "net", "sched")
+INSTRUMENT_TYPES = {"counter", "gauge", "accumulator", "histogram"}
+
+
+def fail(msg: str) -> None:
+    print(f"validate_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def walk_instruments(tree, path=""):
+    """Yields (path, leaf) for every instrument leaf in the metrics tree."""
+    if not isinstance(tree, dict):
+        fail(f"metrics node '{path}' is not an object")
+    if "type" in tree:
+        yield path, tree
+        return
+    for key, child in tree.items():
+        yield from walk_instruments(child, f"{path}/{key}" if path else key)
+
+
+def check_instrument(path, leaf):
+    t = leaf.get("type")
+    if t not in INSTRUMENT_TYPES:
+        fail(f"instrument '{path}' has unknown type {t!r}")
+    if t == "counter":
+        if not isinstance(leaf.get("value"), int) or leaf["value"] < 0:
+            fail(f"counter '{path}' value must be a non-negative integer")
+    elif t == "accumulator":
+        if not isinstance(leaf.get("count"), int):
+            fail(f"accumulator '{path}' missing integer count")
+        if leaf["count"] > 0 and not (leaf["min"] <= leaf["mean"] <= leaf["max"]):
+            fail(f"accumulator '{path}' violates min <= mean <= max")
+    elif t == "histogram":
+        buckets = leaf.get("buckets")
+        if not isinstance(buckets, list) or not buckets:
+            fail(f"histogram '{path}' missing buckets")
+        if sum(buckets) != leaf.get("count"):
+            fail(f"histogram '{path}' bucket sum != count")
+
+
+def check_metrics(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    run = doc.get("run")
+    if not isinstance(run, dict) or "variant" not in run:
+        fail(f"{path}: missing run metadata")
+    tree = doc.get("metrics")
+    if not isinstance(tree, dict):
+        fail(f"{path}: missing metrics tree")
+    for subsystem in SUBSYSTEMS:
+        if subsystem not in tree:
+            fail(f"{path}: no '{subsystem}/' instruments")
+    n = 0
+    for leaf_path, leaf in walk_instruments(tree):
+        check_instrument(leaf_path, leaf)
+        n += 1
+    for sample in doc.get("samples", []):
+        for key in ("step", "cycles", "operations"):
+            if not isinstance(sample.get(key), int):
+                fail(f"{path}: sample missing integer '{key}'")
+    print(f"validate_metrics: {path}: OK "
+          f"({n} instruments, {len(doc.get('samples', []))} samples)")
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: missing traceEvents")
+    host_prefixes = set()
+    spans = 0
+    for ev in events:
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            fail(f"{path}: unexpected event phase {ph!r}")
+        if ph != "X":
+            continue
+        spans += 1
+        for key in ("name", "pid", "tid", "ts", "dur"):
+            if key not in ev:
+                fail(f"{path}: span missing '{key}': {ev}")
+        if ev["dur"] < 0:
+            fail(f"{path}: negative duration span: {ev}")
+        if ev["pid"] == 1 and "/" in ev["name"]:
+            host_prefixes.add(ev["name"].split("/", 1)[0])
+    missing = [s for s in SUBSYSTEMS if s not in host_prefixes]
+    if missing:
+        fail(f"{path}: no host spans for subsystem(s): {', '.join(missing)}")
+    print(f"validate_metrics: {path}: OK "
+          f"({spans} spans, host subsystems: {sorted(host_prefixes)})")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--metrics", required=True, help="metrics JSON document")
+    ap.add_argument("--trace", help="Chrome trace-event JSON document")
+    args = ap.parse_args()
+    check_metrics(args.metrics)
+    if args.trace:
+        check_trace(args.trace)
+
+
+if __name__ == "__main__":
+    main()
