@@ -1,0 +1,40 @@
+// Corpus persistence for the conformance harness.
+//
+// A corpus entry is a plain tcfpn assembler file: metadata rides in `;`
+// comment directives, so every entry also assembles directly with tcfasm /
+// isa::assemble. No golden values are stored — replaying an entry re-runs
+// the differential against the oracle, which stays the single source of
+// truth even as cost-model knobs evolve.
+//
+//   ; tcffuzz corpus v1
+//   ; policy: arbitrary | priority | common | crew | erew
+//   ; boot: thickness=<T> flows=<N> esm=<0|1>
+//   ; expect: ok | error
+//   ; local: 0 | 1
+//   ; lanes: <variant>[:<bound>][/aligned] ...
+//   .data <addr>, <w0>, <w1>, ...
+//   <one disassembled instruction per line; numeric branch targets>
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "conformance/diff.hpp"
+
+namespace tcfpn::conformance {
+
+/// Renders a case to the corpus text format.
+std::string serialize_case(const DiffCase& c);
+
+/// Parses corpus text back into a runnable case. Throws SimError on
+/// malformed directives or assembly errors.
+DiffCase parse_case(const std::string& text);
+
+/// File convenience wrappers (throw SimError on I/O failure).
+void save_case(const DiffCase& c, const std::string& path);
+DiffCase load_case(const std::string& path);
+
+/// All `*.s` files under `dir`, sorted by name (deterministic replay order).
+std::vector<std::string> corpus_files(const std::string& dir);
+
+}  // namespace tcfpn::conformance

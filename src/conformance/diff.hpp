@@ -1,0 +1,103 @@
+// Differential driver: one generated program, many executions, one verdict.
+//
+// A DiffCase pairs a materialized program with the set of machine "lanes"
+// applicable to it — (variant, balanced bound) pairs plus an alignment flag.
+// An *aligned* lane takes exactly one oracle step per machine step for this
+// program, so even deliberate same-cell CRCW traffic (conflict stores,
+// expected SimErrors) lands in the same step on both sides and the full
+// outcome — fault class included — must match. A non-aligned lane may chop
+// thick instructions across steps or batch several instructions into one
+// (balanced / NUMA / XMT), so only race-free programs run on it and the
+// comparison covers completion, final memory images and debug output.
+//
+// Applicability rules (lanes_for):
+//  - single-instruction: always, aligned — one instruction per ready flow
+//    per step is exactly the oracle's schedule;
+//  - balanced: conflicting/faulting programs only when single-flow, with a
+//    bound large enough (4096) to stay one-instruction-aligned; multi-flow
+//    multiprefix is excluded (group-local budgets can reorder ticket steps);
+//  - multi-instruction (XMT): immediate memory, no CRCW checks, per-lane
+//    control — only race-free, thickness-stable programs without NUMA /
+//    SETTHICK, and multiprefix only when a single flat flow issues it;
+//  - single-operation / config-single-operation: thickness-1 programs (the
+//    latter also NUMA);
+//  - fixed-thickness: single flow, no SETTHICK/SPAWN, one group.
+//
+// On top of the variant sweep the driver re-runs step-synchronous lanes at
+// every requested host-thread count (bit-identical contract, cycles and
+// steps included), once with perturbed cost-model knobs (results must not
+// move), and through the applicable baseline:: frontends (completion +
+// debug output only — Outcome carries no memory image).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "conformance/gen.hpp"
+#include "conformance/oracle.hpp"
+#include "isa/program.hpp"
+#include "machine/config.hpp"
+#include "mem/shared_memory.hpp"
+
+namespace tcfpn::conformance {
+
+struct LaneSpec {
+  machine::Variant variant = machine::Variant::kSingleInstruction;
+  std::uint32_t balanced_bound = 16;  ///< only meaningful for kBalanced
+  bool aligned = false;  ///< machine steps == oracle steps for this program
+
+  std::string name() const;
+};
+
+/// Everything needed to execute and judge one program, independent of the
+/// generator (corpus replay builds these directly from files).
+struct DiffCase {
+  isa::Program program;
+  Word boot_thickness = 1;
+  std::uint32_t boot_flows = 1;
+  bool esm_boot = false;
+  mem::CrcwPolicy policy = mem::CrcwPolicy::kArbitrary;
+  bool expect_error = false;
+  bool uses_local = false;
+  std::vector<LaneSpec> lanes;
+};
+
+/// Derives the applicable lanes from a program's structural profile.
+std::vector<LaneSpec> lanes_for(const Profile& p, const GenProgram& gp);
+
+/// Materializes a generated program into a ready-to-run case.
+DiffCase to_case(const GenProgram& gp);
+
+struct DiffOptions {
+  std::vector<std::uint32_t> host_threads = {1, 8};
+  bool frontends = true;      ///< also run the applicable baseline:: frontends
+  bool perturb_costs = true;  ///< cost-knob invariance lane
+  std::uint64_t max_steps = 1u << 18;
+  /// When non-empty, only these variants' lanes run (tcffuzz --variants).
+  std::vector<machine::Variant> only_variants;
+  /// Oracle misimplementations for harness self-tests (tcffuzz --inject-bug).
+  bool oracle_skip_common = false;
+  bool oracle_reverse_prefix = false;
+};
+
+struct Divergence {
+  std::string lane;    ///< which execution disagreed with the oracle
+  std::string detail;  ///< first observed difference
+};
+
+/// Runs the case through the oracle and every applicable lane; returns the
+/// first divergence, or nullopt when every execution agrees.
+std::optional<Divergence> run_differential(const DiffCase& c,
+                                           const DiffOptions& opt);
+
+/// Convenience: materialize + profile + judge a generated program.
+std::optional<Divergence> run_differential(const GenProgram& gp,
+                                           const DiffOptions& opt);
+
+/// Coarse fault classification used when comparing SimError outcomes across
+/// executions that cannot agree on exact step numbers.
+std::string fault_class(const std::string& message);
+
+}  // namespace tcfpn::conformance

@@ -1,0 +1,809 @@
+#include "conformance/gen.hpp"
+
+#include <algorithm>
+
+#include "tcf/builder.hpp"
+
+namespace tcfpn::conformance {
+
+namespace {
+
+using isa::Opcode;
+using mem::CrcwPolicy;
+using mem::MultiOp;
+
+constexpr std::uint8_t kVarRegs[] = {4, 5, 6, 7, 8};
+constexpr std::uint8_t kUniRegs[] = {9, 10, 13};
+
+// ALU opcodes the generator draws from. Div/Mod are emitted with a nonzero
+// immediate divisor only, so generated programs never fault arithmetically.
+constexpr Opcode kAluOps[] = {
+    Opcode::kAdd, Opcode::kSub, Opcode::kMul, Opcode::kAnd, Opcode::kOr,
+    Opcode::kXor, Opcode::kShl, Opcode::kShr, Opcode::kSlt, Opcode::kSle,
+    Opcode::kSeq, Opcode::kSne, Opcode::kMax, Opcode::kMin, Opcode::kDiv,
+    Opcode::kMod,
+};
+
+constexpr MultiOp kMultiOps[] = {MultiOp::kAdd, MultiOp::kMax, MultiOp::kMin,
+                                 MultiOp::kAnd, MultiOp::kOr};
+
+Opcode mp_opcode(MultiOp op) {
+  return static_cast<Opcode>(static_cast<int>(Opcode::kMpAdd) +
+                             static_cast<int>(op));
+}
+Opcode pp_opcode(MultiOp op) {
+  return static_cast<Opcode>(static_cast<int>(Opcode::kPpAdd) +
+                             static_cast<int>(op));
+}
+
+template <typename T, std::size_t N>
+T pick(Rng& rng, const T (&arr)[N]) {
+  return arr[rng.below(N)];
+}
+
+// ---------------------------------------------------------------------------
+// Generation state
+// ---------------------------------------------------------------------------
+
+struct AccCell {
+  Addr addr;
+  MultiOp op;
+  bool prefix_used;  ///< bound to a PP instruction: exclusive forever
+};
+
+struct GenState {
+  explicit GenState(Rng r) : rng(r) {}
+  Rng rng;
+  CrcwPolicy policy = CrcwPolicy::kArbitrary;
+  bool strict = false;  ///< EREW/CREW: every store site statically fresh
+  bool erew = false;    ///< EREW: every load site statically fresh too
+  Addr in_cursor = kInBase;        ///< next fresh input window
+  std::uint32_t out_windows = 0;   ///< windows handed out at kOutBase
+  std::uint32_t scat_windows = 0;  ///< windows handed out at kScratchBase
+  Addr local_cursor = 0;           ///< next fresh local cell
+  std::vector<Addr> local_written;
+  std::vector<AccCell> accs;
+
+  bool fresh_input(Addr* a) {
+    if (in_cursor + kWindow > kInBase + kInCells) return false;
+    *a = in_cursor;
+    in_cursor += kWindow;
+    return true;
+  }
+  bool alloc_out(Addr* a) {
+    if (out_windows >= 16) return false;
+    *a = kOutBase + kWindow * out_windows++;
+    return true;
+  }
+  bool alloc_scatter(Addr* a) {
+    if (scat_windows >= 16) return false;
+    *a = kScratchBase + kWindow * scat_windows++;
+    return true;
+  }
+};
+
+struct FlowCtx {
+  Word thickness = 1;
+  bool is_main = true;
+  bool esm = false;       ///< thin flow addressing through r1 (thread id)
+  bool in_numa = false;
+  std::uint8_t depth = 0;  ///< loop nesting depth
+  bool can_setthick = false;
+  bool can_numa = false;
+  bool allow_local = false;
+  Addr out_window = 0;      ///< flow's default store window (relaxed policies)
+  Addr scatter_window = 0;  ///< flow's computed-address window
+  bool has_scatter = false;
+};
+
+std::uint8_t var_reg(GenState& st) { return pick(st.rng, kVarRegs); }
+std::uint8_t uni_reg(GenState& st) { return pick(st.rng, kUniRegs); }
+
+// Any register whose value is flow-uniform: r0, the ESM thread count (r2,
+// zero elsewhere), the loop counters and the uniform scratch set.
+std::uint8_t uniform_source(GenState& st) {
+  constexpr std::uint8_t srcs[] = {0, 2, 3, 9, 10, 11, 13};
+  return pick(st.rng, srcs);
+}
+
+std::uint8_t value_source(GenState& st, const FlowCtx& ctx) {
+  // Lane-varying value: the lane id or varying scratch; thin non-ESM flows
+  // only have uniform state that varies, so anything goes.
+  (void)ctx;
+  const std::uint32_t roll = static_cast<std::uint32_t>(st.rng.below(4));
+  if (roll == 0) return 1;  // r1: lane / thread index
+  if (roll == 1) return uniform_source(st);
+  return var_reg(st);
+}
+
+Stmt make_alu(GenState& st, bool uniform) {
+  Stmt s;
+  s.kind = Stmt::Kind::kAlu;
+  s.op = pick(st.rng, kAluOps);
+  if (uniform) {
+    s.rd = uni_reg(st);
+    s.ra = uniform_source(st);
+  } else {
+    s.rd = var_reg(st);
+    s.ra = st.rng.chance(0.4) ? std::uint8_t{1}
+                              : (st.rng.chance(0.5) ? var_reg(st)
+                                                    : uniform_source(st));
+  }
+  if (s.op == Opcode::kDiv || s.op == Opcode::kMod) {
+    s.use_imm = true;
+    s.imm = st.rng.range(1, 9);
+  } else if (s.op == Opcode::kShl || s.op == Opcode::kShr) {
+    s.use_imm = true;
+    s.imm = st.rng.range(0, 6);
+  } else if (st.rng.chance(0.5)) {
+    s.use_imm = true;
+    s.imm = st.rng.range(-8, 31);
+  } else {
+    s.use_imm = false;
+    s.rb = uniform ? uniform_source(st) : value_source(st, FlowCtx{});
+  }
+  return s;
+}
+
+Stmt make_ldi(GenState& st) {
+  Stmt s;
+  s.kind = Stmt::Kind::kLdi;
+  s.rd = st.rng.chance(0.6) ? var_reg(st) : uni_reg(st);
+  s.imm = st.rng.range(-64, 64);
+  return s;
+}
+
+// Load from the read-only input region. Returns false if the EREW fresh-cell
+// budget is exhausted.
+bool make_load(GenState& st, FlowCtx& ctx, Stmt* out) {
+  Stmt s;
+  s.rd = var_reg(st);
+  if (ctx.esm) {
+    // Thread-indexed gather: r12 = r1 + base, flows hit disjoint cells.
+    s.kind = Stmt::Kind::kGather;
+    Addr base = 0;
+    if (st.erew) {
+      if (!st.fresh_input(&base)) return false;
+    } else {
+      base = kInBase + st.rng.below(kInCells - kWindow);
+    }
+    s.imm = static_cast<Word>(base);
+    *out = s;
+    return true;
+  }
+  if (st.erew) {
+    Addr base = 0;
+    if (!st.fresh_input(&base)) return false;
+    s.kind = st.rng.chance(0.25) ? Stmt::Kind::kGather : Stmt::Kind::kLoad;
+    s.lane = s.kind == Stmt::Kind::kLoad;  // lane-disjoint either way
+    s.imm = static_cast<Word>(base);
+    *out = s;
+    return true;
+  }
+  // Relaxed read policies: any input cell; lane-shared reads are legal
+  // everywhere except EREW.
+  s.kind = Stmt::Kind::kLoad;
+  s.lane = st.rng.chance(0.6);
+  s.imm = static_cast<Word>(kInBase + st.rng.below(kInCells - kWindow));
+  *out = s;
+  return true;
+}
+
+bool make_store(GenState& st, FlowCtx& ctx, Stmt* out) {
+  Stmt s;
+  s.ra = value_source(st, ctx);
+  if (ctx.esm) {
+    s.kind = Stmt::Kind::kScatter;
+    Addr base = 0;
+    if (st.strict) {
+      if (!st.alloc_scatter(&base)) return false;
+    } else {
+      if (!ctx.has_scatter) {
+        if (!st.alloc_scatter(&ctx.scatter_window)) return false;
+        ctx.has_scatter = true;
+      }
+      base = ctx.scatter_window;
+    }
+    s.imm = static_cast<Word>(base);
+    *out = s;
+    return true;
+  }
+  s.kind = Stmt::Kind::kStore;
+  s.lane = ctx.thickness > 1;
+  if (st.strict) {
+    Addr base = 0;
+    if (!st.alloc_out(&base)) return false;
+    s.imm = static_cast<Word>(base);
+  } else {
+    s.imm = static_cast<Word>(ctx.out_window +
+                              (ctx.thickness > 1 ? 0 : st.rng.below(kWindow)));
+  }
+  *out = s;
+  return true;
+}
+
+Stmt make_multi(GenState& st, FlowCtx& ctx) {
+  Stmt s;
+  s.kind = Stmt::Kind::kMulti;
+  s.ra = value_source(st, ctx);
+  // Reuse an accumulator cell (keeping its op) or open a new one.
+  std::vector<std::size_t> reusable;
+  for (std::size_t i = 0; i < st.accs.size(); ++i) {
+    if (!st.accs[i].prefix_used) reusable.push_back(i);
+  }
+  if (!reusable.empty() && (st.rng.chance(0.6) || st.accs.size() >= kAccCells)) {
+    const AccCell& c = st.accs[reusable[st.rng.below(reusable.size())]];
+    s.imm = static_cast<Word>(c.addr);
+    s.op = mp_opcode(c.op);
+  } else {
+    const MultiOp op = pick(st.rng, kMultiOps);
+    const Addr a = kAccBase + st.accs.size();
+    st.accs.push_back(AccCell{a, op, false});
+    s.imm = static_cast<Word>(a);
+    s.op = mp_opcode(op);
+  }
+  return s;
+}
+
+// Multiprefix cells are exclusive: one PP instruction, nothing else, ever.
+// That keeps the ticket ordering comparable across every applicable variant.
+bool make_prefix(GenState& st, FlowCtx& ctx, Stmt* out) {
+  if (st.accs.size() >= kAccCells) return false;
+  Stmt s;
+  s.kind = Stmt::Kind::kPrefix;
+  s.rd = var_reg(st);
+  s.ra = value_source(st, ctx);
+  const MultiOp op = pick(st.rng, kMultiOps);
+  const Addr a = kAccBase + st.accs.size();
+  st.accs.push_back(AccCell{a, op, true});
+  s.imm = static_cast<Word>(a);
+  s.op = pp_opcode(op);
+  return *out = s, true;
+}
+
+Stmt make_print(GenState& st, bool guarded) {
+  Stmt s;
+  s.kind = guarded ? Stmt::Kind::kGuardedPrint : Stmt::Kind::kPrint;
+  if (st.rng.chance(0.4)) {
+    s.use_imm = true;
+    s.imm = st.rng.range(0, 99);
+  } else {
+    s.use_imm = false;
+    s.ra = st.rng.chance(0.5) ? var_reg(st) : uniform_source(st);
+  }
+  return s;
+}
+
+Stmt make_local(GenState& st, bool store) {
+  Stmt s;
+  if (store) {
+    s.kind = Stmt::Kind::kLocalStore;
+    s.ra = value_source(st, FlowCtx{});
+    s.imm = static_cast<Word>(st.local_cursor);
+    st.local_written.push_back(st.local_cursor);
+    st.local_cursor = (st.local_cursor + 1) % kLocalWords;
+  } else {
+    s.kind = Stmt::Kind::kLocalLoad;
+    s.rd = var_reg(st);
+    if (!st.local_written.empty() && st.rng.chance(0.6)) {
+      s.imm = static_cast<Word>(
+          st.local_written[st.rng.below(st.local_written.size())]);
+    } else {
+      s.imm = static_cast<Word>(st.rng.below(kLocalWords));
+    }
+  }
+  return s;
+}
+
+void emit_stmts(GenState& st, FlowCtx& ctx, std::vector<Stmt>* out,
+                std::size_t budget);
+
+Stmt make_loop(GenState& st, FlowCtx& ctx) {
+  Stmt s;
+  s.kind = Stmt::Kind::kLoop;
+  s.imm = st.rng.range(1, 5);
+  s.depth = ctx.depth;
+  FlowCtx inner = ctx;
+  inner.depth = static_cast<std::uint8_t>(ctx.depth + 1);
+  inner.can_setthick = false;  // thickness changes stay loop-free
+  inner.can_numa = false;
+  emit_stmts(st, inner, &s.body, 1 + st.rng.below(4));
+  ctx.has_scatter = inner.has_scatter;
+  ctx.scatter_window = inner.scatter_window;
+  return s;
+}
+
+Stmt make_numa(GenState& st, FlowCtx& ctx) {
+  Stmt s;
+  s.kind = Stmt::Kind::kNuma;
+  s.imm = st.rng.range(1, 6);  // block length: instructions per step
+  FlowCtx inner = ctx;
+  inner.in_numa = true;
+  inner.can_numa = false;
+  inner.can_setthick = false;
+  inner.thickness = 1;
+  emit_stmts(st, inner, &s.body, 2 + st.rng.below(5));
+  ctx.has_scatter = inner.has_scatter;
+  ctx.scatter_window = inner.scatter_window;
+  return s;
+}
+
+Stmt make_setthick(GenState& st, FlowCtx& ctx) {
+  constexpr Word kThicknesses[] = {1, 2, 3, 4, 8, 16, 32, 64};
+  Stmt s;
+  s.kind = Stmt::Kind::kSetThick;
+  s.imm = pick(st.rng, kThicknesses);
+  ctx.thickness = s.imm;
+  return s;
+}
+
+void emit_stmts(GenState& st, FlowCtx& ctx, std::vector<Stmt>* out,
+                std::size_t budget) {
+  for (std::size_t i = 0; i < budget; ++i) {
+    const std::uint64_t roll = st.rng.below(100);
+    Stmt s;
+    if (roll < 22) {
+      s = make_alu(st, /*uniform=*/st.rng.chance(0.4));
+    } else if (roll < 30) {
+      s = make_ldi(st);
+    } else if (roll < 48) {
+      if (!make_load(st, ctx, &s)) s = make_alu(st, false);
+    } else if (roll < 64) {
+      if (!make_store(st, ctx, &s)) s = make_alu(st, false);
+    } else if (roll < 74) {
+      s = make_multi(st, ctx);
+    } else if (roll < 79) {
+      if (!make_prefix(st, ctx, &s)) s = make_multi(st, ctx);
+    } else if (roll < 84 && ctx.is_main && !ctx.esm && !ctx.in_numa) {
+      s = make_print(st, /*guarded=*/false);
+    } else if (roll < 90 && ctx.depth < 2 && !ctx.in_numa) {
+      s = make_loop(st, ctx);
+    } else if (roll < 94 && ctx.can_setthick && ctx.depth == 0 &&
+               !ctx.in_numa) {
+      s = make_setthick(st, ctx);
+    } else if (roll < 97 && ctx.can_numa && ctx.thickness == 1 &&
+               !ctx.in_numa && ctx.depth == 0) {
+      s = make_numa(st, ctx);
+    } else if (ctx.allow_local && (ctx.in_numa || ctx.thickness == 1)) {
+      s = make_local(st, /*store=*/st.rng.chance(0.5));
+    } else {
+      s = make_alu(st, /*uniform=*/st.rng.chance(0.4));
+    }
+    out->push_back(std::move(s));
+  }
+}
+
+// Deliberate same-cell CRCW traffic that stays *legal* under the program's
+// policy (Common writes equal values; Arbitrary/Priority pick the lowest
+// lane key). Only emitted for programs whose differential lanes are all
+// step-aligned with the oracle.
+void append_conflict(GenState& st, std::vector<Stmt>* out, Addr flag_cell) {
+  if (st.policy == CrcwPolicy::kCommon) {
+    // All lanes (and flows) must agree on the value: pin it right before.
+    Stmt ldi;
+    ldi.kind = Stmt::Kind::kLdi;
+    ldi.rd = 13;
+    ldi.imm = st.rng.range(0, 15);
+    ldi.conflict = true;
+    out->push_back(ldi);
+    Stmt s;
+    s.kind = Stmt::Kind::kStore;
+    s.ra = 13;
+    s.imm = static_cast<Word>(flag_cell);
+    s.conflict = true;
+    out->push_back(s);
+    return;
+  }
+  Stmt s;
+  s.kind = Stmt::Kind::kStore;
+  s.ra = st.rng.chance(0.5) ? std::uint8_t{1} : var_reg(st);
+  s.imm = static_cast<Word>(flag_cell);
+  s.conflict = true;
+  out->push_back(s);
+}
+
+// A deliberately-invalid access for the program's policy: the machine (and
+// the oracle) must raise SimError.
+Stmt make_violation(GenState& st) {
+  Stmt s;
+  s.violate = true;
+  s.imm = static_cast<Word>(kFlagBase + st.rng.below(kFlagCells));
+  switch (st.policy) {
+    case CrcwPolicy::kErew:
+      if (st.rng.chance(0.5)) {
+        s.kind = Stmt::Kind::kLoad;  // concurrent read of one cell
+        s.rd = var_reg(st);
+      } else {
+        s.kind = Stmt::Kind::kStore;  // concurrent write
+        s.ra = var_reg(st);
+      }
+      break;
+    case CrcwPolicy::kCrew:
+      s.kind = Stmt::Kind::kStore;  // any concurrent write
+      s.ra = var_reg(st);
+      break;
+    case CrcwPolicy::kCommon:
+      s.kind = Stmt::Kind::kStore;  // unequal values: the lane id
+      s.ra = 1;
+      break;
+    default:
+      // Arbitrary/Priority have no invalid accesses; fall back to a benign
+      // conflict (generate() never asks for this).
+      s.kind = Stmt::Kind::kStore;
+      s.ra = 1;
+      s.violate = false;
+      s.conflict = true;
+      break;
+  }
+  return s;
+}
+
+void insert_at_random(Rng& rng, std::vector<Stmt>* body, std::vector<Stmt> add) {
+  const std::size_t pos = rng.below(body->size() + 1);
+  body->insert(body->begin() + static_cast<std::ptrdiff_t>(pos),
+               std::make_move_iterator(add.begin()),
+               std::make_move_iterator(add.end()));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// generate()
+// ---------------------------------------------------------------------------
+
+GenProgram generate(const GenOptions& opt) {
+  GenState st(Rng(opt.seed));
+  GenProgram gp;
+  gp.seed = opt.seed;
+
+  {
+    const std::uint64_t roll = st.rng.below(100);
+    if (roll < 28) gp.policy = CrcwPolicy::kArbitrary;
+    else if (roll < 46) gp.policy = CrcwPolicy::kPriority;
+    else if (roll < 64) gp.policy = CrcwPolicy::kCommon;
+    else if (roll < 82) gp.policy = CrcwPolicy::kCrew;
+    else gp.policy = CrcwPolicy::kErew;
+  }
+  st.policy = gp.policy;
+  st.strict = gp.policy == CrcwPolicy::kErew || gp.policy == CrcwPolicy::kCrew;
+  st.erew = gp.policy == CrcwPolicy::kErew;
+
+  enum class Shape { kFlatThick, kFork, kEsm, kNumaSingle };
+  Shape shape;
+  {
+    const std::uint64_t roll = st.rng.below(100);
+    if (roll < 35) shape = Shape::kFlatThick;
+    else if (roll < 60) shape = Shape::kFork;
+    else if (roll < 80) shape = Shape::kEsm;
+    else shape = Shape::kNumaSingle;
+  }
+
+  const bool expect_error =
+      opt.allow_errors &&
+      (gp.policy == CrcwPolicy::kErew || gp.policy == CrcwPolicy::kCrew ||
+       gp.policy == CrcwPolicy::kCommon) &&
+      st.rng.chance(0.3);
+  if (expect_error) shape = Shape::kFlatThick;
+
+  const bool conflicting =
+      !expect_error &&
+      (gp.policy == CrcwPolicy::kCommon ||
+       gp.policy == CrcwPolicy::kArbitrary ||
+       gp.policy == CrcwPolicy::kPriority) &&
+      (shape == Shape::kFlatThick || shape == Shape::kFork) &&
+      st.rng.chance(0.3);
+
+  const std::size_t cap = std::max<std::size_t>(opt.max_stmts, 6);
+
+  // Initial input data: the rest of the input region reads as zero, which
+  // both sides agree on.
+  {
+    isa::DataInit init;
+    init.addr = kInBase;
+    init.words.resize(192);
+    for (auto& w : init.words) w = st.rng.range(-9, 40);
+    gp.data.push_back(std::move(init));
+  }
+
+  switch (shape) {
+    case Shape::kFlatThick: {
+      constexpr Word kBoots[] = {2, 3, 4, 5, 8, 13, 16, 32, 64};
+      gp.boot_thickness = pick(st.rng, kBoots);
+      FlowCtx ctx;
+      ctx.thickness = gp.boot_thickness;
+      ctx.can_setthick = !expect_error && st.rng.chance(0.6);
+      st.alloc_out(&ctx.out_window);
+      emit_stmts(st, ctx, &gp.main, 4 + st.rng.below(cap - 3));
+      if (conflicting) {
+        const Addr flag = kFlagBase + st.rng.below(kFlagCells);
+        std::vector<Stmt> c;
+        append_conflict(st, &c, flag);
+        insert_at_random(st.rng, &gp.main, std::move(c));
+      }
+      if (expect_error) {
+        insert_at_random(st.rng, &gp.main, {make_violation(st)});
+      }
+      break;
+    }
+    case Shape::kFork: {
+      gp.boot_thickness = 1;
+      FlowCtx main_ctx;
+      main_ctx.thickness = 1;
+      st.alloc_out(&main_ctx.out_window);
+      emit_stmts(st, main_ctx, &gp.main, 1 + st.rng.below(4));
+      const Addr flag = kFlagBase + st.rng.below(kFlagCells);
+      const std::size_t spawns = 1 + st.rng.below(3);
+      const std::size_t acc_before = st.accs.size();
+      for (std::size_t i = 0; i < spawns; ++i) {
+        constexpr Word kThick[] = {1, 2, 4, 8, 16, 32};
+        Stmt sp;
+        sp.kind = Stmt::Kind::kSpawn;
+        sp.imm = pick(st.rng, kThick);
+        FlowCtx wctx;
+        wctx.is_main = false;
+        wctx.thickness = sp.imm;
+        wctx.can_setthick = st.rng.chance(0.3);
+        st.alloc_out(&wctx.out_window);
+        emit_stmts(st, wctx, &sp.body, 3 + st.rng.below(6));
+        if (conflicting && st.rng.chance(0.7)) {
+          append_conflict(st, &sp.body, flag);
+        }
+        gp.main.push_back(std::move(sp));
+      }
+      Stmt join;
+      join.kind = Stmt::Kind::kJoin;
+      gp.main.push_back(join);
+      // Post-join: observe an accumulator the workers fed (safe in every
+      // variant — the join barrier orders it after all contributions).
+      if (st.accs.size() > acc_before && st.rng.chance(0.8)) {
+        const AccCell& c =
+            st.accs[acc_before + st.rng.below(st.accs.size() - acc_before)];
+        Stmt ld;
+        ld.kind = Stmt::Kind::kLoad;
+        ld.rd = 4;
+        ld.imm = static_cast<Word>(c.addr);
+        gp.main.push_back(ld);
+        Stmt pr;
+        pr.kind = Stmt::Kind::kPrint;
+        pr.use_imm = false;
+        pr.ra = 4;
+        gp.main.push_back(pr);
+      }
+      FlowCtx post_ctx = main_ctx;
+      emit_stmts(st, post_ctx, &gp.main, st.rng.below(3));
+      break;
+    }
+    case Shape::kEsm: {
+      constexpr std::uint32_t kFlows[] = {4, 8, 12};
+      gp.boot_flows = pick(st.rng, kFlows);
+      gp.esm_boot = true;
+      gp.boot_thickness = 1;
+      FlowCtx ctx;
+      ctx.thickness = 1;
+      ctx.esm = true;
+      ctx.can_numa = st.rng.chance(0.4);
+      emit_stmts(st, ctx, &gp.main, 4 + st.rng.below(cap - 3));
+      // Flow-guarded prints only at the tail: the guard desynchronises the
+      // flows, which is harmless once no shared traffic follows.
+      const std::size_t prints = st.rng.below(3);
+      for (std::size_t i = 0; i < prints; ++i) {
+        gp.main.push_back(make_print(st, /*guarded=*/true));
+      }
+      break;
+    }
+    case Shape::kNumaSingle: {
+      gp.boot_thickness = 1;
+      FlowCtx ctx;
+      ctx.thickness = 1;
+      ctx.can_numa = true;
+      ctx.allow_local = true;
+      st.alloc_out(&ctx.out_window);
+      emit_stmts(st, ctx, &gp.main, 3 + st.rng.below(cap - 3));
+      bool has_numa = false;
+      for (const Stmt& s : gp.main) {
+        has_numa |= s.kind == Stmt::Kind::kNuma;
+      }
+      if (!has_numa) {
+        insert_at_random(st.rng, &gp.main, {make_numa(st, ctx)});
+      }
+      break;
+    }
+  }
+  return gp;
+}
+
+// ---------------------------------------------------------------------------
+// profile_of()
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void profile_walk(const std::vector<Stmt>& body, Word thickness, bool in_spawn,
+                  bool in_loop, Profile* p) {
+  for (const Stmt& s : body) {
+    if (s.conflict) p->conflicting = true;
+    if (s.violate) p->expects_error = true;
+    switch (s.kind) {
+      case Stmt::Kind::kSetThick:
+        p->uses_setthick = true;
+        thickness = s.imm;
+        p->max_thickness = std::max(p->max_thickness, thickness);
+        break;
+      case Stmt::Kind::kNuma:
+        p->uses_numa = true;
+        profile_walk(s.body, 1, in_spawn, in_loop, p);
+        thickness = 1;
+        break;
+      case Stmt::Kind::kLoop:
+        profile_walk(s.body, thickness, in_spawn, true, p);
+        break;
+      case Stmt::Kind::kSpawn:
+        p->uses_spawn = true;
+        p->max_spawn_thickness = std::max(p->max_spawn_thickness, s.imm);
+        p->max_thickness = std::max(p->max_thickness, s.imm);
+        profile_walk(s.body, s.imm, true, in_loop, p);
+        break;
+      case Stmt::Kind::kLocalLoad:
+      case Stmt::Kind::kLocalStore:
+        p->uses_local = true;
+        break;
+      case Stmt::Kind::kMulti:
+        p->uses_multiop = true;
+        break;
+      case Stmt::Kind::kPrefix:
+        p->uses_prefix = true;
+        if (in_spawn) p->prefix_in_spawn = true;
+        if (in_loop) p->prefix_in_loop = true;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+Profile profile_of(const GenProgram& gp) {
+  Profile p;
+  p.max_thickness = gp.boot_thickness;
+  profile_walk(gp.main, gp.boot_thickness, false, false, &p);
+  // An expected-error program relies on concurrent same-cell access, which
+  // only lines up with the oracle on step-aligned lanes.
+  if (p.expects_error) p.conflicting = true;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// materialize()
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using tcf::AsmBuilder;
+using tcf::Reg;
+
+struct PendingWorker {
+  const Stmt* spawn;
+  AsmBuilder::Label entry;
+};
+
+void emit_body(AsmBuilder& b, const std::vector<Stmt>& body,
+               std::vector<PendingWorker>* workers) {
+  for (const Stmt& s : body) {
+    switch (s.kind) {
+      case Stmt::Kind::kAlu:
+        if (s.use_imm) {
+          b.alu(s.op, Reg{s.rd}, Reg{s.ra}, s.imm);
+        } else {
+          b.alu(s.op, Reg{s.rd}, Reg{s.ra}, Reg{s.rb});
+        }
+        break;
+      case Stmt::Kind::kLdi:
+        b.ldi(Reg{s.rd}, s.imm);
+        break;
+      case Stmt::Kind::kLoad:
+        b.ld(Reg{s.rd}, tcf::r0, s.imm, s.lane);
+        break;
+      case Stmt::Kind::kGather:
+        b.add(tcf::r12, tcf::r1, s.imm);
+        b.ld(Reg{s.rd}, tcf::r12, 0, false);
+        break;
+      case Stmt::Kind::kStore:
+        b.st(Reg{s.ra}, tcf::r0, s.imm, s.lane);
+        break;
+      case Stmt::Kind::kScatter:
+        b.add(tcf::r12, tcf::r1, s.imm);
+        b.st(Reg{s.ra}, tcf::r12, 0, false);
+        break;
+      case Stmt::Kind::kLocalLoad:
+        b.lld(Reg{s.rd}, tcf::r0, s.imm, s.lane);
+        break;
+      case Stmt::Kind::kLocalStore:
+        b.lst(Reg{s.ra}, tcf::r0, s.imm, s.lane);
+        break;
+      case Stmt::Kind::kMulti:
+        b.mp(s.op, Reg{s.ra}, tcf::r0, s.imm, s.lane);
+        break;
+      case Stmt::Kind::kPrefix:
+        b.pp(s.op, Reg{s.rd}, Reg{s.ra}, tcf::r0, s.imm, s.lane);
+        break;
+      case Stmt::Kind::kPrint:
+        if (s.use_imm) b.print(s.imm);
+        else b.print(Reg{s.ra});
+        break;
+      case Stmt::Kind::kGuardedPrint: {
+        const auto skip = b.make_label();
+        b.bnez(tcf::r1, skip);
+        if (s.use_imm) b.print(s.imm);
+        else b.print(Reg{s.ra});
+        b.bind(skip);
+        break;
+      }
+      case Stmt::Kind::kSetThick:
+        b.setthick(s.imm);
+        b.tid(tcf::r1);  // fresh lanes copied lane 0's id: re-derive
+        break;
+      case Stmt::Kind::kNuma:
+        b.numaset(s.imm);
+        emit_body(b, s.body, workers);
+        b.numaset(0);
+        break;
+      case Stmt::Kind::kLoop: {
+        const Reg counter = s.depth == 0 ? tcf::r3 : tcf::r11;
+        b.ldi(counter, 0);
+        const auto top = b.make_label();
+        b.bind(top);
+        emit_body(b, s.body, workers);
+        b.add(counter, counter, 1);
+        b.slt(tcf::r14, counter, s.imm);
+        b.bnez(tcf::r14, top);
+        break;
+      }
+      case Stmt::Kind::kSpawn: {
+        const auto entry = b.make_label();
+        b.ldi(tcf::r9, s.imm);
+        b.spawn(tcf::r9, entry);
+        workers->push_back(PendingWorker{&s, entry});
+        break;
+      }
+      case Stmt::Kind::kJoin:
+        b.joinall();
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+Materialized materialize(const GenProgram& gp) {
+  AsmBuilder b;
+  std::vector<PendingWorker> workers;
+  if (!gp.esm_boot) b.tid(tcf::r1);  // ESM boots poke r1/r2 instead
+  emit_body(b, gp.main, &workers);
+  b.halt();
+  Materialized m;
+  // Worker bodies land after HALT; the queue may grow while emitting (nested
+  // spawns), so iterate by index.
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    b.bind(workers[i].entry);
+    m.worker_entries.push_back(b.here());
+    b.tid(tcf::r1);
+    emit_body(b, workers[i].spawn->body, &workers);
+    b.halt();
+  }
+  for (const auto& init : gp.data) b.data(init.addr, init.words);
+  m.program = b.build();
+  return m;
+}
+
+namespace {
+std::size_t count_walk(const std::vector<Stmt>& body) {
+  std::size_t n = 0;
+  for (const Stmt& s : body) n += 1 + count_walk(s.body);
+  return n;
+}
+}  // namespace
+
+std::size_t stmt_count(const GenProgram& gp) { return count_walk(gp.main); }
+
+}  // namespace tcfpn::conformance

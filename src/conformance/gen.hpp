@@ -1,0 +1,143 @@
+// Seeded random TCF program generator for the differential conformance
+// harness.
+//
+// Programs are generated as a small statement tree (Stmt) rather than raw
+// instructions so that (a) well-formedness is guaranteed by construction —
+// bounded loops, flow-uniform branch conditions, in-range addresses — and
+// (b) the delta-debugging shrinker (shrink.hpp) can remove or simplify
+// whole statements and still have a runnable program.
+//
+// The generator enforces the register discipline below; the materializer
+// (Stmt tree -> isa::Program via tcf::AsmBuilder) relies on it:
+//
+//   r1       lane/thread index (TID at flow entry; re-issued after SETTHICK;
+//            poked by the ESM boot convention instead)
+//   r2       ESM thread count (0 outside ESM programs) — uniform
+//   r3, r11  loop counters for nesting depth 0 / 1 — uniform
+//   r4..r8   lane-varying scratch
+//   r9,r10,r13  flow-uniform scratch (r9 doubles as the SPAWN thickness reg)
+//   r12      address scratch for computed (gather/scatter) accesses
+//   r14      loop condition scratch — uniform
+//   r15      reserved (fragment base convention; always 0 here)
+//
+// Branch conditions only ever come from uniform registers, so generated
+// programs never trip the divergent-branch fault and behave identically
+// under the multi-instruction (XMT) variant's per-lane control flow.
+//
+// Shared-memory address map (all generated traffic stays inside it):
+//   [kAccBase,  +kAccCells)   multiop/multiprefix accumulator cells; each
+//                             cell is bound to one MultiOp for the whole
+//                             program and (for multiprefix) used by at most
+//                             one PP instruction
+//   [kFlagBase, +kFlagCells)  deliberate same-cell conflict targets
+//   [kInBase,   +kInCells)    read-only inputs (.data initialised); under
+//                             EREW every load gets a fresh window
+//   [kOutBase,  ...)          64-cell output windows, one per flow /
+//                             exclusive store site
+//   [kScratchBase, ...)       computed-address (gather/scatter) windows
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "isa/program.hpp"
+#include "mem/shared_memory.hpp"
+
+namespace tcfpn::conformance {
+
+inline constexpr std::size_t kSharedWords = 4096;
+inline constexpr std::size_t kLocalWords = 512;
+inline constexpr Addr kAccBase = 32;
+inline constexpr std::size_t kAccCells = 32;
+inline constexpr Addr kFlagBase = 96;
+inline constexpr std::size_t kFlagCells = 8;
+inline constexpr Addr kInBase = 128;
+inline constexpr std::size_t kInCells = 768;
+inline constexpr Addr kOutBase = 1024;
+inline constexpr Addr kWindow = 64;       ///< cells per exclusive window
+inline constexpr Addr kScratchBase = 2048;
+inline constexpr Word kMaxThickness = 64;  ///< fits one window
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    kAlu,          ///< rd <- ra op (rb | imm)
+    kLdi,          ///< rd <- imm
+    kLoad,         ///< rd <- shared[imm (+lane)]
+    kGather,       ///< r12 <- r1 + imm; rd <- shared[r12]
+    kStore,        ///< shared[imm (+lane)] <- ra
+    kScatter,      ///< r12 <- r1 + imm; shared[r12] <- ra
+    kLocalLoad,    ///< rd <- local[imm (+lane)]
+    kLocalStore,   ///< local[imm (+lane)] <- ra
+    kMulti,        ///< shared[imm] op= ra          (op in kMpAdd..kMpOr)
+    kPrefix,       ///< rd <- prefix; shared[imm] op= ra (op in kPpAdd..kPpOr)
+    kPrint,        ///< print ra (or imm when use_imm)
+    kGuardedPrint, ///< if (r1 == 0) print ra/imm   (ESM programs)
+    kSetThick,     ///< SETTHICK imm; TID r1
+    kNuma,         ///< NUMASET imm; body; NUMASET 0
+    kLoop,         ///< uniform counted loop, imm iterations, over body
+    kSpawn,        ///< LDI r9, imm; SPAWN r9, <body as worker>
+    kJoin,         ///< JOINALL
+  };
+  Kind kind = Kind::kAlu;
+  isa::Opcode op = isa::Opcode::kAdd;
+  std::uint8_t rd = 0;
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  bool use_imm = true;   ///< kAlu/kPrint: operand B is imm
+  bool lane = false;     ///< memory kinds: lane-indexed addressing (+@)
+  bool conflict = false; ///< deliberate same-cell CRCW traffic (legal)
+  bool violate = false;  ///< deliberately breaks the CRCW policy (SimError)
+  Word imm = 0;
+  std::uint8_t depth = 0;  ///< loop nesting depth (selects the counter reg)
+  std::vector<Stmt> body;  ///< kLoop / kNuma / kSpawn
+};
+
+/// A generated (or shrunk) program plus everything needed to boot it.
+struct GenProgram {
+  std::vector<Stmt> main;
+  Word boot_thickness = 1;
+  std::uint32_t boot_flows = 1;  ///< > 1 boots ESM-style thickness-1 flows
+  bool esm_boot = false;         ///< r1 = thread id, r2 = count poked at boot
+  mem::CrcwPolicy policy = mem::CrcwPolicy::kArbitrary;
+  std::vector<isa::DataInit> data;
+  std::uint64_t seed = 0;
+};
+
+/// Structural features of a GenProgram, recomputed from the tree (so it
+/// stays correct after shrinking). Drives variant applicability.
+struct Profile {
+  bool uses_setthick = false;
+  bool uses_numa = false;
+  bool uses_spawn = false;
+  bool uses_local = false;
+  bool uses_multiop = false;
+  bool uses_prefix = false;
+  bool prefix_in_spawn = false;  ///< PP inside a worker body
+  bool prefix_in_loop = false;   ///< PP inside a loop body
+  bool conflicting = false;      ///< legal same-cell CRCW traffic
+  bool expects_error = false;    ///< program must raise SimError
+  Word max_thickness = 1;        ///< max static thickness anywhere
+  Word max_spawn_thickness = 0;
+};
+
+struct GenOptions {
+  std::uint64_t seed = 1;
+  std::size_t max_stmts = 18;  ///< soft cap on statements per body
+  bool allow_errors = true;    ///< include expected-SimError programs
+};
+
+struct Materialized {
+  isa::Program program;
+  std::vector<std::size_t> worker_entries;  ///< spawn bodies, in walk order
+};
+
+GenProgram generate(const GenOptions& opt);
+Profile profile_of(const GenProgram& gp);
+Materialized materialize(const GenProgram& gp);
+
+/// Number of statements in the tree (shrinker progress metric).
+std::size_t stmt_count(const GenProgram& gp);
+
+}  // namespace tcfpn::conformance

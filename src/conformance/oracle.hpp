@@ -1,0 +1,72 @@
+// The sequential reference oracle of the conformance harness.
+//
+// A plain interpreter for Section 3.1 semantics: step-synchronous shared
+// memory, lane-private registers, flow-level control, multioperations and
+// ordered multiprefix — and nothing else. No cost model, no network, no
+// scheduler, no groups, no host parallelism. Every ready flow executes one
+// TCF instruction (or one NUMA block) per step, in flow-id order; staged
+// memory traffic commits at the step boundary under the CRCW policy.
+//
+// The differential driver (diff.hpp) treats this interpreter as the
+// specification: any machine variant applicable to a program must produce
+// the same final shared-memory image, debug output and SimError outcome.
+//
+// Commit semantics (the spec the machine is held to):
+//  - writes are keyed by (flow id << 40) | lane, the machine's Priority
+//    order. Several writes by the *same* key to one cell within a step are
+//    program-ordered, not concurrent: the last one wins and the earlier
+//    ones are invisible to the CRCW policy (store forwarding already makes
+//    them flow-private). Distinct keys on one cell are concurrent: EREW and
+//    CREW fault, Common faults unless all values agree, Arbitrary and
+//    Priority take the lowest key.
+//  - under EREW a cell may be touched by at most one key per step, counting
+//    reads and writes together (re-reads and read-modify-write by a single
+//    key are exclusive and therefore legal).
+//  - multioperation contributions to one cell combine in key order starting
+//    from the cell's pre-step value; a multiprefix participant receives the
+//    running value before its own contribution (the ordered-multiprefix
+//    ticket semantics). Mixing different multioperations on one cell in one
+//    step faults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/program.hpp"
+#include "mem/shared_memory.hpp"
+
+namespace tcfpn::conformance {
+
+struct OracleOptions {
+  mem::CrcwPolicy policy = mem::CrcwPolicy::kArbitrary;
+  std::size_t shared_words = 4096;
+  std::size_t local_words = 512;
+  std::uint64_t max_steps = 1u << 18;
+
+  // Deliberate misimplementations for harness self-tests (tcffuzz
+  // --inject-bug): the *oracle* is broken so the fuzzer must catch the
+  // mismatch and shrink it; the machine stays the correct side.
+  bool skip_common_check = false;    ///< drop Common-CRCW value comparison
+  bool reverse_prefix_order = false; ///< combine multiprefix in reverse key order
+};
+
+struct OracleResult {
+  bool completed = false;   ///< every flow halted within max_steps
+  bool faulted = false;
+  std::string fault;        ///< SimError message when faulted
+  std::vector<Word> shared; ///< final shared-memory image (post-fault: partial)
+  std::vector<Word> local;  ///< the single flat local memory
+  std::vector<Word> debug;  ///< PRINT outputs in execution order
+  std::uint64_t steps = 0;
+};
+
+/// Boots either one flow of `boot_thickness` at the program entry, or (when
+/// `esm_boot`) `boot_flows` thickness-1 flows with r1 = thread id and
+/// r2 = thread count, then runs to completion under `opt`.
+OracleResult run_oracle(const isa::Program& program, Word boot_thickness,
+                        std::uint32_t boot_flows, bool esm_boot,
+                        const OracleOptions& opt);
+
+}  // namespace tcfpn::conformance

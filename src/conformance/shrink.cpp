@@ -1,0 +1,162 @@
+#include "conformance/shrink.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace tcfpn::conformance {
+
+namespace {
+
+/// Path to a statement: child indices from the root body down.
+using Path = std::vector<std::size_t>;
+
+void collect_paths(const std::vector<Stmt>& body, Path& prefix,
+                   std::vector<Path>& out) {
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    prefix.push_back(i);
+    // Children first: deleting an inner statement is a smaller move than
+    // deleting the construct around it.
+    collect_paths(body[i].body, prefix, out);
+    out.push_back(prefix);
+    prefix.pop_back();
+  }
+}
+
+std::vector<Stmt>* body_of(GenProgram& gp, const Path& path,
+                           std::size_t depth) {
+  std::vector<Stmt>* body = &gp.main;
+  for (std::size_t d = 0; d < depth; ++d) {
+    if (path[d] >= body->size()) return nullptr;
+    body = &(*body)[path[d]].body;
+  }
+  return body;
+}
+
+Stmt* stmt_at(GenProgram& gp, const Path& path) {
+  std::vector<Stmt>* body = body_of(gp, path, path.size() - 1);
+  if (body == nullptr || path.back() >= body->size()) return nullptr;
+  return &(*body)[path.back()];
+}
+
+}  // namespace
+
+ShrinkResult shrink(const GenProgram& gp, const Divergence& seed_divergence,
+                    const DiffOptions& opt) {
+  ShrinkResult best{gp, seed_divergence, 0, 0};
+
+  auto try_candidate = [&](GenProgram candidate) {
+    ++best.attempts;
+    if (auto d = run_differential(candidate, opt)) {
+      best.program = std::move(candidate);
+      best.divergence = *d;
+      return true;
+    }
+    return false;
+  };
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    ++best.rounds;
+
+    // Pass 1: single-statement deletion, innermost first. Paths are
+    // re-enumerated against the current best after every success.
+    for (bool deleted = true; deleted;) {
+      deleted = false;
+      std::vector<Path> paths;
+      Path prefix;
+      {
+        GenProgram cur = best.program;  // enumeration only
+        collect_paths(cur.main, prefix, paths);
+      }
+      for (const Path& p : paths) {
+        GenProgram candidate = best.program;
+        std::vector<Stmt>* body = body_of(candidate, p, p.size() - 1);
+        if (body == nullptr || p.back() >= body->size()) continue;
+        body->erase(body->begin() + static_cast<std::ptrdiff_t>(p.back()));
+        if (try_candidate(std::move(candidate))) {
+          deleted = true;
+          improved = true;
+          break;  // paths are stale; re-enumerate
+        }
+      }
+    }
+
+    // Pass 2: hoist construct bodies (loop/numa/spawn -> inline body).
+    for (bool hoisted = true; hoisted;) {
+      hoisted = false;
+      std::vector<Path> paths;
+      Path prefix;
+      {
+        GenProgram cur = best.program;
+        collect_paths(cur.main, prefix, paths);
+      }
+      for (const Path& p : paths) {
+        GenProgram candidate = best.program;
+        Stmt* s = stmt_at(candidate, p);
+        if (s == nullptr) continue;
+        if (s->kind != Stmt::Kind::kLoop && s->kind != Stmt::Kind::kNuma &&
+            s->kind != Stmt::Kind::kSpawn) {
+          continue;
+        }
+        std::vector<Stmt> inner = std::move(s->body);
+        std::vector<Stmt>* body = body_of(candidate, p, p.size() - 1);
+        const auto at = body->begin() + static_cast<std::ptrdiff_t>(p.back());
+        body->erase(at);
+        body->insert(body->begin() + static_cast<std::ptrdiff_t>(p.back()),
+                     inner.begin(), inner.end());
+        if (try_candidate(std::move(candidate))) {
+          hoisted = true;
+          improved = true;
+          break;
+        }
+      }
+    }
+
+    // Pass 3: value reductions.
+    {
+      std::vector<Path> paths;
+      Path prefix;
+      {
+        GenProgram cur = best.program;
+        collect_paths(cur.main, prefix, paths);
+      }
+      for (const Path& p : paths) {
+        GenProgram candidate = best.program;
+        Stmt* s = stmt_at(candidate, p);
+        if (s == nullptr) continue;
+        Word target = s->imm;
+        switch (s->kind) {
+          case Stmt::Kind::kLoop:
+          case Stmt::Kind::kNuma:
+            target = 1;
+            break;
+          case Stmt::Kind::kSpawn:
+          case Stmt::Kind::kSetThick:
+            target = s->imm > 2 ? 2 : 1;
+            break;
+          default:
+            continue;
+        }
+        if (target == s->imm) continue;
+        s->imm = target;
+        if (try_candidate(std::move(candidate))) improved = true;
+      }
+      for (Word t : {Word{2}, Word{1}}) {
+        if (best.program.boot_thickness > t) {
+          GenProgram candidate = best.program;
+          candidate.boot_thickness = t;
+          if (try_candidate(std::move(candidate))) improved = true;
+        }
+      }
+      if (best.program.boot_flows > 2) {
+        GenProgram candidate = best.program;
+        candidate.boot_flows = 2;
+        if (try_candidate(std::move(candidate))) improved = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace tcfpn::conformance

@@ -1,0 +1,36 @@
+// Delta-debugging shrinker: reduces a diverging GenProgram to a minimal
+// reproducer.
+//
+// Greedy fixpoint over three pass families, each candidate re-validated by
+// re-running the differential (to_case recomputes the profile and the
+// applicable lanes, so a simplification that changes which variants apply
+// — or makes the program stop diverging — is rejected automatically):
+//
+//  1. statement deletion — every statement in the tree, innermost first;
+//  2. hoisting — replace a loop / NUMA region / spawn with its body;
+//  3. value reduction — loop iterations -> 1, boot/spawn/SETTHICK
+//     thickness -> {1, 2}, NUMA block length -> 1.
+//
+// The result is still a well-formed GenProgram, so it can be materialized,
+// saved to the corpus and replayed like any generated program.
+#pragma once
+
+#include <cstdint>
+
+#include "conformance/diff.hpp"
+#include "conformance/gen.hpp"
+
+namespace tcfpn::conformance {
+
+struct ShrinkResult {
+  GenProgram program;    ///< smallest diverging program found
+  Divergence divergence; ///< the divergence the shrunk program still shows
+  std::size_t rounds = 0;
+  std::size_t attempts = 0;  ///< differential executions spent
+};
+
+/// Shrinks `gp`, which must currently diverge under `opt`.
+ShrinkResult shrink(const GenProgram& gp, const Divergence& seed_divergence,
+                    const DiffOptions& opt);
+
+}  // namespace tcfpn::conformance

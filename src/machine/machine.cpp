@@ -1170,9 +1170,11 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
         const auto op = static_cast<mem::MultiOp>(
             static_cast<int>(instr.op) - static_cast<int>(Opcode::kPpAdd));
         const Word old = shared_.peek(a);
+        // Read the contribution before delivering the prefix result: with
+        // rd == rb the result write must not clobber the contribution.
+        const Word contribution = instr.rb == 0 ? 0 : regs[instr.rb];
         write_reg(instr.rd, old);
-        shared_.poke(a, mem::apply_multiop(
-                            op, old, instr.rb == 0 ? 0 : regs[instr.rb]));
+        shared_.poke(a, mem::apply_multiop(op, old, contribution));
         ++lane_pc;
         continue;
       }

@@ -157,11 +157,31 @@ void SharedMemory::bind_metrics(metrics::MetricsRegistry* reg) {
 }
 
 void SharedMemory::commit_writes() {
-  if (pending_writes_.empty()) return;
-  std::sort(pending_writes_.begin(), pending_writes_.end(),
-            [](const PendingWrite& x, const PendingWrite& y) {
-              return x.addr != y.addr ? x.addr < y.addr : x.lane < y.lane;
-            });
+  if (pending_writes_.empty()) {
+    check_erew_reads();
+    return;
+  }
+  std::stable_sort(pending_writes_.begin(), pending_writes_.end(),
+                   [](const PendingWrite& x, const PendingWrite& y) {
+                     return x.addr != y.addr ? x.addr < y.addr
+                                             : x.lane < y.lane;
+                   });
+  // Collapse runs with the same (addr, lane) key to the *last* staged value:
+  // one lane rewriting a cell several times within a step (balanced
+  // multi-instruction steps, NUMA blocks) is program-ordered, not
+  // concurrent — store forwarding already made the earlier values
+  // flow-private, so only the final one reaches the commit and the CRCW
+  // policy.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pending_writes_.size(); ++i) {
+    if (kept > 0 && pending_writes_[kept - 1].addr == pending_writes_[i].addr &&
+        pending_writes_[kept - 1].lane == pending_writes_[i].lane) {
+      pending_writes_[kept - 1].value = pending_writes_[i].value;
+    } else {
+      pending_writes_[kept++] = pending_writes_[i];
+    }
+  }
+  pending_writes_.resize(kept);
   for (std::size_t i = 0; i < pending_writes_.size();) {
     std::size_t j = i + 1;
     while (j < pending_writes_.size() &&
@@ -199,32 +219,36 @@ void SharedMemory::commit_writes() {
     store_[addr] = pending_writes_[i].value;
     i = j;
   }
-  // Under EREW also forbid a read and a write touching the same cell.
-  if (policy_ == CrcwPolicy::kErew && !step_reads_.empty()) {
-    std::sort(step_reads_.begin(), step_reads_.end());
-    for (std::size_t r = 1; r < step_reads_.size(); ++r) {
-      if (step_reads_[r].first == step_reads_[r - 1].first) {
-        TCFPN_FAULT("EREW violation: concurrent reads of address ",
-                    step_reads_[r].first, " in step ", step_);
-      }
-    }
-    for (const auto& w : pending_writes_) {
-      const bool read_too = std::binary_search(
-          step_reads_.begin(), step_reads_.end(), w.addr,
-          [](const auto& lhs, const auto& rhs) {
-            if constexpr (std::is_same_v<std::decay_t<decltype(lhs)>, Addr>) {
-              return lhs < rhs.first;
-            } else {
-              return lhs.first < rhs;
-            }
-          });
-      if (read_too) {
-        TCFPN_FAULT("EREW violation: address ", w.addr,
-                    " both read and written in step ", step_);
-      }
+  check_erew_reads();
+  pending_writes_.clear();
+}
+
+void SharedMemory::check_erew_reads() {
+  if (policy_ != CrcwPolicy::kErew || step_reads_.empty()) return;
+  std::sort(step_reads_.begin(), step_reads_.end());
+  // Re-reads by one (flow, lane) key are exclusive accesses, not concurrent
+  // ones — a single lane may touch a cell any number of times in a step.
+  step_reads_.erase(std::unique(step_reads_.begin(), step_reads_.end()),
+                    step_reads_.end());
+  for (std::size_t r = 1; r < step_reads_.size(); ++r) {
+    if (step_reads_[r].first == step_reads_[r - 1].first) {
+      TCFPN_FAULT("EREW violation: concurrent reads of address ",
+                  step_reads_[r].first, " in step ", step_);
     }
   }
-  pending_writes_.clear();
+  // At most one key per read address from here on; a write by a *different*
+  // key to a read address breaks exclusivity (read-modify-write by the same
+  // key is legal).
+  for (const auto& w : pending_writes_) {
+    const auto it = std::lower_bound(
+        step_reads_.begin(), step_reads_.end(), w.addr,
+        [](const auto& lhs, Addr rhs) { return lhs.first < rhs; });
+    if (it != step_reads_.end() && it->first == w.addr &&
+        it->second != w.lane) {
+      TCFPN_FAULT("EREW violation: address ", w.addr,
+                  " both read and written in step ", step_);
+    }
+  }
 }
 
 void SharedMemory::commit_multis() {

@@ -204,6 +204,10 @@ class SharedMemory {
   void check_addr(Addr a) const;
   void note_traffic(Addr a, std::uint64_t ModuleTraffic::*field);
   void commit_writes();
+  /// EREW exclusivity over this step's reads (and read/write overlaps with
+  /// the already-deduplicated pending writes). Runs every commit — also in
+  /// steps that stage no write at all.
+  void check_erew_reads();
   void commit_multis();
 
   std::vector<Word> store_;

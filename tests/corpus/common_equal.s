@@ -1,0 +1,13 @@
+; tcffuzz corpus v1
+; policy: common
+; boot: thickness=4 flows=1 esm=0
+; expect: ok
+; local: 0
+; lanes: single-instruction/aligned fixed-thickness/aligned
+; Common-CRCW accepts concurrent writers when every value agrees: all four
+; lanes store the same constant, no fault, the value lands.
+  LDI r9, 77
+  ST r9, [r0+1024]
+  LD r5, [r0+1024]
+  ST r5, [r0+1025]
+  HALT

@@ -1,0 +1,11 @@
+; tcffuzz corpus v1
+; policy: arbitrary
+; boot: thickness=1 flows=1 esm=0
+; expect: error
+; local: 0
+; lanes: single-instruction/aligned single-operation/aligned config-single-operation/aligned fixed-thickness/aligned
+; Division by zero (r0 reads as zero) faults identically on every
+; step-synchronous variant.
+  LDI r4, 41
+  DIV r5, r4, r0
+  HALT

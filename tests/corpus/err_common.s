@@ -1,0 +1,11 @@
+; tcffuzz corpus v1
+; policy: common
+; boot: thickness=2 flows=1 esm=0
+; expect: error
+; local: 0
+; lanes: single-instruction/aligned fixed-thickness/aligned
+; Lanes write *different* values (their ids) to one cell: Common-CRCW
+; requires all concurrent writers to agree.
+  TID r1
+  ST r1, [r0+96]
+  HALT

@@ -1,0 +1,11 @@
+; tcffuzz corpus v1
+; policy: crew
+; boot: thickness=2 flows=1 esm=0
+; expect: error
+; local: 0
+; lanes: single-instruction/aligned fixed-thickness/aligned
+; Two lanes write the same cell in one step: CREW forbids concurrent writes
+; even when the values agree.
+  LDI r9, 7
+  ST r9, [r0+96]
+  HALT

@@ -1,0 +1,11 @@
+; tcffuzz corpus v1
+; policy: erew
+; boot: thickness=2 flows=1 esm=0
+; expect: error
+; local: 0
+; lanes: single-instruction/aligned fixed-thickness/aligned
+; Two lanes of one flow read the same cell in one step: an EREW exclusivity
+; violation even though no write is staged anywhere.
+.data 96, 5
+  LD r4, [r0+96]
+  HALT

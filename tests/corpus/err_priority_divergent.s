@@ -1,0 +1,12 @@
+; tcffuzz corpus v1
+; policy: priority
+; boot: thickness=2 flows=1 esm=0
+; expect: error
+; local: 0
+; lanes: single-instruction/aligned fixed-thickness/aligned
+; Branching on a lane-varying register (the lane id) faults: control is
+; flow-level, so the condition must be uniform across lanes.
+  TID r1
+  BNEZ r1, 3
+  HALT
+  HALT

@@ -1,0 +1,18 @@
+; tcffuzz corpus v1
+; policy: arbitrary
+; boot: thickness=1 flows=4 esm=1
+; expect: ok
+; local: 0
+; lanes: single-instruction/aligned balanced:3 single-operation/aligned config-single-operation/aligned
+; ESM convention (Fig. 10): four thickness-1 threads with r1 = tid and
+; r2 = thread count poked at boot; each loops three times adding tid+1 into
+; the accumulator (total 30), and thread 0 alone prints the count.
+  LDI r3, 0
+  ADD r10, r1, 1
+  MPADD r10, [r0+32]
+  ADD r3, r3, 1
+  SLT r14, r3, 3
+  BNEZ r14, 2
+  BNEZ r1, 8
+  PRINT r2
+  HALT

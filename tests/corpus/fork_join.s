@@ -1,0 +1,19 @@
+; tcffuzz corpus v1
+; policy: arbitrary
+; boot: thickness=1 flows=1 esm=0
+; expect: ok
+; local: 0
+; lanes: single-instruction/aligned balanced:3 multi-instruction
+; parallel { } via SPAWN/JOINALL: two thickness-2 workers each add every
+; lane's 1 into the accumulator; the parent reads 4 after the join.
+  LDI r9, 2
+  SPAWN r9, 7
+  SPAWN r9, 7
+  JOINALL
+  LD r4, [r0+32]
+  PRINT r4
+  HALT
+  TID r1
+  LDI r10, 1
+  MPADD r10, [r0+32]
+  HALT

@@ -1,0 +1,12 @@
+; tcffuzz corpus v1
+; policy: arbitrary
+; boot: thickness=4 flows=1 esm=0
+; expect: ok
+; local: 0
+; lanes: single-instruction/aligned balanced:2 multi-instruction fixed-thickness/aligned
+; MPADD: four lanes add their ids into one cell in a single step (sum 6).
+  TID r1
+  MPADD r1, [r0+32]
+  LD r4, [r0+32]
+  ST r4, [r0+1024]
+  HALT

@@ -1,0 +1,15 @@
+; tcffuzz corpus v1
+; policy: arbitrary
+; boot: thickness=4 flows=1 esm=0
+; expect: ok
+; local: 0
+; lanes: single-instruction/aligned balanced:2 multi-instruction fixed-thickness/aligned
+; MPAND of bit masks: -1 (identity) & 14 & 7 & 27 & 11 = 2.
+.data 35, -1
+.data 128, 14, 7, 27, 11
+  TID r1
+  LD r4, [r0+128+@]
+  MPAND r4, [r0+35]
+  LD r5, [r0+35]
+  ST r5, [r0+1024]
+  HALT

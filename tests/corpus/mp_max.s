@@ -1,0 +1,15 @@
+; tcffuzz corpus v1
+; policy: arbitrary
+; boot: thickness=4 flows=1 esm=0
+; expect: ok
+; local: 0
+; lanes: single-instruction/aligned balanced:2 multi-instruction fixed-thickness/aligned
+; MPMAX over lane-indexed inputs (max 42) against a smaller initial cell.
+.data 33, 7
+.data 128, 17, 42, -5, 30
+  TID r1
+  LD r4, [r0+128+@]
+  MPMAX r4, [r0+33]
+  LD r5, [r0+33]
+  ST r5, [r0+1024]
+  HALT

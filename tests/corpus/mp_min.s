@@ -1,0 +1,15 @@
+; tcffuzz corpus v1
+; policy: arbitrary
+; boot: thickness=4 flows=1 esm=0
+; expect: ok
+; local: 0
+; lanes: single-instruction/aligned balanced:2 multi-instruction fixed-thickness/aligned
+; MPMIN over lane-indexed inputs (min -5) against a larger initial cell.
+.data 34, 100
+.data 128, 17, 42, -5, 30
+  TID r1
+  LD r4, [r0+128+@]
+  MPMIN r4, [r0+34]
+  LD r5, [r0+34]
+  ST r5, [r0+1024]
+  HALT

@@ -1,0 +1,14 @@
+; tcffuzz corpus v1
+; policy: arbitrary
+; boot: thickness=4 flows=1 esm=0
+; expect: ok
+; local: 0
+; lanes: single-instruction/aligned balanced:2 multi-instruction fixed-thickness/aligned
+; MPOR of one-hot lane bits: 1 | 2 | 4 | 8 = 15.
+  TID r1
+  LDI r4, 1
+  SHL r5, r4, r1
+  MPOR r5, [r0+36]
+  LD r6, [r0+36]
+  ST r6, [r0+1024]
+  HALT

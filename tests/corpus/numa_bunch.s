@@ -1,0 +1,22 @@
+; tcffuzz corpus v1
+; policy: arbitrary
+; boot: thickness=1 flows=1 esm=0
+; expect: ok
+; local: 1
+; lanes: single-instruction/aligned balanced:8 config-single-operation/aligned
+; NUMASET bunching (the #1/T statement): a 4-instruction NUMA block works in
+; the group's local memory, then PRAM mode publishes the result to shared.
+.data 128, 11, 31
+  LD r4, [r0+128]
+  LD r5, [r0+129]
+  NUMASET 4
+  LST r4, [r0+16]
+  LST r5, [r0+17]
+  LLD r6, [r0+16]
+  ADD r6, r6, 1
+  NUMASET 0
+  LLD r7, [r0+17]
+  ADD r8, r6, r7
+  ST r8, [r0+1024]
+  PRINT r8
+  HALT

@@ -1,0 +1,13 @@
+; tcffuzz corpus v1
+; policy: arbitrary
+; boot: thickness=8 flows=1 esm=0
+; expect: ok
+; local: 0
+; lanes: single-instruction/aligned balanced:4 multi-instruction fixed-thickness/aligned
+; Ordered multiprefix: lane i receives the sum of all lower-lane ids
+; (0,0,1,3,6,10,15,21) — the ticket order is the lane order, whatever the
+; variant's internal schedule — and the cell ends at 28.
+  TID r1
+  PPADD r4, r1, [r0+32]
+  ST r4, [r0+1024+@]
+  HALT

@@ -1,0 +1,14 @@
+; tcffuzz corpus v1
+; policy: priority
+; boot: thickness=4 flows=1 esm=0
+; expect: ok
+; local: 0
+; lanes: single-instruction/aligned fixed-thickness/aligned
+; Priority-CRCW winner selection: all four lanes store 10 + id to one cell;
+; the lowest (flow, lane) key — lane 0, value 10 — wins.
+  TID r1
+  ADD r4, r1, 10
+  ST r4, [r0+1024]
+  LD r5, [r0+1024]
+  ST r5, [r0+1025]
+  HALT

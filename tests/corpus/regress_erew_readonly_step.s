@@ -1,0 +1,14 @@
+; tcffuzz corpus v1
+; policy: erew
+; boot: thickness=2 flows=1 esm=0
+; expect: error
+; local: 0
+; lanes: single-instruction/aligned fixed-thickness/aligned
+; Regression (found by tcffuzz, seed 25): the EREW concurrent-read check
+; lived inside commit_writes() behind an early return, so a step that staged
+; reads but no writes skipped it entirely and the machine completed where
+; the model requires a fault.
+.data 103, 9
+  TID r1
+  LD r7, [r0+103]
+  HALT

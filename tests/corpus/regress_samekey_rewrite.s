@@ -1,0 +1,19 @@
+; tcffuzz corpus v1
+; policy: common
+; boot: thickness=1 flows=1 esm=0
+; expect: ok
+; local: 0
+; lanes: single-instruction/aligned balanced:16
+; Regression for the same-key rewrite semantics of commit_writes(): under
+; balanced:16 the whole program lands in ONE machine step, so the two stores
+; to cell 1024 are staged together. They come from the same (flow, lane) key,
+; so they are program-ordered — the last value (2) wins and Common-CRCW sees
+; a single writer. The old commit treated them as concurrent: an unstable
+; sort picked an arbitrary winner and Common false-faulted on 1 vs 2.
+  LDI r4, 1
+  ST r4, [r0+1024]
+  LDI r4, 2
+  ST r4, [r0+1024]
+  LD r5, [r0+1024]
+  ST r5, [r0+1025]
+  HALT

@@ -1,0 +1,15 @@
+; tcffuzz corpus v1
+; policy: priority
+; boot: thickness=1 flows=1 esm=0
+; expect: ok
+; local: 0
+; lanes: single-instruction/aligned multi-instruction single-operation/aligned config-single-operation/aligned fixed-thickness/aligned
+; Regression (found by tcffuzz, seed 5222): the XMT per-lane multiprefix
+; wrote the prefix result into rd *before* reading the contribution from rb,
+; so PPOR r5, r5, [..] with rd == rb contributed the old cell value instead
+; of r5 and left the cell unchanged. Expected: cell 33 = 0 | 18 = 18.
+  LDI r5, 18
+  PPOR r5, r5, [r0+33]
+  LD r6, [r0+33]
+  ST r6, [r0+1024]
+  HALT

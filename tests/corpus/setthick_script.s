@@ -1,0 +1,20 @@
+; tcffuzz corpus v1
+; policy: arbitrary
+; boot: thickness=2 flows=1 esm=0
+; expect: ok
+; local: 0
+; lanes: single-instruction/aligned balanced:2
+; Thickness script 2 -> 8 -> 1: widening copies lane 0's registers into the
+; new lanes, narrowing drops the tail, and TID must be re-issued after every
+; SETTHICK.
+  TID r1
+  ST r1, [r0+1024+@]
+  SETTHICK 8
+  TID r1
+  MUL r4, r1, 3
+  ST r4, [r0+1088+@]
+  SETTHICK 1
+  TID r1
+  LD r5, [r0+1088+7]
+  PRINT r5
+  HALT

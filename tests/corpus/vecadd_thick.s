@@ -1,0 +1,16 @@
+; tcffuzz corpus v1
+; policy: arbitrary
+; boot: thickness=8 flows=1 esm=0
+; expect: ok
+; local: 0
+; lanes: single-instruction/aligned balanced:3 multi-instruction fixed-thickness/aligned
+; c[i] = a[i] + b[i] over eight lanes, the Fig. 7 idiom: lane-indexed loads
+; and stores, no loop, whatever the thickness.
+.data 128, 3, 1, 4, 1, 5, 9, 2, 6
+.data 192, 2, 7, 1, 8, 2, 8, 1, 8
+  TID r1
+  LD r4, [r0+128+@]
+  LD r5, [r0+192+@]
+  ADD r6, r4, r5
+  ST r6, [r0+1024+@]
+  HALT

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "conformance/gen.hpp"
 #include "isa/assembler.hpp"
 #include "sched/allocation.hpp"
 #include "sched/balancer.hpp"
@@ -315,6 +316,103 @@ TEST(Multitask, CoscheduledRunsToCompletion) {
   const auto res = mgr.run_coscheduled();
   EXPECT_TRUE(res.completed);
   EXPECT_EQ(m.shared().peek(5), 4);
+}
+
+// ---- suspend / resume / evict edge cases under group overflow ----
+
+TEST(FlowControl, SuspendedFlowMakesNoProgress) {
+  machine::Machine m(cfg_groups(1, 4));
+  m.load(counting_task(10));
+  const FlowId a = m.boot_at(0, 1, 0);
+  (void)m.boot_at(0, 1, 0);
+  m.suspend_flow(a);
+  EXPECT_FALSE(m.run().completed);  // `a` is still live
+  EXPECT_EQ(m.shared().peek(5), 1);
+  // Resident TCF switches are free (Table 1) on the default variant.
+  EXPECT_EQ(m.resume_flow(a), 0u);
+  EXPECT_TRUE(m.run().completed);
+  EXPECT_EQ(m.shared().peek(5), 2);
+}
+
+TEST(FlowControl, ResumeIntoFullBufferEvictsSuspendedResident) {
+  // Buffer holds 2 TCFs; the third boot lands in the overflow list.
+  machine::Machine m(cfg_groups(1, 2));
+  m.load(counting_task(10));
+  const FlowId t0 = m.boot_at(0, 1, 0);
+  (void)m.boot_at(0, 1, 0);
+  const FlowId t2 = m.boot_at(0, 1, 0);
+  m.suspend_flow(t2);  // overflow seat, stays suspended
+  m.suspend_flow(t0);  // resident, suspended -> eviction victim
+  // Resuming the non-resident t2 into the full buffer must displace the
+  // suspended resident t0 and pay both halves of the swap.
+  EXPECT_GT(m.resume_flow(t2), 0u);
+  // t0 is now in overflow; resuming it again finds no suspended resident
+  // to displace, so it waits there for a free slot.
+  m.resume_flow(t0);
+  ASSERT_TRUE(m.run().completed);
+  EXPECT_EQ(m.shared().peek(5), 3);
+  EXPECT_GT(m.stats().task_switch_cycles, 0u);
+}
+
+TEST(FlowControl, EvictedFlowIsPromotedBackAndCompletes) {
+  machine::Machine m(cfg_groups(1, 2));
+  m.load(counting_task(10));
+  const FlowId t0 = m.boot_at(0, 1, 0);
+  (void)m.boot_at(0, 1, 0);
+  EXPECT_GT(m.evict_flow(t0), 0u);  // forced swap-out
+  EXPECT_THROW(m.evict_flow(t0), SimError);  // already non-resident
+  ASSERT_TRUE(m.run().completed);  // promotion pays the swap-in
+  EXPECT_EQ(m.shared().peek(5), 2);
+}
+
+TEST(FlowControl, SuspendResumeValidateFlowStatus) {
+  machine::Machine m(cfg_groups(1, 4));
+  m.load(counting_task(5));
+  const FlowId a = m.boot_at(0, 1, 0);
+  EXPECT_THROW(m.resume_flow(a), SimError);  // not suspended
+  m.suspend_flow(a);
+  EXPECT_THROW(m.suspend_flow(a), SimError);  // already suspended
+  m.resume_flow(a);
+  EXPECT_TRUE(m.run().completed);
+}
+
+// Round-robin multitasking over generator-produced TCF workloads: thick
+// flows with SETTHICK / NUMA / multioperations exercise the suspend /
+// promote / evict paths far harder than the hand-written counting task.
+TEST(FlowControl, GeneratedWorkloadsMultitaskUnderOverflow) {
+  namespace conf = tcfpn::conformance;
+  std::size_t exercised = 0;
+  for (std::uint64_t seed = 1; seed <= 200 && exercised < 5; ++seed) {
+    conf::GenOptions gopt;
+    gopt.seed = seed;
+    const conf::GenProgram gp = conf::generate(gopt);
+    const conf::Profile p = conf::profile_of(gp);
+    // Multitasking needs self-contained single-flow programs: spawned
+    // children are not TaskManager tasks, ESM programs need poked ids, and
+    // expected-SimError programs abort the whole machine.
+    if (p.uses_spawn || p.expects_error || gp.esm_boot) continue;
+    ++exercised;
+
+    auto cfg = cfg_groups(1, 2);  // every extra task overflows the buffer
+    cfg.shared_words = conf::kSharedWords;
+    cfg.local_words = conf::kLocalWords;
+    cfg.crcw = gp.policy;
+    machine::Machine m(cfg);
+    m.load(conf::materialize(gp).program);
+    std::vector<FlowId> tasks;
+    for (int t = 0; t < 4; ++t) {
+      tasks.push_back(m.boot_at(0, gp.boot_thickness, 0));
+    }
+    TaskManager mgr(m, tasks);
+    const auto res = mgr.run_round_robin(3);
+    EXPECT_TRUE(res.completed) << "seed " << seed;
+    EXPECT_GT(res.switches, 0u) << "seed " << seed;
+    // With a 2-slot buffer and 4 live tasks the rotation cannot stay
+    // resident: some switch must have paid a spill.
+    EXPECT_GT(res.switch_cycles, 0u) << "seed " << seed;
+    EXPECT_EQ(m.live_flows(), 0u) << "seed " << seed;
+  }
+  EXPECT_EQ(exercised, 5u) << "generator stopped producing usable workloads";
 }
 
 TEST(Multitask, RejectsEmptyOrBadTasks) {

@@ -2,6 +2,9 @@
 // policies, multioperations and multiprefix, traffic accounting.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <utility>
+
 #include "common/check.hpp"
 #include "mem/shared_memory.hpp"
 
@@ -121,6 +124,66 @@ TEST(CrcwPolicy, PriorityLowestLaneWins) {
   m.write(5, 30, 3);
   m.commit_step();
   EXPECT_EQ(m.peek(5), 10);
+}
+
+TEST(CrcwPolicy, ErewRejectsConcurrentReadsInWriteFreeStep) {
+  // Regression: the read check must run even when the step stages no
+  // writes (commit_writes used to return early on an empty pending list).
+  SharedMemory m(64, 4, CrcwPolicy::kErew);
+  m.read(5, 0);
+  m.read(5, 1);
+  EXPECT_THROW(m.commit_step(), SimError);
+}
+
+TEST(CrcwPolicy, ErewSameKeyReReadAndReadModifyWriteAreLegal) {
+  // Exclusivity is per (flow, lane) key: one lane may touch its cell as
+  // often as it likes within a step, reads and writes together.
+  SharedMemory m(64, 4, CrcwPolicy::kErew);
+  m.poke(5, 3);
+  m.read(5, 7);
+  m.read(5, 7);
+  m.write(5, 4, 7);
+  EXPECT_NO_THROW(m.commit_step());
+  EXPECT_EQ(m.peek(5), 4);
+}
+
+TEST(CrcwPolicy, SameKeyRewriteLastWinsUnderEveryPolicy) {
+  // Two staged writes from the SAME key are program-ordered — the later
+  // value wins and the pair is invisible to every concurrent-write check.
+  for (auto policy : {CrcwPolicy::kErew, CrcwPolicy::kCrew,
+                      CrcwPolicy::kCommon, CrcwPolicy::kArbitrary,
+                      CrcwPolicy::kPriority}) {
+    SharedMemory m(64, 4, policy);
+    m.write(5, 1, 3);
+    m.write(5, 2, 3);
+    EXPECT_NO_THROW(m.commit_step()) << to_string(policy);
+    EXPECT_EQ(m.peek(5), 2) << to_string(policy);
+  }
+}
+
+TEST(CrcwPolicy, CommonJudgesFinalValuesAfterSameKeyRewrite) {
+  // Key 0 writes 7 then rewrites to 9; key 1 writes 9. Common compares the
+  // surviving values (9 vs 9) — no fault.
+  SharedMemory m(64, 4, CrcwPolicy::kCommon);
+  m.write(5, 7, 0);
+  m.write(5, 9, 0);
+  m.write(5, 9, 1);
+  EXPECT_NO_THROW(m.commit_step());
+  EXPECT_EQ(m.peek(5), 9);
+}
+
+TEST(CrcwPolicy, PriorityLowestFlowLaneKeyWins) {
+  // Machine keys are (flow << 40) | lane, so any lane of a lower flow
+  // outranks every lane of a higher flow.
+  const auto key = [](std::uint64_t flow, std::uint64_t lane) {
+    return (flow << 40) | lane;
+  };
+  SharedMemory m(64, 4, CrcwPolicy::kPriority);
+  m.write(5, 111, key(1, 0));
+  m.write(5, 222, key(0, 3));
+  m.write(5, 333, key(2, 63));
+  m.commit_step();
+  EXPECT_EQ(m.peek(5), 222);
 }
 
 TEST(CrcwPolicy, ArbitraryIsDeterministic) {
@@ -247,6 +310,45 @@ TEST(MultiOpsHelper, ApplyMultiop) {
   EXPECT_EQ(apply_multiop(MultiOp::kMin, 2, 3), 2);
   EXPECT_EQ(apply_multiop(MultiOp::kAnd, 6, 3), 2);
   EXPECT_EQ(apply_multiop(MultiOp::kOr, 6, 3), 7);
+}
+
+TEST(MultiOpsHelper, ApplyMultiopIdentities) {
+  // The identity element of each combiner — the value a fresh accumulator
+  // cell must hold so the first contribution passes through unchanged.
+  const Word samples[] = {0, 1, -1, 42, -42, Word{1} << 40};
+  const std::pair<MultiOp, Word> identities[] = {
+      {MultiOp::kAdd, 0},
+      {MultiOp::kMax, std::numeric_limits<Word>::min()},
+      {MultiOp::kMin, std::numeric_limits<Word>::max()},
+      {MultiOp::kAnd, Word{-1}},
+      {MultiOp::kOr, 0},
+  };
+  for (const auto& [op, id] : identities) {
+    for (Word v : samples) {
+      EXPECT_EQ(apply_multiop(op, id, v), v) << to_string(op) << " " << v;
+      EXPECT_EQ(apply_multiop(op, v, id), v) << to_string(op) << " " << v;
+    }
+  }
+}
+
+TEST(MultiOpsHelper, ApplyMultiopCommutativeAndAssociative) {
+  // Commutativity + associativity make every multioperation independent of
+  // arrival order — the property the commit-time key sort relies on.
+  const Word vals[] = {0, 1, -3, 17, 100, -100};
+  for (auto op : {MultiOp::kAdd, MultiOp::kMax, MultiOp::kMin, MultiOp::kAnd,
+                  MultiOp::kOr}) {
+    for (Word a : vals) {
+      for (Word b : vals) {
+        EXPECT_EQ(apply_multiop(op, a, b), apply_multiop(op, b, a))
+            << to_string(op);
+        for (Word c : vals) {
+          EXPECT_EQ(apply_multiop(op, apply_multiop(op, a, b), c),
+                    apply_multiop(op, a, apply_multiop(op, b, c)))
+              << to_string(op);
+        }
+      }
+    }
+  }
 }
 
 TEST(Strings, PolicyAndOpNames) {
