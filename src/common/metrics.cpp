@@ -138,6 +138,61 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return snap;
 }
 
+RawMetrics MetricsRegistry::save_raw() const {
+  RawMetrics raw;
+  for (const auto& [path, e] : entries_) {
+    RawInstrument r;
+    r.kind = e.kind;
+    switch (e.kind) {
+      case InstrumentKind::kCounter:
+        r.count = e.counter->value();
+        break;
+      case InstrumentKind::kGauge:
+        r.gauge_value = e.gauge->value();
+        r.gauge_set = e.gauge->is_set();
+        break;
+      case InstrumentKind::kAccumulator:
+        r.acc = e.accumulator->raw();
+        break;
+      case InstrumentKind::kHistogram:
+        r.count = e.histogram->count();
+        r.lo = e.histogram->lo();
+        r.hi = e.histogram->hi();
+        r.buckets.reserve(e.histogram->buckets());
+        for (std::size_t i = 0; i < e.histogram->buckets(); ++i) {
+          r.buckets.push_back(e.histogram->bucket_count(i));
+        }
+        break;
+    }
+    raw.emplace(path, std::move(r));
+  }
+  return raw;
+}
+
+void MetricsRegistry::restore_raw(const RawMetrics& raw) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (raw.find(it->first) == raw.end()) it = entries_.erase(it);
+    else ++it;
+  }
+  for (const auto& [path, r] : raw) {
+    switch (r.kind) {
+      case InstrumentKind::kCounter:
+        counter(path).restore(r.count);
+        break;
+      case InstrumentKind::kGauge:
+        gauge(path).restore(r.gauge_value, r.gauge_set);
+        break;
+      case InstrumentKind::kAccumulator:
+        accumulator(path).restore(r.acc);
+        break;
+      case InstrumentKind::kHistogram:
+        histogram(path, r.lo, r.hi, r.buckets.size())
+            .restore(r.buckets, r.count);
+        break;
+    }
+  }
+}
+
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [path, e] : other.entries_) {
     switch (e.kind) {

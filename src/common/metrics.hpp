@@ -39,6 +39,7 @@ class Counter {
   void add(std::uint64_t d = 1) { v_ += d; }
   std::uint64_t value() const { return v_; }
   void reset() { v_ = 0; }
+  void restore(std::uint64_t v) { v_ = v; }  ///< checkpoint restore only
 
  private:
   std::uint64_t v_ = 0;
@@ -56,6 +57,10 @@ class Gauge {
   void reset() {
     v_ = 0;
     set_ = false;
+  }
+  void restore(double v, bool set) {  ///< checkpoint restore only
+    v_ = v;
+    set_ = set;
   }
 
  private:
@@ -85,6 +90,24 @@ struct MetricValue {
 
   bool operator==(const MetricValue&) const = default;
 };
+
+/// Bit-exact dump of one instrument's internal state, as opposed to the
+/// derived values in MetricValue (a restored variance = m2/n could differ in
+/// the last ulp from the live accumulator's m2_). Used by the checkpoint
+/// layer (DESIGN.md §8) to make a restored machine's registry
+/// indistinguishable — including future merges — from an uninterrupted run.
+struct RawInstrument {
+  InstrumentKind kind = InstrumentKind::kCounter;
+  std::uint64_t count = 0;  ///< counter value / histogram total
+  double gauge_value = 0;
+  bool gauge_set = false;
+  Accumulator::Raw acc;                 ///< accumulator Welford terms
+  double lo = 0, hi = 0;                ///< histogram range
+  std::vector<std::uint64_t> buckets;   ///< histogram buckets
+};
+
+/// Raw registry image: path -> raw instrument state, ordered by path.
+using RawMetrics = std::map<std::string, RawInstrument>;
 
 /// A frozen registry: path -> value, ordered by path.
 struct MetricsSnapshot {
@@ -130,6 +153,16 @@ class MetricsRegistry {
   bool empty() const { return entries_.empty(); }
 
   MetricsSnapshot snapshot() const;
+
+  /// Bit-exact image of every instrument's internal state.
+  RawMetrics save_raw() const;
+
+  /// Restores a save_raw() image **in place**: instruments present in `raw`
+  /// keep their heap addresses, so Counter*/Histogram* pointers cached by
+  /// the machine layer (LaneCounters, bound memory/network instruments) stay
+  /// valid across a restore. Instruments absent from `raw` are erased — they
+  /// did not exist at save time, and a backward restore must not keep them.
+  void restore_raw(const RawMetrics& raw);
 
   /// Folds `other`'s instruments into this registry: counters add,
   /// accumulators merge (Welford combine — order-sensitive in floating

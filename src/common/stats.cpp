@@ -111,6 +111,15 @@ void Histogram::reset() {
   total_ = 0;
 }
 
+void Histogram::restore(const std::vector<std::uint64_t>& counts,
+                        std::uint64_t total) {
+  TCFPN_CHECK(counts.size() == counts_.size(),
+              "restoring histogram from a different shape: ", counts.size(),
+              " buckets into ", counts_.size());
+  counts_ = counts;
+  total_ = total;
+}
+
 void Histogram::add(double x) {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   auto idx = static_cast<std::int64_t>((x - lo_) / width);

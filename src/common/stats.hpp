@@ -26,6 +26,24 @@ class Accumulator {
   double variance() const;  ///< population variance
   double stddev() const;
 
+  /// The raw Welford terms. The checkpoint layer saves and restores these
+  /// directly: derived values (variance = m2/n) are not bit-invertible in
+  /// floating point, so a restore from a snapshot could not reproduce the
+  /// exact accumulator an uninterrupted run would have.
+  struct Raw {
+    std::uint64_t n = 0;
+    double sum = 0.0, mean = 0.0, m2 = 0.0, min = 0.0, max = 0.0;
+  };
+  Raw raw() const { return Raw{n_, sum_, mean_, m2_, min_, max_}; }
+  void restore(const Raw& r) {
+    n_ = r.n;
+    sum_ = r.sum;
+    mean_ = r.mean;
+    m2_ = r.m2;
+    min_ = r.min;
+    max_ = r.max;
+  }
+
  private:
   std::uint64_t n_ = 0;
   double sum_ = 0.0;
@@ -68,6 +86,9 @@ class Histogram {
   void merge(const Histogram& other);
   /// Zeroes every bucket, keeping the shape.
   void reset();
+  /// Bit-exact restore from saved bucket counts (checkpoint layer); the
+  /// shape (bucket count) must match this histogram's.
+  void restore(const std::vector<std::uint64_t>& counts, std::uint64_t total);
   std::uint64_t count() const { return total_; }
   std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
   std::size_t buckets() const { return counts_.size(); }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "baseline/frontends.hpp"
+#include "debug/postmortem.hpp"
 #include "machine/machine.hpp"
 #include "tcf/kernels.hpp"
 
@@ -180,14 +181,43 @@ std::string LaneSpec::name() const {
 }
 
 std::string fault_class(const std::string& message) {
-  auto has = [&](const char* s) {
-    return message.find(s) != std::string::npos;
-  };
-  if (has("violation") || has("mixed multioperations")) return "policy";
-  if (has("division by zero") || has("modulo by zero")) return "arith";
-  if (has("out of range") || has("negative effective address")) return "addr";
-  if (has("divergent branch")) return "flow";
-  return "other";
+  return debug::classify_fault(message);
+}
+
+std::string flight_record_json(const DiffCase& c, const Divergence& d,
+                               std::uint64_t max_steps) {
+  const machine::MachineConfig cfg =
+      d.config ? *d.config
+               : base_config(c, {Variant::kSingleInstruction, 16, true});
+  // Checkpoints off: a flight record only needs the tape and the corpse.
+  debug::FlightRecorder rec(
+      debug::RecorderConfig{.journal_capacity = 4096, .checkpoint_every = 0});
+  machine::Machine m(cfg);
+  m.load(c.program);
+  rec.attach(m);
+  StepId steps = 0;
+  try {
+    if (c.esm_boot) {
+      tcf::kernels::boot_esm_threads(m, c.program.entry(), c.boot_flows);
+    } else {
+      m.boot(c.boot_thickness);
+    }
+    steps = m.run(max_steps).steps;
+  } catch (const SimError&) {
+    // rec.on_fault captured the record; fall through to render it.
+  }
+  const std::vector<std::pair<std::string, std::string>> meta = {
+      {"tool", "tcffuzz"}, {"lane", d.lane}};
+  if (rec.fault()) {
+    return debug::post_mortem_json(m, rec, meta);
+  }
+  // The lane ran to completion but its results disagree with the oracle:
+  // synthesize a divergence-class fault so the document shape is uniform.
+  debug::FaultRecord fr;
+  fr.message = d.lane + ": " + d.detail;
+  fr.fault_class = "divergence";
+  fr.step = steps;
+  return debug::post_mortem_json(m, rec.journal(), fr, meta);
 }
 
 std::vector<LaneSpec> lanes_for(const Profile& p, const GenProgram& gp) {
@@ -281,10 +311,12 @@ std::optional<Divergence> run_differential(const DiffCase& c,
     const std::vector<std::uint32_t> hts =
         step_sync ? opt.host_threads : std::vector<std::uint32_t>{1};
     for (std::uint32_t ht : hts) {
-      const Observed got =
-          run_machine(c, baseline::with_host_threads(cfg, ht), opt.max_steps);
+      const machine::MachineConfig lane_cfg =
+          baseline::with_host_threads(cfg, ht);
+      const Observed got = run_machine(c, lane_cfg, opt.max_steps);
       if (auto d = compare(want, got, lane.aligned, c.uses_local)) {
-        return Divergence{lane.name() + " ht=" + std::to_string(ht), *d};
+        return Divergence{lane.name() + " ht=" + std::to_string(ht), *d,
+                          lane_cfg};
       }
       if (!first) {
         first = got;
@@ -292,7 +324,7 @@ std::optional<Divergence> run_differential(const DiffCase& c,
         // Determinism contract: host threads must be unobservable.
         return Divergence{lane.name() + " ht=" + std::to_string(ht) +
                               " vs ht=" + std::to_string(hts.front()),
-                          *d};
+                          *d, lane_cfg};
       }
     }
   }
@@ -310,7 +342,7 @@ std::optional<Divergence> run_differential(const DiffCase& c,
     cfg.topology = net::TopologyKind::kRing;
     const Observed got = run_machine(c, cfg, opt.max_steps);
     if (auto d = compare(want, got, /*aligned=*/true, c.uses_local)) {
-      return Divergence{"single-instruction (perturbed costs)", *d};
+      return Divergence{"single-instruction (perturbed costs)", *d, cfg};
     }
   }
 

@@ -85,6 +85,10 @@ struct DiffOptions {
 struct Divergence {
   std::string lane;    ///< which execution disagreed with the oracle
   std::string detail;  ///< first observed difference
+  /// Exact machine configuration of the diverging lane (host threads
+  /// included) when the lane was a machine execution; empty for oracle-only
+  /// and frontend divergences. flight_record_json replays it.
+  std::optional<machine::MachineConfig> config;
 };
 
 /// Runs the case through the oracle and every applicable lane; returns the
@@ -97,7 +101,18 @@ std::optional<Divergence> run_differential(const GenProgram& gp,
                                            const DiffOptions& opt);
 
 /// Coarse fault classification used when comparing SimError outcomes across
-/// executions that cannot agree on exact step numbers.
+/// executions that cannot agree on exact step numbers. Delegates to
+/// debug::classify_fault so the fuzzer and the post-mortem exporter can
+/// never drift apart on what a "policy" fault is.
 std::string fault_class(const std::string& message);
+
+/// Replays the diverging lane of `d` (its config when recorded, otherwise
+/// the aligned single-instruction lane) with a flight recorder attached and
+/// renders a "tcfpn-postmortem-v1" document: the machine's own fault when
+/// the lane faulted, or a synthesized "divergence"-class record carrying
+/// `d.detail` when the run finished but disagreed with the oracle. tcffuzz
+/// writes this next to every shrunken reproducer.
+std::string flight_record_json(const DiffCase& c, const Divergence& d,
+                               std::uint64_t max_steps = 1u << 18);
 
 }  // namespace tcfpn::conformance

@@ -1,0 +1,113 @@
+#include "debug/postmortem.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/metrics.hpp"
+
+namespace tcfpn::debug {
+
+namespace {
+
+void append_event(std::ostringstream& out, const Journal::Entry& e) {
+  out << "{\"seq\": " << e.seq << ", \"kind\": \""
+      << machine::to_string(e.event.kind) << "\", \"step\": " << e.event.step
+      << ", \"flow\": ";
+  if (e.event.flow == machine::kNoFlow) {
+    out << "null";
+  } else {
+    out << e.event.flow;
+  }
+  out << ", \"group\": " << e.event.group << ", \"a\": " << e.event.a
+      << ", \"b\": " << e.event.b << "}";
+}
+
+}  // namespace
+
+std::string post_mortem_json(
+    const machine::Machine& m, const Journal& journal, const FaultRecord& fault,
+    const std::vector<std::pair<std::string, std::string>>& meta,
+    std::size_t last_events) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"tcfpn-postmortem-v1\",\n  \"run\": {\n";
+  for (const auto& [key, value] : meta) {
+    out << "    \"" << metrics::json_escape(key) << "\": \""
+        << metrics::json_escape(value) << "\",\n";
+  }
+  out << "    \"variant\": \"" << to_string(m.config().variant) << "\",\n"
+      << "    \"policy\": \"" << mem::to_string(m.config().crcw) << "\",\n"
+      << "    \"steps\": " << m.stats().steps << ",\n"
+      << "    \"cycles\": " << m.stats().cycles << "\n  },\n";
+
+  out << "  \"fault\": {\n    \"class\": \""
+      << metrics::json_escape(fault.fault_class) << "\",\n    \"message\": \""
+      << metrics::json_escape(fault.message) << "\",\n    \"step\": "
+      << fault.step << ",\n    \"flow\": ";
+  if (fault.flow == machine::kNoFlow) {
+    out << "null";
+  } else {
+    out << fault.flow;
+  }
+  out << ",\n    \"address\": ";
+  if (fault.address) {
+    out << *fault.address;
+  } else {
+    out << "null";
+  }
+  out << "\n  },\n";
+
+  out << "  \"events\": [";
+  const auto tail = journal.last(last_events);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    out << (i == 0 ? "\n    " : ",\n    ");
+    append_event(out, tail[i]);
+  }
+  out << "\n  ],\n";
+
+  // The flow table at the time of death. Flow ids are dense; cap the dump so
+  // a fuzzer-made flow bomb cannot balloon the document.
+  out << "  \"flows\": [";
+  constexpr std::size_t kMaxFlows = 256;
+  std::size_t emitted = 0;
+  for (FlowId id = 0; emitted < kMaxFlows; ++id) {
+    const machine::TcfDescriptor* f = m.find_flow(id);
+    if (f == nullptr) break;
+    out << (emitted == 0 ? "\n    " : ",\n    ");
+    out << "{\"id\": " << f->id << ", \"parent\": ";
+    if (f->parent == machine::kNoFlow) {
+      out << "null";
+    } else {
+      out << f->parent;
+    }
+    out << ", \"home\": " << f->home << ", \"pc\": " << f->pc
+        << ", \"status\": \"" << machine::to_string(f->status)
+        << "\", \"mode\": \""
+        << (f->mode == machine::FlowMode::kPram ? "pram" : "numa")
+        << "\", \"thickness\": " << f->thickness
+        << ", \"live_children\": " << f->live_children << "}";
+    ++emitted;
+  }
+  out << "\n  ],\n";
+
+  // The cell the fault names, when it is a shared-memory address in range.
+  out << "  \"cells\": [";
+  if (fault.address && *fault.address < m.shared().size()) {
+    out << "\n    {\"addr\": " << *fault.address << ", \"value\": "
+        << m.shared().peek(*fault.address) << ", \"module\": "
+        << m.shared().module_of(*fault.address) << "}\n  ";
+  }
+  out << "]\n}\n";
+  return out.str();
+}
+
+std::string post_mortem_json(
+    const machine::Machine& m, const FlightRecorder& recorder,
+    const std::vector<std::pair<std::string, std::string>>& meta,
+    std::size_t last_events) {
+  TCFPN_CHECK(recorder.fault().has_value(),
+              "post-mortem requested but no fault was recorded");
+  return post_mortem_json(m, recorder.journal(), *recorder.fault(), meta,
+                          last_events);
+}
+
+}  // namespace tcfpn::debug

@@ -1,0 +1,35 @@
+// Fault post-mortem documents ("tcfpn-postmortem-v1").
+//
+// A post-mortem is a self-contained JSON flight record of a failed (or
+// diverged) run: what faulted and where, the last stretch of the event
+// journal, the flow table at the time of death, and the memory cell the
+// fault names. tcfrun --post-mortem writes one on any fault; tcffuzz writes
+// one next to every shrunken divergence reproducer; tools/validate_metrics.py
+// schema-checks them in CI.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "debug/recorder.hpp"
+
+namespace tcfpn::debug {
+
+/// Renders the post-mortem JSON document. `meta` key/value pairs (tool,
+/// program, seed, ...) are copied into the "run" object verbatim alongside
+/// the machine's variant/policy/step/cycle summary. `last_events` bounds the
+/// journal excerpt. The machine is only read, never stepped — legal on the
+/// dirty post-fault state.
+std::string post_mortem_json(
+    const machine::Machine& m, const Journal& journal, const FaultRecord& fault,
+    const std::vector<std::pair<std::string, std::string>>& meta = {},
+    std::size_t last_events = 48);
+
+/// Convenience overload over a recorder that captured the fault.
+std::string post_mortem_json(
+    const machine::Machine& m, const FlightRecorder& recorder,
+    const std::vector<std::pair<std::string, std::string>>& meta = {},
+    std::size_t last_events = 48);
+
+}  // namespace tcfpn::debug

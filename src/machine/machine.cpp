@@ -22,6 +22,35 @@ constexpr std::size_t kMaxHostSpans = 1u << 20;
 
 }  // namespace
 
+const char* to_string(DebugEventKind k) {
+  switch (k) {
+    case DebugEventKind::kFlowCreated: return "flow_created";
+    case DebugEventKind::kFlowHalted: return "flow_halted";
+    case DebugEventKind::kThicknessChanged: return "thickness_changed";
+    case DebugEventKind::kSpawn: return "spawn";
+    case DebugEventKind::kJoin: return "join";
+    case DebugEventKind::kSuspend: return "suspend";
+    case DebugEventKind::kResume: return "resume";
+    case DebugEventKind::kEvict: return "evict";
+    case DebugEventKind::kPrint: return "print";
+    case DebugEventKind::kStepCommitted: return "step_committed";
+    case DebugEventKind::kFault: return "fault";
+  }
+  return "?";
+}
+
+void Machine::emit(GroupCtx& ctx, DebugEventKind kind, const TcfDescriptor& f,
+                   Word a, Word b) {
+  if (observer_ == nullptr) return;
+  ctx.events.push_back(DebugEvent{kind, stats_.steps, f.id, f.home, a, b});
+}
+
+void Machine::emit_now(DebugEventKind kind, FlowId flow, GroupId group, Word a,
+                       Word b) {
+  if (observer_ == nullptr) return;
+  observer_->on_event(DebugEvent{kind, stats_.steps, flow, group, a, b});
+}
+
 void Machine::bind_lane_counters(metrics::MetricsRegistry& reg,
                                  LaneCounters& lc) {
   lc.shared_reads = &reg.counter("mem/shared_reads");
@@ -78,6 +107,7 @@ void Machine::GroupCtx::reset() {
   trace.clear();
   error = nullptr;
   metrics.reset();  // zeroes values, keeps instruments: lane pointers survive
+  events.clear();
 }
 
 double Machine::host_clock_us() {
@@ -132,6 +162,7 @@ FlowId Machine::boot_at(std::size_t pc, Word thickness, GroupId home) {
   } else {
     grp.overflow.push_back(f.id);
   }
+  emit_now(DebugEventKind::kFlowCreated, f.id, home, thickness, -1);
   return f.id;
 }
 
@@ -245,6 +276,7 @@ void Machine::promote_overflow(GroupId g) {
 
 void Machine::on_flow_halted(TcfDescriptor& f) {
   f.status = FlowStatus::kHalted;
+  emit_now(DebugEventKind::kFlowHalted, f.id, f.home);
   if (f.parent != kNoFlow) {
     TcfDescriptor& p = flow(f.parent);
     TCFPN_CHECK(p.live_children > 0, "child halt underflows parent counter");
@@ -254,6 +286,7 @@ void Machine::on_flow_halted(TcfDescriptor& f) {
 
 void Machine::halt_in_step(TcfDescriptor& f) {
   f.status = FlowStatus::kHalted;
+  emit(step_ctx_[f.home], DebugEventKind::kFlowHalted, f);
   if (f.parent == kNoFlow) return;
   TcfDescriptor& p = flow(f.parent);
   if (p.home == f.home) {
@@ -292,10 +325,18 @@ RunResult Machine::run(std::uint64_t max_steps) {
 }
 
 bool Machine::step() {
-  if (cfg_.variant == Variant::kMultiInstruction) {
-    return step_multi_instruction();
+  try {
+    if (cfg_.variant == Variant::kMultiInstruction) {
+      return step_multi_instruction();
+    }
+    return step_synchronous();
+  } catch (const SimError& e) {
+    // Give the flight recorder its post-mortem hook before the fault
+    // propagates. The mid-step machine state is dirty; the recorder may
+    // only inspect it read-only or restore a checkpoint.
+    if (observer_ != nullptr) observer_->on_fault(e.what(), *this);
+    throw;
   }
-  return step_synchronous();
 }
 
 // --------------------------------------------------------------------------
@@ -437,6 +478,12 @@ void Machine::merge_group_effects() {
   for (GroupId g = 0; g < cfg_.groups; ++g) {
     auto& ctx = step_ctx_[g];
 
+    // Flight-recorder events buffered during the group phase surface here,
+    // in group order — identical sequence for every host-thread count.
+    if (observer_ != nullptr) {
+      for (const DebugEvent& ev : ctx.events) observer_->on_event(ev);
+    }
+
     stats_.tcf_instructions += ctx.delta.tcf_instructions;
     stats_.operations += ctx.delta.operations;
     stats_.instruction_fetches += ctx.delta.instruction_fetches;
@@ -489,6 +536,8 @@ void Machine::merge_group_effects() {
           regs = sp.broadcast;
           if (sp.fragments.size() > 1) regs[15] = base;
         }
+        emit_now(DebugEventKind::kFlowCreated, child.id, child.home, part,
+                 static_cast<Word>(sp.parent));
         pending_spawns_.push_back(child.id);
         base += part;
       }
@@ -848,6 +897,8 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
         halt_in_step(f);
         return false;
       }
+      emit(step_ctx_[f.home], DebugEventKind::kThicknessChanged, f,
+           f.thickness, t);
       const auto old = f.lane_regs.empty() ? LaneRegs{} : f.lane_regs[0];
       f.lane_regs.resize(static_cast<std::size_t>(t), old);
       f.thickness = t;
@@ -911,6 +962,8 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
         // interleaving; the parent's live-children counter rises now so a
         // same-step JOINALL already sees them.
         f.live_children += static_cast<std::uint32_t>(fragments.size());
+        emit(ctx, DebugEventKind::kSpawn, f, t,
+             static_cast<Word>(fragments.size()));
         ctx.spawns.push_back(
             SpawnRequest{f.id, entry, std::move(fragments), f.lane_regs[0]});
       }
@@ -919,6 +972,8 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
     }
     case Opcode::kJoinAll:
       f.pc += 1;
+      emit(step_ctx_[f.home], DebugEventKind::kJoin, f,
+           static_cast<Word>(f.live_children));
       if (f.live_children > 0) {
         f.status = FlowStatus::kWaitingJoin;
         return false;
@@ -930,6 +985,7 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
                          ? instr.imm
                          : (instr.ra == 0 ? 0 : f.lane_regs[0][instr.ra]);
       step_ctx_[f.home].prints.push_back(v);
+      emit(step_ctx_[f.home], DebugEventKind::kPrint, f, v);
       f.pc += 1;
       return true;
     }
@@ -1039,6 +1095,13 @@ void Machine::finish_step(Cycle slot_term_max,
   admit_pending_spawns();
   maybe_sample_step();
   if (cfg_.profile_host) host_span("sched/step_housekeeping", t0);
+  if (observer_ != nullptr) {
+    // stats_.steps already advanced; the event names the step just committed.
+    observer_->on_event(DebugEvent{DebugEventKind::kStepCommitted,
+                                   stats_.steps - 1, kNoFlow, 0,
+                                   static_cast<Word>(stats_.cycles), 0});
+    observer_->on_step(*this);
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -1113,6 +1176,9 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
           child.home = pick_group(child);
           for (auto& r : child.lane_regs) r = regs;
           ++f.live_children;
+          emit_now(DebugEventKind::kSpawn, f.id, f.home, t, 1);
+          emit_now(DebugEventKind::kFlowCreated, child.id, child.home, t,
+                   static_cast<Word>(f.id));
           pending_spawns_.push_back(child.id);
         }
         ++lane_pc;
@@ -1196,9 +1262,11 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
         continue;
       case Opcode::kPrint:
         if (lane == 0) {
-          debug_out_.push_back(instr.use_imm()
-                                   ? instr.imm
-                                   : (instr.ra == 0 ? 0 : regs[instr.ra]));
+          const Word v = instr.use_imm()
+                             ? instr.imm
+                             : (instr.ra == 0 ? 0 : regs[instr.ra]);
+          debug_out_.push_back(v);
+          emit_now(DebugEventKind::kPrint, f.id, f.home, v);
         }
         ++lane_pc;
         continue;
@@ -1260,6 +1328,8 @@ bool Machine::step_multi_instruction() {
     } else {
       TCFPN_CHECK(flow_join, "lane stopped without halt or join");
       f.pc = uniform_pc;
+      emit_now(DebugEventKind::kJoin, f.id, f.home,
+               static_cast<Word>(f.live_children));
       f.status = f.live_children > 0 ? FlowStatus::kWaitingJoin
                                      : FlowStatus::kReady;
       if (f.live_children == 0) ++stats_.joins;
@@ -1294,6 +1364,12 @@ bool Machine::step_multi_instruction() {
   }
   maybe_sample_step();
   if (cfg_.profile_host) host_span("machine/xmt_phase", t0);
+  if (observer_ != nullptr) {
+    observer_->on_event(DebugEvent{DebugEventKind::kStepCommitted,
+                                   stats_.steps - 1, kNoFlow, 0,
+                                   static_cast<Word>(stats_.cycles), 0});
+    observer_->on_step(*this);
+  }
   return true;
 }
 
@@ -1321,6 +1397,7 @@ Cycle Machine::suspend_flow(FlowId id) {
   stats_.cycles += c;
   metrics_.counter("sched/suspends").add();
   metrics_.counter("sched/swap_out_cycles").add(c);
+  emit_now(DebugEventKind::kSuspend, id, f.home, static_cast<Word>(c));
   return c;
 }
 
@@ -1361,6 +1438,7 @@ Cycle Machine::resume_flow(FlowId id) {
   stats_.cycles += c;
   metrics_.counter("sched/resumes").add();
   metrics_.counter("sched/swap_in_cycles").add(c);
+  emit_now(DebugEventKind::kResume, id, f.home, static_cast<Word>(c));
   return c;
 }
 
@@ -1377,6 +1455,7 @@ Cycle Machine::evict_flow(FlowId id) {
   stats_.task_switch_cycles += c;
   metrics_.counter("sched/evictions").add();
   metrics_.counter("sched/swap_out_cycles").add(c);
+  emit_now(DebugEventKind::kEvict, id, f.home, static_cast<Word>(c));
   return c;
 }
 

@@ -67,12 +67,70 @@ struct MachineStats {
     const double total = static_cast<double>(busy_slots + idle_slots);
     return total > 0 ? static_cast<double>(busy_slots) / total : 0.0;
   }
+
+  /// Every field is an integer counter, so defaulted equality is exact —
+  /// the checkpoint round-trip tests compare restored stats this way.
+  bool operator==(const MachineStats&) const = default;
 };
 
 struct RunResult {
   bool completed = false;  ///< every flow halted
   Cycle cycles = 0;
   StepId steps = 0;
+};
+
+class Machine;
+struct MachineState;
+
+/// Step-granular events for the flight-recorder layer (src/debug). Only
+/// emitted while an observer is attached, so the hot path stays free of
+/// journal work by default.
+enum class DebugEventKind : std::uint8_t {
+  kFlowCreated,       ///< a = thickness, b = parent flow (-1 for roots)
+  kFlowHalted,
+  kThicknessChanged,  ///< a = old thickness, b = new thickness
+  kSpawn,             ///< a = spawned thickness, b = fragment count
+  kJoin,              ///< a = live children at the JOINALL
+  kSuspend,
+  kResume,
+  kEvict,
+  kPrint,             ///< a = printed value
+  kStepCommitted,     ///< a = cumulative cycles after the step
+  kFault,             ///< a = faulting address when parsed, else 0
+};
+
+const char* to_string(DebugEventKind k);
+
+/// One recorded event. `step` is the index of the machine step during which
+/// the event occurred (== MachineStats::steps before that step commits);
+/// the meaning of `a`/`b` depends on `kind` (see DebugEventKind).
+struct DebugEvent {
+  DebugEventKind kind = DebugEventKind::kStepCommitted;
+  StepId step = 0;
+  FlowId flow = kNoFlow;
+  GroupId group = 0;
+  Word a = 0;
+  Word b = 0;
+
+  bool operator==(const DebugEvent&) const = default;
+};
+
+/// Observer interface implemented by debug::FlightRecorder. Events produced
+/// during the per-group phase are buffered in the group's effect context and
+/// forwarded at the step barrier in group order — the same determinism
+/// contract as metrics — so an observer sees the exact same sequence for
+/// every cfg.host_threads value. All callbacks run on the stepping thread.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  virtual void on_event(const DebugEvent& ev) = 0;
+  /// Called after a step fully committed (housekeeping done, stats advanced).
+  virtual void on_step(Machine& m) = 0;
+  /// Called when a SimError is about to propagate out of Machine::step().
+  /// The machine's mid-step state is in general not consistent afterwards;
+  /// only restore_state() (or read-only inspection for a post-mortem) is
+  /// legal from then on.
+  virtual void on_fault(const std::string& message, Machine& m) = 0;
 };
 
 /// One point of the optional per-step time series (cfg.sample_every): the
@@ -163,6 +221,24 @@ class Machine {
   /// Per-step time series recorded when cfg.sample_every > 0.
   const std::vector<StepSample>& step_samples() const { return step_samples_; }
 
+  // ----- flight recorder / time travel (src/debug, DESIGN.md §8) -----
+  /// Attaches (or detaches, with nullptr) the step observer. Not owned.
+  void set_observer(StepObserver* obs) { observer_ = obs; }
+  StepObserver* observer() const { return observer_; }
+
+  /// Captures the complete simulated state at the current step boundary
+  /// (flows, scheduler queues, memories, network counters, raw metrics,
+  /// stats, debug output, step samples). Host-side artefacts — the schedule
+  /// trace and host profiling spans — are summaries, not simulated state,
+  /// and are excluded: that is the replay contract's documented boundary.
+  /// Defined in state.cpp.
+  MachineState save_state() const;
+  /// Restores a save_state() image. The machine must have been constructed
+  /// with an equivalent config and loaded with the same program (checked via
+  /// fingerprints); host_threads and instrumentation knobs may differ.
+  /// Legal at any time, including after a fault aborted a step mid-way.
+  void restore_state(const MachineState& s);
+
   /// Sets a lane register of a flow before running (front-end/test setup).
   void poke_reg(FlowId id, LaneId lane, std::uint8_t reg, Word value);
   /// Reads a lane register of a flow (result checking).
@@ -241,6 +317,7 @@ class Machine {
     std::exception_ptr error;
     metrics::MetricsRegistry metrics;  ///< merged at the barrier, group order
     LaneCounters lanes;                ///< bound into `metrics`
+    std::vector<DebugEvent> events;    ///< forwarded at the barrier, group order
 
     void reset();
   };
@@ -310,6 +387,15 @@ class Machine {
   MachineStats stats_;
   ScheduleTrace trace_;
   std::vector<Word> debug_out_;
+  StepObserver* observer_ = nullptr;
+
+  /// Buffers a group-phase event into the group's effect context (no-op
+  /// without an observer); forwarded at the step barrier in group order.
+  void emit(GroupCtx& ctx, DebugEventKind kind, const TcfDescriptor& f,
+            Word a = 0, Word b = 0);
+  /// Emits a barrier-side / sequential-path event directly.
+  void emit_now(DebugEventKind kind, FlowId flow, GroupId group, Word a = 0,
+                Word b = 0);
 
   // ---- telemetry ----
   /// Microseconds since the first host-profiling observation.

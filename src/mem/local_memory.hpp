@@ -20,6 +20,15 @@
 
 namespace tcfpn::mem {
 
+/// Complete state of a LocalMemory (checkpoint layer). NUMA accesses are
+/// immediate, so unlike SharedMemory there is no staging to exclude.
+struct LocalMemoryState {
+  std::vector<Word> store;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t remote_accesses = 0;
+};
+
 class LocalMemory {
  public:
   LocalMemory(GroupId owner, std::size_t words, Cycle access_latency = 1);
@@ -37,6 +46,20 @@ class LocalMemory {
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
   std::uint64_t remote_accesses() const { return remote_accesses_; }
+
+  // ----- checkpointing -----
+  LocalMemoryState save_state() const {
+    return LocalMemoryState{store_, reads_, writes_, remote_accesses_};
+  }
+  void restore_state(const LocalMemoryState& s) {
+    TCFPN_CHECK(s.store.size() == store_.size(),
+                "local-memory restore size mismatch: ", s.store.size(),
+                " words into ", store_.size());
+    store_ = s.store;
+    reads_ = s.reads;
+    writes_ = s.writes;
+    remote_accesses_ = s.remote_accesses;
+  }
 
  private:
   void check_addr(Addr a) const;

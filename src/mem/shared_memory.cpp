@@ -333,6 +333,45 @@ void SharedMemory::poke(Addr a, Word v) {
   store_[a] = v;
 }
 
+SharedMemoryState SharedMemory::save_state() const {
+  TCFPN_CHECK(pending_writes_.empty() && pending_multis_.empty() &&
+                  step_reads_.empty(),
+              "shared-memory checkpoint requires a step boundary");
+  SharedMemoryState s;
+  s.store = store_;
+  s.step = step_;
+  s.next_ticket = next_ticket_;
+  s.total_reads = total_reads_;
+  s.total_writes = total_writes_;
+  s.total_multiops = total_multiops_;
+  s.last_traffic = last_traffic_;
+  return s;
+}
+
+void SharedMemory::restore_state(const SharedMemoryState& s) {
+  TCFPN_CHECK(s.store.size() == store_.size(),
+              "shared-memory restore size mismatch: ", s.store.size(),
+              " words into ", store_.size());
+  TCFPN_CHECK(s.last_traffic.size() == traffic_.size(),
+              "shared-memory restore module-count mismatch");
+  store_ = s.store;
+  step_ = s.step;
+  next_ticket_ = s.next_ticket;
+  total_reads_ = s.total_reads;
+  total_writes_ = s.total_writes;
+  total_multiops_ = s.total_multiops;
+  last_traffic_ = s.last_traffic;
+  // Discard any mid-step staging the current (possibly fault-aborted) step
+  // left behind. Prefix results are write-once-read-once within their own
+  // step, so a zeroed table of the right size is indistinguishable from the
+  // original.
+  pending_writes_.clear();
+  pending_multis_.clear();
+  step_reads_.clear();
+  prefix_results_.assign(next_ticket_, 0);
+  std::fill(traffic_.begin(), traffic_.end(), ModuleTraffic{});
+}
+
 std::uint64_t SharedMemory::last_step_max_module_load() const {
   std::uint64_t peak = 0;
   for (const auto& t : last_traffic_) peak = std::max(peak, t.total());

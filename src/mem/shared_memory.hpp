@@ -109,6 +109,22 @@ class MemoryPort {
   std::size_t prefixes_ = 0;
 };
 
+/// Committed state of a SharedMemory at a step boundary (checkpoint layer,
+/// DESIGN.md §8). Mid-step staging (pending writes/multis, step reads,
+/// per-step traffic) is empty at every boundary and therefore not part of
+/// the state. The multiprefix result table is restored zeroed but sized:
+/// results are delivered to their lanes in the same machine step that
+/// produces them and never read again afterwards.
+struct SharedMemoryState {
+  std::vector<Word> store;
+  StepId step = 0;
+  std::size_t next_ticket = 0;
+  std::uint64_t total_reads = 0;
+  std::uint64_t total_writes = 0;
+  std::uint64_t total_multiops = 0;
+  std::vector<ModuleTraffic> last_traffic;
+};
+
 class SharedMemory {
  public:
   /// `words` cells of shared memory spread over `modules` modules.
@@ -183,6 +199,14 @@ class SharedMemory {
   /// combined. Commits run single-threaded at the step barrier, so the
   /// instruments need no synchronisation. Pass nullptr to detach.
   void bind_metrics(metrics::MetricsRegistry* reg);
+
+  // ----- checkpointing -----
+  /// Committed state for a checkpoint (call only at a step boundary).
+  SharedMemoryState save_state() const;
+  /// Restores a save_state() image taken from an identically-shaped memory.
+  /// Also clears any mid-step staging unconditionally — a restore may land
+  /// on a machine whose current step was aborted by a fault.
+  void restore_state(const SharedMemoryState& s);
 
  private:
   struct PendingWrite {

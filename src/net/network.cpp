@@ -164,6 +164,27 @@ Cycle Network::drain() {
   return now_ - start;
 }
 
+NetworkState Network::save_state() const {
+  TCFPN_CHECK(in_flight_ == 0,
+              "network checkpoint requires an idle router (",
+              in_flight_, " packets in flight)");
+  return NetworkState{now_, next_id_, injected_, delivered_count_,
+                      peak_queue_};
+}
+
+void Network::restore_state(const NetworkState& s) {
+  now_ = s.now;
+  next_id_ = s.next_id;
+  injected_ = s.injected;
+  delivered_count_ = s.delivered;
+  peak_queue_ = s.peak_queue;
+  in_flight_ = 0;
+  for (auto& q : node_queues_) q.clear();
+  for (auto& q : ejection_queues_) q.clear();
+  deliveries_.clear();
+  latencies_ = Samples{};
+}
+
 std::vector<Delivery> Network::take_deliveries() {
   std::vector<Delivery> out;
   out.swap(deliveries_);

@@ -52,6 +52,21 @@ struct Delivery {
   Cycle latency() const { return delivered - packet.injected; }
 };
 
+/// Router state at an idle boundary (checkpoint layer). The machine drains
+/// the router inside every step's memory term, so at a step boundary all
+/// queues are empty and only the clock and the monotone counters carry
+/// state. The per-packet latency Samples never feed back into simulated
+/// behaviour or the metrics snapshot (the bound ejection-latency histogram
+/// is restored through the registry instead) and are cleared on restore —
+/// the documented exclusion of the replay contract (DESIGN.md §8).
+struct NetworkState {
+  Cycle now = 0;
+  std::uint64_t next_id = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::size_t peak_queue = 0;
+};
+
 class Network {
  public:
   Network(std::unique_ptr<Topology> topology, NetworkConfig cfg = {});
@@ -95,6 +110,13 @@ class Network {
   /// Pass nullptr to detach. The router only ticks at the step barrier
   /// (single-threaded), so no synchronisation is needed.
   void bind_metrics(metrics::MetricsRegistry* reg);
+
+  // ----- checkpointing -----
+  /// Counter/clock state for a checkpoint; the router must be idle.
+  NetworkState save_state() const;
+  /// Restores a save_state() image, discarding any queued packets and
+  /// pending deliveries (a restore may land on a fault-aborted step).
+  void restore_state(const NetworkState& s);
 
  private:
   struct Hop {

@@ -1,0 +1,85 @@
+# Regression: a run that faults mid-way must still produce its telemetry.
+#
+# Invoked via `cmake -DTCFRUN=<path> -DPROG=<fault_div.tcf> -DOUT=<dir> -P`.
+# Asserts the exit-code contract (1 = fault, 2 = exporter destination
+# failure), that the metrics/trace documents record the fault in the run
+# metadata, and that --post-mortem emits a tcfpn-postmortem-v1 document.
+
+foreach(var TCFRUN PROG OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_fault_export: -D${var}=... is required")
+  endif()
+endforeach()
+file(MAKE_DIRECTORY "${OUT}")
+
+# 1. Faulting run with all three exporters: exit 1, documents still written.
+execute_process(
+  COMMAND "${TCFRUN}" "${PROG}"
+          "--metrics-json=${OUT}/fault_metrics.json"
+          "--trace-json=${OUT}/fault_trace.json"
+          "--post-mortem=${OUT}/fault_pm.json"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "faulting run: expected exit 1, got ${rc}\n${out}${err}")
+endif()
+if(NOT err MATCHES "division by zero")
+  message(FATAL_ERROR "faulting run: stderr lacks the fault message:\n${err}")
+endif()
+
+file(READ "${OUT}/fault_metrics.json" metrics)
+if(NOT metrics MATCHES "\"fault\": \"division by zero\"")
+  message(FATAL_ERROR "metrics document does not record the fault")
+endif()
+if(NOT metrics MATCHES "\"fault_class\": \"arith\"")
+  message(FATAL_ERROR "metrics document does not classify the fault")
+endif()
+if(NOT metrics MATCHES "\"completed\": false")
+  message(FATAL_ERROR "metrics document claims the faulted run completed")
+endif()
+
+file(READ "${OUT}/fault_trace.json" trace)
+if(NOT trace MATCHES "\"fault\": \"division by zero\"")
+  message(FATAL_ERROR "trace document does not record the fault")
+endif()
+
+file(READ "${OUT}/fault_pm.json" pm)
+if(NOT pm MATCHES "\"schema\": \"tcfpn-postmortem-v1\"")
+  message(FATAL_ERROR "post-mortem document lacks the schema tag")
+endif()
+if(NOT pm MATCHES "\"class\": \"arith\"")
+  message(FATAL_ERROR "post-mortem document lacks the fault class")
+endif()
+
+# 2. Exporters accept '-' (stdout): the document lands on stdout, exit 1.
+execute_process(
+  COMMAND "${TCFRUN}" "${PROG}" "--post-mortem=-"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "stdout post-mortem: expected exit 1, got ${rc}")
+endif()
+if(NOT out MATCHES "tcfpn-postmortem-v1")
+  message(FATAL_ERROR "stdout post-mortem: document not on stdout:\n${out}")
+endif()
+
+# 3. Unwritable exporter destination: exit 2 regardless of run outcome.
+execute_process(
+  COMMAND "${TCFRUN}" "${PROG}"
+          "--metrics-json=${OUT}/no-such-dir/metrics.json"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "unwritable metrics path: expected exit 2, got ${rc}")
+endif()
+
+execute_process(
+  COMMAND "${TCFRUN}" "${PROG}"
+          "--post-mortem=${OUT}/no-such-dir/pm.json"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "unwritable post-mortem path: expected exit 2, got ${rc}")
+endif()
+
+message(STATUS "check_fault_export: all assertions passed")

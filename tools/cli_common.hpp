@@ -4,15 +4,22 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <limits>
 #include <sstream>
 #include <string>
 
 #include "common/check.hpp"
+#include "debug/postmortem.hpp"
+#include "debug/recorder.hpp"
 #include "machine/machine.hpp"
 #include "machine/telemetry.hpp"
 
 namespace tcfpn::cli {
+
+// Exporter paths accept "-" for stdout. Any exporter that cannot write its
+// destination makes the tool exit 2 (usage/IO contract), distinct from exit
+// 1 (the simulated program faulted or did not complete).
 
 struct Options {
   std::string input;
@@ -23,6 +30,7 @@ struct Options {
   bool stats = true;
   std::string metrics_json;  ///< write the metrics document here (empty=off)
   std::string trace_json;    ///< write the Chrome trace here (empty=off)
+  std::string post_mortem;   ///< write a fault post-mortem here (empty=off)
 };
 
 inline void usage(const char* tool, const char* what) {
@@ -45,10 +53,12 @@ inline void usage(const char* tool, const char* what) {
       "  --listing         print the compiled/assembled instruction listing\n"
       "  --no-stats        suppress the statistics block\n"
       "  --metrics-json=F  write the metrics registry snapshot + run\n"
-      "                    metadata to F as JSON\n"
+      "                    metadata to F as JSON (F='-' for stdout)\n"
       "  --trace-json=F    write a Chrome trace-event / Perfetto JSON trace\n"
       "                    to F (implies schedule recording and host-phase\n"
-      "                    profiling)\n"
+      "                    profiling; F='-' for stdout)\n"
+      "  --post-mortem=F   on a fault, write a flight-record post-mortem\n"
+      "                    JSON document to F (F='-' for stdout)\n"
       "  --sample-every=N  record a stats sample every N machine steps into\n"
       "                    the metrics document (default off)\n",
       tool, what);
@@ -197,6 +207,12 @@ inline bool parse_args(int argc, char** argv, const char* tool,
       // phase spans; switch both recorders on.
       opt->cfg.record_trace = true;
       opt->cfg.profile_host = true;
+    } else if (parse_flag(arg, "post-mortem", &v)) {
+      if (v.empty()) {
+        std::fprintf(stderr, "--post-mortem needs a file name\n");
+        return false;
+      }
+      opt->post_mortem = v;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage(tool, what);
@@ -256,31 +272,82 @@ inline void print_outcome(const machine::Machine& m,
   }
 }
 
-/// Writes the telemetry documents requested by --metrics-json/--trace-json.
-/// Returns false (with a diagnostic) if a file cannot be written.
-inline bool export_telemetry(const machine::Machine& m,
-                             const machine::RunResult& run,
-                             const Options& opt, const char* tool) {
-  const machine::MetaPairs meta = {{"tool", tool}, {"input", opt.input}};
-  if (!opt.metrics_json.empty()) {
-    std::ofstream out(opt.metrics_json);
-    if (!out) {
-      std::fprintf(stderr, "%s: cannot write '%s'\n", tool,
-                   opt.metrics_json.c_str());
-      return false;
-    }
-    out << machine::metrics_json_document(m, run, meta);
+/// Outcome of a run that may have faulted: the fault is captured, not
+/// rethrown, so the tool can still export telemetry and a post-mortem from
+/// the dying machine before exiting non-zero.
+struct RunOutcome {
+  machine::RunResult run;
+  bool faulted = false;
+  std::string fault_message;
+};
+
+/// m.run() with SimError capture. On a fault the RunResult carries the
+/// stats the machine had accumulated when it died.
+inline RunOutcome run_with_fault_capture(machine::Machine& m,
+                                         std::uint64_t max_steps = 10'000'000) {
+  RunOutcome o;
+  try {
+    o.run = m.run(max_steps);
+  } catch (const SimError& e) {
+    o.faulted = true;
+    o.fault_message = e.what();
+    o.run.completed = false;
+    o.run.steps = m.stats().steps;
+    o.run.cycles = m.stats().cycles;
   }
-  if (!opt.trace_json.empty()) {
-    std::ofstream out(opt.trace_json);
-    if (!out) {
-      std::fprintf(stderr, "%s: cannot write '%s'\n", tool,
-                   opt.trace_json.c_str());
-      return false;
-    }
-    out << machine::trace_json_document(m, meta);
+  return o;
+}
+
+/// Writes `content` to `path`, with "-" meaning stdout. Returns false (with
+/// a diagnostic) when the destination cannot be opened — the caller exits 2.
+inline bool write_document(const std::string& path, const std::string& content,
+                           const char* tool) {
+  if (path == "-") {
+    std::cout << content;
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot write '%s'\n", tool, path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+/// Writes the telemetry documents requested by --metrics-json/--trace-json.
+/// A faulted run still exports both documents — the fault message and class
+/// land in the run metadata, so CI keeps its telemetry even for red runs.
+/// Returns false if a destination cannot be written (exit 2).
+inline bool export_telemetry(const machine::Machine& m, const RunOutcome& o,
+                             const Options& opt, const char* tool) {
+  machine::MetaPairs meta = {{"tool", tool}, {"input", opt.input}};
+  if (o.faulted) {
+    meta.emplace_back("fault", o.fault_message);
+    meta.emplace_back("fault_class", debug::classify_fault(o.fault_message));
+  }
+  if (!opt.metrics_json.empty() &&
+      !write_document(opt.metrics_json,
+                      machine::metrics_json_document(m, o.run, meta), tool)) {
+    return false;
+  }
+  if (!opt.trace_json.empty() &&
+      !write_document(opt.trace_json, machine::trace_json_document(m, meta),
+                      tool)) {
+    return false;
   }
   return true;
+}
+
+/// Writes the --post-mortem document from a recorder that captured a fault.
+/// Returns false if the destination cannot be written (exit 2).
+inline bool export_post_mortem(const machine::Machine& m,
+                               const debug::FlightRecorder& rec,
+                               const Options& opt, const char* tool) {
+  const std::vector<std::pair<std::string, std::string>> meta = {
+      {"tool", tool}, {"input", opt.input}};
+  return write_document(opt.post_mortem, debug::post_mortem_json(m, rec, meta),
+                        tool);
 }
 
 }  // namespace tcfpn::cli

@@ -1,6 +1,9 @@
 // tcfasm — assemble a tcfpn ISA source file and run it on the simulator.
 //
 //   ./tcfasm prog.s --thickness=64 --variant=single-instruction --trace
+//
+// Exit codes match tcfrun: 0 completed, 1 fault/step-limit, 2 usage or
+// exporter failure; faulting runs still export telemetry and --post-mortem.
 #include <cstdio>
 
 #include "isa/assembler.hpp"
@@ -18,11 +21,22 @@ int main(int argc, char** argv) {
     if (opt.listing) std::printf("%s", program.listing().c_str());
     machine::Machine m(opt.cfg);
     m.load(program);
+    debug::FlightRecorder recorder(
+        debug::RecorderConfig{.journal_capacity = 4096, .checkpoint_every = 0});
+    if (!opt.post_mortem.empty()) recorder.attach(m);
     m.boot(opt.boot_thickness);
-    const auto run = m.run();
-    cli::print_outcome(m, run, opt);
-    if (!cli::export_telemetry(m, run, opt, "tcfasm")) return 1;
-    return run.completed ? 0 : 1;
+    const cli::RunOutcome outcome = cli::run_with_fault_capture(m);
+    if (outcome.faulted) {
+      std::fprintf(stderr, "tcfasm: %s\n", outcome.fault_message.c_str());
+    } else {
+      cli::print_outcome(m, outcome.run, opt);
+    }
+    if (!cli::export_telemetry(m, outcome, opt, "tcfasm")) return 2;
+    if (!opt.post_mortem.empty() && outcome.faulted &&
+        !cli::export_post_mortem(m, recorder, opt, "tcfasm")) {
+      return 2;
+    }
+    return !outcome.faulted && outcome.run.completed ? 0 : 1;
   } catch (const SimError& e) {
     std::fprintf(stderr, "tcfasm: %s\n", e.what());
     return 1;

@@ -169,6 +169,27 @@ void report(const FuzzOptions& o, std::uint64_t seed, const GenProgram& gp,
     path = o.save_dir + "/diverge_seed" + std::to_string(seed) + ".s";
     save_case(c, path);
     std::fprintf(stderr, "  reproducer written to %s\n", path.c_str());
+    // Every saved divergence ships its flight record: the shrunken case
+    // replayed on the diverging lane with the recorder attached, rendered
+    // as a tcfpn-postmortem-v1 document (class "divergence" when the lane
+    // completed but disagreed).
+    const std::string pm_path =
+        o.save_dir + "/diverge_seed" + std::to_string(seed) +
+        ".postmortem.json";
+    try {
+      const std::string doc =
+          flight_record_json(c, shrunk.divergence, o.diff.max_steps);
+      std::ofstream pm(pm_path);
+      if (pm) {
+        pm << doc;
+        std::fprintf(stderr, "  flight record written to %s\n",
+                     pm_path.c_str());
+      } else {
+        std::fprintf(stderr, "  cannot write %s\n", pm_path.c_str());
+      }
+    } catch (const SimError& e) {
+      std::fprintf(stderr, "  flight-record replay failed: %s\n", e.what());
+    }
   }
   std::fprintf(stderr, "--- minimized reproducer ---\n%s",
                serialize_case(c).c_str());

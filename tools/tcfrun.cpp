@@ -2,6 +2,13 @@
 //
 //   ./tcfrun examples/programs/scan.tcf --trace
 //   ./tcfrun prog.tcf --variant=balanced --bound=8 --groups=8
+//   ./tcfrun racy.tcf --post-mortem=- --metrics-json=run.json
+//
+// Exit codes: 0 = completed, 1 = fault or step limit, 2 = usage error or an
+// exporter destination could not be written. A faulting run still writes
+// every requested telemetry document (the fault lands in the run metadata)
+// plus, with --post-mortem, a flight-record JSON of the machine's last
+// moments.
 #include <cstdio>
 
 #include "lang/codegen.hpp"
@@ -24,13 +31,26 @@ int main(int argc, char** argv) {
     }
     machine::Machine m(opt.cfg);
     m.load(compiled.program);
+    // The recorder only rides along when a post-mortem was asked for; the
+    // journal is cheap but the default run stays observer-free.
+    debug::FlightRecorder recorder(
+        debug::RecorderConfig{.journal_capacity = 4096, .checkpoint_every = 0});
+    if (!opt.post_mortem.empty()) recorder.attach(m);
     m.boot(opt.boot_thickness);
-    const auto run = m.run();
-    cli::print_outcome(m, run, opt);
-    if (!cli::export_telemetry(m, run, opt, "tcfrun")) return 1;
+    const cli::RunOutcome outcome = cli::run_with_fault_capture(m);
+    if (outcome.faulted) {
+      std::fprintf(stderr, "tcfrun: %s\n", outcome.fault_message.c_str());
+    } else {
+      cli::print_outcome(m, outcome.run, opt);
+    }
+    if (!cli::export_telemetry(m, outcome, opt, "tcfrun")) return 2;
+    if (!opt.post_mortem.empty() && outcome.faulted &&
+        !cli::export_post_mortem(m, recorder, opt, "tcfrun")) {
+      return 2;
+    }
     // Dump declared arrays/cells so programs have observable results even
     // without print statements.
-    if (opt.stats) {
+    if (!outcome.faulted && opt.stats) {
       for (const auto& [name, buf] : compiled.arrays) {
         std::printf("  %s =", name.c_str());
         const std::size_t show = std::min<std::size_t>(buf.size, 16);
@@ -42,7 +62,7 @@ int main(int argc, char** argv) {
         std::printf("\n");
       }
     }
-    return run.completed ? 0 : 1;
+    return !outcome.faulted && outcome.run.completed ? 0 : 1;
   } catch (const SimError& e) {
     std::fprintf(stderr, "tcfrun: %s\n", e.what());
     return 1;

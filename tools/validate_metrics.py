@@ -3,15 +3,19 @@
 
 Usage:
     validate_metrics.py --metrics metrics.json [--trace trace.json]
+    validate_metrics.py --postmortem crash.postmortem.json
 
 Checks, using only the Python standard library:
-  * both files parse as JSON (json.load — the real consumer-side test of
+  * each file parses as JSON (json.load — the real consumer-side test of
     the hand-rolled C++ emitters);
   * the metrics document has the {"run", "metrics"} shape, with the four
     instrumented subsystem subtrees and well-formed leaf instruments;
   * the trace document is Chrome trace-event JSON ("traceEvents" array of
     complete "X"/metadata "M" events) and contains at least one host span
-    per instrumented subsystem prefix.
+    per instrumented subsystem prefix;
+  * post-mortem documents follow the tcfpn-postmortem-v1 schema (DESIGN.md
+    §8): run metadata, a classified fault, the journal-tail events, the
+    flow table at the time of death and the involved cells.
 
 Exit status 0 on success; 1 with a diagnostic on the first failure.
 """
@@ -22,6 +26,12 @@ import sys
 
 SUBSYSTEMS = ("machine", "mem", "net", "sched")
 INSTRUMENT_TYPES = {"counter", "gauge", "accumulator", "histogram"}
+FAULT_CLASSES = {"policy", "arith", "addr", "flow", "other", "divergence"}
+EVENT_KINDS = {
+    "flow_created", "flow_halted", "thickness_changed", "spawn", "join",
+    "suspend", "resume", "evict", "print", "step_committed", "fault",
+}
+FLOW_STATUSES = {"ready", "waiting-join", "suspended", "halted"}
 
 
 def fail(msg: str) -> None:
@@ -113,14 +123,92 @@ def check_trace(path):
           f"({spans} spans, host subsystems: {sorted(host_prefixes)})")
 
 
+def check_postmortem(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "tcfpn-postmortem-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             "expected 'tcfpn-postmortem-v1'")
+    run = doc.get("run")
+    if not isinstance(run, dict):
+        fail(f"{path}: missing run metadata")
+    for key in ("variant", "policy"):
+        if not isinstance(run.get(key), str):
+            fail(f"{path}: run metadata missing string '{key}'")
+    for key in ("steps", "cycles"):
+        if not isinstance(run.get(key), int) or run[key] < 0:
+            fail(f"{path}: run metadata missing non-negative '{key}'")
+
+    fault = doc.get("fault")
+    if not isinstance(fault, dict):
+        fail(f"{path}: missing fault object")
+    if fault.get("class") not in FAULT_CLASSES:
+        fail(f"{path}: unknown fault class {fault.get('class')!r}")
+    if not isinstance(fault.get("message"), str) or not fault["message"]:
+        fail(f"{path}: fault missing message")
+    if not isinstance(fault.get("step"), int):
+        fail(f"{path}: fault missing integer step")
+    for key in ("flow", "address"):  # nullable integers
+        if fault.get(key) is not None and not isinstance(fault[key], int):
+            fail(f"{path}: fault '{key}' must be an integer or null")
+
+    events = doc.get("events")
+    if not isinstance(events, list):
+        fail(f"{path}: missing events array")
+    prev_seq = -1
+    for ev in events:
+        if ev.get("kind") not in EVENT_KINDS:
+            fail(f"{path}: unknown event kind {ev.get('kind')!r}")
+        for key in ("seq", "step", "group", "a", "b"):
+            if not isinstance(ev.get(key), int):
+                fail(f"{path}: event missing integer '{key}': {ev}")
+        if ev.get("flow") is not None and not isinstance(ev["flow"], int):
+            fail(f"{path}: event flow must be an integer or null")
+        if ev["seq"] <= prev_seq:
+            fail(f"{path}: event sequence numbers not increasing at {ev}")
+        prev_seq = ev["seq"]
+
+    flows = doc.get("flows")
+    if not isinstance(flows, list) or not flows:
+        fail(f"{path}: missing flow table")
+    for fl in flows:
+        for key in ("id", "home", "pc", "thickness", "live_children"):
+            if not isinstance(fl.get(key), int):
+                fail(f"{path}: flow missing integer '{key}': {fl}")
+        if fl.get("status") not in FLOW_STATUSES:
+            fail(f"{path}: unknown flow status {fl.get('status')!r}")
+        if fl.get("mode") not in ("pram", "numa"):
+            fail(f"{path}: unknown flow mode {fl.get('mode')!r}")
+
+    cells = doc.get("cells")
+    if not isinstance(cells, list):
+        fail(f"{path}: missing cells array")
+    for cell in cells:
+        for key in ("addr", "value", "module"):
+            if not isinstance(cell.get(key), int):
+                fail(f"{path}: cell missing integer '{key}': {cell}")
+
+    print(f"validate_metrics: {path}: OK "
+          f"(fault class '{fault['class']}', {len(events)} events, "
+          f"{len(flows)} flows, {len(cells)} cells)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--metrics", required=True, help="metrics JSON document")
+    ap.add_argument("--metrics", help="metrics JSON document")
     ap.add_argument("--trace", help="Chrome trace-event JSON document")
+    ap.add_argument("--postmortem", action="append", default=[],
+                    help="tcfpn-postmortem-v1 document (repeatable)")
     args = ap.parse_args()
-    check_metrics(args.metrics)
+    if not args.metrics and not args.trace and not args.postmortem:
+        ap.error("nothing to validate: pass --metrics, --trace "
+                 "and/or --postmortem")
+    if args.metrics:
+        check_metrics(args.metrics)
     if args.trace:
         check_trace(args.trace)
+    for path in args.postmortem:
+        check_postmortem(path)
 
 
 if __name__ == "__main__":
