@@ -41,12 +41,23 @@ void ThreadPool::work_until_drained(std::uint64_t gen) {
       i = next_++;
       fn = fn_;
     }
-    (*fn)(i);
+    std::exception_ptr error;
+    try {
+      (*fn)(i);
+    } catch (...) {
+      // Captured, not propagated: letting it unwind a worker thread would
+      // std::terminate. parallel_for rethrows at the barrier.
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       // Every claimed index reports before parallel_for can return, so the
       // generation still matches; the check is belt-and-braces.
       if (gen == generation_) {
+        if (error && (!job_error_ || i < job_error_index_)) {
+          job_error_ = error;
+          job_error_index_ = i;
+        }
         ++done_;
         if (done_ == size_) cv_done_.notify_all();
       }
@@ -82,13 +93,23 @@ void ThreadPool::parallel_for(std::size_t n,
     size_ = n;
     done_ = 0;
     next_ = 0;
+    job_error_ = nullptr;
+    job_error_index_ = 0;
     gen = ++generation_;
   }
   cv_work_.notify_all();
   work_until_drained(gen);
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [&] { return done_ == size_; });
-  fn_ = nullptr;
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return done_ == size_; });
+    fn_ = nullptr;
+    error = job_error_;
+    job_error_ = nullptr;
+  }
+  // Rethrow outside the lock: the pool is drained and reusable, the caller
+  // sees the lowest faulting index's exception regardless of thread timing.
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace tcfpn::common

@@ -16,6 +16,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -36,9 +37,10 @@ class ThreadPool {
   std::uint32_t threads() const { return threads_; }
 
   /// Runs fn(i) for every i in [0, n), distributing indices over the pool;
-  /// blocks until all n calls returned. fn must not throw (wrap and capture
-  /// exceptions per index if needed) and must not call parallel_for
-  /// reentrantly.
+  /// blocks until all n calls returned. If one or more fn(i) calls throw,
+  /// the exception of the *lowest* faulting index is rethrown here at the
+  /// barrier (deterministic across index->thread assignments); the others
+  /// are dropped. fn must not call parallel_for reentrantly.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Host threads the hardware supports (>= 1 even when unknown).
@@ -65,6 +67,12 @@ class ThreadPool {
   std::size_t size_ = 0;
   std::size_t next_ = 0;  ///< next unclaimed index
   std::size_t done_ = 0;  ///< completed indices
+  /// First exception a worker captured this job (lowest index wins, so the
+  /// surfaced error never depends on thread timing); rethrown at the step
+  /// barrier by parallel_for. Without the capture a throw would unwind a
+  /// worker thread and std::terminate the process.
+  std::exception_ptr job_error_;
+  std::size_t job_error_index_ = 0;
 };
 
 }  // namespace tcfpn::common

@@ -6,6 +6,7 @@
 #include "baseline/frontends.hpp"
 #include "debug/postmortem.hpp"
 #include "machine/machine.hpp"
+#include "resil/recovery.hpp"
 #include "tcf/kernels.hpp"
 
 namespace tcfpn::conformance {
@@ -55,6 +56,45 @@ Observed run_machine(const DiffCase& c, machine::MachineConfig cfg,
     o.completed = r.completed;
     o.cycles = r.cycles;
     o.steps = r.steps;
+  } catch (const SimError& e) {
+    o.faulted = true;
+    o.fault = e.what();
+  }
+  o.shared.resize(kSharedWords);
+  for (Addr a = 0; a < kSharedWords; ++a) o.shared[a] = m.shared().peek(a);
+  if (c.uses_local) {
+    o.local.resize(kLocalWords);
+    for (Addr a = 0; a < kLocalWords; ++a) o.local[a] = m.local(0).read(a);
+  }
+  o.debug = m.debug_output();
+  return o;
+}
+
+/// Like run_machine, but through the resilience layer: the default all-kinds
+/// fault schedule for `fault_seed`, recovered by checkpoint rollback.
+Observed run_machine_resilient(const DiffCase& c, machine::MachineConfig cfg,
+                               std::uint64_t max_steps,
+                               std::uint64_t fault_seed) {
+  Observed o;
+  machine::Machine m(cfg);
+  try {
+    m.load(c.program);
+    if (c.esm_boot) {
+      tcf::kernels::boot_esm_threads(m, c.program.entry(), c.boot_flows);
+    } else {
+      m.boot(c.boot_thickness);
+    }
+    resil::ResilConfig rc;
+    rc.spec = resil::default_spec_for_seed(fault_seed);
+    rc.mode = resil::RecoverMode::kRollback;
+    rc.max_steps = max_steps;
+    resil::ResilientExecutor ex(m, rc);
+    const auto r = ex.run();
+    o.completed = r.run.completed;
+    o.faulted = r.faulted;
+    o.fault = r.fault_message;
+    o.cycles = r.run.cycles;
+    o.steps = r.run.steps;
   } catch (const SimError& e) {
     o.faulted = true;
     o.fault = e.what();
@@ -325,6 +365,35 @@ std::optional<Divergence> run_differential(const DiffCase& c,
         return Divergence{lane.name() + " ht=" + std::to_string(ht) +
                               " vs ht=" + std::to_string(hts.front()),
                           *d, lane_cfg};
+      }
+    }
+
+    // Fault-tolerance conformance (DESIGN.md §9): under an injected fault
+    // schedule with rollback recovery, the lane must still land exactly on
+    // the fault-free oracle — and the faulted run itself must be
+    // bit-identical (cycles included) for every host-thread count, because
+    // both the schedule and the recovery act on barrier-side state only.
+    // Oracle-faulting programs are skipped: a rollback can rewind across
+    // the program's own fault point, which changes when (not whether) it
+    // fires — the aligned fault-step comparison would be meaningless.
+    if (opt.fault_seed != 0 && !want.faulted) {
+      std::optional<Observed> ffirst;
+      for (std::uint32_t ht : hts) {
+        const machine::MachineConfig lane_cfg =
+            baseline::with_host_threads(cfg, ht);
+        const Observed got =
+            run_machine_resilient(c, lane_cfg, opt.max_steps, opt.fault_seed);
+        if (auto d = compare(want, got, lane.aligned, c.uses_local)) {
+          return Divergence{lane.name() + "+faults ht=" + std::to_string(ht),
+                            *d, lane_cfg};
+        }
+        if (!ffirst) {
+          ffirst = got;
+        } else if (auto d = identical(*ffirst, got)) {
+          return Divergence{lane.name() + "+faults ht=" + std::to_string(ht) +
+                                " vs ht=" + std::to_string(hts.front()),
+                            *d, lane_cfg};
+        }
       }
     }
   }

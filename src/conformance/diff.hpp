@@ -75,6 +75,13 @@ struct DiffOptions {
   bool frontends = true;      ///< also run the applicable baseline:: frontends
   bool perturb_costs = true;  ///< cost-knob invariance lane
   std::uint64_t max_steps = 1u << 18;
+  /// When non-zero, every machine lane additionally runs under the
+  /// all-kinds fault schedule resil::default_spec_for_seed(fault_seed) with
+  /// checkpoint-rollback recovery. The faulted-then-recovered execution must
+  /// be indistinguishable from the fault-free oracle (completion, memory
+  /// images, debug output) and bit-identical across host-thread counts
+  /// (tcffuzz --fault-seed).
+  std::uint64_t fault_seed = 0;
   /// When non-empty, only these variants' lanes run (tcffuzz --variants).
   std::vector<machine::Variant> only_variants;
   /// Oracle misimplementations for harness self-tests (tcffuzz --inject-bug).

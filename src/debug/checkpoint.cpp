@@ -9,7 +9,9 @@ namespace tcfpn::debug {
 
 namespace {
 
-constexpr char kMagic[8] = {'T', 'C', 'F', 'C', 'K', 'P', 'T', '\1'};
+// Version 2 appends the dead-group vector (degraded-mode execution,
+// DESIGN.md §9) after the pending-spawn list.
+constexpr char kMagic[8] = {'T', 'C', 'F', 'C', 'K', 'P', 'T', '\2'};
 
 class Writer {
  public:
@@ -195,6 +197,9 @@ std::vector<std::uint8_t> serialize(const machine::MachineState& s) {
   }
   write_ids(w, s.pending_spawns);
 
+  w.u64(s.dead_groups.size());
+  for (std::uint8_t d : s.dead_groups) w.u64(d);
+
   w.u64(s.shared.store.size());
   for (Word v : s.shared.store) w.i64(v);
   w.u64(s.shared.step);
@@ -281,6 +286,11 @@ machine::MachineState deserialize(const std::vector<std::uint8_t>& bytes) {
     g.overflow = read_ids(r);
   }
   s.pending_spawns = read_ids(r);
+
+  s.dead_groups.resize(r.count("dead-group"));
+  for (std::uint8_t& d : s.dead_groups) {
+    d = static_cast<std::uint8_t>(r.u64() != 0);
+  }
 
   s.shared.store.resize(r.count("shared-word"));
   for (Word& v : s.shared.store) v = r.i64();

@@ -35,6 +35,10 @@ const char* to_string(DebugEventKind k) {
     case DebugEventKind::kPrint: return "print";
     case DebugEventKind::kStepCommitted: return "step_committed";
     case DebugEventKind::kFault: return "fault";
+    case DebugEventKind::kFaultInjected: return "fault_injected";
+    case DebugEventKind::kRetry: return "retry";
+    case DebugEventKind::kRollback: return "rollback";
+    case DebugEventKind::kGroupRetired: return "group_retired";
   }
   return "?";
 }
@@ -78,6 +82,7 @@ Machine::Machine(MachineConfig cfg)
     locals_.emplace_back(g, cfg_.local_words, cfg_.local_latency);
   }
   groups_.resize(cfg_.groups);
+  dead_.assign(cfg_.groups, 0);
   step_ctx_.resize(cfg_.groups);
   for (auto& ctx : step_ctx_) {
     ctx.port.attach(&shared_);
@@ -154,6 +159,7 @@ FlowId Machine::boot(Word thickness) {
 FlowId Machine::boot_at(std::size_t pc, Word thickness, GroupId home) {
   TCFPN_CHECK(thickness >= 1, "boot thickness must be >= 1, got ", thickness);
   TCFPN_CHECK(home < cfg_.groups, "boot group ", home, " out of range");
+  TCFPN_CHECK(group_alive(home), "boot group ", home, " is retired");
   TCFPN_CHECK(pc < program_.code.size(), "boot pc ", pc, " out of range");
   TcfDescriptor& f = make_flow(pc, thickness, home, kNoFlow);
   auto& grp = groups_[home];
@@ -223,16 +229,84 @@ std::uint64_t Machine::group_load(GroupId g) const {
 
 GroupId Machine::pick_group(const TcfDescriptor& child) const {
   if (alloc_) return alloc_(child);
+  return least_loaded_alive();
+}
+
+GroupId Machine::least_loaded_alive() const {
   GroupId best = 0;
+  bool found = false;
   std::uint64_t best_load = std::numeric_limits<std::uint64_t>::max();
   for (GroupId g = 0; g < cfg_.groups; ++g) {
+    if (!group_alive(g)) continue;
     const std::uint64_t load = group_load(g);
-    if (load < best_load) {
+    if (!found || load < best_load) {
       best_load = load;
       best = g;
+      found = true;
     }
   }
+  TCFPN_CHECK(found, "no live group left to place a flow on");
   return best;
+}
+
+std::uint32_t Machine::alive_groups() const {
+  std::uint32_t n = 0;
+  for (std::uint8_t d : dead_) n += d == 0;
+  return n;
+}
+
+Word Machine::retire_group(GroupId g) {
+  TCFPN_CHECK(g < cfg_.groups, "retire: group ", g, " out of range");
+  TCFPN_CHECK(group_alive(g), "retire: group ", g, " already retired");
+  TCFPN_CHECK(alive_groups() >= 2,
+              "retire: cannot retire the last surviving group");
+  dead_[g] = 1;
+  Word total_thickness = 0;
+  std::uint64_t moved = 0;
+  // Rehome resident before overflow, each list in FIFO order, always onto
+  // the least-loaded survivor: the same deterministic placement rule as
+  // spawn, so the degraded schedule is host-thread invariant. The custom
+  // allocation hook is deliberately bypassed — it may not know about dead
+  // groups, and fault migration is an OS decision, not a program one.
+  auto rehome = [&](std::vector<FlowId>& list) {
+    for (FlowId id : list) {
+      TcfDescriptor& f = flow(id);
+      const GroupId target = least_loaded_alive();
+      f.home = target;
+      auto& t = groups_[target];
+      if (t.resident.size() < cfg_.slots_per_group) {
+        t.resident.push_back(id);
+      } else {
+        t.overflow.push_back(id);
+      }
+      // Migrating off a dead group is a non-resident reload (Section 3.3
+      // task-switch cost): the survivor must fetch the TCF's state anew.
+      const Cycle c = task_switch_cost(cfg_, f.thickness,
+                                       /*resident_in_buffer=*/false);
+      stats_.task_switch_cycles += c;
+      stats_.cycles += c;
+      metrics_.counter("sched/swap_in_cycles").add(c);
+      metrics_.counter("sched/fault_migrations").add();
+      total_thickness += f.thickness;
+      ++moved;
+    }
+    list.clear();
+  };
+  rehome(groups_[g].resident);
+  rehome(groups_[g].overflow);
+  // Spawned-but-unadmitted flows only need a new home; admission (and its
+  // accounting) happens at the barrier as usual.
+  for (FlowId id : pending_spawns_) {
+    TcfDescriptor& f = flow(id);
+    if (f.home != g) continue;
+    f.home = least_loaded_alive();
+    total_thickness += f.thickness;
+    ++moved;
+  }
+  metrics_.counter("sched/groups_retired").add();
+  emit_now(DebugEventKind::kGroupRetired, kNoFlow, g, total_thickness,
+           static_cast<Word>(moved));
+  return total_thickness;
 }
 
 void Machine::admit_pending_spawns() {
@@ -395,6 +469,7 @@ bool Machine::step_synchronous() {
   const Cycle fu = std::max<std::uint32_t>(cfg_.functional_units, 1);
   Cycle slot_max = 0;
   for (GroupId g = 0; g < cfg_.groups; ++g) {
+    if (!group_alive(g)) continue;  // retired groups carry no slot term
     Cycle term = 0;
     switch (cfg_.variant) {
       case Variant::kSingleInstruction:
@@ -526,6 +601,9 @@ void Machine::merge_group_effects() {
       for (Word part : sp.fragments) {
         TcfDescriptor& child = make_flow(sp.entry, part, 0, sp.parent);
         child.home = pick_group(child);
+        TCFPN_CHECK(group_alive(child.home),
+                    "allocation hook placed flow on retired group ",
+                    child.home);
         metrics_.counter("sched/spawn_placements").add();
         metrics_.accumulator("sched/placement_load")
             .add(static_cast<double>(group_load(child.home)));
@@ -1003,12 +1081,16 @@ void Machine::complete_instruction(TcfDescriptor& f,
 }
 
 Cycle Machine::memory_term() {
-  if (step_refs_.empty()) return 0;
+  // Injected link faults (retried drops, delayed replies) extend this
+  // step's memory term even when the step itself issued no references —
+  // the stalled reply still has to arrive before the next step.
+  const Cycle fault_extra = net_->consume_fault_delay();
+  if (step_refs_.empty()) return fault_extra;
   if (cfg_.detailed_network) {
     for (const auto& [src, module] : step_refs_) {
       net_->inject(src, module % cfg_.groups);
     }
-    return net_->drain();
+    return fault_extra + net_->drain();
   }
   std::vector<std::uint64_t> loads(shared_.modules(), 0);
   std::uint32_t max_dist = 0;
@@ -1022,7 +1104,7 @@ Cycle Machine::memory_term() {
   metrics_.accumulator("net/hot_module_load")
       .add(static_cast<double>(hottest));
   metrics_.accumulator("net/wire_distance").add(max_dist);
-  return net_->latency_bound(loads, max_dist);
+  return fault_extra + net_->latency_bound(loads, max_dist);
 }
 
 void Machine::finish_step(Cycle slot_term_max,
@@ -1053,6 +1135,7 @@ void Machine::finish_step(Cycle slot_term_max,
   stats_.cycles += cfg_.pipeline_fill + body;
   ++stats_.steps;
   for (GroupId g = 0; g < cfg_.groups; ++g) {
+    if (!group_alive(g)) continue;  // degraded P-1 capacity (DESIGN.md §9)
     stats_.busy_slots += group_work[g];
     stats_.idle_slots += body - std::min<Cycle>(body, group_work[g]);
   }
@@ -1069,6 +1152,7 @@ void Machine::finish_step(Cycle slot_term_max,
     auto& occupancy = metrics_.accumulator("sched/slot_occupancy");
     auto& overflow = metrics_.accumulator("sched/overflow_depth");
     for (GroupId g = 0; g < cfg_.groups; ++g) {
+      if (!group_alive(g)) continue;
       occupancy.add(static_cast<double>(groups_[g].resident.size()));
       overflow.add(static_cast<double>(groups_[g].overflow.size()));
     }
@@ -1339,8 +1423,9 @@ bool Machine::step_multi_instruction() {
 
   // P pipelines execute one operation per cycle each; the T_p thread units
   // per processor hide latency rather than multiply throughput (the same
-  // capacity assumption the synchronous variants run under).
-  const std::uint64_t units = cfg_.groups;
+  // capacity assumption the synchronous variants run under). Retired
+  // groups no longer pipeline: degraded runs pay P-1 throughput.
+  const std::uint64_t units = std::max<std::uint32_t>(alive_groups(), 1);
   const Cycle phase = (total_ops + units - 1) / units;
   stats_.cycles += phase;
   stats_.busy_slots += total_ops;

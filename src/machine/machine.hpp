@@ -97,6 +97,12 @@ enum class DebugEventKind : std::uint8_t {
   kPrint,             ///< a = printed value
   kStepCommitted,     ///< a = cumulative cycles after the step
   kFault,             ///< a = faulting address when parsed, else 0
+  // Resilience events (src/resil, DESIGN.md §9). Appended so recorded
+  // tapes from earlier versions keep their kind encodings.
+  kFaultInjected,     ///< a = injected fault kind, b = magnitude/address
+  kRetry,             ///< a = retry attempt, b = backoff cycles charged
+  kRollback,          ///< a = steps lost, b = checkpoint step restored
+  kGroupRetired,      ///< a = remapped thickness, b = flows rehomed
 };
 
 const char* to_string(DebugEventKind k);
@@ -249,6 +255,19 @@ class Machine {
   /// Flows currently resident in group g's TCF storage buffer.
   std::size_t resident_flows(GroupId g) const;
 
+  // ----- graceful degradation (src/resil, DESIGN.md §9) -----
+  /// Permanently retires group `g` after a fatal injected fault: every flow
+  /// homed there (resident, overflow, pending spawn) is rehomed onto the
+  /// least-loaded surviving group — the Section 3.1 thickness
+  /// redistribution — paying the non-resident task-switch cost per moved
+  /// flow, and the group stops contributing capacity to the cost model.
+  /// Returns the total thickness remapped. At least one group must survive.
+  Word retire_group(GroupId g);
+  bool group_alive(GroupId g) const {
+    return g < dead_.size() && dead_[g] == 0;
+  }
+  std::uint32_t alive_groups() const;
+
  private:
   struct PendingPrefix {
     FlowId flow;
@@ -326,6 +345,7 @@ class Machine {
   TcfDescriptor& make_flow(std::size_t pc, Word thickness, GroupId home,
                            FlowId parent);
   GroupId pick_group(const TcfDescriptor& child) const;
+  GroupId least_loaded_alive() const;
   std::uint64_t group_load(GroupId g) const;
   void admit_pending_spawns();
   void promote_overflow(GroupId g);
@@ -377,6 +397,7 @@ class Machine {
 
   std::vector<std::unique_ptr<TcfDescriptor>> flows_;
   std::vector<GroupState> groups_;
+  std::vector<std::uint8_t> dead_;  ///< 1 = group retired (degraded mode)
   std::vector<FlowId> pending_spawns_;
   std::vector<PendingPrefix> pending_prefixes_;
   std::vector<std::pair<GroupId, std::uint32_t>> step_refs_;  ///< (src, module)

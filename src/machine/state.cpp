@@ -101,6 +101,7 @@ MachineState Machine::save_state() const {
     s.groups.push_back(GroupQueueState{g.resident, g.overflow});
   }
   s.pending_spawns = pending_spawns_;
+  s.dead_groups = dead_;
 
   s.shared = shared_.save_state();
   s.locals.reserve(locals_.size());
@@ -157,6 +158,13 @@ void Machine::restore_state(const MachineState& s) {
     groups_[g].step_ops = 0;
   }
   pending_spawns_ = s.pending_spawns;
+  if (s.dead_groups.empty()) {
+    dead_.assign(cfg_.groups, 0);  // pre-resilience image: all groups alive
+  } else {
+    TCFPN_CHECK(s.dead_groups.size() == cfg_.groups,
+                "checkpoint dead-group vector size mismatch");
+    dead_ = s.dead_groups;
+  }
 
   // Mid-step staging is never part of a checkpoint; clear it unconditionally
   // since a restore may land on a machine whose step a fault aborted.

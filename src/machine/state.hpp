@@ -64,6 +64,10 @@ struct MachineState {
   std::vector<FlowState> flows;          ///< indexed by flow id
   std::vector<GroupQueueState> groups;   ///< indexed by group id
   std::vector<FlowId> pending_spawns;    ///< spawned, not yet admitted
+  /// 1 = group retired via Machine::retire_group (degraded mode). Empty
+  /// means all groups alive — images from before the resilience layer
+  /// restore unchanged.
+  std::vector<std::uint8_t> dead_groups;
   mem::SharedMemoryState shared;
   std::vector<mem::LocalMemoryState> locals;  ///< indexed by group id
   net::NetworkState net;

@@ -10,6 +10,10 @@ LocalMemory::LocalMemory(GroupId owner, std::size_t words,
 }
 
 void LocalMemory::check_addr(Addr a) const {
+  if (failed_) {
+    TCFPN_FAULT("local memory block of group ", owner_,
+                " has failed; access to address ", a, " lost");
+  }
   if (a >= store_.size()) {
     TCFPN_FAULT("local memory (group ", owner_, ") access out of range: ", a,
                 " >= ", store_.size());

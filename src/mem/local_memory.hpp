@@ -43,6 +43,13 @@ class LocalMemory {
   /// Accounting hook for accesses that arrived over the network.
   void remote_access() { ++remote_accesses_; }
 
+  // ----- fault injection (src/resil, DESIGN.md §9) -----
+  /// Marks the block dead: every subsequent access faults. Executor-owned
+  /// and transient — deliberately not part of LocalMemoryState, so a
+  /// checkpoint restore (rollback repair) revives the block.
+  void set_failed(bool failed) { failed_ = failed; }
+  bool failed() const { return failed_; }
+
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
   std::uint64_t remote_accesses() const { return remote_accesses_; }
@@ -67,6 +74,7 @@ class LocalMemory {
   GroupId owner_;
   std::vector<Word> store_;
   Cycle latency_;
+  bool failed_ = false;
   mutable std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t remote_accesses_ = 0;

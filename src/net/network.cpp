@@ -24,6 +24,7 @@ void Network::bind_metrics(metrics::MetricsRegistry* reg) {
     m_ejection_latency_ = nullptr;
     m_node_queue_depth_ = nullptr;
     m_ejection_queue_depth_ = nullptr;
+    m_fault_delay_ = nullptr;
     return;
   }
   m_injected_ = &reg->counter("net/packets_injected");
@@ -34,6 +35,15 @@ void Network::bind_metrics(metrics::MetricsRegistry* reg) {
   m_ejection_latency_ = &reg->histogram("net/ejection_latency", 0.0, 128.0, 32);
   m_node_queue_depth_ = &reg->accumulator("net/node_queue_depth");
   m_ejection_queue_depth_ = &reg->accumulator("net/ejection_queue_depth");
+  // Registered at construction (like every bound instrument) so the
+  // counter exists in every checkpoint image — restore_raw drops
+  // instruments absent from the saved registry.
+  m_fault_delay_ = &reg->counter("net/fault_delay_cycles");
+}
+
+void Network::add_fault_delay(Cycle d) {
+  pending_fault_delay_ += d;
+  if (m_fault_delay_ != nullptr) m_fault_delay_->add(d);
 }
 
 std::uint64_t Network::inject(NodeId src, NodeId dst, Word payload) {
@@ -183,6 +193,7 @@ void Network::restore_state(const NetworkState& s) {
   for (auto& q : ejection_queues_) q.clear();
   deliveries_.clear();
   latencies_ = Samples{};
+  pending_fault_delay_ = 0;  // injected delays are transient, not state
 }
 
 std::vector<Delivery> Network::take_deliveries() {

@@ -98,6 +98,20 @@ class Network {
   Cycle latency_bound(const std::vector<std::uint64_t>& loads,
                       std::uint32_t max_distance) const;
 
+  // ----- fault injection (src/resil, DESIGN.md §9) -----
+  /// Accumulates extra cycles an injected link fault (dropped reply being
+  /// retried, delayed delivery) costs the *next* memory term. Transient by
+  /// design: a restore clears any pending delay (the injector re-derives
+  /// its schedule during replay instead).
+  void add_fault_delay(Cycle d);
+  /// Returns and clears the accumulated fault delay (called once per step
+  /// by the machine's memory term).
+  Cycle consume_fault_delay() {
+    const Cycle d = pending_fault_delay_;
+    pending_fault_delay_ = 0;
+    return d;
+  }
+
   // ----- statistics -----
   std::uint64_t injected_count() const { return injected_; }
   std::uint64_t delivered_count() const { return delivered_count_; }
@@ -139,6 +153,7 @@ class Network {
   std::vector<Delivery> deliveries_;
   Samples latencies_;
   std::size_t peak_queue_ = 0;
+  Cycle pending_fault_delay_ = 0;  ///< transient; cleared on restore
 
   // Bound instruments (nullptr when no registry is attached).
   metrics::Counter* m_injected_ = nullptr;
@@ -147,6 +162,7 @@ class Network {
   Histogram* m_ejection_latency_ = nullptr;
   Accumulator* m_node_queue_depth_ = nullptr;
   Accumulator* m_ejection_queue_depth_ = nullptr;
+  metrics::Counter* m_fault_delay_ = nullptr;
 };
 
 }  // namespace tcfpn::net

@@ -34,6 +34,7 @@ void install_lpt_hook(machine::Machine& m) {
     GroupId best = 0;
     std::size_t best_load = ~std::size_t{0};
     for (GroupId g = 0; g < mp->config().groups; ++g) {
+      if (!mp->group_alive(g)) continue;  // degraded mode (DESIGN.md §9)
       const std::size_t load = mp->resident_flows(g);
       if (load < best_load) {
         best_load = load;

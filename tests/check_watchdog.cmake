@@ -1,0 +1,67 @@
+# Regression: an explicit --max-steps watchdog turns a non-terminating run
+# into a diagnosed failure instead of a hang.
+#
+# Invoked via `cmake -DTCFRUN=<path> -DPROG=<spin.tcf> -DOUT=<dir> -P`.
+# Asserts the exit-code contract (3 = explicit watchdog expired, 1 = the
+# default step limit) and that --post-mortem emits a "watchdog"-class
+# tcfpn-postmortem-v1 document for the timed-out run.
+
+foreach(var TCFRUN PROG PROG_OK OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_watchdog: -D${var}=... is required")
+  endif()
+endforeach()
+file(MAKE_DIRECTORY "${OUT}")
+
+# 1. Explicit budget: exit 3, watchdog diagnostic, watchdog post-mortem.
+execute_process(
+  COMMAND "${TCFRUN}" "${PROG}" "--max-steps=2000"
+          "--post-mortem=${OUT}/watchdog_pm.json"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "watchdog run: expected exit 3, got ${rc}\n${out}${err}")
+endif()
+if(NOT err MATCHES "watchdog: no termination within 2000 machine steps")
+  message(FATAL_ERROR "watchdog run: stderr lacks the diagnostic:\n${err}")
+endif()
+
+file(READ "${OUT}/watchdog_pm.json" pm)
+if(NOT pm MATCHES "\"schema\": \"tcfpn-postmortem-v1\"")
+  message(FATAL_ERROR "watchdog post-mortem lacks the schema tag")
+endif()
+if(NOT pm MATCHES "\"class\": \"watchdog\"")
+  message(FATAL_ERROR "watchdog post-mortem lacks the watchdog fault class")
+endif()
+if(NOT pm MATCHES "step limit of 2000 machine steps")
+  message(FATAL_ERROR "watchdog post-mortem lacks the budget in its message")
+endif()
+
+# 2. The watchdog also guards fault-injected runs (the resilient executor
+#    honours the same budget).
+execute_process(
+  COMMAND "${TCFRUN}" "${PROG}" "--max-steps=2000"
+          "--inject-faults=seed=3,drop=0.01,flip=0.004" "--recover=rollback"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR
+          "resilient watchdog run: expected exit 3, got ${rc}\n${out}${err}")
+endif()
+
+# 3. A terminating program under the same explicit budget is untouched:
+#    exit 0, no watchdog diagnostic. (Exit 1 for the *default* limit is the
+#    long-standing contract and too slow to exercise here — 10M steps.)
+execute_process(
+  COMMAND "${TCFRUN}" "${PROG_OK}" "--max-steps=2000"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "terminating run under budget: expected exit 0, got ${rc}\n${err}")
+endif()
+if(err MATCHES "watchdog")
+  message(FATAL_ERROR "terminating run under budget tripped the watchdog")
+endif()
+
+message(STATUS "check_watchdog: all assertions passed")

@@ -1,7 +1,9 @@
 // Unit tests for src/common: RNG determinism and distributions, statistics
-// accumulators, table rendering, trace rendering, check macros.
+// accumulators, table rendering, trace rendering, check macros, thread-pool
+// exception propagation.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
 
@@ -9,6 +11,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 
 namespace tcfpn {
@@ -217,6 +220,66 @@ TEST(Trace, BackwardsSpanThrows) {
   ScheduleTrace tr;
   tr.set_enabled(true);
   EXPECT_THROW(tr.add(0, 5, 3, 'A', "bad"), SimError);
+}
+
+// A worker exception must be captured and rethrown at the parallel_for
+// barrier on the calling thread — before the hardening it unwound a worker
+// thread and std::terminate'd the whole process.
+TEST(ThreadPool, WorkerExceptionRethrownAtBarrier) {
+  common::ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i >= 5) TCFPN_FAULT("index ", i, " exploded");
+                          completed.fetch_add(1, std::memory_order_relaxed);
+                        }),
+      SimError);
+  // Every non-throwing index still ran: the job drains fully before the
+  // barrier rethrows.
+  EXPECT_EQ(completed.load(), 5);
+}
+
+// With several faulting indices the *lowest* one surfaces, independent of
+// which worker hit which index first — the deterministic-error contract.
+TEST(ThreadPool, LowestFaultingIndexWins) {
+  common::ThreadPool pool(8);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallel_for(128, [&](std::size_t i) {
+        if (i % 2 == 1) TCFPN_FAULT("index ", i, " exploded");
+      });
+      FAIL() << "parallel_for did not throw";
+    } catch (const SimError& e) {
+      EXPECT_NE(std::string(e.what()).find("index 1 exploded"),
+                std::string::npos)
+          << "surfaced: " << e.what();
+    }
+  }
+}
+
+// The pool stays usable after a throwing job: the error state is cleared at
+// the barrier, later jobs run normally.
+TEST(ThreadPool, ReusableAfterException) {
+  common::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::size_t) { TCFPN_FAULT("boom"); }),
+               SimError);
+  std::atomic<int> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+// Exceptions on the calling thread's own share take the same path.
+TEST(ThreadPool, SingleThreadPoolStillThrows) {
+  common::ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(
+                   4, [](std::size_t i) {
+                     if (i == 2) TCFPN_FAULT("index ", i, " exploded");
+                   }),
+               SimError);
 }
 
 }  // namespace

@@ -31,6 +31,13 @@ struct Options {
   std::string metrics_json;  ///< write the metrics document here (empty=off)
   std::string trace_json;    ///< write the Chrome trace here (empty=off)
   std::string post_mortem;   ///< write a fault post-mortem here (empty=off)
+  std::uint64_t max_steps = 10'000'000;  ///< step watchdog budget
+  /// True when --max-steps was given explicitly: hitting the limit is then
+  /// a diagnosed non-termination (exit 3 + watchdog post-mortem) instead of
+  /// the generic exit-1 "did not complete".
+  bool max_steps_set = false;
+  std::string inject_faults;  ///< --inject-faults spec (empty = off)
+  std::string recover = "rollback";  ///< rollback | degrade | off
 };
 
 inline void usage(const char* tool, const char* what) {
@@ -60,7 +67,18 @@ inline void usage(const char* tool, const char* what) {
       "  --post-mortem=F   on a fault, write a flight-record post-mortem\n"
       "                    JSON document to F (F='-' for stdout)\n"
       "  --sample-every=N  record a stats sample every N machine steps into\n"
-      "                    the metrics document (default off)\n",
+      "                    the metrics document (default off)\n"
+      "  --max-steps=N     watchdog: stop after N machine steps (default\n"
+      "                    10000000); an explicit limit makes a timed-out\n"
+      "                    run exit 3 with a watchdog post-mortem\n"
+      "  --inject-faults=S deterministic fault injection (DESIGN.md §9);\n"
+      "                    S = comma list of seed=U, rates drop/delay/stall/\n"
+      "                    memfail/flip/kill=P, knobs retries/backoff/delayc/\n"
+      "                    stallc/watchdog/scrubc=N, scripted\n"
+      "                    at=STEP:KIND[:ARG] entries\n"
+      "  --recover=MODE    recovery for injected faults: rollback (default,\n"
+      "                    checkpoint restore + replay), degrade (retire\n"
+      "                    dead groups, continue at P-1), off\n",
       tool, what);
 }
 
@@ -213,6 +231,27 @@ inline bool parse_args(int argc, char** argv, const char* tool,
         return false;
       }
       opt->post_mortem = v;
+    } else if (parse_flag(arg, "max-steps", &v)) {
+      if (!parse_uint(v, "max-steps", 1,
+                      std::numeric_limits<std::uint64_t>::max(),
+                      &opt->max_steps)) {
+        return false;
+      }
+      opt->max_steps_set = true;
+    } else if (parse_flag(arg, "inject-faults", &v)) {
+      if (v.empty()) {
+        std::fprintf(stderr, "--inject-faults needs a fault spec\n");
+        return false;
+      }
+      opt->inject_faults = v;
+    } else if (parse_flag(arg, "recover", &v)) {
+      if (v != "rollback" && v != "degrade" && v != "off") {
+        std::fprintf(stderr,
+                     "--recover must be rollback, degrade or off, got '%s'\n",
+                     v.c_str());
+        return false;
+      }
+      opt->recover = v;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage(tool, what);

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
         debug::RecorderConfig{.journal_capacity = 4096, .checkpoint_every = 0});
     if (!opt.post_mortem.empty()) recorder.attach(m);
     m.boot(opt.boot_thickness);
-    const cli::RunOutcome outcome = cli::run_with_fault_capture(m);
+    const cli::RunOutcome outcome = cli::run_with_fault_capture(m, opt.max_steps);
     if (outcome.faulted) {
       std::fprintf(stderr, "tcfasm: %s\n", outcome.fault_message.c_str());
     } else {

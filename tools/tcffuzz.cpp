@@ -28,6 +28,7 @@ struct FuzzOptions {
   std::uint64_t seed = 1;
   std::uint64_t runs = 500;
   std::uint64_t max_stmts = 18;
+  std::uint64_t fault_seed = 0;  ///< 0 = no fault-injection lanes
   bool allow_errors = true;
   bool verbose = false;
   std::string save_dir;     ///< write minimized reproducers here
@@ -47,6 +48,10 @@ void usage() {
       "  --max-stmts=N     statement budget per generated body (default 18)\n"
       "  --variants=CSV    restrict machine lanes to these variants\n"
       "  --host-threads=CSV host-thread counts to sweep (default 1,8)\n"
+      "  --fault-seed=S    also run every machine lane under the deterministic\n"
+      "                    fault schedule for seed S+i with rollback recovery;\n"
+      "                    recovered runs must match the fault-free oracle\n"
+      "                    bit-for-bit (0 = off, the default)\n"
       "  --no-errors       skip expected-SimError programs\n"
       "  --no-frontends    skip the baseline:: frontend lanes\n"
       "  --no-perturb      skip the perturbed-cost-knob lane\n"
@@ -63,7 +68,8 @@ bool parse(int argc, char** argv, FuzzOptions* o) {
   // Accept both `--flag=value` and `--flag value` for the value options.
   static const char* kValueFlags[] = {
       "--runs",    "--seed",   "--max-stmts",  "--variants",
-      "--host-threads", "--save", "--replay", "--inject-bug"};
+      "--host-threads", "--save", "--replay", "--inject-bug",
+      "--fault-seed"};
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     for (const char* f : kValueFlags) {
@@ -93,6 +99,11 @@ bool parse(int argc, char** argv, FuzzOptions* o) {
       }
     } else if (cli::parse_flag(arg, "max-stmts", &v)) {
       if (!cli::parse_uint(v, "max-stmts", 4, 64, &o->max_stmts)) return false;
+    } else if (cli::parse_flag(arg, "fault-seed", &v)) {
+      if (!cli::parse_uint(v, "fault-seed", 0, ~std::uint64_t{0} >> 1,
+                           &o->fault_seed)) {
+        return false;
+      }
     } else if (cli::parse_flag(arg, "save", &v)) {
       o->save_dir = v;
     } else if (cli::parse_flag(arg, "replay", &v)) {
@@ -149,13 +160,15 @@ bool parse(int argc, char** argv, FuzzOptions* o) {
   return true;
 }
 
-/// Reports one divergence; shrinks and saves when possible.
-void report(const FuzzOptions& o, std::uint64_t seed, const GenProgram& gp,
-            const Divergence& d) {
+/// Reports one divergence; shrinks and saves when possible. `diff` must be
+/// the exact options the divergence was found under (fault_seed included),
+/// or the shrinker could not reproduce it.
+void report(const FuzzOptions& o, const DiffOptions& diff, std::uint64_t seed,
+            const GenProgram& gp, const Divergence& d) {
   std::fprintf(stderr, "seed %llu DIVERGES on lane '%s': %s\n",
                static_cast<unsigned long long>(seed), d.lane.c_str(),
                d.detail.c_str());
-  const ShrinkResult shrunk = shrink(gp, d, o.diff);
+  const ShrinkResult shrunk = shrink(gp, d, diff);
   const DiffCase c = to_case(shrunk.program);
   std::fprintf(stderr,
                "  shrunk to %zu statements / %zu instructions "
@@ -178,7 +191,7 @@ void report(const FuzzOptions& o, std::uint64_t seed, const GenProgram& gp,
         ".postmortem.json";
     try {
       const std::string doc =
-          flight_record_json(c, shrunk.divergence, o.diff.max_steps);
+          flight_record_json(c, shrunk.divergence, diff.max_steps);
       std::ofstream pm(pm_path);
       if (pm) {
         pm << doc;
@@ -243,9 +256,13 @@ int fuzz(const FuzzOptions& o) {
       std::printf("seed %llu: %zu statements\n",
                   static_cast<unsigned long long>(seed), stmt_count(gp));
     }
+    DiffOptions diff = o.diff;
+    // A fresh fault schedule per run: the same program under different fault
+    // timings is a different resilience test.
+    if (o.fault_seed != 0) diff.fault_seed = o.fault_seed + i;
     try {
-      if (auto d = run_differential(gp, o.diff)) {
-        report(o, seed, gp, *d);
+      if (auto d = run_differential(gp, diff)) {
+        report(o, diff, seed, gp, *d);
         ++divergences;
         if (o.inject_bug.empty()) return 1;  // real bug: stop at the first
         break;  // self-test: one shrunk reproducer is the deliverable

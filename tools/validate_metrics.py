@@ -25,11 +25,16 @@ import json
 import sys
 
 SUBSYSTEMS = ("machine", "mem", "net", "sched")
+# Present only in fault-injected runs (tcfrun --inject-faults); validated
+# like any other subtree, plus the --expect-rollback assertion below.
+RESIL_SUBSYSTEM = "resil"
 INSTRUMENT_TYPES = {"counter", "gauge", "accumulator", "histogram"}
-FAULT_CLASSES = {"policy", "arith", "addr", "flow", "other", "divergence"}
+FAULT_CLASSES = {"policy", "arith", "addr", "flow", "other", "divergence",
+                 "watchdog"}
 EVENT_KINDS = {
     "flow_created", "flow_halted", "thickness_changed", "spawn", "join",
     "suspend", "resume", "evict", "print", "step_committed", "fault",
+    "fault_injected", "retry", "rollback", "group_retired",
 }
 FLOW_STATUSES = {"ready", "waiting-join", "suspended", "halted"}
 
@@ -70,7 +75,7 @@ def check_instrument(path, leaf):
             fail(f"histogram '{path}' bucket sum != count")
 
 
-def check_metrics(path):
+def check_metrics(path, expect_rollback=False):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     run = doc.get("run")
@@ -86,6 +91,15 @@ def check_metrics(path):
     for leaf_path, leaf in walk_instruments(tree):
         check_instrument(leaf_path, leaf)
         n += 1
+    if expect_rollback:
+        resil = tree.get(RESIL_SUBSYSTEM)
+        if not isinstance(resil, dict):
+            fail(f"{path}: --expect-rollback but no '{RESIL_SUBSYSTEM}/' "
+                 "subtree (was the run fault-injected?)")
+        rollbacks = resil.get("rollbacks", {}).get("value")
+        if not isinstance(rollbacks, int) or rollbacks < 1:
+            fail(f"{path}: --expect-rollback but resil/rollbacks is "
+                 f"{rollbacks!r} (the schedule should have forced >= 1)")
     for sample in doc.get("samples", []):
         for key in ("step", "cycles", "operations"):
             if not isinstance(sample.get(key), int):
@@ -199,12 +213,18 @@ def main():
     ap.add_argument("--trace", help="Chrome trace-event JSON document")
     ap.add_argument("--postmortem", action="append", default=[],
                     help="tcfpn-postmortem-v1 document (repeatable)")
+    ap.add_argument("--expect-rollback", action="store_true",
+                    help="require a resil/ subtree with rollbacks >= 1 in "
+                         "--metrics (for fault schedules that guarantee a "
+                         "fatal fault)")
     args = ap.parse_args()
     if not args.metrics and not args.trace and not args.postmortem:
         ap.error("nothing to validate: pass --metrics, --trace "
                  "and/or --postmortem")
+    if args.expect_rollback and not args.metrics:
+        ap.error("--expect-rollback needs --metrics")
     if args.metrics:
-        check_metrics(args.metrics)
+        check_metrics(args.metrics, expect_rollback=args.expect_rollback)
     if args.trace:
         check_trace(args.trace)
     for path in args.postmortem:
