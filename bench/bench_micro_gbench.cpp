@@ -69,6 +69,53 @@ void BM_MachineVecAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_MachineVecAdd)->Arg(256)->Arg(4096);
 
+// The inner lane loop of a thick ALU instruction, in both register-file
+// layouts. The AoS twin strides by the 16-register frame, which defeats
+// auto-vectorization; the SoA sweep over contiguous banks is what
+// machine::LaneFile gives Machine::exec_alu_lanes (configure with
+// -DTCFPN_VEC_REPORT=ON to see the compiler confirm the vector loop).
+void BM_LaneSweepAoS(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  std::vector<machine::LaneRegs> file(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    file[l][2] = static_cast<Word>(l);
+    file[l][3] = static_cast<Word>(3 * l + 1);
+  }
+  for (auto _ : state) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      file[l][4] = file[l][2] + file[l][3];
+    }
+    benchmark::DoNotOptimize(file.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_LaneSweepAoS)->Arg(256)->Arg(4096);
+
+void BM_LaneSweepSoA(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  machine::LaneFile file;
+  file.assign(lanes, machine::LaneRegs{});
+  for (std::size_t l = 0; l < lanes; ++l) {
+    file.set(l, 2, static_cast<Word>(l));
+    file.set(l, 3, static_cast<Word>(3 * l + 1));
+  }
+  for (auto _ : state) {
+    Word* dst = file.bank(4);
+    const Word* a = file.bank(2);
+    const Word* b = file.bank(3);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      dst[l] = a[l] + b[l];
+    }
+    benchmark::DoNotOptimize(dst);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_LaneSweepSoA)->Arg(256)->Arg(4096);
+
 void BM_MachineScanDoubling(benchmark::State& state) {
   const Word n = state.range(0);
   for (auto _ : state) {

@@ -14,11 +14,9 @@ ThreadPool::ThreadPool(std::uint32_t threads) : threads_(std::max(threads, 1u)) 
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  cv_work_.notify_all();
+  stop_.store(true, std::memory_order_release);
+  gen_.fetch_add(1, std::memory_order_release);
+  gen_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
@@ -26,90 +24,114 @@ std::uint32_t ThreadPool::hardware_threads() {
   return std::max(std::thread::hardware_concurrency(), 1u);
 }
 
-void ThreadPool::work_until_drained(std::uint64_t gen) {
-  // Claims happen under the mutex, tagged with the job generation: a
-  // straggler that raced past the drain of job N can never claim an index
-  // of job N+1 or touch its (stack-lifetime) function object. The indices
-  // are coarse (one per group per machine step), so contention here is
-  // noise next to the work they carry.
+bool ThreadPool::try_claim(std::uint64_t gen) {
+  const std::uint64_t tag = gen << kIndexBits;
+  std::uint64_t cur = claim_.load(std::memory_order_acquire);
   while (true) {
-    std::size_t i;
-    const std::function<void(std::size_t)>* fn;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (gen != generation_ || next_ >= size_) return;
-      i = next_++;
-      fn = fn_;
+    if (((cur ^ tag) >> kIndexBits) != 0) return false;  // not this job
+    const std::uint64_t idx = cur & kIndexMask;
+    if (idx >= size_) return false;
+    if (claim_.compare_exchange_weak(cur, tag | (idx + 1),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      run_index(idx);
+      return true;
     }
-    std::exception_ptr error;
-    try {
-      (*fn)(i);
-    } catch (...) {
-      // Captured, not propagated: letting it unwind a worker thread would
-      // std::terminate. parallel_for rethrows at the barrier.
-      error = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      // Every claimed index reports before parallel_for can return, so the
-      // generation still matches; the check is belt-and-braces.
-      if (gen == generation_) {
-        if (error && (!job_error_ || i < job_error_index_)) {
-          job_error_ = error;
-          job_error_index_ = i;
-        }
-        ++done_;
-        if (done_ == size_) cv_done_.notify_all();
-      }
+    // cur was reloaded by the failed exchange; re-check the tag.
+  }
+}
+
+void ThreadPool::run_index(std::uint64_t idx) {
+  std::exception_ptr error;
+  try {
+    (*fn_)(static_cast<std::size_t>(idx));
+  } catch (...) {
+    // Captured, not propagated: letting it unwind a worker thread would
+    // std::terminate. end() rethrows after the drain.
+    error = std::current_exception();
+  }
+  if (error) {
+    std::lock_guard<std::mutex> lock(err_mu_);
+    if (!job_error_ || idx < job_error_index_) {
+      job_error_ = error;
+      job_error_index_ = idx;
     }
   }
+  // The release increment orders everything fn(idx) wrote before the
+  // caller's acquire read of done_ == n in end().
+  const std::uint64_t d = done_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (d == size_) done_.notify_all();
 }
 
 void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   while (true) {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
+    gen_.wait(seen, std::memory_order_acquire);
+    if (stop_.load(std::memory_order_acquire)) return;
+    seen = gen_.load(std::memory_order_acquire);
+    while (try_claim(seen)) {
     }
-    work_until_drained(seen);
   }
+}
+
+void ThreadPool::begin(std::size_t n,
+                       const std::function<void(std::size_t)>& fn) {
+  TCFPN_CHECK(!active_, "ThreadPool job already active (begin without end)");
+  TCFPN_CHECK(n <= kIndexMask, "ThreadPool job too large: ", n);
+  // No worker touches the previous job anymore: end() returned only after
+  // every claimed index reported, and unclaimed stragglers bounce off the
+  // generation tag. Plain stores are safe before the release publish.
+  fn_ = &fn;
+  size_ = n;
+  done_.store(0, std::memory_order_relaxed);
+  const std::uint64_t g = gen_.load(std::memory_order_relaxed) + 1;
+  claim_.store(g << kIndexBits, std::memory_order_relaxed);
+  active_ = true;
+  gen_.store(g, std::memory_order_release);
+  gen_.notify_all();
+}
+
+bool ThreadPool::try_run_one() {
+  return try_claim(gen_.load(std::memory_order_acquire));
+}
+
+void ThreadPool::end() {
+  TCFPN_CHECK(active_, "ThreadPool::end() without begin()");
+  const std::uint64_t g = gen_.load(std::memory_order_acquire);
+  while (try_claim(g)) {
+  }
+  std::uint64_t d = done_.load(std::memory_order_acquire);
+  while (d < size_) {
+    done_.wait(d, std::memory_order_acquire);
+    d = done_.load(std::memory_order_acquire);
+  }
+  // Close the generation before fn_/size_ can be reused: a worker stalled
+  // inside try_claim still holds this job's tag, and once the next begin()
+  // rewrites size_ its "cursor exhausted" check is no longer conclusive.
+  // Bumping the tag here makes any such straggler's compare-exchange fail
+  // structurally instead.
+  claim_.store((g + 1) << kIndexBits, std::memory_order_release);
+  active_ = false;
+  fn_ = nullptr;
+  std::exception_ptr error = job_error_;
+  job_error_ = nullptr;
+  job_error_index_ = 0;
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
+    // Inline fast path: a 1-thread pool or a 1-item job never pays the
+    // publish/wake/complete handshake (exceptions propagate directly).
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::uint64_t gen;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    TCFPN_CHECK(done_ == size_, "parallel_for is not reentrant");
-    fn_ = &fn;
-    size_ = n;
-    done_ = 0;
-    next_ = 0;
-    job_error_ = nullptr;
-    job_error_index_ = 0;
-    gen = ++generation_;
+  begin(n, fn);
+  while (try_run_one()) {
   }
-  cv_work_.notify_all();
-  work_until_drained(gen);
-  std::exception_ptr error;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_done_.wait(lock, [&] { return done_ == size_; });
-    fn_ = nullptr;
-    error = job_error_;
-    job_error_ = nullptr;
-  }
-  // Rethrow outside the lock: the pool is drained and reusable, the caller
-  // sees the lowest faulting index's exception regardless of thread timing.
-  if (error) std::rethrow_exception(error);
+  end();
 }
 
 }  // namespace tcfpn::common

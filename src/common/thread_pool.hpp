@@ -3,10 +3,26 @@
 // The machine layer commits shared-memory effects at step boundaries
 // (DESIGN.md §4), which makes the per-group work inside one machine step
 // embarrassingly parallel: each group touches only its own flows, local
-// memory and effect buffers, and everything cross-group merges at the step
-// barrier in a fixed order. ThreadPool provides the fan-out half of that
-// contract: `parallel_for(n, fn)` runs fn(0..n-1) across the pool (the
-// calling thread participates) and blocks until every index completed.
+// memory and effect buffers, and everything cross-group merges in a fixed
+// order. ThreadPool provides the fan-out half of that contract.
+//
+// Two entry points:
+//  - parallel_for(n, fn): classic fork-join — runs fn(0..n-1) across the
+//    pool (the calling thread participates) and blocks until every index
+//    completed.
+//  - begin(n, fn) / try_run_one() / end(): the streaming form. begin()
+//    publishes the job and wakes the workers but returns immediately; the
+//    caller may then interleave its own work (e.g. consuming per-group seal
+//    channels in merge order) with try_run_one() calls that steal one index
+//    at a time, and finally end() waits for the stragglers and rethrows the
+//    lowest faulting index's exception.
+//
+// The dispatch path is lock-free: job claims and completion counts are
+// packed atomics (claims generation-tagged so a straggler from job N can
+// never touch job N+1's state), and idle workers sleep in
+// std::atomic::wait on the generation counter. The only mutex guards the
+// cold error-capture path. A machine step is two atomic RMWs per group —
+// the old mutex+condvar handshake cost more than small groups' work.
 //
 // Index->thread assignment is dynamic (a shared claim cursor) and therefore
 // nondeterministic; callers that need determinism must make fn(i)'s effects
@@ -14,7 +30,7 @@
 // exactly what Machine::step_synchronous does.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -40,39 +56,59 @@ class ThreadPool {
   /// blocks until all n calls returned. If one or more fn(i) calls throw,
   /// the exception of the *lowest* faulting index is rethrown here at the
   /// barrier (deterministic across index->thread assignments); the others
-  /// are dropped. fn must not call parallel_for reentrantly.
+  /// are dropped. fn must not call parallel_for reentrantly. With no
+  /// workers (threads == 1) or n == 1 the indices run inline on the calling
+  /// thread — no atomics, no wake-up.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Publishes a job of n indices and wakes the workers; returns
+  /// immediately. `fn` must stay alive until end() returns. Not reentrant.
+  void begin(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// Claims and runs one index of the active job on the calling thread.
+  /// Returns false when no unclaimed index remains (some may still be
+  /// running on workers). Callable between begin() and end().
+  bool try_run_one();
+  /// Drains remaining indices on the calling thread, waits for every index
+  /// to complete, then rethrows the lowest faulting index's exception (if
+  /// any).
+  void end();
 
   /// Host threads the hardware supports (>= 1 even when unknown).
   static std::uint32_t hardware_threads();
 
  private:
+  /// claim_ packs (generation << kIndexBits) | next-unclaimed-index. The
+  /// generation tag makes a straggler's compare-exchange against a newer
+  /// job fail structurally — no ABA window across jobs.
+  static constexpr std::uint32_t kIndexBits = 24;
+  static constexpr std::uint64_t kIndexMask = (1ull << kIndexBits) - 1;
+
   void worker_loop();
-  /// Claims and runs indices of job `gen` until none remain (or the job is
-  /// no longer current). Claims are mutex-guarded and generation-tagged so
-  /// stragglers can never touch a later job's state.
-  void work_until_drained(std::uint64_t gen);
+  /// Claims and runs one index of job `gen`; false when none remain (or the
+  /// job is no longer current).
+  bool try_claim(std::uint64_t gen);
+  void run_index(std::uint64_t idx);
 
   std::uint32_t threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable cv_work_;  ///< workers wait here for a new job
-  std::condition_variable cv_done_;  ///< parallel_for waits here for drain
-  std::uint64_t generation_ = 0;     ///< bumped once per parallel_for
-  bool stop_ = false;
-
-  // Current job; all fields guarded by mu_.
+  // Job payload: written by begin() before its release-store to gen_, read
+  // by workers after their acquire-load of gen_ — no further sync needed.
   const std::function<void(std::size_t)>* fn_ = nullptr;
   std::size_t size_ = 0;
-  std::size_t next_ = 0;  ///< next unclaimed index
-  std::size_t done_ = 0;  ///< completed indices
-  /// First exception a worker captured this job (lowest index wins, so the
-  /// surfaced error never depends on thread timing); rethrown at the step
-  /// barrier by parallel_for. Without the capture a throw would unwind a
-  /// worker thread and std::terminate the process.
+  bool active_ = false;  ///< between begin() and end(); caller thread only
+
+  std::atomic<std::uint64_t> gen_{0};    ///< job generation; workers wait here
+  std::atomic<std::uint64_t> claim_{0};  ///< (gen << kIndexBits) | next index
+  std::atomic<std::uint64_t> done_{0};   ///< completed indices of current job
+  std::atomic<bool> stop_{false};
+
+  /// Cold path: only faulting indices take this lock. The lowest index wins
+  /// so the surfaced error never depends on thread timing; end() reads the
+  /// result without the lock (all completions happened-before done_ == n).
+  std::mutex err_mu_;
   std::exception_ptr job_error_;
-  std::size_t job_error_index_ = 0;
+  std::uint64_t job_error_index_ = 0;
 };
 
 }  // namespace tcfpn::common

@@ -8,11 +8,11 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
 #include "isa/instr.hpp"
+#include "machine/write_buffer.hpp"
 
 namespace tcfpn::machine {
 
@@ -32,8 +32,95 @@ enum class FlowStatus : std::uint8_t {
 
 const char* to_string(FlowStatus s);
 
-/// Per-lane register file. r0 is hardwired to zero (writes ignored).
+/// One lane's architectural register values. r0 is hardwired to zero (writes
+/// ignored). Used at flow boundaries (spawn broadcast, checkpoints); the hot
+/// path works on the SoA LaneFile below.
 using LaneRegs = std::array<Word, isa::kNumRegisters>;
+
+/// Register-major (structure-of-arrays) lane register file: register r of
+/// lane l lives at data[r * lanes + l], so a thick instruction's inner loop
+/// over lanes walks contiguous memory per operand bank and vectorizes.
+/// Bank 0 is kept physically zero — reads of r0 can use the bank pointer
+/// unconditionally; set() discards r0 writes.
+class LaneFile {
+ public:
+  std::size_t lanes() const { return lanes_; }
+  bool empty() const { return lanes_ == 0; }
+
+  /// Replaces the file with `lanes` lanes all holding `fill` (r0 forced 0).
+  void assign(std::size_t lanes, const LaneRegs& fill) {
+    lanes_ = lanes;
+    data_.assign(lanes * isa::kNumRegisters, 0);
+    for (std::uint8_t r = 1; r < isa::kNumRegisters; ++r) {
+      if (fill[r] == 0) continue;
+      Word* b = bank(r);
+      for (std::size_t l = 0; l < lanes; ++l) b[l] = fill[r];
+    }
+  }
+
+  /// SETTHICK semantics: keeps the first min(old, new) lanes; new lanes
+  /// beyond the old thickness copy lane 0's registers.
+  void resize_fill_from_lane0(std::size_t lanes) {
+    const LaneRegs seed = lanes_ > 0 ? snapshot(0) : LaneRegs{};
+    std::vector<Word> next(lanes * isa::kNumRegisters, 0);
+    const std::size_t keep = lanes < lanes_ ? lanes : lanes_;
+    for (std::uint8_t r = 1; r < isa::kNumRegisters; ++r) {
+      Word* dst = next.data() + static_cast<std::size_t>(r) * lanes;
+      const Word* src = data_.data() + static_cast<std::size_t>(r) * lanes_;
+      for (std::size_t l = 0; l < keep; ++l) dst[l] = src[l];
+      for (std::size_t l = keep; l < lanes; ++l) dst[l] = seed[r];
+    }
+    data_ = std::move(next);
+    lanes_ = lanes;
+  }
+
+  Word get(std::size_t lane, std::uint8_t r) const {
+    return r == 0 ? 0 : data_[static_cast<std::size_t>(r) * lanes_ + lane];
+  }
+  void set(std::size_t lane, std::uint8_t r, Word v) {
+    if (r != 0) data_[static_cast<std::size_t>(r) * lanes_ + lane] = v;
+  }
+
+  /// Contiguous per-register lane bank; bank(0) is all zeros.
+  Word* bank(std::uint8_t r) {
+    return data_.data() + static_cast<std::size_t>(r) * lanes_;
+  }
+  const Word* bank(std::uint8_t r) const {
+    return data_.data() + static_cast<std::size_t>(r) * lanes_;
+  }
+
+  /// One lane's registers gathered into the AoS form (r0 == 0).
+  LaneRegs snapshot(std::size_t lane) const {
+    LaneRegs out{};
+    for (std::uint8_t r = 1; r < isa::kNumRegisters; ++r) {
+      out[r] = data_[static_cast<std::size_t>(r) * lanes_ + lane];
+    }
+    return out;
+  }
+
+  /// Scatters AoS registers into one lane (r0 write discarded).
+  void store(std::size_t lane, const LaneRegs& regs) {
+    for (std::uint8_t r = 1; r < isa::kNumRegisters; ++r) {
+      data_[static_cast<std::size_t>(r) * lanes_ + lane] = regs[r];
+    }
+  }
+
+  /// AoS conversions for the checkpoint layer (state.cpp keeps the lane-major
+  /// FlowState format so serialized images stay byte-identical).
+  std::vector<LaneRegs> to_aos() const {
+    std::vector<LaneRegs> out(lanes_);
+    for (std::size_t l = 0; l < lanes_; ++l) out[l] = snapshot(l);
+    return out;
+  }
+  void from_aos(const std::vector<LaneRegs>& lanes) {
+    assign(lanes.size(), LaneRegs{});
+    for (std::size_t l = 0; l < lanes.size(); ++l) store(l, lanes[l]);
+  }
+
+ private:
+  std::size_t lanes_ = 0;
+  std::vector<Word> data_;  ///< register-major: [r * lanes_ + lane]
+};
 
 struct TcfDescriptor {
   FlowId id = kNoFlow;
@@ -51,9 +138,10 @@ struct TcfDescriptor {
   /// executed; 0 when the flow is at an instruction boundary.
   LaneId next_unexecuted = 0;
 
-  /// Lane-private register files (physically a cached register file /
-  /// local memory; the cost model charges for the caching).
-  std::vector<LaneRegs> lane_regs;
+  /// Lane-private register files in register-major (SoA) layout (physically
+  /// a cached register file / local memory; the cost model charges for the
+  /// caching).
+  LaneFile lane_regs;
 
   /// Flow-level call stack (Section 2.2: "a call stack is not related to
   /// each thread but to each of the parallel control flows").
@@ -64,13 +152,13 @@ struct TcfDescriptor {
   /// sequentially consistent with itself even when a variant executes
   /// several of its instructions within one step; other flows see these
   /// writes only after the step commits.
-  std::unordered_map<Addr, Word> step_writes;
+  WriteBuffer step_writes;
 
   /// Writes staged by the instruction currently in (possibly interrupted)
   /// execution. Merged into step_writes when the last lane completes, so
   /// lanes of one instruction never observe each other's writes (lockstep
   /// PRAM semantics within the flow).
-  std::unordered_map<Addr, Word> instr_writes;
+  WriteBuffer instr_writes;
 
   /// Set when this flow issued a multioperation/multiprefix this step: the
   /// result only materialises at step commit, so the flow must not run

@@ -86,17 +86,37 @@ Machine::Machine(MachineConfig cfg)
   step_ctx_.resize(cfg_.groups);
   for (auto& ctx : step_ctx_) {
     ctx.port.attach(&shared_);
+    ctx.net_loads.assign(shared_.modules(), 0);
     bind_lane_counters(ctx.metrics, ctx.lanes);
+  }
+  net_loads_.assign(shared_.modules(), 0);
+  dist_cache_.resize(cfg_.groups);
+  for (GroupId g = 0; g < cfg_.groups; ++g) {
+    dist_cache_[g].resize(shared_.modules());
+    for (std::uint32_t m = 0; m < shared_.modules(); ++m) {
+      dist_cache_[g][m] = net_->topology().distance(g, m % cfg_.groups);
+    }
   }
   // The machine-level registry also carries the lane counters (fed directly
   // by the single-threaded XMT path, and by the group registries' merges)
   // plus the commit-side memory and router instruments — all of which are
   // only touched at the step barrier.
   bind_lane_counters(metrics_, gm_);
+  sc_.pipeline_fill_cycles = &metrics_.counter("machine/pipeline_fill_cycles");
+  sc_.slot_term_cycles = &metrics_.counter("machine/slot_term_cycles");
+  sc_.memory_term_cycles = &metrics_.counter("machine/memory_term_cycles");
+  sc_.memory_wait_cycles = &metrics_.counter("machine/memory_wait_cycles");
+  sc_.slot_occupancy = &metrics_.accumulator("sched/slot_occupancy");
+  sc_.overflow_depth = &metrics_.accumulator("sched/overflow_depth");
+  sc_.hot_module_load = &metrics_.accumulator("net/hot_module_load");
+  sc_.wire_distance = &metrics_.accumulator("net/wire_distance");
   shared_.bind_metrics(&metrics_);
   net_->bind_metrics(&metrics_);
   if (cfg_.host_threads > 1 && is_step_synchronous(cfg_.variant)) {
     pool_ = std::make_unique<common::ThreadPool>(cfg_.host_threads);
+    if (cfg_.effect_channels) {
+      channels_ = std::make_unique<common::EffectChannel[]>(cfg_.groups);
+    }
   }
   trace_.set_enabled(cfg_.record_trace);
 }
@@ -105,6 +125,11 @@ void Machine::GroupCtx::reset() {
   port.clear();
   delta = MachineStats{};
   refs.clear();
+  if (net_refs != 0) {
+    std::fill(net_loads.begin(), net_loads.end(), 0);
+    net_refs = 0;
+    net_max_dist = 0;
+  }
   prefix_reqs.clear();
   spawns.clear();
   halted.clear();
@@ -183,17 +208,17 @@ const TcfDescriptor* Machine::find_flow(FlowId id) const {
 
 void Machine::poke_reg(FlowId id, LaneId lane, std::uint8_t reg, Word value) {
   TcfDescriptor& f = flow(id);
-  TCFPN_CHECK(lane < f.lane_regs.size(), "lane ", lane, " out of range");
+  TCFPN_CHECK(lane < f.lane_regs.lanes(), "lane ", lane, " out of range");
   TCFPN_CHECK(reg > 0 && reg < isa::kNumRegisters, "bad register r", reg);
-  f.lane_regs[lane][reg] = value;
+  f.lane_regs.set(lane, reg, value);
 }
 
 Word Machine::peek_reg(FlowId id, LaneId lane, std::uint8_t reg) const {
   TCFPN_CHECK(id < flows_.size(), "unknown flow id ", id);
   const TcfDescriptor& f = *flows_[id];
-  TCFPN_CHECK(lane < f.lane_regs.size(), "lane ", lane, " out of range");
+  TCFPN_CHECK(lane < f.lane_regs.lanes(), "lane ", lane, " out of range");
   TCFPN_CHECK(reg < isa::kNumRegisters, "bad register r", reg);
-  return reg == 0 ? 0 : f.lane_regs[lane][reg];
+  return f.lane_regs.get(lane, reg);
 }
 
 TcfDescriptor& Machine::make_flow(std::size_t pc, Word thickness, GroupId home,
@@ -443,25 +468,77 @@ bool Machine::step_synchronous() {
     }
   };
   double t0 = cfg_.profile_host ? host_clock_us() : 0;
-  if (pool_) {
-    pool_->parallel_for(cfg_.groups, run_group);
+  if (channels_) {
+    // Streaming engine: instead of a hard barrier, each group owns a seal
+    // channel. A worker publishes after execute_group sealed the GroupCtx;
+    // the stepping thread consumes the channels in group order 0..P-1,
+    // stream-merging group g's effects while higher groups are still
+    // executing. The merge order — and therefore every committed byte — is
+    // identical to the barrier engine; only the wall-clock overlap differs.
+    for (GroupId g = 0; g < cfg_.groups; ++g) channels_[g].reset();
+    // Named std::function, not a lambda passed inline: the pool stores a
+    // pointer to it and the workers call through it until end().
+    const std::function<void(std::size_t)> run_and_publish =
+        [&](std::size_t g) {
+          run_group(g);
+          channels_[g].publish();
+        };
+    pool_->begin(cfg_.groups, run_and_publish);
+    std::exception_ptr error;
+    for (GroupId g = 0; g < cfg_.groups; ++g) {
+      // Never sleep while unclaimed groups remain — steal one instead, so
+      // the engine stays live even if every worker is preempted.
+      while (!channels_[g].ready() && pool_->try_run_one()) {
+      }
+      channels_[g].await();
+      if (step_ctx_[g].error) {
+        // Same contract as merge_group_effects: the lowest faulting group
+        // wins (lower groups streamed, the step never reaches the deferred
+        // pass). Groups above g may not have published yet, but their
+        // errors lose to this one in either engine.
+        error = step_ctx_[g].error;
+        break;
+      }
+      try {
+        stream_merge_group(g);
+      } catch (...) {
+        // A merge-side fault (commit-policy checks fire at drain) must not
+        // leave the pool job open — the workers would outlive this frame.
+        error = std::current_exception();
+        break;
+      }
+    }
+    // All groups must finish executing before the machine mutates further
+    // state (or unwinds a fault) — stragglers still write their GroupCtx.
+    pool_->end();
+    if (cfg_.profile_host) {
+      host_span("machine/group_phase", t0);
+      t0 = host_clock_us();
+    }
+    if (error) std::rethrow_exception(error);
+    for (GroupId g = 0; g < cfg_.groups; ++g) deferred_merge_group(g);
+    if (cfg_.profile_host) host_span("machine/merge_effects", t0);
   } else {
-    for (GroupId g = 0; g < cfg_.groups; ++g) run_group(g);
-  }
-  if (cfg_.profile_host) {
-    host_span("machine/group_phase", t0);
-    t0 = host_clock_us();
+    if (pool_) {
+      pool_->parallel_for(cfg_.groups, run_group);
+    } else {
+      for (GroupId g = 0; g < cfg_.groups; ++g) run_group(g);
+    }
+    if (cfg_.profile_host) {
+      host_span("machine/group_phase", t0);
+      t0 = host_clock_us();
+    }
+
+    // Step barrier: merge every group's effects in group order — the same
+    // order the sequential engine produced them in, so the machine state
+    // after the merge is bit-identical for every host_threads value.
+    merge_group_effects();
+    if (cfg_.profile_host) host_span("machine/merge_effects", t0);
   }
 
-  // Step barrier: merge every group's effects in group order — the same
-  // order the sequential engine produced them in, so the machine state after
-  // the merge is bit-identical for every host_threads value.
-  merge_group_effects();
-  if (cfg_.profile_host) host_span("machine/merge_effects", t0);
-
-  std::vector<Cycle> group_work(cfg_.groups, 0);
+  group_work_.assign(cfg_.groups, 0);
   for (GroupId g = 0; g < cfg_.groups; ++g) {
-    group_work[g] = groups_[g].step_ops;
+    group_work_[g] = groups_[g].step_ops;
   }
 
   // Slot term per variant (DESIGN.md §4 item 3). ILP co-execution issues
@@ -474,7 +551,7 @@ bool Machine::step_synchronous() {
     switch (cfg_.variant) {
       case Variant::kSingleInstruction:
       case Variant::kFixedThickness:
-        term = group_work[g];
+        term = group_work_[g];
         break;
       case Variant::kBalanced:
         term = cfg_.balanced_bound;
@@ -489,7 +566,7 @@ bool Machine::step_synchronous() {
     slot_max = std::max(slot_max, (term + fu - 1) / fu);
   }
 
-  finish_step(slot_max, group_work);
+  finish_step(slot_max, group_work_);
   return true;
 }
 
@@ -497,8 +574,10 @@ void Machine::execute_group(GroupId g, Cycle step_base) {
   auto& grp = groups_[g];
   auto& ctx = step_ctx_[g];
   grp.step_ops = 0;
-  // Snapshot: flows spawned/woken during the step join the next one.
-  const std::vector<FlowId> active = grp.resident;
+  // Flows spawned/woken during the step join the next one; nothing is
+  // admitted to the resident list until the barrier, so no snapshot copy is
+  // needed.
+  const std::vector<FlowId>& active = grp.resident;
 
   auto record = [&](const TcfDescriptor& f, std::uint64_t ops) {
     if (ops == 0 || !trace_.enabled()) return;
@@ -541,90 +620,146 @@ void Machine::execute_group(GroupId g, Cycle step_base) {
       record(f, ops);
     }
   }
+  // Pre-sort the staged writes on this worker thread so the barrier-side
+  // commit only merges per-group runs.
+  ctx.port.seal();
 }
 
 void Machine::merge_group_effects() {
   // A fault anywhere in the phase aborts the step like the sequential
   // engine would; the lowest-numbered faulting group wins so the surfaced
-  // error does not depend on host-thread timing.
+  // error does not depend on host-thread timing. Groups below the faulting
+  // one are streamed first — the same prefix the streaming engine has
+  // already consumed by the time it reaches the faulting group — and the
+  // deferred pass is skipped entirely (the step never reaches the barrier).
+  GroupId limit = cfg_.groups;
+  std::exception_ptr error;
   for (GroupId g = 0; g < cfg_.groups; ++g) {
-    if (step_ctx_[g].error) std::rethrow_exception(step_ctx_[g].error);
+    if (step_ctx_[g].error) {
+      limit = g;
+      error = step_ctx_[g].error;
+      break;
+    }
   }
-  for (GroupId g = 0; g < cfg_.groups; ++g) {
-    auto& ctx = step_ctx_[g];
+  for (GroupId g = 0; g < limit; ++g) stream_merge_group(g);
+  if (error) std::rethrow_exception(error);
+  for (GroupId g = 0; g < cfg_.groups; ++g) deferred_merge_group(g);
+}
 
-    // Flight-recorder events buffered during the group phase surface here,
-    // in group order — identical sequence for every host-thread count.
-    if (observer_ != nullptr) {
-      for (const DebugEvent& ev : ctx.events) observer_->on_event(ev);
-    }
+bool Machine::group_quiet(const GroupCtx& ctx) const {
+  const LaneCounters& lc = ctx.lanes;
+  return ctx.events.empty() && ctx.refs.empty() && ctx.net_refs == 0 &&
+         ctx.port.empty() && ctx.prefix_reqs.empty() && ctx.spawns.empty() &&
+         ctx.halted.empty() && ctx.prints.empty() && ctx.trace.empty() &&
+         lc.shared_reads->value() == 0 && lc.shared_writes->value() == 0 &&
+         lc.local_reads->value() == 0 && lc.local_writes->value() == 0 &&
+         lc.multiop_contributions->value() == 0 &&
+         lc.prefix_contributions->value() == 0 &&
+         lc.store_forwards->value() == 0;
+}
 
-    stats_.tcf_instructions += ctx.delta.tcf_instructions;
-    stats_.operations += ctx.delta.operations;
-    stats_.instruction_fetches += ctx.delta.instruction_fetches;
-    stats_.spawns += ctx.delta.spawns;
-    stats_.joins += ctx.delta.joins;
-    stats_.branch_cost_cycles += ctx.delta.branch_cost_cycles;
+void Machine::stream_merge_group(GroupId g) {
+  auto& ctx = step_ctx_[g];
 
-    // Per-group metric instruments land in the machine registry here, in
-    // group order, so snapshots are bit-identical across host_threads.
-    metrics_.merge(ctx.metrics);
+  stats_.tcf_instructions += ctx.delta.tcf_instructions;
+  stats_.operations += ctx.delta.operations;
+  stats_.instruction_fetches += ctx.delta.instruction_fetches;
+  stats_.spawns += ctx.delta.spawns;
+  stats_.joins += ctx.delta.joins;
+  stats_.branch_cost_cycles += ctx.delta.branch_cost_cycles;
 
-    // Memory-term references in issue order: the detailed router is
-    // injection-order sensitive, so the merged order must be the sequential
-    // one (group by group, flows in resident order).
+  if (cfg_.merge_skip && group_quiet(ctx)) {
+    // Register-only group step: besides the stat deltas just added there is
+    // nothing to merge — every buffer is empty and every group-local
+    // instrument zero, so the registry walk, port drain and ref transfer
+    // are all no-ops and can be skipped wholesale.
+    ++merge_skips_;
+    return;
+  }
+
+  // Flight-recorder events buffered during the group phase surface here,
+  // in group order — identical sequence for every host-thread count.
+  if (observer_ != nullptr) {
+    for (const DebugEvent& ev : ctx.events) observer_->on_event(ev);
+  }
+
+  // Per-group metric instruments land in the machine registry here, in
+  // group order, so snapshots are bit-identical across host_threads.
+  metrics_.merge(ctx.metrics);
+
+  // Memory-term references: the detailed router is injection-order
+  // sensitive, so it gets the full per-reference sequence (group by group,
+  // flows in resident order); the analytic bound only needs the per-module
+  // aggregates the group already summed in the parallel phase.
+  if (cfg_.detailed_network) {
     step_refs_.insert(step_refs_.end(), ctx.refs.begin(), ctx.refs.end());
-
-    // Drain the group's staged shared-memory traffic; multiprefix tickets
-    // are assigned here, in drain order, exactly as a sequential run would.
-    const auto tickets = shared_.drain(ctx.port);
-    for (const auto& req : ctx.prefix_reqs) {
-      pending_prefixes_.push_back(
-          PendingPrefix{req.flow, req.lane, req.rd, tickets[req.local]});
+  } else if (ctx.net_refs != 0) {
+    for (std::size_t m = 0; m < net_loads_.size(); ++m) {
+      net_loads_[m] += ctx.net_loads[m];
     }
+    net_refs_ += ctx.net_refs;
+    net_max_dist_ = std::max(net_max_dist_, ctx.net_max_dist);
+  }
 
-    // Join notices: a child halting this step reaches its parent only at
-    // the barrier, so JOINALL outcomes never depend on which host thread
-    // finished first. finish_step wakes satisfied joiners right after.
-    for (FlowId id : ctx.halted) {
-      const TcfDescriptor& child = *flows_[id];
-      if (child.parent == kNoFlow) continue;
-      TcfDescriptor& p = flow(child.parent);
-      TCFPN_CHECK(p.live_children > 0, "child halt underflows parent counter");
-      --p.live_children;
-    }
+  // Drain the group's staged shared-memory traffic; multiprefix tickets
+  // are assigned here, in drain order, exactly as a sequential run would.
+  const std::size_t ticket_base = shared_.drain(ctx.port);
+  for (const auto& req : ctx.prefix_reqs) {
+    pending_prefixes_.push_back(
+        PendingPrefix{req.flow, req.lane, req.rd, ticket_base + req.local});
+  }
 
-    // Deferred SPAWN placement: creating and placing children in group
-    // order fixes flow ids and allocation decisions across thread counts.
-    for (const auto& sp : ctx.spawns) {
-      Word base = 0;
-      for (Word part : sp.fragments) {
-        TcfDescriptor& child = make_flow(sp.entry, part, 0, sp.parent);
-        child.home = pick_group(child);
-        TCFPN_CHECK(group_alive(child.home),
-                    "allocation hook placed flow on retired group ",
-                    child.home);
-        metrics_.counter("sched/spawn_placements").add();
-        metrics_.accumulator("sched/placement_load")
-            .add(static_cast<double>(group_load(child.home)));
-        // The child inherits a broadcast copy of the parent's lane-0
-        // registers (flow-level state); fragments learn their base lane
-        // offset through r15 (the fragment convention).
-        for (auto& regs : child.lane_regs) {
-          regs = sp.broadcast;
-          if (sp.fragments.size() > 1) regs[15] = base;
-        }
-        emit_now(DebugEventKind::kFlowCreated, child.id, child.home, part,
-                 static_cast<Word>(sp.parent));
-        pending_spawns_.push_back(child.id);
-        base += part;
+  debug_out_.insert(debug_out_.end(), ctx.prints.begin(), ctx.prints.end());
+  for (auto& span : ctx.trace) {
+    trace_.add(span.row, span.begin, span.end, span.glyph,
+               std::move(span.label));
+  }
+}
+
+void Machine::deferred_merge_group(GroupId g) {
+  auto& ctx = step_ctx_[g];
+  if (ctx.halted.empty() && ctx.spawns.empty()) return;
+
+  // Join notices: a child halting this step reaches its parent only at
+  // the barrier, so JOINALL outcomes never depend on which host thread
+  // finished first. finish_step wakes satisfied joiners right after.
+  // Deferred past the streaming pass because the parent may belong to a
+  // group that is still executing while lower groups stream.
+  for (FlowId id : ctx.halted) {
+    const TcfDescriptor& child = *flows_[id];
+    if (child.parent == kNoFlow) continue;
+    TcfDescriptor& p = flow(child.parent);
+    TCFPN_CHECK(p.live_children > 0, "child halt underflows parent counter");
+    --p.live_children;
+  }
+
+  // Deferred SPAWN placement: creating and placing children in group
+  // order fixes flow ids and allocation decisions across thread counts.
+  // Placement reads other groups' loads and grows flows_, so it must wait
+  // until every group finished executing.
+  for (const auto& sp : ctx.spawns) {
+    Word base = 0;
+    for (Word part : sp.fragments) {
+      TcfDescriptor& child = make_flow(sp.entry, part, 0, sp.parent);
+      child.home = pick_group(child);
+      TCFPN_CHECK(group_alive(child.home),
+                  "allocation hook placed flow on retired group ",
+                  child.home);
+      metrics_.counter("sched/spawn_placements").add();
+      metrics_.accumulator("sched/placement_load")
+          .add(static_cast<double>(group_load(child.home)));
+      // The child inherits a broadcast copy of the parent's lane-0
+      // registers (flow-level state); fragments learn their base lane
+      // offset through r15 (the fragment convention).
+      child.lane_regs.assign(child.lane_regs.lanes(), sp.broadcast);
+      if (sp.fragments.size() > 1) {
+        Word* r15 = child.lane_regs.bank(15);
+        std::fill(r15, r15 + child.lane_regs.lanes(), base);
       }
-    }
-
-    debug_out_.insert(debug_out_.end(), ctx.prints.begin(), ctx.prints.end());
-    for (auto& span : ctx.trace) {
-      trace_.add(span.row, span.begin, span.end, span.glyph,
-                 std::move(span.label));
+      emit_now(DebugEventKind::kFlowCreated, child.id, child.home, part,
+               static_cast<Word>(sp.parent));
+      pending_spawns_.push_back(child.id);
+      base += part;
     }
   }
 }
@@ -665,9 +800,13 @@ std::uint64_t Machine::run_flow_slice(TcfDescriptor& f,
   TCFPN_CHECK(start < thickness, "resume point beyond thickness");
   const std::uint64_t count = std::min(op_quota, thickness - start);
   std::uint64_t cost = 0;
-  for (std::uint64_t lane = start; lane < start + count; ++lane) {
-    exec_data_lane(f, instr, lane);
-    cost += 1 + operand_penalty(lane);
+  if (exec_alu_lanes(f, instr, start, count)) {
+    cost = count + operand_penalty_range(start, count);
+  } else {
+    for (std::uint64_t lane = start; lane < start + count; ++lane) {
+      exec_data_lane(f, instr, lane);
+      cost += 1 + operand_penalty(lane);
+    }
   }
   delta.operations += count;
   f.next_unexecuted += count;
@@ -699,6 +838,154 @@ Cycle Machine::operand_penalty(LaneId lane) const {
       return cfg_.local_latency;
   }
   TCFPN_FAULT("unknown operand storage model");
+}
+
+Cycle Machine::operand_penalty_range(LaneId start, std::uint64_t count) const {
+  // Closed form of sum(operand_penalty(l), l in [start, start+count)): the
+  // penalty only depends on whether a lane index clears the cache boundary,
+  // so the whole range prices in O(1).
+  switch (cfg_.operand_storage) {
+    case OperandStorage::kCachedRegisterFile: {
+      const std::uint64_t cached =
+          cfg_.register_cache_words /
+          std::max<std::uint32_t>(cfg_.registers_per_context, 1);
+      const std::uint64_t end = start + count;
+      const std::uint64_t spilled =
+          end > cached ? end - std::max<std::uint64_t>(start, cached) : 0;
+      return spilled * cfg_.register_spill_penalty;
+    }
+    case OperandStorage::kMemoryToMemory:
+      return 2 * count;
+    case OperandStorage::kLocalMemory:
+      return cfg_.local_latency * count;
+  }
+  TCFPN_FAULT("unknown operand storage model");
+}
+
+bool Machine::exec_alu_lanes(TcfDescriptor& f, const isa::Instr& instr,
+                             std::uint64_t start, std::uint64_t count) {
+  using isa::Opcode;
+  switch (instr.op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSlt:
+    case Opcode::kSle:
+    case Opcode::kSeq:
+    case Opcode::kSne:
+    case Opcode::kMax:
+    case Opcode::kMin:
+    case Opcode::kLdi:
+    case Opcode::kTid:
+    case Opcode::kFid:
+    case Opcode::kThick:
+    case Opcode::kGid:
+    case Opcode::kNop:
+      break;
+    default:
+      // Memory traffic, multioperations and faulting divides keep the
+      // scalar per-lane path (side effects and fault order must match the
+      // lane-by-lane semantics exactly).
+      return false;
+  }
+  if (instr.op == Opcode::kNop) return true;
+  if (instr.rd == 0) return true;  // r0 writes are discarded, no other effect
+  LaneFile& lf = f.lane_regs;
+  Word* dst = lf.bank(instr.rd);
+  const std::uint64_t end = start + count;
+  auto fill = [&](Word v) {
+    for (std::uint64_t l = start; l < end; ++l) dst[l] = v;
+  };
+  switch (instr.op) {
+    case Opcode::kLdi:
+      fill(instr.imm);
+      return true;
+    case Opcode::kTid:
+      for (std::uint64_t l = start; l < end; ++l) {
+        dst[l] = static_cast<Word>(l);
+      }
+      return true;
+    case Opcode::kFid:
+      fill(static_cast<Word>(f.id));
+      return true;
+    case Opcode::kThick:
+      fill(f.mode == FlowMode::kPram ? f.thickness : 1);
+      return true;
+    case Opcode::kGid:
+      fill(static_cast<Word>(f.home));
+      return true;
+    default:
+      break;
+  }
+  // Two-operand ALU sweep over contiguous banks. Each lambda mirrors alu()
+  // bit for bit (unsigned wraparound, shift masking); the per-lane loop has
+  // no cross-lane dependence, so it vectorizes.
+  const Word* a = lf.bank(instr.ra);
+  const Word* b = instr.use_imm() ? nullptr : lf.bank(instr.rb);
+  const Word imm = instr.imm;
+  auto sweep = [&](auto op2) {
+    if (b == nullptr) {
+      for (std::uint64_t l = start; l < end; ++l) dst[l] = op2(a[l], imm);
+    } else {
+      for (std::uint64_t l = start; l < end; ++l) dst[l] = op2(a[l], b[l]);
+    }
+  };
+  const auto u = [](Word w) { return static_cast<std::uint64_t>(w); };
+  switch (instr.op) {
+    case Opcode::kAdd:
+      sweep([u](Word x, Word y) { return static_cast<Word>(u(x) + u(y)); });
+      return true;
+    case Opcode::kSub:
+      sweep([u](Word x, Word y) { return static_cast<Word>(u(x) - u(y)); });
+      return true;
+    case Opcode::kMul:
+      sweep([u](Word x, Word y) { return static_cast<Word>(u(x) * u(y)); });
+      return true;
+    case Opcode::kAnd:
+      sweep([](Word x, Word y) { return x & y; });
+      return true;
+    case Opcode::kOr:
+      sweep([](Word x, Word y) { return x | y; });
+      return true;
+    case Opcode::kXor:
+      sweep([](Word x, Word y) { return x ^ y; });
+      return true;
+    case Opcode::kShl:
+      sweep([u](Word x, Word y) {
+        return static_cast<Word>(u(x) << (u(y) & 63));
+      });
+      return true;
+    case Opcode::kShr:
+      sweep([u](Word x, Word y) {
+        return static_cast<Word>(u(x) >> (u(y) & 63));
+      });
+      return true;
+    case Opcode::kSlt:
+      sweep([](Word x, Word y) { return Word{x < y ? 1 : 0}; });
+      return true;
+    case Opcode::kSle:
+      sweep([](Word x, Word y) { return Word{x <= y ? 1 : 0}; });
+      return true;
+    case Opcode::kSeq:
+      sweep([](Word x, Word y) { return Word{x == y ? 1 : 0}; });
+      return true;
+    case Opcode::kSne:
+      sweep([](Word x, Word y) { return Word{x != y ? 1 : 0}; });
+      return true;
+    case Opcode::kMax:
+      sweep([](Word x, Word y) { return std::max(x, y); });
+      return true;
+    case Opcode::kMin:
+      sweep([](Word x, Word y) { return std::min(x, y); });
+      return true;
+    default:
+      TCFPN_FAULT("unreachable ALU sweep opcode");
+  }
 }
 
 std::uint64_t Machine::run_numa_block(TcfDescriptor& f) {
@@ -747,7 +1034,7 @@ const isa::Instr& Machine::fetch(TcfDescriptor& f) {
 Word Machine::read_operand_b(const TcfDescriptor& f, const isa::Instr& instr,
                              LaneId lane) const {
   if (instr.use_imm()) return instr.imm;
-  return instr.rb == 0 ? 0 : f.lane_regs[lane][instr.rb];
+  return f.lane_regs.get(lane, instr.rb);
 }
 
 Word Machine::alu(const isa::Instr& instr, Word a, Word b) const {
@@ -782,7 +1069,7 @@ Word Machine::alu(const isa::Instr& instr, Word a, Word b) const {
 
 Addr Machine::effective_addr(const TcfDescriptor& f, const isa::Instr& instr,
                              LaneId lane) const {
-  const Word base = instr.ra == 0 ? 0 : f.lane_regs[lane][instr.ra];
+  const Word base = f.lane_regs.get(lane, instr.ra);
   Word ea = base + instr.imm;
   if (instr.lane_addr()) ea += static_cast<Word>(lane);
   if (ea < 0) {
@@ -791,29 +1078,43 @@ Addr Machine::effective_addr(const TcfDescriptor& f, const isa::Instr& instr,
   return static_cast<Addr>(ea);
 }
 
+void Machine::note_ref(GroupCtx& ctx, GroupId src, std::uint32_t module) {
+  if (cfg_.detailed_network) {
+    // The detailed router is injection-order sensitive: keep the full
+    // per-reference sequence for the barrier-side replay.
+    ctx.refs.emplace_back(src, module);
+    return;
+  }
+  // Analytic bound: module load counts and the wire-distance maximum are
+  // order-insensitive, so they aggregate in the parallel phase and the
+  // barrier only sums P short vectors instead of walking every reference.
+  ++ctx.net_loads[module];
+  ++ctx.net_refs;
+  ctx.net_max_dist =
+      std::max(ctx.net_max_dist, dist_cache_[src][module % cfg_.groups]);
+}
+
 Word Machine::read_shared(TcfDescriptor& f, Addr a, LaneId lane) {
   auto& ctx = step_ctx_[f.home];
+  const std::uint32_t m = shared_.module_of(a);
+  note_ref(ctx, f.home, m);
   // Store forwarding: the flow sees its own *completed* writes of this step;
-  // everything else is the pre-step committed state.
-  if (auto it = f.step_writes.find(a); it != f.step_writes.end()) {
-    // Still counts as a memory reference for traffic purposes (but not as
-    // shared-memory traffic — the value never left the group).
-    ctx.refs.emplace_back(f.home, shared_.module_of(a));
+  // everything else is the pre-step committed state. A forwarded value still
+  // counts as a memory reference for traffic purposes (but not as
+  // shared-memory traffic — the value never left the group).
+  if (const Word* v = f.step_writes.find(a)) {
     ctx.lanes.store_forwards->add();
-    return it->second;
+    return *v;
   }
-  ctx.refs.emplace_back(f.home, shared_.module_of(a));
   ctx.lanes.shared_reads->add();
-  return ctx.port.read(a, lane_key(f.id, lane));
+  return ctx.port.read(a, lane_key(f.id, lane), m);
 }
 
 void Machine::exec_data_lane(TcfDescriptor& f, const isa::Instr& instr,
                              LaneId lane) {
   using isa::Opcode;
-  auto& regs = f.lane_regs[lane];
-  auto write_reg = [&](std::uint8_t r, Word v) {
-    if (r != 0) regs[r] = v;
-  };
+  auto& lf = f.lane_regs;
+  auto write_reg = [&](std::uint8_t r, Word v) { lf.set(lane, r, v); };
   const auto key = lane_key(f.id, lane);
   switch (instr.op) {
     case Opcode::kLdi:
@@ -826,12 +1127,13 @@ void Machine::exec_data_lane(TcfDescriptor& f, const isa::Instr& instr,
     }
     case Opcode::kSt: {
       const Addr a = effective_addr(f, instr, lane);
-      const Word v = instr.rb == 0 ? 0 : regs[instr.rb];
+      const Word v = lf.get(lane, instr.rb);
       auto& ctx = step_ctx_[f.home];
-      ctx.refs.emplace_back(f.home, shared_.module_of(a));
+      const std::uint32_t m = shared_.module_of(a);
+      note_ref(ctx, f.home, m);
       ctx.lanes.shared_writes->add();
-      ctx.port.write(a, v, key);
-      f.instr_writes[a] = v;
+      ctx.port.write(a, v, key, m);
+      f.instr_writes.put(a, v);
       return;
     }
     case Opcode::kLld: {
@@ -843,7 +1145,7 @@ void Machine::exec_data_lane(TcfDescriptor& f, const isa::Instr& instr,
     case Opcode::kLst: {
       const Addr a = effective_addr(f, instr, lane);
       step_ctx_[f.home].lanes.local_writes->add();
-      locals_[f.home].write(a, instr.rb == 0 ? 0 : regs[instr.rb]);
+      locals_[f.home].write(a, lf.get(lane, instr.rb));
       return;
     }
     case Opcode::kMpAdd:
@@ -852,13 +1154,14 @@ void Machine::exec_data_lane(TcfDescriptor& f, const isa::Instr& instr,
     case Opcode::kMpAnd:
     case Opcode::kMpOr: {
       const Addr a = effective_addr(f, instr, lane);
-      const Word v = instr.rb == 0 ? 0 : regs[instr.rb];
+      const Word v = lf.get(lane, instr.rb);
       const auto op = static_cast<mem::MultiOp>(
           static_cast<int>(instr.op) - static_cast<int>(Opcode::kMpAdd));
       auto& ctx = step_ctx_[f.home];
-      ctx.refs.emplace_back(f.home, shared_.module_of(a));
+      const std::uint32_t m = shared_.module_of(a);
+      note_ref(ctx, f.home, m);
       ctx.lanes.multiop_contributions->add();
-      ctx.port.multiop(a, op, v, key);
+      ctx.port.multiop(a, op, v, key, m);
       f.multiop_blocked = true;
       return;
     }
@@ -868,13 +1171,14 @@ void Machine::exec_data_lane(TcfDescriptor& f, const isa::Instr& instr,
     case Opcode::kPpAnd:
     case Opcode::kPpOr: {
       const Addr a = effective_addr(f, instr, lane);
-      const Word v = instr.rb == 0 ? 0 : regs[instr.rb];
+      const Word v = lf.get(lane, instr.rb);
       const auto op = static_cast<mem::MultiOp>(
           static_cast<int>(instr.op) - static_cast<int>(Opcode::kPpAdd));
       auto& ctx = step_ctx_[f.home];
-      ctx.refs.emplace_back(f.home, shared_.module_of(a));
+      const std::uint32_t m = shared_.module_of(a);
+      note_ref(ctx, f.home, m);
       ctx.lanes.prefix_contributions->add();
-      const std::size_t local = ctx.port.multiprefix(a, op, v, key);
+      const std::size_t local = ctx.port.multiprefix(a, op, v, key, m);
       ctx.prefix_reqs.push_back(PrefixRequest{f.id, lane, instr.rd, local});
       f.multiop_blocked = true;
       return;
@@ -894,7 +1198,7 @@ void Machine::exec_data_lane(TcfDescriptor& f, const isa::Instr& instr,
     case Opcode::kNop:
       return;
     default: {
-      const Word a = instr.ra == 0 ? 0 : regs[instr.ra];
+      const Word a = lf.get(lane, instr.ra);
       write_reg(instr.rd, alu(instr, a, read_operand_b(f, instr, lane)));
       return;
     }
@@ -917,12 +1221,12 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
     case Opcode::kBnez: {
       // The whole flow takes exactly one path through a control statement
       // (Section 2.2); a divergent condition is a program fault.
-      const Word head =
-          instr.ra == 0 ? 0 : f.lane_regs[0][instr.ra];
-      if (f.mode == FlowMode::kPram) {
-        for (const auto& regs : f.lane_regs) {
-          const Word v = instr.ra == 0 ? 0 : regs[instr.ra];
-          if ((v == 0) != (head == 0)) {
+      const Word head = f.lane_regs.get(0, instr.ra);
+      if (f.mode == FlowMode::kPram && instr.ra != 0) {
+        const Word* b = f.lane_regs.bank(instr.ra);
+        const bool head_zero = head == 0;
+        for (std::size_t l = 0, n = f.lane_regs.lanes(); l < n; ++l) {
+          if ((b[l] == 0) != head_zero) {
             TCFPN_FAULT("divergent branch condition in flow ", f.id,
                         ": use parallel{} to split the flow");
           }
@@ -948,9 +1252,8 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
       halt_in_step(f);
       return false;
     case Opcode::kSetThick: {
-      const Word t = instr.use_imm()
-                         ? instr.imm
-                         : (instr.ra == 0 ? 0 : f.lane_regs[0][instr.ra]);
+      const Word t =
+          instr.use_imm() ? instr.imm : f.lane_regs.get(0, instr.ra);
       if (t < 0) TCFPN_FAULT("negative thickness ", t, " in flow ", f.id);
       switch (cfg_.variant) {
         case Variant::kSingleOperation:
@@ -977,8 +1280,7 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
       }
       emit(step_ctx_[f.home], DebugEventKind::kThicknessChanged, f,
            f.thickness, t);
-      const auto old = f.lane_regs.empty() ? LaneRegs{} : f.lane_regs[0];
-      f.lane_regs.resize(static_cast<std::size_t>(t), old);
+      f.lane_regs.resize_fill_from_lane0(static_cast<std::size_t>(t));
       f.thickness = t;
       f.mode = FlowMode::kPram;
       f.pc += 1;
@@ -1003,7 +1305,7 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
       f.mode = FlowMode::kNuma;
       f.numa_block = static_cast<std::uint32_t>(l);
       f.thickness = 1;
-      f.lane_regs.resize(1);
+      f.lane_regs.resize_fill_from_lane0(1);
       f.pc += 1;
       return true;
     }
@@ -1012,7 +1314,7 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
         TCFPN_FAULT("fixed-thickness (SIMD) variant has no control "
                     "parallelism: SPAWN is unavailable");
       }
-      const Word t = instr.ra == 0 ? 0 : f.lane_regs[0][instr.ra];
+      const Word t = f.lane_regs.get(0, instr.ra);
       if (t < 0) TCFPN_FAULT("negative spawn thickness ", t);
       if ((cfg_.variant == Variant::kSingleOperation ||
            cfg_.variant == Variant::kConfigSingleOperation) &&
@@ -1042,8 +1344,8 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
         f.live_children += static_cast<std::uint32_t>(fragments.size());
         emit(ctx, DebugEventKind::kSpawn, f, t,
              static_cast<Word>(fragments.size()));
-        ctx.spawns.push_back(
-            SpawnRequest{f.id, entry, std::move(fragments), f.lane_regs[0]});
+        ctx.spawns.push_back(SpawnRequest{f.id, entry, std::move(fragments),
+                                          f.lane_regs.snapshot(0)});
       }
       f.pc += 1;
       return true;
@@ -1059,9 +1361,8 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
       ++step_ctx_[f.home].delta.joins;
       return true;
     case Opcode::kPrint: {
-      const Word v = instr.use_imm()
-                         ? instr.imm
-                         : (instr.ra == 0 ? 0 : f.lane_regs[0][instr.ra]);
+      const Word v =
+          instr.use_imm() ? instr.imm : f.lane_regs.get(0, instr.ra);
       step_ctx_[f.home].prints.push_back(v);
       emit(step_ctx_[f.home], DebugEventKind::kPrint, f, v);
       f.pc += 1;
@@ -1075,7 +1376,7 @@ bool Machine::exec_control(TcfDescriptor& f, const isa::Instr& instr) {
 void Machine::complete_instruction(TcfDescriptor& f,
                                    const isa::Instr& /*instr*/) {
   if (!f.instr_writes.empty()) {
-    for (const auto& [a, v] : f.instr_writes) f.step_writes[a] = v;
+    f.instr_writes.for_each([&](Addr a, Word v) { f.step_writes.put(a, v); });
     f.instr_writes.clear();
   }
 }
@@ -1085,26 +1386,25 @@ Cycle Machine::memory_term() {
   // step's memory term even when the step itself issued no references —
   // the stalled reply still has to arrive before the next step.
   const Cycle fault_extra = net_->consume_fault_delay();
-  if (step_refs_.empty()) return fault_extra;
   if (cfg_.detailed_network) {
+    if (step_refs_.empty()) return fault_extra;
     for (const auto& [src, module] : step_refs_) {
       net_->inject(src, module % cfg_.groups);
     }
     return fault_extra + net_->drain();
   }
-  std::vector<std::uint64_t> loads(shared_.modules(), 0);
-  std::uint32_t max_dist = 0;
-  for (const auto& [src, module] : step_refs_) {
-    ++loads[module];
-    max_dist = std::max(
-        max_dist, net_->topology().distance(src, module % cfg_.groups));
-  }
+  // Analytic bound from the aggregates the groups summed in the parallel
+  // phase (merged in stream_merge_group) — no per-reference walk here.
+  if (net_refs_ == 0) return fault_extra;
   std::uint64_t hottest = 0;
-  for (auto l : loads) hottest = std::max(hottest, l);
-  metrics_.accumulator("net/hot_module_load")
-      .add(static_cast<double>(hottest));
-  metrics_.accumulator("net/wire_distance").add(max_dist);
-  return fault_extra + net_->latency_bound(loads, max_dist);
+  for (std::uint64_t l : net_loads_) hottest = std::max(hottest, l);
+  sc_.hot_module_load->add(static_cast<double>(hottest));
+  sc_.wire_distance->add(net_max_dist_);
+  const Cycle bound = net_->latency_bound(net_loads_, net_max_dist_);
+  std::fill(net_loads_.begin(), net_loads_.end(), 0);
+  net_refs_ = 0;
+  net_max_dist_ = 0;
+  return fault_extra + bound;
 }
 
 void Machine::finish_step(Cycle slot_term_max,
@@ -1114,8 +1414,8 @@ void Machine::finish_step(Cycle slot_term_max,
   // Multiprefix results materialise at commit; deliver them to lanes.
   for (const auto& p : pending_prefixes_) {
     TcfDescriptor& f = flow(p.flow);
-    if (p.rd != 0 && p.lane < f.lane_regs.size()) {
-      f.lane_regs[p.lane][p.rd] = shared_.prefix_result(p.ticket);
+    if (p.rd != 0 && p.lane < f.lane_regs.lanes()) {
+      f.lane_regs.set(p.lane, p.rd, shared_.prefix_result(p.ticket));
     }
   }
   pending_prefixes_.clear();
@@ -1143,32 +1443,33 @@ void Machine::finish_step(Cycle slot_term_max,
   // Cost-category accounting: where the step's cycles went (the cost model
   // of DESIGN.md §4 item 3, one counter per term) and how full the TCF
   // buffers ran. All barrier-side, so plain registry lookups are fine.
-  metrics_.counter("machine/pipeline_fill_cycles").add(cfg_.pipeline_fill);
-  metrics_.counter("machine/slot_term_cycles").add(slot_term_max);
-  metrics_.counter("machine/memory_term_cycles").add(mem);
-  metrics_.counter("machine/memory_wait_cycles")
-      .add(mem > slot_term_max ? mem - slot_term_max : 0);
-  {
-    auto& occupancy = metrics_.accumulator("sched/slot_occupancy");
-    auto& overflow = metrics_.accumulator("sched/overflow_depth");
-    for (GroupId g = 0; g < cfg_.groups; ++g) {
-      if (!group_alive(g)) continue;
-      occupancy.add(static_cast<double>(groups_[g].resident.size()));
-      overflow.add(static_cast<double>(groups_[g].overflow.size()));
-    }
+  sc_.pipeline_fill_cycles->add(cfg_.pipeline_fill);
+  sc_.slot_term_cycles->add(slot_term_max);
+  sc_.memory_term_cycles->add(mem);
+  sc_.memory_wait_cycles->add(mem > slot_term_max ? mem - slot_term_max : 0);
+  for (GroupId g = 0; g < cfg_.groups; ++g) {
+    if (!group_alive(g)) continue;
+    sc_.slot_occupancy->add(static_cast<double>(groups_[g].resident.size()));
+    sc_.overflow_depth->add(static_cast<double>(groups_[g].overflow.size()));
   }
 
   // Step-boundary housekeeping: forwarding buffers, multiop blocks, wakes,
-  // buffer cleanup, freshly spawned flows.
-  for (auto& fp : flows_) {
-    fp->step_writes.clear();
-    fp->multiop_blocked = false;
-    if (fp->status == FlowStatus::kWaitingJoin && fp->live_children == 0) {
-      fp->status = FlowStatus::kReady;
+  // buffer cleanup, freshly spawned flows. Walks the group lists instead of
+  // every flow ever created — long-halted flows need no housekeeping, and
+  // flows that halted *this* step are still listed (the erase below runs
+  // after). Freshly spawned flows are not listed yet but are born clean.
+  auto housekeep = [&](FlowId id) {
+    TcfDescriptor& f = *flows_[id];
+    f.step_writes.clear();
+    f.multiop_blocked = false;
+    if (f.status == FlowStatus::kWaitingJoin && f.live_children == 0) {
+      f.status = FlowStatus::kReady;
       ++stats_.joins;
     }
-  }
+  };
   for (auto& grp : groups_) {
+    for (FlowId id : grp.resident) housekeep(id);
+    for (FlowId id : grp.overflow) housekeep(id);
     std::erase_if(grp.resident, [&](FlowId id) {
       return flows_[id]->status == FlowStatus::kHalted;
     });
@@ -1198,10 +1499,9 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
   using isa::Opcode;
   std::uint64_t ops = 0;
   std::vector<std::size_t> stack;
-  auto& regs = f.lane_regs[lane];
-  auto write_reg = [&](std::uint8_t r, Word v) {
-    if (r != 0) regs[r] = v;
-  };
+  auto& lf = f.lane_regs;
+  auto rget = [&](std::uint8_t r) { return lf.get(lane, r); };
+  auto write_reg = [&](std::uint8_t r, Word v) { lf.set(lane, r, v); };
   halted = false;
   wants_join = false;
   while (true) {
@@ -1216,7 +1516,7 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
       TCFPN_FAULT("runaway lane (>", kLaneOpGuard, " ops) in flow ", f.id);
     }
     auto ea = [&]() {
-      const Word base = instr.ra == 0 ? 0 : regs[instr.ra];
+      const Word base = rget(instr.ra);
       Word a = base + instr.imm;
       if (instr.lane_addr()) a += static_cast<Word>(lane);
       if (a < 0) TCFPN_FAULT("negative effective address in flow ", f.id);
@@ -1228,7 +1528,7 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
         continue;
       case Opcode::kBeqz:
       case Opcode::kBnez: {
-        const Word v = instr.ra == 0 ? 0 : regs[instr.ra];
+        const Word v = rget(instr.ra);
         const bool taken = instr.op == Opcode::kBeqz ? v == 0 : v != 0;
         lane_pc = taken ? static_cast<std::size_t>(instr.imm) : lane_pc + 1;
         continue;
@@ -1250,7 +1550,7 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
         ++lane_pc;
         return ops;
       case Opcode::kSpawn: {
-        const Word t = instr.ra == 0 ? 0 : regs[instr.ra];
+        const Word t = rget(instr.ra);
         if (t < 0) TCFPN_FAULT("negative spawn thickness ", t);
         ++stats_.spawns;
         stats_.branch_cost_cycles += 1;  // XMT fork: O(1) enqueue
@@ -1258,7 +1558,7 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
           TcfDescriptor& child = make_flow(
               static_cast<std::size_t>(instr.imm), t, 0, f.id);
           child.home = pick_group(child);
-          for (auto& r : child.lane_regs) r = regs;
+          child.lane_regs.assign(child.lane_regs.lanes(), lf.snapshot(lane));
           ++f.live_children;
           emit_now(DebugEventKind::kSpawn, f.id, f.home, t, 1);
           emit_now(DebugEventKind::kFlowCreated, child.id, child.home, t,
@@ -1280,7 +1580,7 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
         continue;
       case Opcode::kSt:
         gm_.shared_writes->add();
-        shared_.poke(ea(), instr.rb == 0 ? 0 : regs[instr.rb]);
+        shared_.poke(ea(), rget(instr.rb));
         ++lane_pc;
         continue;
       case Opcode::kLld:
@@ -1290,7 +1590,7 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
         continue;
       case Opcode::kLst:
         gm_.local_writes->add();
-        locals_[f.home].write(ea(), instr.rb == 0 ? 0 : regs[instr.rb]);
+        locals_[f.home].write(ea(), rget(instr.rb));
         ++lane_pc;
         continue;
       case Opcode::kMpAdd:
@@ -1304,9 +1604,8 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
         const Addr a = ea();
         const auto op = static_cast<mem::MultiOp>(
             static_cast<int>(instr.op) - static_cast<int>(Opcode::kMpAdd));
-        shared_.poke(a, mem::apply_multiop(
-                            op, shared_.peek(a),
-                            instr.rb == 0 ? 0 : regs[instr.rb]));
+        shared_.poke(a, mem::apply_multiop(op, shared_.peek(a),
+                                           rget(instr.rb)));
         ++lane_pc;
         continue;
       }
@@ -1322,7 +1621,7 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
         const Word old = shared_.peek(a);
         // Read the contribution before delivering the prefix result: with
         // rd == rb the result write must not clobber the contribution.
-        const Word contribution = instr.rb == 0 ? 0 : regs[instr.rb];
+        const Word contribution = rget(instr.rb);
         write_reg(instr.rd, old);
         shared_.poke(a, mem::apply_multiop(op, old, contribution));
         ++lane_pc;
@@ -1346,9 +1645,7 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
         continue;
       case Opcode::kPrint:
         if (lane == 0) {
-          const Word v = instr.use_imm()
-                             ? instr.imm
-                             : (instr.ra == 0 ? 0 : regs[instr.ra]);
+          const Word v = instr.use_imm() ? instr.imm : rget(instr.ra);
           debug_out_.push_back(v);
           emit_now(DebugEventKind::kPrint, f.id, f.home, v);
         }
@@ -1362,10 +1659,8 @@ std::uint64_t Machine::run_lane_to_event(TcfDescriptor& f, LaneId lane,
         ++lane_pc;
         continue;
       default: {
-        const Word a = instr.ra == 0 ? 0 : regs[instr.ra];
-        const Word b = instr.use_imm()
-                           ? instr.imm
-                           : (instr.rb == 0 ? 0 : regs[instr.rb]);
+        const Word a = rget(instr.ra);
+        const Word b = instr.use_imm() ? instr.imm : rget(instr.rb);
         write_reg(instr.rd, alu(instr, a, b));
         ++lane_pc;
         continue;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/effect_channel.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "common/types.hpp"
@@ -318,6 +319,19 @@ class Machine {
   static void bind_lane_counters(metrics::MetricsRegistry& reg,
                                  LaneCounters& lc);
 
+  /// Barrier-side per-step instruments, bound once at construction so
+  /// finish_step and memory_term never pay a registry path lookup.
+  struct StepCounters {
+    metrics::Counter* pipeline_fill_cycles = nullptr;
+    metrics::Counter* slot_term_cycles = nullptr;
+    metrics::Counter* memory_term_cycles = nullptr;
+    metrics::Counter* memory_wait_cycles = nullptr;
+    Accumulator* slot_occupancy = nullptr;
+    Accumulator* overflow_depth = nullptr;
+    Accumulator* hot_module_load = nullptr;
+    Accumulator* wire_distance = nullptr;
+  };
+
   /// Per-group effect buffer for one machine step. During the per-group
   /// phase a group's execution touches only its own flows, its local memory
   /// and this context; everything cross-group (stats, shared-memory staging,
@@ -328,6 +342,13 @@ class Machine {
     mem::MemoryPort port;
     MachineStats delta;  ///< counter deltas (cycles/steps stay untouched)
     std::vector<std::pair<GroupId, std::uint32_t>> refs;  ///< (src, module)
+    /// Analytic network-term aggregates, maintained in the parallel phase
+    /// when cfg.detailed_network is off (the ordered `refs` log is then not
+    /// needed): per-module reference counts, reference total, and the
+    /// maximum source→module wire distance seen this step.
+    std::vector<std::uint64_t> net_loads;
+    std::uint64_t net_refs = 0;
+    std::uint32_t net_max_dist = 0;
     std::vector<PrefixRequest> prefix_reqs;
     std::vector<SpawnRequest> spawns;
     std::vector<FlowId> halted;  ///< flows halted this step (join notices)
@@ -361,6 +382,22 @@ class Machine {
   void execute_group(GroupId g, Cycle step_base);
   /// Merges every group's effect buffer, in group order, into the machine.
   void merge_group_effects();
+  /// First merge pass for one group: observer events, stats deltas, metric
+  /// counters, network aggregates, port drain + prefix ticket mapping,
+  /// prints and trace. Touches no flow state, so the stepping thread may run
+  /// it for group g while higher groups are still executing (the streaming
+  /// effect-channel engine relies on this).
+  void stream_merge_group(GroupId g);
+  /// Second merge pass for one group, after every group finished: join
+  /// notices (decrement other groups' parents) and spawn creation/placement
+  /// (reads group loads, grows flows_).
+  void deferred_merge_group(GroupId g);
+  /// True when a group's step produced no cross-group effects — the merge
+  /// fast path then reduces to six integer adds (the stats deltas).
+  bool group_quiet(const GroupCtx& ctx) const;
+  /// Records one shared-memory reference for the network term: ordered log
+  /// under cfg.detailed_network, per-module aggregates otherwise.
+  void note_ref(GroupCtx& ctx, GroupId src, std::uint32_t module);
   /// Executes up to `op_quota` operation slots of flow f (a full instruction
   /// when quota covers it). Returns ops consumed.
   std::uint64_t run_flow_slice(TcfDescriptor& f, std::uint64_t op_quota);
@@ -378,6 +415,15 @@ class Machine {
                       LaneId lane) const;
   Word read_shared(TcfDescriptor& f, Addr a, LaneId lane);
   Cycle operand_penalty(LaneId lane) const;
+  /// Closed-form sum of operand_penalty(lane) over [start, start + count):
+  /// the vectorized ALU path charges a whole instruction at once.
+  Cycle operand_penalty_range(LaneId start, std::uint64_t count) const;
+  /// Register-to-register fast path: executes `instr` over lanes
+  /// [start, start + count) of `f` as contiguous bank sweeps (SoA, inner
+  /// loop vectorizes). Returns false when the opcode needs the scalar
+  /// per-lane path (memory traffic, faulting divides).
+  bool exec_alu_lanes(TcfDescriptor& f, const isa::Instr& instr,
+                      std::uint64_t start, std::uint64_t count);
   void finish_step(Cycle slot_term_max, const std::vector<Cycle>& group_work);
   Cycle memory_term();
 
@@ -404,6 +450,30 @@ class Machine {
 
   std::vector<GroupCtx> step_ctx_;  ///< one effect buffer per group
   std::unique_ptr<common::ThreadPool> pool_;  ///< nullptr => sequential
+  /// One seal channel per group for the streaming engine (effect_channels):
+  /// the worker publishes after sealing its GroupCtx; the stepping thread
+  /// consumes them in group order while higher groups still execute.
+  std::unique_ptr<common::EffectChannel[]> channels_;
+
+  /// dist_cache_[g][m] = topology distance from group g to module-owner
+  /// group m % P, precomputed so the per-reference hot path is a table load.
+  std::vector<std::vector<std::uint32_t>> dist_cache_;
+  /// Merged analytic network aggregates for the current step (memory_term
+  /// consumes and clears them).
+  std::vector<std::uint64_t> net_loads_;
+  std::uint64_t net_refs_ = 0;
+  std::uint32_t net_max_dist_ = 0;
+  std::vector<Cycle> group_work_;  ///< per-step scratch, reused across steps
+  std::uint64_t merge_skips_ = 0;  ///< quiet-group merges taken (plain member,
+                                   ///< not a metric, so telemetry is identical
+                                   ///< with the fast path on or off)
+
+ public:
+  /// Group merges short-circuited by the quiet-group fast path (perf
+  /// introspection for tests and benches; not part of the metrics snapshot).
+  std::uint64_t merge_skips() const { return merge_skips_; }
+
+ private:
 
   MachineStats stats_;
   ScheduleTrace trace_;
@@ -428,6 +498,7 @@ class Machine {
 
   metrics::MetricsRegistry metrics_;
   LaneCounters gm_;  ///< machine-level lane counters (single-threaded paths)
+  StepCounters sc_;  ///< barrier-side per-step instruments
   std::vector<HostSpan> host_spans_;
   std::vector<StepSample> step_samples_;
   std::chrono::steady_clock::time_point host_t0_{};

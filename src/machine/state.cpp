@@ -45,8 +45,9 @@ std::uint64_t config_fingerprint(const MachineConfig& cfg) {
   fp.mix(static_cast<std::uint64_t>(cfg.operand_storage));
   fp.mix(cfg.register_spill_penalty);
   fp.mix(cfg.functional_units);
-  // host_threads, record_trace, sample_every, profile_host: observation
-  // knobs, not semantics — excluded so checkpoints move across them.
+  // host_threads, effect_channels, merge_skip, record_trace, sample_every,
+  // profile_host: observation/engine knobs, not semantics — excluded so
+  // checkpoints move across them.
   return fp.h;
 }
 
@@ -87,9 +88,9 @@ MachineState Machine::save_state() const {
     fs.status = f.status;
     fs.live_children = f.live_children;
     fs.next_unexecuted = f.next_unexecuted;
-    fs.lane_regs = f.lane_regs;
+    fs.lane_regs = f.lane_regs.to_aos();
     fs.call_stack.assign(f.call_stack.begin(), f.call_stack.end());
-    fs.instr_writes.assign(f.instr_writes.begin(), f.instr_writes.end());
+    fs.instr_writes = f.instr_writes.items();
     std::sort(fs.instr_writes.begin(), fs.instr_writes.end());
     fs.multiop_blocked = f.multiop_blocked;
     fs.evicted_once = f.evicted_once;
@@ -142,11 +143,11 @@ void Machine::restore_state(const MachineState& s) {
     f->status = fs.status;
     f->live_children = fs.live_children;
     f->next_unexecuted = fs.next_unexecuted;
-    f->lane_regs = fs.lane_regs;
+    f->lane_regs.from_aos(fs.lane_regs);
     f->call_stack.assign(fs.call_stack.begin(), fs.call_stack.end());
     f->step_writes.clear();
     f->instr_writes.clear();
-    for (const auto& [a, v] : fs.instr_writes) f->instr_writes.emplace(a, v);
+    for (const auto& [a, v] : fs.instr_writes) f->instr_writes.put(a, v);
     f->multiop_blocked = fs.multiop_blocked;
     f->evicted_once = fs.evicted_once;
     flows_.push_back(std::move(f));
@@ -170,6 +171,9 @@ void Machine::restore_state(const MachineState& s) {
   // since a restore may land on a machine whose step a fault aborted.
   pending_prefixes_.clear();
   step_refs_.clear();
+  std::fill(net_loads_.begin(), net_loads_.end(), 0);
+  net_refs_ = 0;
+  net_max_dist_ = 0;
   for (auto& ctx : step_ctx_) ctx.reset();
 
   shared_.restore_state(s.shared);

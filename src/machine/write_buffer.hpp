@@ -1,0 +1,111 @@
+// A flat open-addressing map for per-flow store-forwarding buffers.
+//
+// The step hot path clears and refills these buffers every machine step for
+// every ready flow; std::unordered_map paid a node allocation per staged
+// write and a full rehash-walk per clear. This map keeps its slot array
+// across steps (epoch tagging makes clear() O(1)), records insertion order
+// in a side log so iteration is O(entries) rather than O(capacity), and
+// never allocates on the clear path. Keys are shared-memory addresses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tcfpn::machine {
+
+class WriteBuffer {
+ public:
+  bool empty() const { return keys_.empty(); }
+  std::size_t size() const { return keys_.size(); }
+
+  /// Forgets every entry without releasing storage: bumps the epoch so old
+  /// slots read as vacant. O(1) except once per 2^64 clears.
+  void clear() {
+    keys_.clear();
+    if (++epoch_ == 0) {  // epoch wrapped: scrub slots so stale tags die
+      for (Slot& s : slots_) s.epoch = 0;
+      epoch_ = 1;
+    }
+  }
+
+  /// Last value staged for `a` this epoch, or nullptr.
+  const Word* find(Addr a) const {
+    if (slots_.empty()) return nullptr;
+    std::size_t i = probe_start(a);
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.epoch != epoch_) return nullptr;
+      if (s.key == a) return &s.value;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Inserts or overwrites the value for `a`.
+  void put(Addr a, Word v) {
+    if (keys_.size() + 1 > (slots_.size() >> 1)) grow();
+    std::size_t i = probe_start(a);
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.epoch != epoch_) {
+        s.key = a;
+        s.value = v;
+        s.epoch = epoch_;
+        keys_.push_back(a);
+        return;
+      }
+      if (s.key == a) {
+        s.value = v;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Visits entries in insertion order (each key once, latest value).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (Addr a : keys_) f(a, *find(a));
+  }
+
+  /// Entries as (addr, value) pairs in insertion order (checkpoint layer;
+  /// the caller sorts for a canonical serialization).
+  std::vector<std::pair<Addr, Word>> items() const {
+    std::vector<std::pair<Addr, Word>> out;
+    out.reserve(keys_.size());
+    for_each([&](Addr a, Word v) { out.emplace_back(a, v); });
+    return out;
+  }
+
+ private:
+  struct Slot {
+    Addr key = 0;
+    Word value = 0;
+    std::uint64_t epoch = 0;  ///< vacant unless == current epoch
+  };
+
+  std::size_t probe_start(Addr a) const {
+    // Fibonacci hashing spreads the low-entropy address keys over the table.
+    return static_cast<std::size_t>((a * 0x9e3779b97f4a7c15ull) >> 32) & mask_;
+  }
+
+  void grow() {
+    const std::size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<std::pair<Addr, Word>> live = items();
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    keys_.clear();
+    epoch_ = 1;
+    for (const auto& [a, v] : live) put(a, v);
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<Addr> keys_;  ///< insertion log: one entry per live key
+  std::size_t mask_ = 0;
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace tcfpn::machine

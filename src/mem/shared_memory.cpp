@@ -43,28 +43,76 @@ const char* to_string(MultiOp op) {
   return "?";
 }
 
-Word MemoryPort::read(Addr a, LaneId lane) {
+void MemoryPort::attach(const SharedMemory* shm) {
+  shm_ = shm;
+  const std::size_t m = shm != nullptr ? shm->modules() : 0;
+  mod_reads_.assign(m, 0);
+  mod_writes_.assign(m, 0);
+  mod_multis_.assign(m, 0);
+}
+
+Word MemoryPort::read(Addr a, LaneId lane, std::uint32_t module) {
   TCFPN_CHECK(shm_ != nullptr, "memory port used before attach()");
-  staged_.push_back(Staged{Kind::kRead, MultiOp::kAdd, a, 0, lane});
+  ++mod_reads_[module];
+  ++n_reads_;
+  if (shm_->policy_ == CrcwPolicy::kErew) reads_.emplace_back(a, lane);
   return shm_->peek(a);  // committed pre-step state; check_addr included
 }
 
-void MemoryPort::write(Addr a, Word v, LaneId lane) {
-  staged_.push_back(Staged{Kind::kWrite, MultiOp::kAdd, a, v, lane});
+void MemoryPort::write(Addr a, Word v, LaneId lane, std::uint32_t module) {
+  shm_->check_addr(a);
+  ++mod_writes_[module];
+  writes_.push_back(StagedWrite{a, v, lane});
 }
 
-void MemoryPort::multiop(Addr a, MultiOp op, Word v, LaneId lane) {
-  staged_.push_back(Staged{Kind::kMulti, op, a, v, lane});
+void MemoryPort::multiop(Addr a, MultiOp op, Word v, LaneId lane,
+                         std::uint32_t module) {
+  shm_->check_addr(a);
+  ++mod_multis_[module];
+  multis_.push_back(StagedMulti{a, op, v, lane, false});
 }
 
-std::size_t MemoryPort::multiprefix(Addr a, MultiOp op, Word v, LaneId lane) {
-  staged_.push_back(Staged{Kind::kPrefix, op, a, v, lane});
+std::size_t MemoryPort::multiprefix(Addr a, MultiOp op, Word v, LaneId lane,
+                                    std::uint32_t module) {
+  shm_->check_addr(a);
+  ++mod_multis_[module];
+  multis_.push_back(StagedMulti{a, op, v, lane, true});
   return prefixes_++;
 }
 
+void MemoryPort::seal() {
+  std::stable_sort(writes_.begin(), writes_.end(),
+                   [](const StagedWrite& x, const StagedWrite& y) {
+                     return x.addr != y.addr ? x.addr < y.addr
+                                             : x.lane < y.lane;
+                   });
+  // Collapse same-(addr, lane) runs to the last staged value: rewrites by one
+  // lane within a step are program-ordered, so only the final value reaches
+  // the commit and the CRCW policy — exactly the collapse commit_writes used
+  // to do globally, moved onto the worker thread.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < writes_.size(); ++i) {
+    if (kept > 0 && writes_[kept - 1].addr == writes_[i].addr &&
+        writes_[kept - 1].lane == writes_[i].lane) {
+      writes_[kept - 1].value = writes_[i].value;
+    } else {
+      writes_[kept++] = writes_[i];
+    }
+  }
+  writes_.resize(kept);
+  sealed_ = true;
+}
+
 void MemoryPort::clear() {
-  staged_.clear();
+  writes_.clear();
+  multis_.clear();
+  reads_.clear();
+  std::fill(mod_reads_.begin(), mod_reads_.end(), 0);
+  std::fill(mod_writes_.begin(), mod_writes_.end(), 0);
+  std::fill(mod_multis_.begin(), mod_multis_.end(), 0);
+  n_reads_ = 0;
   prefixes_ = 0;
+  sealed_ = false;
 }
 
 SharedMemory::SharedMemory(std::size_t words, std::uint32_t modules,
@@ -118,6 +166,7 @@ void SharedMemory::write(Addr a, Word v, LaneId lane) {
   note_traffic(a, &ModuleTraffic::writes);
   ++total_writes_;
   pending_writes_.push_back(PendingWrite{a, v, lane});
+  runs_ok_ = false;  // unsorted tail: commit falls back to the full sort
 }
 
 void SharedMemory::multiop(Addr a, MultiOp op, Word v, LaneId lane) {
@@ -159,13 +208,33 @@ void SharedMemory::bind_metrics(metrics::MetricsRegistry* reg) {
 void SharedMemory::commit_writes() {
   if (pending_writes_.empty()) {
     check_erew_reads();
+    write_run_ends_.clear();
+    runs_ok_ = true;
     return;
   }
-  std::stable_sort(pending_writes_.begin(), pending_writes_.end(),
-                   [](const PendingWrite& x, const PendingWrite& y) {
-                     return x.addr != y.addr ? x.addr < y.addr
-                                             : x.lane < y.lane;
-                   });
+  const auto by_addr_lane = [](const PendingWrite& x, const PendingWrite& y) {
+    return x.addr != y.addr ? x.addr < y.addr : x.lane < y.lane;
+  };
+  if (runs_ok_ && !write_run_ends_.empty() &&
+      write_run_ends_.back() == pending_writes_.size()) {
+    // Port path: every run is already sorted on its worker thread; a stable
+    // left-to-right merge cascade reproduces the stable_sort of the issue
+    // order without touching most elements (disjoint address ranges merge in
+    // O(n) moves).
+    const auto it = pending_writes_.begin();
+    std::size_t prefix = write_run_ends_.front();
+    for (std::size_t r = 1; r < write_run_ends_.size(); ++r) {
+      std::inplace_merge(it, it + static_cast<std::ptrdiff_t>(prefix),
+                         it + static_cast<std::ptrdiff_t>(write_run_ends_[r]),
+                         by_addr_lane);
+      prefix = write_run_ends_[r];
+    }
+  } else {
+    std::stable_sort(pending_writes_.begin(), pending_writes_.end(),
+                     by_addr_lane);
+  }
+  write_run_ends_.clear();
+  runs_ok_ = true;
   // Collapse runs with the same (addr, lane) key to the *last* staged value:
   // one lane rewriting a cell several times within a step (balanced
   // multi-instruction steps, NUMA blocks) is program-ordered, not
@@ -285,33 +354,45 @@ void SharedMemory::commit_multis() {
   pending_multis_.clear();
 }
 
-std::vector<std::size_t> SharedMemory::drain(MemoryPort& port) {
-  std::vector<std::size_t> tickets;
-  tickets.reserve(port.prefixes_);
-  for (const auto& s : port.staged_) {
-    switch (s.kind) {
-      case MemoryPort::Kind::kRead:
-        // The value was served from committed state at issue time; only the
-        // accounting (traffic, totals, EREW exclusivity) lands here.
-        note_traffic(s.addr, &ModuleTraffic::reads);
-        ++total_reads_;
-        if (policy_ == CrcwPolicy::kErew) {
-          step_reads_.emplace_back(s.addr, s.lane);
-        }
-        break;
-      case MemoryPort::Kind::kWrite:
-        write(s.addr, s.value, s.lane);
-        break;
-      case MemoryPort::Kind::kMulti:
-        multiop(s.addr, s.op, s.value, s.lane);
-        break;
-      case MemoryPort::Kind::kPrefix:
-        tickets.push_back(multiprefix(s.addr, s.op, s.value, s.lane));
-        break;
-    }
+std::size_t SharedMemory::drain(MemoryPort& port) {
+  TCFPN_CHECK(port.sealed_, "drain() requires a sealed port");
+  // Bulk traffic accounting: issue counts were aggregated per module in the
+  // parallel phase; values were served from committed state at issue time.
+  std::uint64_t writes = 0;
+  std::uint64_t multis = 0;
+  for (std::uint32_t m = 0; m < modules_; ++m) {
+    traffic_[m].reads += port.mod_reads_[m];
+    traffic_[m].writes += port.mod_writes_[m];
+    traffic_[m].multiops += port.mod_multis_[m];
+    writes += port.mod_writes_[m];
+    multis += port.mod_multis_[m];
+  }
+  total_reads_ += port.n_reads_;
+  total_writes_ += writes;
+  total_multiops_ += multis;
+  if (policy_ == CrcwPolicy::kErew) {
+    step_reads_.insert(step_reads_.end(), port.reads_.begin(),
+                       port.reads_.end());
+  }
+  // Append the port's pre-sorted, pre-collapsed write run; commit_writes
+  // merges the runs instead of sorting from scratch. Drain order = group
+  // order, so an equal-key tie between runs resolves exactly as the
+  // sequential issue order would (stable merge keeps the earlier group
+  // first; the last-wins collapse then takes the later one).
+  pending_writes_.reserve(pending_writes_.size() + port.writes_.size());
+  for (const auto& w : port.writes_) {
+    pending_writes_.push_back(PendingWrite{w.addr, w.value, w.lane});
+  }
+  if (runs_ok_) write_run_ends_.push_back(pending_writes_.size());
+  // Multioperation contributions replay in issue order (= ticket order).
+  const std::size_t base = next_ticket_;
+  for (const auto& s : port.multis_) {
+    const std::size_t ticket = s.prefix ? next_ticket_++ : ~std::size_t{0};
+    pending_multis_.push_back(PendingMulti{s.addr, s.op, s.value, s.lane,
+                                           ticket});
   }
   port.clear();
-  return tickets;
+  return base;
 }
 
 void SharedMemory::commit_step() {
@@ -366,6 +447,8 @@ void SharedMemory::restore_state(const SharedMemoryState& s) {
   // step, so a zeroed table of the right size is indistinguishable from the
   // original.
   pending_writes_.clear();
+  write_run_ends_.clear();
+  runs_ok_ = true;
   pending_multis_.clear();
   step_reads_.clear();
   prefix_results_.assign(next_ticket_, 0);

@@ -67,46 +67,69 @@ class SharedMemory;
 /// During the per-group phase of a machine step every group issues its
 /// shared-memory traffic through its own port: reads return the committed
 /// (pre-step) state — safe to perform concurrently, since nothing mutates
-/// the store mid-step — while writes, multioperations and multiprefixes are
-/// buffered in issue order together with the read accounting. At the step
-/// barrier the machine drains the ports into the SharedMemory in a fixed
-/// group order (SharedMemory::drain), so traffic counters, CRCW checks and
-/// multiprefix ticket numbering are bit-identical to a sequential run.
+/// the store mid-step — while writes and multioperations are buffered in
+/// issue order. Traffic accounting is order-insensitive, so the port
+/// pre-aggregates it per module during the parallel phase (the caller
+/// supplies module_of(addr), which it already computed for the network
+/// term); the barrier-side drain then adds P short count vectors instead of
+/// replaying every access. seal() additionally pre-sorts and collapses the
+/// staged writes on the worker thread, leaving the commit a linear merge of
+/// per-group sorted runs. Draining ports in a fixed group order keeps
+/// traffic counters, CRCW checks and multiprefix ticket numbering
+/// bit-identical to a sequential run.
 class MemoryPort {
  public:
   MemoryPort() = default;
-  explicit MemoryPort(const SharedMemory* shm) : shm_(shm) {}
+  explicit MemoryPort(const SharedMemory* shm) { attach(shm); }
 
-  void attach(const SharedMemory* shm) { shm_ = shm; }
+  void attach(const SharedMemory* shm);
 
-  /// Committed-state read (concurrent-safe); accounting is deferred to
-  /// drain().
-  Word read(Addr a, LaneId lane);
-  /// Stages a write for the next commit.
-  void write(Addr a, Word v, LaneId lane);
+  /// Committed-state read (concurrent-safe); accounting lands at drain().
+  Word read(Addr a, LaneId lane, std::uint32_t module);
+  /// Stages a write for the next commit (bounds-checked at issue time).
+  void write(Addr a, Word v, LaneId lane, std::uint32_t module);
   /// Stages a multioperation contribution.
-  void multiop(Addr a, MultiOp op, Word v, LaneId lane);
+  void multiop(Addr a, MultiOp op, Word v, LaneId lane, std::uint32_t module);
   /// Stages a multiprefix contribution; returns a port-local request index.
-  /// drain() maps it to the global ticket.
-  std::size_t multiprefix(Addr a, MultiOp op, Word v, LaneId lane);
+  /// drain() returns the global ticket base; global = base + local.
+  std::size_t multiprefix(Addr a, MultiOp op, Word v, LaneId lane,
+                          std::uint32_t module);
 
-  bool empty() const { return staged_.empty(); }
+  /// Sorts the staged writes by (addr, lane) and collapses same-key runs to
+  /// the last staged value (program order within the port). Safe to call on
+  /// a worker thread at the end of the group phase; drain() requires it.
+  void seal();
+
+  bool empty() const {
+    return n_reads_ == 0 && writes_.empty() && multis_.empty();
+  }
   void clear();
 
  private:
   friend class SharedMemory;
-  enum class Kind : std::uint8_t { kRead, kWrite, kMulti, kPrefix };
-  struct Staged {
-    Kind kind;
-    MultiOp op;
+  struct StagedWrite {
     Addr addr;
     Word value;
     LaneId lane;
   };
+  struct StagedMulti {
+    Addr addr;
+    MultiOp op;
+    Word value;
+    LaneId lane;
+    bool prefix;
+  };
 
   const SharedMemory* shm_ = nullptr;
-  std::vector<Staged> staged_;  ///< in issue order
+  std::vector<StagedWrite> writes_;  ///< issue order until seal()
+  std::vector<StagedMulti> multis_;  ///< issue order (= ticket order)
+  std::vector<std::pair<Addr, LaneId>> reads_;  ///< EREW accounting only
+  std::vector<std::uint64_t> mod_reads_;   ///< per-module read counts
+  std::vector<std::uint64_t> mod_writes_;  ///< per-module write counts
+  std::vector<std::uint64_t> mod_multis_;  ///< per-module multiop counts
+  std::uint64_t n_reads_ = 0;
   std::size_t prefixes_ = 0;
+  bool sealed_ = false;
 };
 
 /// Committed state of a SharedMemory at a step boundary (checkpoint layer,
@@ -162,12 +185,14 @@ class SharedMemory {
   /// Result of a multiprefix ticket from the *previous* commit.
   Word prefix_result(std::size_t ticket) const;
 
-  /// Replays a port's staged accesses (in the port's issue order) into this
-  /// memory: read accounting, pending writes, multioperations. Returns the
-  /// global tickets assigned to the port's multiprefix requests, indexed by
-  /// the port-local request index. Draining ports in a fixed order makes a
+  /// Absorbs a sealed port's staged traffic into this memory: per-module
+  /// counts are added in bulk, the pre-sorted write run is appended (with its
+  /// boundary recorded so commit_writes can merge runs instead of sorting),
+  /// and multioperations replay in issue order. Returns the global ticket
+  /// base assigned to the port's multiprefix requests: port-local index i
+  /// became ticket base + i. Draining ports in a fixed order makes a
   /// host-parallel step bit-identical to a sequential one.
-  std::vector<std::size_t> drain(MemoryPort& port);
+  std::size_t drain(MemoryPort& port);
 
   /// Ends the step: applies writes under the CRCW policy, combines
   /// multioperations, computes multiprefix results, resets traffic counters
@@ -209,6 +234,7 @@ class SharedMemory {
   void restore_state(const SharedMemoryState& s);
 
  private:
+  friend class MemoryPort;  // issue-time check_addr and policy peeks
   struct PendingWrite {
     Addr addr;
     Word value;
@@ -240,6 +266,11 @@ class SharedMemory {
   std::function<std::uint32_t(Addr)> hash_;
 
   std::vector<PendingWrite> pending_writes_;
+  /// End offsets into pending_writes_ of each drained port's pre-sorted run;
+  /// valid while runs_ok_ — a direct write() (non-port caller) appends an
+  /// unsorted entry and drops commit back to the full sort.
+  std::vector<std::size_t> write_run_ends_;
+  bool runs_ok_ = true;
   std::vector<PendingMulti> pending_multis_;
   std::vector<Word> prefix_results_;
   std::size_t next_ticket_ = 0;

@@ -5,14 +5,19 @@
 
 #include <atomic>
 #include <cmath>
+#include <functional>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/effect_channel.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
+#include "machine/write_buffer.hpp"
 
 namespace tcfpn {
 namespace {
@@ -280,6 +285,171 @@ TEST(ThreadPool, SingleThreadPoolStillThrows) {
                      if (i == 2) TCFPN_FAULT("index ", i, " exploded");
                    }),
                SimError);
+}
+
+// ---- streaming API: begin / try_run_one / end ----
+
+// The caller may do unrelated work between begin() and end(); every index
+// still runs exactly once, and end() is the completion barrier.
+TEST(ThreadPool, StreamingJobRunsEveryIndexOnce) {
+  common::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  };
+  pool.begin(hits.size(), fn);
+  pool.end();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// try_run_one lets the calling thread steal indices while the job is open;
+// with no workers at all it is the only executor and must drain the job.
+TEST(ThreadPool, CallerDrainsStreamingJobAlone) {
+  common::ThreadPool pool(1);  // no workers
+  std::atomic<int> sum{0};
+  const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  };
+  pool.begin(100, fn);
+  int stolen = 0;
+  while (pool.try_run_one()) ++stolen;
+  pool.end();
+  EXPECT_EQ(stolen, 100);
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+// end() carries the same deterministic-error contract as parallel_for: the
+// lowest faulting index wins, and the pool is reusable afterwards.
+TEST(ThreadPool, StreamingEndRethrowsLowestIndex) {
+  common::ThreadPool pool(8);
+  const std::function<void(std::size_t)> fn = [](std::size_t i) {
+    if (i % 3 == 2) TCFPN_FAULT("index ", i, " exploded");
+  };
+  for (int round = 0; round < 10; ++round) {
+    pool.begin(96, fn);
+    try {
+      pool.end();
+      FAIL() << "end() did not throw";
+    } catch (const SimError& e) {
+      EXPECT_NE(std::string(e.what()).find("index 2 exploded"),
+                std::string::npos)
+          << "surfaced: " << e.what();
+    }
+  }
+  std::atomic<int> ran{0};
+  pool.parallel_for(32, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 32);
+}
+
+// A generation straggler — a worker that saw job N's claim word late — must
+// not leak work into job N+1. Back-to-back streaming jobs through the same
+// pool are the stress: any cross-job claim shows up as a double-run.
+TEST(ThreadPool, BackToBackStreamingJobsDoNotCrossTalk) {
+  common::ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    const std::function<void(std::size_t)> fn = [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    };
+    pool.begin(7, fn);
+    pool.end();
+    EXPECT_EQ(count.load(), 7) << "round " << round;
+  }
+}
+
+// ---- EffectChannel: SPSC seal handoff ----
+
+// publish() must make every prior producer write visible to a consumer that
+// observed the seal — the happens-before edge the streaming merge rides on.
+TEST(EffectChannel, PublishHandsOffPayload) {
+  common::EffectChannel ch;
+  std::uint64_t payload = 0;
+  std::thread producer([&] {
+    payload = 0xfeedface;
+    ch.publish();
+  });
+  ch.await();
+  EXPECT_TRUE(ch.ready());
+  EXPECT_EQ(payload, 0xfeedfaceu);
+  producer.join();
+}
+
+TEST(EffectChannel, ResetRearmsForTheNextStep) {
+  common::EffectChannel ch;
+  EXPECT_FALSE(ch.ready());
+  ch.publish();
+  EXPECT_TRUE(ch.ready());
+  ch.reset();
+  EXPECT_FALSE(ch.ready());
+  ch.publish();  // second step publishes again after re-arm
+  EXPECT_TRUE(ch.ready());
+  ch.await();    // already sealed: returns immediately
+}
+
+// ---- WriteBuffer: the store-forwarding flat map ----
+
+TEST(WriteBuffer, PutFindLastWins) {
+  machine::WriteBuffer wb;
+  EXPECT_TRUE(wb.empty());
+  EXPECT_EQ(wb.find(7), nullptr);
+  wb.put(7, 100);
+  wb.put(9, 200);
+  wb.put(7, 300);  // overwrite, not a second entry
+  EXPECT_EQ(wb.size(), 2u);
+  ASSERT_NE(wb.find(7), nullptr);
+  EXPECT_EQ(*wb.find(7), 300);
+  ASSERT_NE(wb.find(9), nullptr);
+  EXPECT_EQ(*wb.find(9), 200);
+  EXPECT_EQ(wb.find(8), nullptr);
+}
+
+TEST(WriteBuffer, ItemsKeepInsertionOrder) {
+  machine::WriteBuffer wb;
+  wb.put(30, 1);
+  wb.put(10, 2);
+  wb.put(20, 3);
+  wb.put(10, 4);  // overwrite keeps the original position
+  const auto items = wb.items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], (std::pair<Addr, Word>{30, 1}));
+  EXPECT_EQ(items[1], (std::pair<Addr, Word>{10, 4}));
+  EXPECT_EQ(items[2], (std::pair<Addr, Word>{20, 3}));
+}
+
+// clear() is epoch-based: old entries must be invisible afterwards even
+// though their slots were never scrubbed, and the buffer is fully reusable.
+TEST(WriteBuffer, ClearForgetsWithoutScrubbing) {
+  machine::WriteBuffer wb;
+  for (Addr a = 0; a < 100; ++a) wb.put(a, static_cast<Word>(a));
+  wb.clear();
+  EXPECT_TRUE(wb.empty());
+  for (Addr a = 0; a < 100; ++a) EXPECT_EQ(wb.find(a), nullptr) << a;
+  wb.put(42, 777);
+  EXPECT_EQ(wb.size(), 1u);
+  ASSERT_NE(wb.find(42), nullptr);
+  EXPECT_EQ(*wb.find(42), 777);
+}
+
+// Growth rehashes live entries: every key stays findable across the resize
+// and insertion order survives (the checkpoint layer depends on it).
+TEST(WriteBuffer, GrowthPreservesEntriesAndOrder) {
+  machine::WriteBuffer wb;
+  constexpr Addr kCount = 10000;  // forces several doublings
+  for (Addr a = 0; a < kCount; ++a) {
+    wb.put(a * 64, static_cast<Word>(a + 1));  // sparse keys, same hash band
+  }
+  EXPECT_EQ(wb.size(), kCount);
+  for (Addr a = 0; a < kCount; ++a) {
+    ASSERT_NE(wb.find(a * 64), nullptr) << a;
+    EXPECT_EQ(*wb.find(a * 64), static_cast<Word>(a + 1));
+  }
+  const auto items = wb.items();
+  for (Addr a = 0; a < kCount; ++a) {
+    EXPECT_EQ(items[a].first, a * 64);
+  }
 }
 
 }  // namespace
