@@ -87,7 +87,8 @@ std::string ScheduleTrace::render(std::uint64_t cycles_per_column,
 
 std::string chrome_trace_json(
     const ScheduleTrace& sim, const std::vector<HostSpan>& host,
-    const std::vector<std::pair<std::string, std::string>>& metadata) {
+    const std::vector<std::pair<std::string, std::string>>& metadata,
+    bool host_truncated) {
   std::ostringstream os;
   os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
   bool first = true;
@@ -142,7 +143,10 @@ std::string chrome_trace_json(
     os << "\n    \"" << metrics::json_escape(metadata[i].first) << "\": \""
        << metrics::json_escape(metadata[i].second) << "\"";
   }
-  if (!metadata.empty()) os << "\n  ";
+  // Truncation is a first-class boolean: a trace missing host spans must
+  // never pass for a complete one.
+  os << (metadata.empty() ? "\n    " : ",\n    ")
+     << "\"truncated\": " << (host_truncated ? "true" : "false") << "\n  ";
   os << "}\n}\n";
   return os.str();
 }

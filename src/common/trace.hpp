@@ -63,9 +63,12 @@ struct HostSpan {
 /// chrome://tracing). Simulated spans land in process 0 with one track per
 /// processor row, mapping 1 simulated cycle to 1 microsecond; host spans
 /// land in process 1 on the wall clock. `metadata` key/value pairs are
-/// embedded under "otherData".
+/// embedded under "otherData", alongside a boolean "truncated" field set
+/// from `host_truncated` (true when the host-span buffer overflowed and the
+/// host timeline is incomplete).
 std::string chrome_trace_json(
     const ScheduleTrace& sim, const std::vector<HostSpan>& host,
-    const std::vector<std::pair<std::string, std::string>>& metadata = {});
+    const std::vector<std::pair<std::string, std::string>>& metadata = {},
+    bool host_truncated = false);
 
 }  // namespace tcfpn

@@ -10,8 +10,11 @@ namespace tcfpn::debug {
 namespace {
 
 // Version 2 appends the dead-group vector (degraded-mode execution,
-// DESIGN.md §9) after the pending-spawn list.
-constexpr char kMagic[8] = {'T', 'C', 'F', 'C', 'K', 'P', 'T', '\2'};
+// DESIGN.md §9) after the pending-spawn list. Version 3 appends the
+// attribution profile (src/prof, DESIGN.md §11) after the step samples;
+// version-2 images still deserialize (with an empty profile).
+constexpr char kMagic[8] = {'T', 'C', 'F', 'C', 'K', 'P', 'T', '\3'};
+constexpr char kMagicV2[8] = {'T', 'C', 'F', 'C', 'K', 'P', 'T', '\2'};
 
 class Writer {
  public:
@@ -261,15 +264,39 @@ std::vector<std::uint8_t> serialize(const machine::MachineState& s) {
     w.u64(smp.live_flows);
   }
 
+  w.u64(s.profile.cells.size());
+  for (const auto& [k, c] : s.profile.cells) {
+    w.i64(k.group);
+    w.i64(k.flow);
+    w.i64(k.pc);
+    w.u64(static_cast<std::uint64_t>(k.term));
+    w.u64(c);
+  }
+  w.u64(s.profile.steps.size());
+  for (const auto& rec : s.profile.steps) {
+    w.u64(rec.step);
+    w.i64(rec.limit_group);
+    w.u64(rec.fill);
+    w.u64(rec.slot);
+    w.u64(rec.net);
+    w.u64(rec.fault);
+    w.u64(rec.work);
+  }
+  w.b(s.profile.steps_truncated);
+
   auto body = w.take();
   out.insert(out.end(), body.begin(), body.end());
   return out;
 }
 
 machine::MachineState deserialize(const std::vector<std::uint8_t>& bytes) {
-  TCFPN_CHECK(bytes.size() >= sizeof(kMagic) &&
-                  std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0,
-              "not a tcfpn checkpoint (bad magic)");
+  const bool v3 =
+      bytes.size() >= sizeof(kMagic) &&
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
+  const bool v2 =
+      !v3 && bytes.size() >= sizeof(kMagicV2) &&
+      std::memcmp(bytes.data(), kMagicV2, sizeof(kMagicV2)) == 0;
+  TCFPN_CHECK(v3 || v2, "not a tcfpn checkpoint (bad magic)");
   std::vector<std::uint8_t> body(bytes.begin() + sizeof(kMagic), bytes.end());
   Reader r(body);
   machine::MachineState s;
@@ -353,6 +380,30 @@ machine::MachineState deserialize(const std::vector<std::uint8_t>& bytes) {
     smp.busy_slots = r.u64();
     smp.idle_slots = r.u64();
     smp.live_flows = r.u64();
+  }
+
+  if (v3) {
+    const std::size_t n_cells = r.count("profile-cell");
+    for (std::size_t i = 0; i < n_cells; ++i) {
+      prof::Key k;
+      k.group = r.i64();
+      k.flow = r.i64();
+      k.pc = r.i64();
+      k.term = static_cast<prof::Term>(r.u64());
+      const Cycle c = r.u64();
+      s.profile.cells.emplace(k, c);
+    }
+    s.profile.steps.resize(r.count("profile-step"));
+    for (auto& rec : s.profile.steps) {
+      rec.step = r.u64();
+      rec.limit_group = r.i64();
+      rec.fill = r.u64();
+      rec.slot = r.u64();
+      rec.net = r.u64();
+      rec.fault = r.u64();
+      rec.work = r.u64();
+    }
+    s.profile.steps_truncated = r.b();
   }
 
   TCFPN_CHECK(r.done(), "trailing bytes in checkpoint after byte ", r.pos());

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/metrics.hpp"
+#include "prof/profile.hpp"
 
 namespace tcfpn::debug {
 
@@ -96,7 +97,26 @@ std::string post_mortem_json(
         << m.shared().peek(*fault.address) << ", \"module\": "
         << m.shared().module_of(*fault.address) << "}\n  ";
   }
-  out << "]\n}\n";
+  out << "]";
+
+  // Where the cycles went up to the moment of death, when the attribution
+  // profiler was on. Term totals only — the full cell table belongs to the
+  // profile export, not the post-mortem.
+  if (m.config().profile) {
+    const prof::Profile& p = m.profile();
+    out << ",\n  \"profile\": {\n    \"attributed_cycles\": " << p.attributed()
+        << ",\n    \"terms\": {";
+    bool first = true;
+    for (std::size_t t = 0; t < prof::kNumTerms; ++t) {
+      const Cycle total = p.term_total(static_cast<prof::Term>(t));
+      if (total == 0) continue;
+      out << (first ? "" : ",") << "\n      \""
+          << prof::to_string(static_cast<prof::Term>(t)) << "\": " << total;
+      first = false;
+    }
+    out << (first ? "}" : "\n    }") << "\n  }";
+  }
+  out << "\n}\n";
   return out.str();
 }
 

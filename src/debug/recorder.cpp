@@ -11,7 +11,9 @@ FlightRecorder::FlightRecorder(RecorderConfig cfg)
     : cfg_(cfg),
       journal_(cfg.journal_capacity),
       interval_(cfg.checkpoint_every) {
-  TCFPN_CHECK(cfg_.max_checkpoints >= 2,
+  // Journal-only recorders (checkpoint_every == 0) never thin, so the cap
+  // is irrelevant; the time-travel ladder needs at least two rungs.
+  TCFPN_CHECK(cfg_.checkpoint_every == 0 || cfg_.max_checkpoints >= 2,
               "recorder needs room for at least two checkpoints");
 }
 

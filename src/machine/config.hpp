@@ -107,6 +107,15 @@ struct MachineConfig {
   /// registry and never feed back into simulated state.
   bool profile_host = false;
 
+  /// Cost-model attribution profiling (src/prof, DESIGN.md §11): charge
+  /// every simulated cycle to a (group, tcf, pc, term) cell and record the
+  /// per-step cost components for the critical-path analyzer. Deterministic
+  /// (bins merge at the step barrier in group order) and an observation
+  /// knob only: simulated results are bit-identical with it on or off, so
+  /// like the other instrumentation flags it stays outside the checkpoint
+  /// config fingerprint.
+  bool profile = false;
+
   /// Total thread/TCF slots across the machine: P * T_p.
   std::uint64_t total_slots() const {
     return static_cast<std::uint64_t>(groups) * slots_per_group;

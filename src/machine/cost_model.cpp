@@ -84,4 +84,9 @@ double registers_per_thread(const MachineConfig& cfg, Word thickness) {
   }
 }
 
+prof::Term operand_penalty_term(OperandStorage s) {
+  return s == OperandStorage::kLocalMemory ? prof::Term::kLocal
+                                           : prof::Term::kOperand;
+}
+
 }  // namespace tcfpn::machine

@@ -11,6 +11,7 @@
 
 #include "machine/config.hpp"
 #include "machine/flow.hpp"
+#include "prof/profile.hpp"
 
 namespace tcfpn::machine {
 
@@ -44,5 +45,11 @@ Cycle flow_branch_cost(const MachineConfig& cfg);
 /// given thickness runs under `cfg` (the R/u + m row: u lanes share the
 /// register cache, plus a few flow-level registers).
 double registers_per_thread(const MachineConfig& cfg, Word thickness);
+
+/// Which profiler term the operand-storage penalty of Section 3.3 belongs
+/// to: local-memory operands are NUMA memory time (prof::Term::kLocal);
+/// spills and memory-to-memory traffic are operand overhead
+/// (prof::Term::kOperand).
+prof::Term operand_penalty_term(OperandStorage s);
 
 }  // namespace tcfpn::machine

@@ -1,6 +1,7 @@
 #include "machine/machine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 
 #include "machine/cost_model.hpp"
@@ -138,6 +139,7 @@ void Machine::GroupCtx::reset() {
   error = nullptr;
   metrics.reset();  // zeroes values, keeps instruments: lane pointers survive
   events.clear();
+  prof_bins.clear();
 }
 
 double Machine::host_clock_us() {
@@ -151,7 +153,16 @@ double Machine::host_clock_us() {
 }
 
 void Machine::host_span(const char* name, double start_us) {
-  if (host_spans_.size() >= kMaxHostSpans) return;
+  if (host_spans_.size() >= kMaxHostSpans) {
+    if (!host_spans_truncated_) {
+      host_spans_truncated_ = true;
+      std::fprintf(stderr,
+                   "tcfpn: host-span buffer full (%llu spans); further spans "
+                   "dropped — trace export is truncated\n",
+                   static_cast<unsigned long long>(host_spans_.size()));
+    }
+    return;
+  }
   const double now = host_clock_us();
   host_spans_.push_back(HostSpan{name, 0, start_us, now - start_us});
 }
@@ -166,6 +177,11 @@ void Machine::maybe_sample_step() {
 void Machine::charge(Cycle c) {
   stats_.cycles += c;
   metrics_.counter("sched/charged_cycles").add(c);
+  if (cfg_.profile) {
+    profile_.add({prof::kNoIndex, prof::kNoIndex, prof::kNoIndex,
+                  prof::Term::kSched},
+                 c);
+  }
 }
 
 void Machine::load(const isa::Program& program) {
@@ -310,6 +326,12 @@ Word Machine::retire_group(GroupId g) {
                                        /*resident_in_buffer=*/false);
       stats_.task_switch_cycles += c;
       stats_.cycles += c;
+      if (cfg_.profile) {
+        profile_.add({static_cast<std::int64_t>(f.home),
+                      static_cast<std::int64_t>(f.id), prof::kNoIndex,
+                      prof::Term::kSwitch},
+                     c);
+      }
       metrics_.counter("sched/swap_in_cycles").add(c);
       metrics_.counter("sched/fault_migrations").add();
       total_thickness += f.thickness;
@@ -367,6 +389,12 @@ void Machine::promote_overflow(GroupId g) {
                                        /*resident_in_buffer=*/false);
       stats_.task_switch_cycles += c;
       stats_.cycles += c;
+      if (cfg_.profile) {
+        profile_.add({static_cast<std::int64_t>(g),
+                      static_cast<std::int64_t>(id), prof::kNoIndex,
+                      prof::Term::kSwitch},
+                     c);
+      }
       metrics_.counter("sched/swap_in_cycles").add(c);
     }
     grp.resident.push_back(id);
@@ -451,6 +479,10 @@ bool Machine::step_synchronous() {
     }
   }
   if (!any_ready) return false;
+
+  // A fault may have aborted the previous step after some groups streamed
+  // their profiler bins; never let them leak into this step's apportionment.
+  step_bins_.clear();
 
   const Cycle step_base = stats_.cycles + cfg_.pipeline_fill;
 
@@ -668,6 +700,14 @@ void Machine::stream_merge_group(GroupId g) {
   stats_.joins += ctx.delta.joins;
   stats_.branch_cost_cycles += ctx.delta.branch_cost_cycles;
 
+  // Profiler bins stream before the quiet-group fast path: a register-only
+  // group step has no cross-group effects but it did execute operations,
+  // and those cycles must reach the apportionment in finish_step.
+  if (cfg_.profile && !ctx.prof_bins.empty()) {
+    step_bins_.insert(step_bins_.end(), ctx.prof_bins.begin(),
+                      ctx.prof_bins.end());
+  }
+
   if (cfg_.merge_skip && group_quiet(ctx)) {
     // Register-only group step: besides the stat deltas just added there is
     // nothing to merge — every buffer is empty and every group-local
@@ -784,6 +824,21 @@ std::uint64_t Machine::run_flow_slice(TcfDescriptor& f,
       delta.branch_cost_cycles += branch;
       ops += branch + cfg_.spawn_cost;
     }
+    if (cfg_.profile) {
+      // Bin before exec_control mutates f.pc: one activation slot of
+      // compute, plus the SPAWN branch/dispatch surcharge if any.
+      auto& bins = step_ctx_[f.home].prof_bins;
+      const prof::Key at{static_cast<std::int64_t>(f.home),
+                         static_cast<std::int64_t>(f.id),
+                         static_cast<std::int64_t>(f.pc),
+                         prof::Term::kCompute};
+      bins[at] += 1;
+      if (ops > 1) {
+        prof::Key br = at;
+        br.term = prof::Term::kBranch;
+        bins[br] += ops - 1;
+      }
+    }
     const bool still_ready = exec_control(f, instr);
     ++delta.tcf_instructions;
     ++delta.operations;
@@ -806,6 +861,20 @@ std::uint64_t Machine::run_flow_slice(TcfDescriptor& f,
     for (std::uint64_t lane = start; lane < start + count; ++lane) {
       exec_data_lane(f, instr, lane);
       cost += 1 + operand_penalty(lane);
+    }
+  }
+  if (cfg_.profile) {
+    // One compute slot per lane; whatever the operand-storage model added
+    // on top is itemized under its own term (operand spills vs NUMA local
+    // memory), so hotspot rows show *why* a pc is expensive.
+    auto& bins = step_ctx_[f.home].prof_bins;
+    prof::Key at{static_cast<std::int64_t>(f.home),
+                 static_cast<std::int64_t>(f.id),
+                 static_cast<std::int64_t>(f.pc), prof::Term::kCompute};
+    bins[at] += count;
+    if (cost > count) {
+      at.term = operand_penalty_term(cfg_.operand_storage);
+      bins[at] += cost - count;
     }
   }
   delta.operations += count;
@@ -993,6 +1062,8 @@ std::uint64_t Machine::run_numa_block(TcfDescriptor& f) {
   // sequential stream per step; each instruction is fetched separately —
   // that asymmetry is the "Fetches per TCF" row of Table 1.
   std::uint64_t executed = 0;
+  std::uint64_t branch_ops = 0;
+  const auto pc0 = static_cast<std::int64_t>(f.pc);
   auto& delta = step_ctx_[f.home].delta;
   while (executed < f.numa_block && f.status == FlowStatus::kReady &&
          !f.multiop_blocked) {
@@ -1006,6 +1077,7 @@ std::uint64_t Machine::run_numa_block(TcfDescriptor& f) {
         const Cycle branch = flow_branch_cost(cfg_);
         delta.branch_cost_cycles += branch;
         executed += branch + cfg_.spawn_cost;
+        branch_ops += branch + cfg_.spawn_cost;
       }
       if (!exec_control(f, instr)) break;
       complete_instruction(f, instr);
@@ -1013,6 +1085,18 @@ std::uint64_t Machine::run_numa_block(TcfDescriptor& f) {
       exec_data_lane(f, instr, 0);
       complete_instruction(f, instr);
       ++f.pc;
+    }
+  }
+  if (cfg_.profile && executed > 0) {
+    // The whole block bins at its start pc — a NUMA bunch is one scheduling
+    // unit, and per-instruction binning would cost a map op per instruction.
+    auto& bins = step_ctx_[f.home].prof_bins;
+    prof::Key at{static_cast<std::int64_t>(f.home),
+                 static_cast<std::int64_t>(f.id), pc0, prof::Term::kCompute};
+    bins[at] += executed - branch_ops;
+    if (branch_ops > 0) {
+      at.term = prof::Term::kBranch;
+      bins[at] += branch_ops;
     }
   }
   return executed;
@@ -1381,21 +1465,22 @@ void Machine::complete_instruction(TcfDescriptor& f,
   }
 }
 
-Cycle Machine::memory_term() {
+Machine::MemTerm Machine::memory_term() {
   // Injected link faults (retried drops, delayed replies) extend this
   // step's memory term even when the step itself issued no references —
-  // the stalled reply still has to arrive before the next step.
+  // the stalled reply still has to arrive before the next step. Kept
+  // separate from the network bound so the profiler can itemize kFault.
   const Cycle fault_extra = net_->consume_fault_delay();
   if (cfg_.detailed_network) {
-    if (step_refs_.empty()) return fault_extra;
+    if (step_refs_.empty()) return {fault_extra, 0};
     for (const auto& [src, module] : step_refs_) {
       net_->inject(src, module % cfg_.groups);
     }
-    return fault_extra + net_->drain();
+    return {fault_extra, net_->drain()};
   }
   // Analytic bound from the aggregates the groups summed in the parallel
   // phase (merged in stream_merge_group) — no per-reference walk here.
-  if (net_refs_ == 0) return fault_extra;
+  if (net_refs_ == 0) return {fault_extra, 0};
   std::uint64_t hottest = 0;
   for (std::uint64_t l : net_loads_) hottest = std::max(hottest, l);
   sc_.hot_module_load->add(static_cast<double>(hottest));
@@ -1404,7 +1489,58 @@ Cycle Machine::memory_term() {
   std::fill(net_loads_.begin(), net_loads_.end(), 0);
   net_refs_ = 0;
   net_max_dist_ = 0;
-  return fault_extra + bound;
+  return {fault_extra, bound};
+}
+
+void Machine::profile_step(Cycle slot_term_max, MemTerm mt, Cycle body,
+                           const std::vector<Cycle>& group_work) {
+  using prof::Key;
+  using prof::kNoIndex;
+  using prof::Term;
+  // Pipeline fill is a per-step machine cost, attributable to nobody.
+  profile_.add({kNoIndex, kNoIndex, kNoIndex, Term::kFill},
+               cfg_.pipeline_fill);
+  // The slot term distributes over the bins the groups recorded this step.
+  // Three regimes: no recorded work (pure idle), slot capacity at or above
+  // the recorded work (bins charge at face value, remainder is barrier
+  // wait), or recorded work exceeding the slot term (balanced/interleaved
+  // variants execute more ops than the fixed term — apportion by largest
+  // remainder so the shares still sum exactly).
+  Cycle work = 0;
+  for (const auto& [k, w] : step_bins_) work += w;
+  if (work == 0) {
+    profile_.add({kNoIndex, kNoIndex, kNoIndex, Term::kIdle}, slot_term_max);
+  } else if (slot_term_max >= work) {
+    for (const auto& [k, w] : step_bins_) profile_.add(k, w);
+    profile_.add({kNoIndex, kNoIndex, kNoIndex, Term::kIdle},
+                 slot_term_max - work);
+  } else if (slot_term_max > 0) {
+    std::vector<Cycle> weights;
+    weights.reserve(step_bins_.size());
+    for (const auto& [k, w] : step_bins_) weights.push_back(w);
+    const std::vector<Cycle> shares = prof::apportion(slot_term_max, weights);
+    for (std::size_t i = 0; i < step_bins_.size(); ++i) {
+      profile_.add(step_bins_[i].first, shares[i]);
+    }
+  }
+  // Memory extension beyond the slot term: network first, then whatever the
+  // injected fault delay added on top. c1/body reproduce finish_step's
+  // max() exactly, so fill + slot + net + fault == the cycles just charged.
+  const Cycle c1 = std::max(slot_term_max, mt.bound);
+  profile_.add({kNoIndex, kNoIndex, kNoIndex, Term::kNet}, c1 - slot_term_max);
+  profile_.add({kNoIndex, kNoIndex, kNoIndex, Term::kFault}, body - c1);
+
+  std::int64_t limit_group = kNoIndex;
+  Cycle best = 0;
+  for (GroupId g = 0; g < cfg_.groups; ++g) {
+    if (!group_alive(g)) continue;
+    if (limit_group == kNoIndex || group_work[g] > best) {
+      limit_group = static_cast<std::int64_t>(g);
+      best = group_work[g];
+    }
+  }
+  profile_.record_step({stats_.steps - 1, limit_group, cfg_.pipeline_fill,
+                        slot_term_max, mt.bound, mt.fault, work});
 }
 
 void Machine::finish_step(Cycle slot_term_max,
@@ -1424,7 +1560,8 @@ void Machine::finish_step(Cycle slot_term_max,
     t0 = host_clock_us();
   }
 
-  const Cycle mem = memory_term();
+  const MemTerm mt = memory_term();
+  const Cycle mem = mt.fault + mt.bound;
   if (cfg_.profile_host) {
     host_span("net/memory_term", t0);
     t0 = host_clock_us();
@@ -1434,6 +1571,8 @@ void Machine::finish_step(Cycle slot_term_max,
   stats_.memory_wait_cycles += mem > slot_term_max ? mem - slot_term_max : 0;
   stats_.cycles += cfg_.pipeline_fill + body;
   ++stats_.steps;
+  if (cfg_.profile) profile_step(slot_term_max, mt, body, group_work);
+  step_bins_.clear();
   for (GroupId g = 0; g < cfg_.groups; ++g) {
     if (!group_alive(g)) continue;  // degraded P-1 capacity (DESIGN.md §9)
     stats_.busy_slots += group_work[g];
@@ -1680,8 +1819,16 @@ bool Machine::step_multi_instruction() {
 
   const double t0 = cfg_.profile_host ? host_clock_us() : 0;
   std::uint64_t total_ops = 0;
+  // Per-flow attribution bins for this phase (cfg.profile): each flow's
+  // lane operations bin at the pc the phase started from; the phase cycles
+  // are then apportioned over the bins below.
+  std::vector<std::pair<prof::Key, Cycle>> xbins;
+  std::int64_t limit_group = prof::kNoIndex;
+  std::uint64_t best_ops = 0;
   for (FlowId id : ready) {
     TcfDescriptor& f = flow(id);
+    const auto pc0 = static_cast<std::int64_t>(f.pc);
+    std::uint64_t flow_ops = 0;
     bool flow_halt = true;
     bool flow_join = false;
     std::size_t uniform_pc = 0;
@@ -1689,7 +1836,7 @@ bool Machine::step_multi_instruction() {
          lane < static_cast<std::uint64_t>(f.thickness); ++lane) {
       std::size_t lane_pc = f.pc;
       bool halted = false, wants_join = false;
-      total_ops += run_lane_to_event(f, lane, lane_pc, halted, wants_join);
+      flow_ops += run_lane_to_event(f, lane, lane_pc, halted, wants_join);
       if (lane == 0) {
         flow_halt = halted;
         flow_join = wants_join;
@@ -1701,7 +1848,18 @@ bool Machine::step_multi_instruction() {
                     "mode; join points must be uniform");
       }
     }
-    stats_.operations += 0;  // counted below via total_ops
+    total_ops += flow_ops;
+    if (limit_group == prof::kNoIndex || flow_ops > best_ops) {
+      limit_group = static_cast<std::int64_t>(f.home);
+      best_ops = flow_ops;
+    }
+    if (cfg_.profile && flow_ops > 0) {
+      xbins.emplace_back(
+          prof::Key{static_cast<std::int64_t>(f.home),
+                    static_cast<std::int64_t>(f.id), pc0,
+                    prof::Term::kCompute},
+          flow_ops);
+    }
     if (flow_halt) {
       on_flow_halted(f);
     } else {
@@ -1727,6 +1885,31 @@ bool Machine::step_multi_instruction() {
   stats_.idle_slots += phase * units - total_ops;
   ++stats_.steps;
   metrics_.counter("machine/phase_cycles").add(phase);
+  if (cfg_.profile) {
+    using prof::Key;
+    using prof::kNoIndex;
+    using prof::Term;
+    // Apportion the phase cycles over the per-flow bins: with one alive
+    // group phase == total_ops (face value); with more the pipelines
+    // co-execute and each flow gets its proportional share.
+    if (total_ops == 0) {
+      profile_.add({kNoIndex, kNoIndex, kNoIndex, Term::kIdle}, phase);
+    } else if (phase >= total_ops) {
+      for (const auto& [k, w] : xbins) profile_.add(k, w);
+      profile_.add({kNoIndex, kNoIndex, kNoIndex, Term::kIdle},
+                   phase - total_ops);
+    } else if (phase > 0) {
+      std::vector<Cycle> weights;
+      weights.reserve(xbins.size());
+      for (const auto& [k, w] : xbins) weights.push_back(w);
+      const std::vector<Cycle> shares = prof::apportion(phase, weights);
+      for (std::size_t i = 0; i < xbins.size(); ++i) {
+        profile_.add(xbins[i].first, shares[i]);
+      }
+    }
+    profile_.record_step({stats_.steps - 1, limit_group, /*fill=*/0, phase,
+                          /*net=*/0, /*fault=*/0, total_ops});
+  }
 
   // Wake joiners whose children have all halted; charge the join barrier.
   for (auto& fp : flows_) {
@@ -1735,12 +1918,23 @@ bool Machine::step_multi_instruction() {
       stats_.cycles += cfg_.join_cost;
       ++stats_.joins;
       metrics_.counter("machine/join_cycles").add(cfg_.join_cost);
+      if (cfg_.profile) {
+        profile_.add({static_cast<std::int64_t>(fp->home),
+                      static_cast<std::int64_t>(fp->id), prof::kNoIndex,
+                      prof::Term::kSwitch},
+                     cfg_.join_cost);
+      }
     }
   }
   admit_pending_spawns();
   if (!pending_spawns_.empty() || !ready.empty()) {
     stats_.cycles += cfg_.spawn_cost;  // dispatch overhead per phase
     metrics_.counter("machine/spawn_cycles").add(cfg_.spawn_cost);
+    if (cfg_.profile) {
+      profile_.add({prof::kNoIndex, prof::kNoIndex, prof::kNoIndex,
+                    prof::Term::kBranch},
+                   cfg_.spawn_cost);
+    }
   }
   maybe_sample_step();
   if (cfg_.profile_host) host_span("machine/xmt_phase", t0);
@@ -1775,6 +1969,12 @@ Cycle Machine::suspend_flow(FlowId id) {
   const Cycle c = task_switch_cost(cfg_, f.thickness, resident);
   stats_.task_switch_cycles += c;
   stats_.cycles += c;
+  if (cfg_.profile) {
+    profile_.add({static_cast<std::int64_t>(f.home),
+                  static_cast<std::int64_t>(f.id), prof::kNoIndex,
+                  prof::Term::kSwitch},
+                 c);
+  }
   metrics_.counter("sched/suspends").add();
   metrics_.counter("sched/swap_out_cycles").add(c);
   emit_now(DebugEventKind::kSuspend, id, f.home, static_cast<Word>(c));
@@ -1816,6 +2016,12 @@ Cycle Machine::resume_flow(FlowId id) {
   }
   stats_.task_switch_cycles += c;
   stats_.cycles += c;
+  if (cfg_.profile) {
+    profile_.add({static_cast<std::int64_t>(f.home),
+                  static_cast<std::int64_t>(f.id), prof::kNoIndex,
+                  prof::Term::kSwitch},
+                 c);
+  }
   metrics_.counter("sched/resumes").add();
   metrics_.counter("sched/swap_in_cycles").add(c);
   emit_now(DebugEventKind::kResume, id, f.home, static_cast<Word>(c));

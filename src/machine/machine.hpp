@@ -30,9 +30,11 @@
 #include <chrono>
 #include <exception>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -46,6 +48,7 @@
 #include "mem/local_memory.hpp"
 #include "mem/shared_memory.hpp"
 #include "net/network.hpp"
+#include "prof/profile.hpp"
 
 namespace tcfpn::machine {
 
@@ -225,6 +228,13 @@ class Machine {
 
   /// Wall-clock phase timings recorded when cfg.profile_host is set.
   const std::vector<HostSpan>& host_spans() const { return host_spans_; }
+  /// True when host_span() hit the kMaxHostSpans cap and dropped spans —
+  /// exported so --trace-json never looks complete when it is not.
+  bool host_spans_truncated() const { return host_spans_truncated_; }
+  /// The attribution profile accumulated while cfg.profile is set. Conserves
+  /// cycles (attributed() == stats().cycles) when profiling was on from
+  /// machine construction.
+  const prof::Profile& profile() const { return profile_; }
   /// Per-step time series recorded when cfg.sample_every > 0.
   const std::vector<StepSample>& step_samples() const { return step_samples_; }
 
@@ -358,6 +368,11 @@ class Machine {
     metrics::MetricsRegistry metrics;  ///< merged at the barrier, group order
     LaneCounters lanes;                ///< bound into `metrics`
     std::vector<DebugEvent> events;    ///< forwarded at the barrier, group order
+    /// Attribution bins for the profiler (cfg.profile): cycles of slot-term
+    /// work charged to (group, tcf, pc, term) during the parallel phase;
+    /// merged at the barrier in group order like everything else here. A
+    /// std::map so the per-group bin order is already canonical.
+    std::map<prof::Key, Cycle> prof_bins;
 
     void reset();
   };
@@ -425,7 +440,21 @@ class Machine {
   bool exec_alu_lanes(TcfDescriptor& f, const isa::Instr& instr,
                       std::uint64_t start, std::uint64_t count);
   void finish_step(Cycle slot_term_max, const std::vector<Cycle>& group_work);
-  Cycle memory_term();
+  /// The two components of the step's memory extension: the injected fault
+  /// delay consumed this step and the network latency/bandwidth bound. The
+  /// step body is max(slot term, fault + bound); keeping the parts separate
+  /// lets the profiler itemize kFault vs kNet exactly.
+  struct MemTerm {
+    Cycle fault = 0;
+    Cycle bound = 0;
+  };
+  MemTerm memory_term();
+  /// Profiler barrier work for one step-synchronous step: apportions the
+  /// slot term over the merged bins (idle remainder explicit), adds the
+  /// fill/net/fault machine cells and the step record. `body` is the step
+  /// body actually charged (max(slot, fault + bound)).
+  void profile_step(Cycle slot_term_max, MemTerm mt, Cycle body,
+                    const std::vector<Cycle>& group_work);
 
   // multi-instruction (XMT) execution
   bool step_multi_instruction();
@@ -499,7 +528,14 @@ class Machine {
   metrics::MetricsRegistry metrics_;
   LaneCounters gm_;  ///< machine-level lane counters (single-threaded paths)
   StepCounters sc_;  ///< barrier-side per-step instruments
+  /// Attribution profile (cfg.profile). Group bins stream into step_bins_
+  /// at the barrier in group order, finish_step apportions the slot term
+  /// over them; direct charges (switch/sched/fill/net/fault/idle) go to
+  /// profile_ immediately on the stepping thread.
+  prof::Profile profile_;
+  std::vector<std::pair<prof::Key, Cycle>> step_bins_;
   std::vector<HostSpan> host_spans_;
+  bool host_spans_truncated_ = false;
   std::vector<StepSample> step_samples_;
   std::chrono::steady_clock::time_point host_t0_{};
   bool host_t0_set_ = false;

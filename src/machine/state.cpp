@@ -46,8 +46,8 @@ std::uint64_t config_fingerprint(const MachineConfig& cfg) {
   fp.mix(cfg.register_spill_penalty);
   fp.mix(cfg.functional_units);
   // host_threads, effect_channels, merge_skip, record_trace, sample_every,
-  // profile_host: observation/engine knobs, not semantics — excluded so
-  // checkpoints move across them.
+  // profile_host, profile: observation/engine knobs, not semantics —
+  // excluded so checkpoints move across them.
   return fp.h;
 }
 
@@ -111,6 +111,7 @@ MachineState Machine::save_state() const {
   s.metrics = metrics_.save_raw();
   s.debug_out = debug_out_;
   s.step_samples = step_samples_;
+  s.profile = profile_;
   return s;
 }
 
@@ -174,6 +175,7 @@ void Machine::restore_state(const MachineState& s) {
   std::fill(net_loads_.begin(), net_loads_.end(), 0);
   net_refs_ = 0;
   net_max_dist_ = 0;
+  step_bins_.clear();
   for (auto& ctx : step_ctx_) ctx.reset();
 
   shared_.restore_state(s.shared);
@@ -184,6 +186,7 @@ void Machine::restore_state(const MachineState& s) {
   metrics_.restore_raw(s.metrics);
   debug_out_ = s.debug_out;
   step_samples_ = s.step_samples;
+  profile_ = s.profile;
 }
 
 }  // namespace tcfpn::machine

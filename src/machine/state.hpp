@@ -74,6 +74,11 @@ struct MachineState {
   metrics::RawMetrics metrics;
   std::vector<Word> debug_out;
   std::vector<StepSample> step_samples;
+  /// Attribution profile (cfg.profile, src/prof). Saved and restored so a
+  /// tcfdbg rollback-and-replay reproduces the exact profile a straight-line
+  /// run would have produced — the replay-consistency contract the profiler
+  /// tests assert. Empty when profiling is off (or for pre-profiler images).
+  prof::Profile profile;
 };
 
 /// FNV-1a fingerprint of the semantically relevant configuration fields.

@@ -56,7 +56,28 @@ std::string metrics_json_document(const Machine& m, const RunResult& run,
 }
 
 std::string trace_json_document(const Machine& m, const MetaPairs& extra) {
-  return chrome_trace_json(m.trace(), m.host_spans(), run_metadata(m, extra));
+  return chrome_trace_json(m.trace(), m.host_spans(), run_metadata(m, extra),
+                           m.host_spans_truncated());
+}
+
+prof::RunInfo profile_run_info(const Machine& m, const RunResult& run,
+                               const std::string& program,
+                               const MetaPairs& extra) {
+  prof::RunInfo info;
+  info.program = program;
+  info.meta = run_metadata(m, extra);
+  info.completed = run.completed;
+  info.steps = run.steps;
+  info.cycles = m.stats().cycles;
+  info.pipeline_fill = m.config().pipeline_fill;
+  return info;
+}
+
+std::string profile_json_document(const Machine& m, const RunResult& run,
+                                  const std::string& program,
+                                  const MetaPairs& extra) {
+  return prof::report_json(m.profile(),
+                           profile_run_info(m, run, program, extra));
 }
 
 }  // namespace tcfpn::machine

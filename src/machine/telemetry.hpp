@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "machine/machine.hpp"
+#include "prof/report.hpp"
 
 namespace tcfpn::machine {
 
@@ -35,7 +36,23 @@ std::string metrics_json_document(const Machine& m, const RunResult& run,
                                   const MetaPairs& extra = {});
 
 /// Serialises the schedule trace and host spans as Chrome trace-event JSON.
-/// `extra` pairs land under "otherData" alongside the machine description.
+/// `extra` pairs land under "otherData" alongside the machine description,
+/// including a "truncated" flag when the host-span buffer overflowed.
 std::string trace_json_document(const Machine& m, const MetaPairs& extra = {});
+
+/// Serialises the attribution profile (cfg.profile, src/prof) as a
+/// "tcfpn-profile-v1" document: run metadata, the closed-world term list,
+/// per-term totals, every (group, tcf, pc, term) cell, the step-criticality
+/// aggregate and the folded flame-graph stacks. `program` names the
+/// folded-stack root.
+std::string profile_json_document(const Machine& m, const RunResult& run,
+                                  const std::string& program,
+                                  const MetaPairs& extra = {});
+
+/// The prof::RunInfo for a run — shared by the JSON export above and the
+/// tcfprof report renderers.
+prof::RunInfo profile_run_info(const Machine& m, const RunResult& run,
+                               const std::string& program,
+                               const MetaPairs& extra = {});
 
 }  // namespace tcfpn::machine

@@ -1,0 +1,412 @@
+// Attribution profiler tests (DESIGN.md §11).
+//
+// The two load-bearing invariants:
+//
+//  1. Cycles conserve: with cfg.profile on, the sum of every profile cell
+//     equals MachineStats::cycles exactly — on every variant, under fault
+//     injection, and through checkpoint/replay.
+//  2. Profiles are deterministic: bit-identical for every --host-threads
+//     value and under both the barrier and effect-channel engines, because
+//     cells accumulate per GroupCtx and merge at the step barrier in group
+//     order.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "debug/checkpoint.hpp"
+#include "debug/debugger.hpp"
+#include "machine/machine.hpp"
+#include "machine/telemetry.hpp"
+#include "prof/profile.hpp"
+#include "prof/report.hpp"
+#include "resil/recovery.hpp"
+#include "tcf/builder.hpp"
+#include "tcf/kernels.hpp"
+
+namespace tcfpn::machine {
+namespace {
+
+constexpr Word kN = 48;
+constexpr Addr kA = 100, kB = 400, kC = 700, kSum = 900;
+
+isa::Program with_arrays(isa::Program p) {
+  std::vector<Word> av(kN), bv(kN);
+  for (Word i = 0; i < kN; ++i) {
+    av[i] = 3 * i + 1;
+    bv[i] = 7 * i;
+  }
+  p.data.push_back({kA, av});
+  p.data.push_back({kB, bv});
+  return p;
+}
+
+/// SPAWN / JOINALL / PPADD / PRINT: exercises the cross-group charges
+/// (spawn dispatch, join wakes, task switches) the profiler must attribute.
+isa::Program spawn_prefix_program() {
+  tcf::AsmBuilder s;
+  using namespace tcf;
+  auto worker = s.make_label("worker");
+  s.ldi(r1, kN);
+  s.spawn(r1, worker);
+  s.joinall();
+  s.ld(r2, r0, static_cast<Word>(kSum));
+  s.print(r2);
+  s.halt();
+  s.bind(worker);
+  s.tid(r2);
+  s.add(r2, r2, r15);
+  s.add(r3, r2, static_cast<Word>(kA));
+  s.ld(r4, r3);
+  s.pp(isa::Opcode::kPpAdd, r5, r4, r0, static_cast<Word>(kSum));
+  s.add(r6, r2, static_cast<Word>(kC));
+  s.st(r5, r6);
+  s.halt();
+  return s.build();
+}
+
+MachineConfig base_cfg(Variant v, std::uint32_t host_threads) {
+  MachineConfig cfg;
+  cfg.groups = v == Variant::kFixedThickness ? 1 : 4;
+  cfg.slots_per_group = 8;
+  cfg.shared_words = 1 << 12;
+  cfg.local_words = 1 << 10;
+  cfg.variant = v;
+  cfg.balanced_bound = 8;
+  cfg.host_threads = host_threads;
+  cfg.profile = true;
+  return cfg;
+}
+
+struct ProfRun {
+  prof::Profile profile;
+  MachineStats stats;
+  bool completed = false;
+};
+
+/// Runs the canonical per-variant program with profiling on.
+ProfRun run_variant(Variant v, std::uint32_t host_threads,
+                    const std::function<void(MachineConfig&)>& tweak = {}) {
+  MachineConfig cfg = base_cfg(v, host_threads);
+  if (tweak) tweak(cfg);
+  Machine m(cfg);
+  switch (v) {
+    case Variant::kSingleInstruction:
+    case Variant::kBalanced:
+      m.load(with_arrays(spawn_prefix_program()));
+      m.boot(1);
+      break;
+    case Variant::kMultiInstruction:
+      m.load(with_arrays(tcf::kernels::vecadd_fork(kN, kA, kB, kC)));
+      m.boot(1);
+      break;
+    case Variant::kSingleOperation:
+    case Variant::kConfigSingleOperation:
+      m.load(with_arrays(tcf::kernels::vecadd_esm_loop(kN, kA, kB, kC)));
+      tcf::kernels::boot_esm_threads(m, m.program().entry(), 16);
+      break;
+    case Variant::kFixedThickness:
+      m.load(with_arrays(tcf::kernels::vecadd_simd(kN, 16, kA, kB, kC)));
+      m.boot(16);
+      break;
+  }
+  const RunResult run = m.run();
+  ProfRun r;
+  r.profile = m.profile();
+  r.stats = m.stats();
+  r.completed = run.completed;
+  return r;
+}
+
+// ---- apportion: the deterministic largest-remainder splitter ----
+
+TEST(Apportion, SharesSumExactlyToTotal) {
+  const std::vector<Cycle> weights{3, 1, 5, 7, 2};
+  for (Cycle total : {Cycle{1}, Cycle{17}, Cycle{18}, Cycle{1000003}}) {
+    const auto shares = prof::apportion(total, weights);
+    ASSERT_EQ(shares.size(), weights.size());
+    Cycle sum = 0;
+    for (Cycle s : shares) sum += s;
+    EXPECT_EQ(sum, total) << "total=" << total;
+  }
+}
+
+TEST(Apportion, ProportionalWhenDivisible) {
+  const auto shares = prof::apportion(20, {1, 2, 3, 4});
+  EXPECT_EQ(shares, (std::vector<Cycle>{2, 4, 6, 8}));
+}
+
+TEST(Apportion, RemainderGoesToLargestFraction) {
+  // 10 over {1, 1, 3}: floors are 2, 2, 6; remainders identical for the two
+  // 1-weights, so the leftover 0 units change nothing; with total 11 the
+  // floors are 2,2,6 (sum 10) and the extra unit goes to the largest
+  // fractional remainder — weight 3 (33/5 = 6.6).
+  EXPECT_EQ(prof::apportion(11, {1, 1, 3}), (std::vector<Cycle>{2, 2, 7}));
+}
+
+TEST(Apportion, TiesResolveToLowerIndex) {
+  // 3 over {1, 1}: floors 1,1, leftover 1, equal remainders — lower index.
+  EXPECT_EQ(prof::apportion(3, {1, 1}), (std::vector<Cycle>{2, 1}));
+  // Zero-weight bins never receive units.
+  EXPECT_EQ(prof::apportion(5, {0, 1}), (std::vector<Cycle>{0, 5}));
+}
+
+// ---- step classification ----
+
+TEST(StepClassify, FourWayTaxonomy) {
+  using prof::StepLimit;
+  prof::StepRecord r;
+  r.slot = 8;
+  r.work = 8;
+  EXPECT_EQ(prof::classify(r), StepLimit::kCompute);
+  r.work = 3;  // slot capacity exceeded the recorded work: barrier wait
+  EXPECT_EQ(prof::classify(r), StepLimit::kIdle);
+  r.net = 12;  // network bound stretched the body past the slot term
+  EXPECT_EQ(prof::classify(r), StepLimit::kNet);
+  r.fault = 9;  // fault delay stretched it past max(slot, net)
+  EXPECT_EQ(prof::classify(r), StepLimit::kFault);
+  EXPECT_EQ(prof::step_cost(r), r.fill + r.net + r.fault);
+}
+
+// ---- conservation + determinism across variants, threads, engines ----
+
+class ProfDeterminismTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(ProfDeterminismTest, CyclesConserveAndProfileBitIdentical) {
+  const Variant v = GetParam();
+  const ProfRun ref = run_variant(v, 1);
+  ASSERT_TRUE(ref.completed);
+  ASSERT_FALSE(ref.profile.cells.empty());
+  // Conservation: every simulated cycle is attributed exactly once.
+  EXPECT_EQ(ref.profile.attributed(), ref.stats.cycles) << to_string(v);
+
+  const auto barrier = [](MachineConfig& c) { c.effect_channels = false; };
+  for (std::uint32_t ht : {1u, 2u, 8u}) {
+    const ProfRun streaming = run_variant(v, ht);
+    EXPECT_EQ(ref.profile, streaming.profile)
+        << to_string(v) << " streaming @" << ht;
+    EXPECT_EQ(streaming.profile.attributed(), streaming.stats.cycles);
+    const ProfRun barr = run_variant(v, ht, barrier);
+    EXPECT_EQ(ref.profile, barr.profile)
+        << to_string(v) << " barrier @" << ht;
+    EXPECT_EQ(barr.profile.attributed(), barr.stats.cycles);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, ProfDeterminismTest,
+    ::testing::Values(Variant::kSingleInstruction, Variant::kBalanced,
+                      Variant::kMultiInstruction, Variant::kSingleOperation,
+                      Variant::kConfigSingleOperation,
+                      Variant::kFixedThickness),
+    [](const ::testing::TestParamInfo<Variant>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---- conservation under fault injection ----
+
+TEST(ProfFaultInjection, ConservesAndChargesTheFaultTerm) {
+  MachineConfig cfg = base_cfg(Variant::kSingleInstruction, 2);
+  Machine m(cfg);
+  m.load(with_arrays(spawn_prefix_program()));
+  m.boot(1);
+
+  resil::ResilConfig rc;
+  rc.spec = resil::parse_fault_spec("seed=5,delay=0.2,delayc=16");
+  rc.mode = resil::RecoverMode::kRollback;
+  resil::ResilientExecutor ex(m, rc);
+  const resil::ResilResult r = ex.run();
+  ASSERT_FALSE(r.faulted) << r.fault_message;
+  ASSERT_TRUE(r.run.completed);
+  ASSERT_GT(r.resil.faults_injected, 0u) << "fault spec injected nothing";
+
+  // Conservation holds through injected delays and any rollbacks: the
+  // profile is checkpointed and restored together with the clock.
+  EXPECT_EQ(m.profile().attributed(), m.stats().cycles);
+
+  // Injected delays land in the fault term. The profile charges the clock
+  // extension a delay actually caused — max(slot, fault+bound) −
+  // max(slot, bound) — so it is bounded by the network's fault-delay
+  // counter (which records the *requested* delay cycles; a delay hidden
+  // under the slot term costs nothing).
+  const Cycle fault_cycles = m.profile().term_total(prof::Term::kFault);
+  EXPECT_GT(fault_cycles, 0u);
+  const auto snap = m.metrics_snapshot();
+  const auto it = snap.entries.find("net/fault_delay_cycles");
+  ASSERT_NE(it, snap.entries.end());
+  EXPECT_LE(fault_cycles, it->second.count);
+}
+
+// ---- planted slowdown shows up as the hotspot ----
+
+TEST(ProfHotspots, PlantedHotLoopIsNamedByPcRange) {
+  // pc 0: ldi, pc 1: ldi, pc 2..4: the hot loop (add/sub/bnez, 64 rounds),
+  // pc 5: print, pc 6: halt.
+  tcf::AsmBuilder s;
+  using namespace tcf;
+  auto loop = s.make_label("loop");
+  s.ldi(r1, 64);
+  s.ldi(r2, 0);
+  s.bind(loop);
+  s.add(r2, r2, Word{1});
+  s.sub(r1, r1, Word{1});
+  s.bnez(r1, loop);
+  s.print(r2);
+  s.halt();
+
+  MachineConfig cfg = base_cfg(Variant::kSingleInstruction, 1);
+  Machine m(cfg);
+  m.load(s.build());
+  m.boot(1);
+  const RunResult run = m.run();
+  ASSERT_TRUE(run.completed);
+  EXPECT_EQ(m.profile().attributed(), m.stats().cycles);
+
+  const prof::RunInfo info =
+      profile_run_info(m, run, "hotloop", {{"tool", "test"}});
+  const std::string report =
+      prof::report_hotspots(m.profile(), info, prof::HotspotBy::kPc, 3);
+  // The three loop PCs dominate and coalesce into one range row.
+  EXPECT_NE(report.find("pc 2-4"), std::string::npos) << report;
+}
+
+// ---- what-if re-costing ----
+
+TEST(ProfWhatIf, ParsesAndRecosts) {
+  prof::WhatIf w;
+  EXPECT_TRUE(prof::parse_what_if("net:0.5x", &w));
+  EXPECT_EQ(w.term, prof::Term::kNet);
+  EXPECT_DOUBLE_EQ(w.factor, 0.5);
+  EXPECT_TRUE(prof::parse_what_if("term=compute:2", &w));
+  EXPECT_EQ(w.term, prof::Term::kCompute);
+  EXPECT_FALSE(prof::parse_what_if("idle:0.5x", &w));  // not scalable
+  EXPECT_FALSE(prof::parse_what_if("net:junk", &w));
+
+  const ProfRun r = run_variant(Variant::kSingleInstruction, 1);
+  ASSERT_TRUE(r.completed);
+  // Identity multipliers reproduce the run exactly.
+  EXPECT_EQ(prof::what_if_cycles(r.profile, r.stats.cycles,
+                                 {{prof::Term::kNet, 1.0}}),
+            r.stats.cycles);
+  // Free network can only help, and never below the slot+fill floor.
+  const Cycle no_net = prof::what_if_cycles(r.profile, r.stats.cycles,
+                                            {{prof::Term::kNet, 0.0}});
+  EXPECT_LE(no_net, r.stats.cycles);
+  EXPECT_GT(no_net, 0u);
+}
+
+// ---- folded stacks + JSON export ----
+
+TEST(ProfExport, FoldedLinesAndJsonConserve) {
+  const ProfRun r = run_variant(Variant::kBalanced, 1);
+  ASSERT_TRUE(r.completed);
+  prof::RunInfo info;
+  info.program = "prog name;semi";  // exercises sanitization
+  info.steps = r.stats.steps;
+  info.cycles = r.stats.cycles;
+
+  Cycle folded_sum = 0;
+  for (const std::string& line : prof::folded_lines(r.profile, info)) {
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    folded_sum += std::stoull(line.substr(space + 1));
+    // Root frame is the sanitized program name.
+    EXPECT_EQ(line.rfind("prog_name_semi;", 0), 0u) << line;
+  }
+  EXPECT_EQ(folded_sum, r.stats.cycles);
+
+  const std::string json = prof::report_json(r.profile, info);
+  EXPECT_NE(json.find("\"schema\": \"tcfpn-profile-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"attributed_cycles\": " +
+                      std::to_string(r.stats.cycles)),
+            std::string::npos);
+
+  const std::string html = prof::report_html(r.profile, info);
+  EXPECT_NE(html.find("<html"), std::string::npos);
+  EXPECT_NE(html.find("prog_name_semi"), std::string::npos);
+}
+
+// ---- checkpoint round trip ----
+
+TEST(ProfCheckpoint, ProfileSurvivesSerializeAndReplayMatches) {
+  MachineConfig cfg = base_cfg(Variant::kSingleInstruction, 1);
+
+  // Reference: straight-line run to completion.
+  Machine ref(cfg);
+  ref.load(with_arrays(spawn_prefix_program()));
+  ref.boot(1);
+  ASSERT_TRUE(ref.run().completed);
+
+  // Checkpoint mid-run, serialize, restore into a fresh machine, finish.
+  Machine a(cfg);
+  a.load(with_arrays(spawn_prefix_program()));
+  a.boot(1);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(a.step());
+  const auto bytes = debug::serialize(a.save_state());
+  const MachineState state = debug::deserialize(bytes);
+  EXPECT_EQ(state.profile, a.profile());
+
+  Machine b(cfg);
+  b.load(with_arrays(spawn_prefix_program()));
+  b.restore_state(state);
+  EXPECT_EQ(b.profile(), a.profile());
+  ASSERT_TRUE(b.run().completed);
+  EXPECT_EQ(b.profile(), ref.profile());
+  EXPECT_EQ(b.profile().attributed(), b.stats().cycles);
+}
+
+// ---- time travel: replayed profile equals the straight-line profile ----
+
+TEST(ProfTimeTravel, BackAndReplayReproducesTheProfile) {
+  MachineConfig cfg = base_cfg(Variant::kSingleInstruction, 1);
+
+  Machine ref(cfg);
+  ref.load(with_arrays(spawn_prefix_program()));
+  ref.boot(1);
+  ASSERT_TRUE(ref.run().completed);
+
+  debug::DebugSession session(
+      cfg, with_arrays(spawn_prefix_program()),
+      [](Machine& m) { m.boot(1); },
+      debug::RecorderConfig{.journal_capacity = 1 << 16,
+                            .checkpoint_every = 4},
+      {{"tool", "test_prof"}});
+  std::ostringstream out;
+  session.continue_run(out);
+  const prof::Profile first = session.machine().profile();
+  EXPECT_EQ(first, ref.profile());
+
+  // Travel back and replay forward: the restored profile resumes from the
+  // checkpoint and re-accumulates to the same table.
+  session.back(5, out);
+  session.continue_run(out);
+  EXPECT_EQ(session.machine().profile(), first);
+  EXPECT_EQ(session.machine().profile().attributed(),
+            session.machine().stats().cycles);
+}
+
+// ---- profile document plumbing ----
+
+TEST(ProfTelemetry, DocumentCarriesRunMetadata) {
+  MachineConfig cfg = base_cfg(Variant::kBalanced, 2);
+  Machine m(cfg);
+  m.load(with_arrays(spawn_prefix_program()));
+  m.boot(1);
+  const RunResult run = m.run();
+  ASSERT_TRUE(run.completed);
+  const std::string doc = profile_json_document(
+      m, run, "spawn_prefix", {{"tool", "test_prof"}});
+  EXPECT_NE(doc.find("\"tool\": \"test_prof\""), std::string::npos);
+  EXPECT_NE(doc.find("\"variant\": \"balanced\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cycles\": " + std::to_string(m.stats().cycles)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcfpn::machine

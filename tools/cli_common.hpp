@@ -30,6 +30,7 @@ struct Options {
   bool stats = true;
   std::string metrics_json;  ///< write the metrics document here (empty=off)
   std::string trace_json;    ///< write the Chrome trace here (empty=off)
+  std::string profile_json;  ///< write the attribution profile here (empty=off)
   std::string post_mortem;   ///< write a fault post-mortem here (empty=off)
   std::uint64_t max_steps = 10'000'000;  ///< step watchdog budget
   /// True when --max-steps was given explicitly: hitting the limit is then
@@ -64,6 +65,9 @@ inline void usage(const char* tool, const char* what) {
       "  --trace-json=F    write a Chrome trace-event / Perfetto JSON trace\n"
       "                    to F (implies schedule recording and host-phase\n"
       "                    profiling; F='-' for stdout)\n"
+      "  --profile=F       enable the cost-model attribution profiler and\n"
+      "                    write the tcfpn-profile-v1 JSON document to F\n"
+      "                    (F='-' for stdout); see tcfprof for reports\n"
       "  --post-mortem=F   on a fault, write a flight-record post-mortem\n"
       "                    JSON document to F (F='-' for stdout)\n"
       "  --sample-every=N  record a stats sample every N machine steps into\n"
@@ -225,6 +229,13 @@ inline bool parse_args(int argc, char** argv, const char* tool,
       // phase spans; switch both recorders on.
       opt->cfg.record_trace = true;
       opt->cfg.profile_host = true;
+    } else if (parse_flag(arg, "profile", &v)) {
+      if (v.empty()) {
+        std::fprintf(stderr, "--profile needs a file name\n");
+        return false;
+      }
+      opt->profile_json = v;
+      opt->cfg.profile = true;
     } else if (parse_flag(arg, "post-mortem", &v)) {
       if (v.empty()) {
         std::fprintf(stderr, "--post-mortem needs a file name\n");
@@ -373,6 +384,12 @@ inline bool export_telemetry(const machine::Machine& m, const RunOutcome& o,
   if (!opt.trace_json.empty() &&
       !write_document(opt.trace_json, machine::trace_json_document(m, meta),
                       tool)) {
+    return false;
+  }
+  if (!opt.profile_json.empty() &&
+      !write_document(
+          opt.profile_json,
+          machine::profile_json_document(m, o.run, opt.input, meta), tool)) {
     return false;
   }
   return true;

@@ -4,6 +4,7 @@
 Usage:
     validate_metrics.py --metrics metrics.json [--trace trace.json]
     validate_metrics.py --postmortem crash.postmortem.json
+    validate_metrics.py --profile run.profile.json
 
 Checks, using only the Python standard library:
   * each file parses as JSON (json.load — the real consumer-side test of
@@ -15,7 +16,12 @@ Checks, using only the Python standard library:
     per instrumented subsystem prefix;
   * post-mortem documents follow the tcfpn-postmortem-v1 schema (DESIGN.md
     §8): run metadata, a classified fault, the journal-tail events, the
-    flow table at the time of death and the involved cells.
+    flow table at the time of death and the involved cells;
+  * profile documents follow the tcfpn-profile-v1 schema (DESIGN.md §11):
+    the closed world of ten cost terms, per-term totals and per-cell cycles
+    that conserve exactly (cells == totals == attributed_cycles ==
+    run.cycles), parseable folded stacks and a well-formed step-criticality
+    aggregate.
 
 Exit status 0 on success; 1 with a diagnostic on the first failure.
 """
@@ -37,6 +43,11 @@ EVENT_KINDS = {
     "fault_injected", "retry", "rollback", "group_retired",
 }
 FLOW_STATUSES = {"ready", "waiting-join", "suspended", "halted"}
+# The profiler's closed-world term taxonomy, in canonical order (DESIGN.md
+# §11). A document listing anything else was produced by a different schema.
+PROFILE_TERMS = ["compute", "operand", "local", "branch", "fill", "net",
+                 "fault", "idle", "switch", "sched"]
+STEP_LIMITS = {"compute", "net", "fault", "idle"}
 
 
 def fail(msg: str) -> None:
@@ -133,8 +144,15 @@ def check_trace(path):
     missing = [s for s in SUBSYSTEMS if s not in host_prefixes]
     if missing:
         fail(f"{path}: no host spans for subsystem(s): {', '.join(missing)}")
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail(f"{path}: missing otherData")
+    if not isinstance(other.get("truncated"), bool):
+        fail(f"{path}: otherData.truncated must be a boolean (the host-span "
+             "buffer overflow flag)")
     print(f"validate_metrics: {path}: OK "
-          f"({spans} spans, host subsystems: {sorted(host_prefixes)})")
+          f"({spans} spans, host subsystems: {sorted(host_prefixes)}, "
+          f"truncated: {other['truncated']})")
 
 
 def check_postmortem(path):
@@ -207,20 +225,115 @@ def check_postmortem(path):
           f"{len(flows)} flows, {len(cells)} cells)")
 
 
+def check_profile(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "tcfpn-profile-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             "expected 'tcfpn-profile-v1'")
+    run = doc.get("run")
+    if not isinstance(run, dict):
+        fail(f"{path}: missing run metadata")
+    if not isinstance(run.get("program"), str):
+        fail(f"{path}: run metadata missing string 'program'")
+    if not isinstance(run.get("completed"), bool):
+        fail(f"{path}: run metadata missing boolean 'completed'")
+    for key in ("steps", "cycles", "attributed_cycles", "pipeline_fill"):
+        if not isinstance(run.get(key), int) or run[key] < 0:
+            fail(f"{path}: run metadata missing non-negative '{key}'")
+
+    # Closed world: the term list is exactly the canonical taxonomy, and the
+    # totals object covers it with nothing extra.
+    if doc.get("terms") != PROFILE_TERMS:
+        fail(f"{path}: terms is {doc.get('terms')!r}, expected the canonical "
+             f"taxonomy {PROFILE_TERMS}")
+    totals = doc.get("totals")
+    if not isinstance(totals, dict) or set(totals) != set(PROFILE_TERMS):
+        fail(f"{path}: totals keys must be exactly the term taxonomy")
+    for term, value in totals.items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: totals[{term!r}] must be a non-negative integer")
+
+    # Conservation: cells == totals == attributed == the run clock.
+    cells = doc.get("cells")
+    if not isinstance(cells, list):
+        fail(f"{path}: missing cells array")
+    cell_sum = 0
+    for cell in cells:
+        if cell.get("term") not in PROFILE_TERMS:
+            fail(f"{path}: cell with unknown term: {cell}")
+        if not isinstance(cell.get("cycles"), int) or cell["cycles"] <= 0:
+            fail(f"{path}: cell cycles must be a positive integer: {cell}")
+        for key in ("group", "flow", "pc"):  # nullable (machine-level cells)
+            if cell.get(key) is not None and not isinstance(cell[key], int):
+                fail(f"{path}: cell '{key}' must be an integer or null")
+        cell_sum += cell["cycles"]
+    attributed = run["attributed_cycles"]
+    if cell_sum != attributed:
+        fail(f"{path}: cells sum to {cell_sum}, not attributed_cycles "
+             f"{attributed}")
+    if sum(totals.values()) != attributed:
+        fail(f"{path}: totals sum to {sum(totals.values())}, not "
+             f"attributed_cycles {attributed}")
+    if attributed != run["cycles"]:
+        fail(f"{path}: attributed_cycles {attributed} != run cycles "
+             f"{run['cycles']} — the conservation invariant broke")
+
+    steps = doc.get("steps")
+    if not isinstance(steps, dict):
+        fail(f"{path}: missing steps aggregate")
+    if not isinstance(steps.get("recorded"), int) or steps["recorded"] < 0:
+        fail(f"{path}: steps.recorded must be a non-negative integer")
+    if not isinstance(steps.get("truncated"), bool):
+        fail(f"{path}: steps.truncated must be a boolean")
+    limited = steps.get("limited_by")
+    if not isinstance(limited, dict) or not set(limited) <= STEP_LIMITS:
+        fail(f"{path}: steps.limited_by keys must be within {STEP_LIMITS}")
+    for cls, agg in limited.items():
+        for key in ("steps", "cycles"):
+            if not isinstance(agg.get(key), int) or agg[key] < 0:
+                fail(f"{path}: limited_by[{cls!r}] missing non-negative "
+                     f"'{key}'")
+
+    folded = doc.get("folded")
+    if not isinstance(folded, list):
+        fail(f"{path}: missing folded array")
+    folded_sum = 0
+    for line in folded:
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2 or not parts[1].isdigit():
+            fail(f"{path}: folded line has no trailing count: {line!r}")
+        frames = parts[0].split(";")
+        if not 2 <= len(frames) <= 4:
+            fail(f"{path}: folded line has {len(frames)} frames, "
+                 f"expected 2-4: {line!r}")
+        folded_sum += int(parts[1])
+    if folded_sum != attributed:
+        fail(f"{path}: folded stacks sum to {folded_sum}, not "
+             f"attributed_cycles {attributed}")
+
+    print(f"validate_metrics: {path}: OK "
+          f"({len(cells)} cells, {attributed} cycles conserved, "
+          f"{steps['recorded']} steps, {len(folded)} folded stacks)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--metrics", help="metrics JSON document")
     ap.add_argument("--trace", help="Chrome trace-event JSON document")
     ap.add_argument("--postmortem", action="append", default=[],
                     help="tcfpn-postmortem-v1 document (repeatable)")
+    ap.add_argument("--profile", action="append", default=[],
+                    help="tcfpn-profile-v1 document (repeatable)")
     ap.add_argument("--expect-rollback", action="store_true",
                     help="require a resil/ subtree with rollbacks >= 1 in "
                          "--metrics (for fault schedules that guarantee a "
                          "fatal fault)")
     args = ap.parse_args()
-    if not args.metrics and not args.trace and not args.postmortem:
-        ap.error("nothing to validate: pass --metrics, --trace "
-                 "and/or --postmortem")
+    if (not args.metrics and not args.trace and not args.postmortem
+            and not args.profile):
+        ap.error("nothing to validate: pass --metrics, --trace, "
+                 "--postmortem and/or --profile")
     if args.expect_rollback and not args.metrics:
         ap.error("--expect-rollback needs --metrics")
     if args.metrics:
@@ -229,6 +342,8 @@ def main():
         check_trace(args.trace)
     for path in args.postmortem:
         check_postmortem(path)
+    for path in args.profile:
+        check_profile(path)
 
 
 if __name__ == "__main__":
