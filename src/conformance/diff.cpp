@@ -6,6 +6,7 @@
 #include "baseline/frontends.hpp"
 #include "debug/postmortem.hpp"
 #include "machine/machine.hpp"
+#include "machine/shapes.hpp"
 #include "resil/recovery.hpp"
 #include "tcf/kernels.hpp"
 
@@ -412,6 +413,60 @@ std::optional<Divergence> run_differential(const DiffCase& c,
     const Observed got = run_machine(c, cfg, opt.max_steps);
     if (auto d = compare(want, got, /*aligned=*/true, c.uses_local)) {
       return Divergence{"single-instruction (perturbed costs)", *d, cfg};
+    }
+  }
+
+  // Heterogeneous machine shapes (DESIGN.md §12).
+  if (opt.shape_seed != 0) {
+    // Declared-but-default shape: a vector of default GroupSpecs inherits
+    // every uniform value, so the run must be bit-identical — fault, memory,
+    // PRINT, cycles and steps — to the undeclared machine. This holds for
+    // every program, faulting ones included.
+    if (lane_enabled({Variant::kSingleInstruction, 16, true}, opt)) {
+      const machine::MachineConfig uni =
+          base_config(c, {Variant::kSingleInstruction, 16, true});
+      machine::MachineConfig shaped = uni;
+      shaped.group_specs.assign(shaped.groups, machine::GroupSpec{});
+      const Observed plain = run_machine(c, uni, opt.max_steps);
+      const Observed with_shape = run_machine(c, shaped, opt.max_steps);
+      if (auto d = identical(plain, with_shape)) {
+        return Divergence{"single-instruction (default-spec shape)", *d,
+                          shaped};
+      }
+    }
+    // Sampled shapes on the schedule-robust lanes. Non-aligned
+    // applicability (lanes_for) already certifies the program's result is
+    // independent of how instructions land on steps, which is exactly the
+    // freedom a shape exercises: T_p=1 groups overflow and evict, 3x-clock
+    // groups race ahead, NUMA rows move the memory term. Results must not.
+    if (!want.faulted) {
+      for (const LaneSpec& lane : c.lanes) {
+        if (lane.aligned || !lane_enabled(lane, opt)) continue;
+        machine::MachineConfig cfg = base_config(c, lane);
+        machine::sample_shape(cfg, opt.shape_seed);
+        const std::vector<std::uint32_t> hts =
+            machine::is_step_synchronous(lane.variant)
+                ? opt.host_threads
+                : std::vector<std::uint32_t>{1};
+        std::optional<Observed> first;
+        for (std::uint32_t ht : hts) {
+          const machine::MachineConfig lane_cfg =
+              baseline::with_host_threads(cfg, ht);
+          const Observed got = run_machine(c, lane_cfg, opt.max_steps);
+          if (auto d = compare(want, got, /*aligned=*/false, c.uses_local)) {
+            return Divergence{lane.name() + "+shape ht=" + std::to_string(ht),
+                              *d, lane_cfg};
+          }
+          if (!first) {
+            first = got;
+          } else if (auto d = identical(*first, got)) {
+            return Divergence{lane.name() + "+shape ht=" +
+                                  std::to_string(ht) + " vs ht=" +
+                                  std::to_string(hts.front()),
+                              *d, lane_cfg};
+          }
+        }
+      }
     }
   }
 

@@ -82,6 +82,19 @@ struct DiffOptions {
   /// images, debug output) and bit-identical across host-thread counts
   /// (tcffuzz --fault-seed).
   std::uint64_t fault_seed = 0;
+  /// When non-zero, two heterogeneous-shape lanes run on top of the sweep
+  /// (tcffuzz --shape-seed). First, a vector of default-constructed
+  /// GroupSpecs (every field inheriting the uniform value) must be
+  /// bit-identical — cycles included — to the uniform machine on the
+  /// aligned single-instruction lane: declaring a shape is not allowed to
+  /// move anything. Second, every *non-aligned* lane re-runs under the
+  /// seeded shape machine::sample_shape draws (per-group T_p, clocks,
+  /// pipeline fills, NUMA rows): non-aligned applicability already means
+  /// the program's result is schedule-independent, so the shaped run — in
+  /// which small groups overflow, fast groups finish early and placement
+  /// drifts — must still land exactly on the oracle's memory and PRINT
+  /// images, and stay bit-identical across host-thread counts.
+  std::uint64_t shape_seed = 0;
   /// When non-empty, only these variants' lanes run (tcffuzz --variants).
   std::vector<machine::Variant> only_variants;
   /// Oracle misimplementations for harness self-tests (tcffuzz --inject-bug).

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/metrics.hpp"
+#include "machine/shapes.hpp"
 #include "prof/profile.hpp"
 
 namespace tcfpn::debug {
@@ -37,6 +38,8 @@ std::string post_mortem_json(
   }
   out << "    \"variant\": \"" << to_string(m.config().variant) << "\",\n"
       << "    \"policy\": \"" << mem::to_string(m.config().crcw) << "\",\n"
+      << "    \"machine_shape\": \""
+      << metrics::json_escape(machine::shape_summary(m.config())) << "\",\n"
       << "    \"steps\": " << m.stats().steps << ",\n"
       << "    \"cycles\": " << m.stats().cycles << "\n  },\n";
 

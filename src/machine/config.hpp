@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hpp"
 #include "mem/shared_memory.hpp"
@@ -9,6 +10,33 @@
 #include "net/topology.hpp"
 
 namespace tcfpn::machine {
+
+/// Sentinel for GroupSpec::pipeline_fill: inherit the machine-wide value.
+inline constexpr std::uint32_t kInheritFill = 0xffffffffu;
+
+/// Per-group override for heterogeneous machine shapes (DESIGN.md §12).
+///
+/// A uniform machine leaves MachineConfig::group_specs empty; a
+/// heterogeneous one carries exactly `groups` entries, each of which may
+/// override the group's thread-slot count T_p, its clock (as a rational
+/// multiplier of the base clock), its pipeline depth, and its row of the
+/// NUMA distance matrix. Every field defaults to "inherit the uniform
+/// value", so a vector of default-constructed specs behaves exactly like
+/// the uniform machine (and fingerprints differently only because the
+/// shape was declared — see state.cpp).
+struct GroupSpec {
+  std::uint32_t slots = 0;        ///< T_p override; 0 = slots_per_group
+  std::uint32_t clock_num = 1;    ///< clock multiplier numerator (>= 1)
+  std::uint32_t clock_den = 1;    ///< clock multiplier denominator (>= 1)
+  std::uint32_t pipeline_fill = kInheritFill;  ///< F override
+  /// Distance from this group to the module-owner group m (one row of the
+  /// NUMA distance matrix). Empty = the topology's own row. Overrides the
+  /// analytic latency bound and the routing distance estimate; detailed
+  /// routing still follows the physical topology's links.
+  std::vector<std::uint32_t> numa_row;
+
+  bool operator==(const GroupSpec&) const = default;
+};
 
 /// The six execution variants of Section 3.2, in paper order.
 enum class Variant : std::uint8_t {
@@ -116,9 +144,47 @@ struct MachineConfig {
   /// config fingerprint.
   bool profile = false;
 
-  /// Total thread/TCF slots across the machine: P * T_p.
+  // ---- heterogeneous machine shape (DESIGN.md §12) ----
+  /// Per-group overrides. Empty = the classic uniform machine. When
+  /// non-empty the vector must carry exactly `groups` entries (checked at
+  /// Machine construction); group g then runs with group_slots(g) thread
+  /// slots, a clock_num/clock_den clock multiplier (its slot term shrinks
+  /// by the multiplier), pipeline depth group_fill(g) (the step's fill is
+  /// the max over alive groups — lockstep drains the deepest pipe), and an
+  /// optional private NUMA distance row.
+  std::vector<GroupSpec> group_specs;
+
+  bool is_heterogeneous() const { return !group_specs.empty(); }
+
+  std::uint32_t group_slots(std::uint32_t g) const {
+    if (g < group_specs.size() && group_specs[g].slots != 0) {
+      return group_specs[g].slots;
+    }
+    return slots_per_group;
+  }
+  std::uint32_t group_clock_num(std::uint32_t g) const {
+    return g < group_specs.size() ? group_specs[g].clock_num : 1u;
+  }
+  std::uint32_t group_clock_den(std::uint32_t g) const {
+    return g < group_specs.size() ? group_specs[g].clock_den : 1u;
+  }
+  std::uint32_t group_fill(std::uint32_t g) const {
+    if (g < group_specs.size() &&
+        group_specs[g].pipeline_fill != kInheritFill) {
+      return group_specs[g].pipeline_fill;
+    }
+    return pipeline_fill;
+  }
+
+  /// Total thread/TCF slots across the machine: P * T_p, or the sum of the
+  /// per-group overrides on a heterogeneous shape.
   std::uint64_t total_slots() const {
-    return static_cast<std::uint64_t>(groups) * slots_per_group;
+    if (!is_heterogeneous()) {
+      return static_cast<std::uint64_t>(groups) * slots_per_group;
+    }
+    std::uint64_t total = 0;
+    for (std::uint32_t g = 0; g < groups; ++g) total += group_slots(g);
+    return total;
   }
 };
 

@@ -31,8 +31,9 @@ VariantTraits variant_traits(Variant v) {
 }
 
 Cycle task_switch_cost(const MachineConfig& cfg, Word thickness,
-                       bool resident_in_buffer) {
+                       bool resident_in_buffer, std::uint32_t group_slots) {
   const Cycle r = cfg.registers_per_context;
+  if (group_slots == 0) group_slots = cfg.slots_per_group;
   switch (cfg.variant) {
     case Variant::kSingleInstruction:
     case Variant::kBalanced: {
@@ -53,7 +54,7 @@ Cycle task_switch_cost(const MachineConfig& cfg, Word thickness,
     case Variant::kConfigSingleOperation:
     case Variant::kFixedThickness:
       // Thread machines switch all T_p contexts (Table 1: O(T_p)).
-      return static_cast<Cycle>(cfg.slots_per_group) * r;
+      return static_cast<Cycle>(group_slots) * r;
   }
   TCFPN_FAULT("unknown variant");
 }

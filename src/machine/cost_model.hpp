@@ -33,9 +33,12 @@ VariantTraits variant_traits(Variant v);
 ///
 /// Table 1: 0 for the TCF variants while the flow is resident in the TCF
 /// storage buffer; O(1) for multi-instruction; O(T_p) for the thread-based
-/// variants (all T_p thread contexts must be switched).
+/// variants (all T_p thread contexts must be switched). `group_slots` is
+/// the T_p of the group the switch happens on — 0 means the uniform
+/// cfg.slots_per_group; heterogeneous shapes pass cfg.group_slots(g).
 Cycle task_switch_cost(const MachineConfig& cfg, Word thickness,
-                       bool resident_in_buffer);
+                       bool resident_in_buffer,
+                       std::uint32_t group_slots = 0);
 
 /// Cycles to branch (split) a flow: the TCF variants copy the flow-level
 /// register state into the child, O(R); thread machines branch in O(1).

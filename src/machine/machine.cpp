@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "machine/cost_model.hpp"
+#include "machine/shapes.hpp"
 
 namespace tcfpn::machine {
 
@@ -67,23 +68,50 @@ void Machine::bind_lane_counters(metrics::MetricsRegistry& reg,
   lc.store_forwards = &reg.counter("mem/store_forwards");
 }
 
+namespace {
+
+// The machine's topology: the physical network, wrapped in an
+// OverrideTopology when any group of a heterogeneous shape carries a
+// private NUMA distance row. Routing stays physical; the distance metric
+// (analytic latency bound, dist_cache_, diameter) sees the override.
+std::unique_ptr<net::Topology> make_machine_topology(
+    const MachineConfig& cfg) {
+  auto base = net::make_topology(cfg.topology, cfg.groups);
+  bool any_row = false;
+  for (const auto& spec : cfg.group_specs) {
+    if (!spec.numa_row.empty()) any_row = true;
+  }
+  if (!any_row) return base;
+  std::vector<std::vector<std::uint32_t>> rows(cfg.groups);
+  for (std::uint32_t g = 0; g < cfg.groups && g < cfg.group_specs.size();
+       ++g) {
+    rows[g] = cfg.group_specs[g].numa_row;
+  }
+  return std::make_unique<net::OverrideTopology>(std::move(base),
+                                                 std::move(rows));
+}
+
+}  // namespace
+
 Machine::Machine(MachineConfig cfg)
     : cfg_(cfg),
       shared_(cfg.shared_words, cfg.groups, cfg.crcw),
-      net_(std::make_unique<net::Network>(
-          net::make_topology(cfg.topology, cfg.groups), cfg.net)) {
+      net_(std::make_unique<net::Network>(make_machine_topology(cfg),
+                                          cfg.net)) {
   TCFPN_CHECK(cfg_.groups >= 1, "machine needs at least one group");
   TCFPN_CHECK(cfg_.slots_per_group >= 1, "machine needs at least one slot");
   TCFPN_CHECK(cfg_.variant != Variant::kFixedThickness || cfg_.groups == 1,
               "the fixed-thickness (vector/SIMD) variant has one processor");
   TCFPN_CHECK(cfg_.balanced_bound >= 1, "balanced bound must be >= 1");
   TCFPN_CHECK(cfg_.host_threads >= 1, "host_threads must be >= 1");
+  validate_shape(cfg_);
   locals_.reserve(cfg_.groups);
   for (GroupId g = 0; g < cfg_.groups; ++g) {
     locals_.emplace_back(g, cfg_.local_words, cfg_.local_latency);
   }
   groups_.resize(cfg_.groups);
   dead_.assign(cfg_.groups, 0);
+  recompute_step_fill();
   step_ctx_.resize(cfg_.groups);
   for (auto& ctx : step_ctx_) {
     ctx.port.attach(&shared_);
@@ -204,7 +232,7 @@ FlowId Machine::boot_at(std::size_t pc, Word thickness, GroupId home) {
   TCFPN_CHECK(pc < program_.code.size(), "boot pc ", pc, " out of range");
   TcfDescriptor& f = make_flow(pc, thickness, home, kNoFlow);
   auto& grp = groups_[home];
-  if (grp.resident.size() < cfg_.slots_per_group) {
+  if (grp.resident.size() < cfg_.group_slots(home)) {
     grp.resident.push_back(f.id);
   } else {
     grp.overflow.push_back(f.id);
@@ -315,7 +343,7 @@ Word Machine::retire_group(GroupId g) {
       const GroupId target = least_loaded_alive();
       f.home = target;
       auto& t = groups_[target];
-      if (t.resident.size() < cfg_.slots_per_group) {
+      if (t.resident.size() < cfg_.group_slots(target)) {
         t.resident.push_back(id);
       } else {
         t.overflow.push_back(id);
@@ -323,7 +351,8 @@ Word Machine::retire_group(GroupId g) {
       // Migrating off a dead group is a non-resident reload (Section 3.3
       // task-switch cost): the survivor must fetch the TCF's state anew.
       const Cycle c = task_switch_cost(cfg_, f.thickness,
-                                       /*resident_in_buffer=*/false);
+                                       /*resident_in_buffer=*/false,
+                                       cfg_.group_slots(target));
       stats_.task_switch_cycles += c;
       stats_.cycles += c;
       if (cfg_.profile) {
@@ -351,16 +380,48 @@ Word Machine::retire_group(GroupId g) {
     ++moved;
   }
   metrics_.counter("sched/groups_retired").add();
+  // A dead group's pipeline no longer gates the step: the fill is the max
+  // over *alive* groups on a heterogeneous shape.
+  recompute_step_fill();
   emit_now(DebugEventKind::kGroupRetired, kNoFlow, g, total_thickness,
            static_cast<Word>(moved));
   return total_thickness;
+}
+
+void Machine::recompute_step_fill() {
+  if (!cfg_.is_heterogeneous()) {
+    step_fill_ = cfg_.pipeline_fill;
+    return;
+  }
+  std::uint32_t fill = 0;
+  bool any = false;
+  for (GroupId g = 0; g < cfg_.groups; ++g) {
+    if (!group_alive(g)) continue;
+    fill = std::max(fill, cfg_.group_fill(g));
+    any = true;
+  }
+  step_fill_ = any ? fill : cfg_.pipeline_fill;
+}
+
+Word Machine::resident_thickness(GroupId g) const {
+  Word total = 0;
+  auto add = [&](FlowId id) {
+    const auto& f = *flows_[id];
+    if (f.status == FlowStatus::kReady) total += f.thickness;
+  };
+  for (FlowId id : groups_[g].resident) add(id);
+  for (FlowId id : groups_[g].overflow) add(id);
+  for (FlowId id : pending_spawns_) {
+    if (flows_[id]->home == g) add(id);
+  }
+  return total;
 }
 
 void Machine::admit_pending_spawns() {
   for (FlowId id : pending_spawns_) {
     TcfDescriptor& f = flow(id);
     auto& grp = groups_[f.home];
-    if (grp.resident.size() < cfg_.slots_per_group) {
+    if (grp.resident.size() < cfg_.group_slots(f.home)) {
       grp.resident.push_back(id);
     } else {
       grp.overflow.push_back(id);
@@ -373,7 +434,7 @@ void Machine::promote_overflow(GroupId g) {
   auto& grp = groups_[g];
   std::size_t i = 0;
   while (i < grp.overflow.size() &&
-         grp.resident.size() < cfg_.slots_per_group) {
+         grp.resident.size() < cfg_.group_slots(g)) {
     const FlowId id = grp.overflow[i];
     TcfDescriptor& f = flow(id);
     if (f.status != FlowStatus::kReady) {
@@ -386,7 +447,8 @@ void Machine::promote_overflow(GroupId g) {
     if (f.evicted_once) {
       // Reloading a previously displaced TCF pays the swap-in.
       const Cycle c = task_switch_cost(cfg_, f.thickness,
-                                       /*resident_in_buffer=*/false);
+                                       /*resident_in_buffer=*/false,
+                                       cfg_.group_slots(g));
       stats_.task_switch_cycles += c;
       stats_.cycles += c;
       if (cfg_.profile) {
@@ -484,7 +546,7 @@ bool Machine::step_synchronous() {
   // their profiler bins; never let them leak into this step's apportionment.
   step_bins_.clear();
 
-  const Cycle step_base = stats_.cycles + cfg_.pipeline_fill;
+  const Cycle step_base = stats_.cycles + step_fill_;
 
   // Per-group phase. Each group executes against its own effect buffer
   // (GroupCtx): it reads only committed shared memory and its own flows, so
@@ -574,7 +636,11 @@ bool Machine::step_synchronous() {
   }
 
   // Slot term per variant (DESIGN.md §4 item 3). ILP co-execution issues
-  // `functional_units` operations per group per cycle.
+  // `functional_units` operations per group per cycle; on a heterogeneous
+  // shape each group additionally divides by its clock multiplier — a 3x
+  // group retires 3 operations per base-clock cycle — with one exact
+  // ceiling division: ceil(term * den / (num * fu)). num = den = 1 reduces
+  // to the uniform ceil(term / fu) bit-for-bit.
   const Cycle fu = std::max<std::uint32_t>(cfg_.functional_units, 1);
   Cycle slot_max = 0;
   for (GroupId g = 0; g < cfg_.groups; ++g) {
@@ -590,12 +656,14 @@ bool Machine::step_synchronous() {
         break;
       case Variant::kSingleOperation:
       case Variant::kConfigSingleOperation:
-        term = cfg_.slots_per_group;  // fixed interleaved pipeline
+        term = cfg_.group_slots(g);  // fixed interleaved pipeline
         break;
       case Variant::kMultiInstruction:
         TCFPN_FAULT("multi-instruction variant in synchronous stepper");
     }
-    slot_max = std::max(slot_max, (term + fu - 1) / fu);
+    const Cycle num = cfg_.group_clock_num(g);
+    const Cycle den = cfg_.group_clock_den(g);
+    slot_max = std::max(slot_max, (term * den + num * fu - 1) / (num * fu));
   }
 
   finish_step(slot_max, group_work_);
@@ -1498,8 +1566,7 @@ void Machine::profile_step(Cycle slot_term_max, MemTerm mt, Cycle body,
   using prof::kNoIndex;
   using prof::Term;
   // Pipeline fill is a per-step machine cost, attributable to nobody.
-  profile_.add({kNoIndex, kNoIndex, kNoIndex, Term::kFill},
-               cfg_.pipeline_fill);
+  profile_.add({kNoIndex, kNoIndex, kNoIndex, Term::kFill}, step_fill_);
   // The slot term distributes over the bins the groups recorded this step.
   // Three regimes: no recorded work (pure idle), slot capacity at or above
   // the recorded work (bins charge at face value, remainder is barrier
@@ -1539,7 +1606,7 @@ void Machine::profile_step(Cycle slot_term_max, MemTerm mt, Cycle body,
       best = group_work[g];
     }
   }
-  profile_.record_step({stats_.steps - 1, limit_group, cfg_.pipeline_fill,
+  profile_.record_step({stats_.steps - 1, limit_group, step_fill_,
                         slot_term_max, mt.bound, mt.fault, work});
 }
 
@@ -1569,7 +1636,7 @@ void Machine::finish_step(Cycle slot_term_max,
   step_refs_.clear();
   const Cycle body = std::max(slot_term_max, mem);
   stats_.memory_wait_cycles += mem > slot_term_max ? mem - slot_term_max : 0;
-  stats_.cycles += cfg_.pipeline_fill + body;
+  stats_.cycles += step_fill_ + body;
   ++stats_.steps;
   if (cfg_.profile) profile_step(slot_term_max, mt, body, group_work);
   step_bins_.clear();
@@ -1582,7 +1649,7 @@ void Machine::finish_step(Cycle slot_term_max,
   // Cost-category accounting: where the step's cycles went (the cost model
   // of DESIGN.md §4 item 3, one counter per term) and how full the TCF
   // buffers ran. All barrier-side, so plain registry lookups are fine.
-  sc_.pipeline_fill_cycles->add(cfg_.pipeline_fill);
+  sc_.pipeline_fill_cycles->add(step_fill_);
   sc_.slot_term_cycles->add(slot_term_max);
   sc_.memory_term_cycles->add(mem);
   sc_.memory_wait_cycles->add(mem > slot_term_max ? mem - slot_term_max : 0);
@@ -1877,12 +1944,31 @@ bool Machine::step_multi_instruction() {
   // P pipelines execute one operation per cycle each; the T_p thread units
   // per processor hide latency rather than multiply throughput (the same
   // capacity assumption the synchronous variants run under). Retired
-  // groups no longer pipeline: degraded runs pay P-1 throughput.
-  const std::uint64_t units = std::max<std::uint32_t>(alive_groups(), 1);
-  const Cycle phase = (total_ops + units - 1) / units;
+  // groups no longer pipeline: degraded runs pay P-1 throughput. On a
+  // heterogeneous shape each alive pipeline contributes its clock
+  // multiplier to the aggregate throughput; the 16-bit fixed-point sum is
+  // exact for the bounded num/den range and reduces to the uniform
+  // ceil(total_ops / alive) bit-for-bit when every multiplier is 1.
+  Cycle phase = 0;
+  std::uint64_t units = std::max<std::uint32_t>(alive_groups(), 1);
+  if (!cfg_.is_heterogeneous()) {
+    phase = (total_ops + units - 1) / units;
+  } else {
+    std::uint64_t weight_fp = 0;  // aggregate throughput, 16.16 fixed point
+    for (GroupId g = 0; g < cfg_.groups; ++g) {
+      if (!group_alive(g)) continue;
+      weight_fp += (static_cast<std::uint64_t>(cfg_.group_clock_num(g)) << 16) /
+                   cfg_.group_clock_den(g);
+    }
+    if (weight_fp == 0) weight_fp = 1u << 16;
+    phase = ((total_ops << 16) + weight_fp - 1) / weight_fp;
+  }
   stats_.cycles += phase;
   stats_.busy_slots += total_ops;
-  stats_.idle_slots += phase * units - total_ops;
+  // Guarded: with >1x clocks the pipelines may retire more than one op per
+  // base-clock cycle, so phase * units can undershoot total_ops.
+  stats_.idle_slots +=
+      phase * units > total_ops ? phase * units - total_ops : 0;
   ++stats_.steps;
   metrics_.counter("machine/phase_cycles").add(phase);
   if (cfg_.profile) {
@@ -1966,7 +2052,8 @@ Cycle Machine::suspend_flow(FlowId id) {
       std::find(groups_[f.home].resident.begin(),
                 groups_[f.home].resident.end(),
                 id) != groups_[f.home].resident.end();
-  const Cycle c = task_switch_cost(cfg_, f.thickness, resident);
+  const Cycle c = task_switch_cost(cfg_, f.thickness, resident,
+                                   cfg_.group_slots(f.home));
   stats_.task_switch_cycles += c;
   stats_.cycles += c;
   if (cfg_.profile) {
@@ -1993,7 +2080,7 @@ Cycle Machine::resume_flow(FlowId id) {
   Cycle c = 0;
   if (!resident) {
     // Make room: displace a suspended resident flow if the buffer is full.
-    if (grp.resident.size() >= cfg_.slots_per_group) {
+    if (grp.resident.size() >= cfg_.group_slots(f.home)) {
       for (FlowId victim : grp.resident) {
         if (flows_[victim]->status == FlowStatus::kSuspended) {
           c += evict_flow(victim);
@@ -2002,17 +2089,19 @@ Cycle Machine::resume_flow(FlowId id) {
       }
     }
     std::erase(grp.overflow, id);
-    if (grp.resident.size() < cfg_.slots_per_group) {
+    if (grp.resident.size() < cfg_.group_slots(f.home)) {
       grp.resident.push_back(id);
       resident = true;
       // Loading the descriptor and its cached lane registers back into the
       // buffer is the swap-in half of the task switch.
-      c += task_switch_cost(cfg_, f.thickness, /*resident_in_buffer=*/false);
+      c += task_switch_cost(cfg_, f.thickness, /*resident_in_buffer=*/false,
+                            cfg_.group_slots(f.home));
     } else {
       grp.overflow.push_back(id);
     }
   } else {
-    c += task_switch_cost(cfg_, f.thickness, /*resident_in_buffer=*/true);
+    c += task_switch_cost(cfg_, f.thickness, /*resident_in_buffer=*/true,
+                          cfg_.group_slots(f.home));
   }
   stats_.task_switch_cycles += c;
   stats_.cycles += c;
@@ -2036,8 +2125,9 @@ Cycle Machine::evict_flow(FlowId id) {
   grp.resident.erase(it);
   grp.overflow.push_back(id);
   f.evicted_once = true;
-  const Cycle c =
-      task_switch_cost(cfg_, f.thickness, /*resident_in_buffer=*/false);
+  const Cycle c = task_switch_cost(cfg_, f.thickness,
+                                   /*resident_in_buffer=*/false,
+                                   cfg_.group_slots(f.home));
   stats_.task_switch_cycles += c;
   metrics_.counter("sched/evictions").add();
   metrics_.counter("sched/swap_out_cycles").add(c);

@@ -279,6 +279,17 @@ class Machine {
   }
   std::uint32_t alive_groups() const;
 
+  /// The pipeline fill charged per machine step: cfg().pipeline_fill on the
+  /// uniform machine, else the max of group_fill(g) over alive groups
+  /// (lockstep drains the deepest pipe). Recomputed when a group retires or
+  /// a checkpoint is restored.
+  std::uint32_t step_fill() const { return step_fill_; }
+
+  /// Sum of thickness of the ready flows homed on group g (resident,
+  /// overflow and pending spawns) — the load the placement-aware LPT
+  /// scheduler divides by per-group throughput.
+  Word resident_thickness(GroupId g) const;
+
  private:
   struct PendingPrefix {
     FlowId flow;
@@ -383,6 +394,7 @@ class Machine {
   GroupId pick_group(const TcfDescriptor& child) const;
   GroupId least_loaded_alive() const;
   std::uint64_t group_load(GroupId g) const;
+  void recompute_step_fill();
   void admit_pending_spawns();
   void promote_overflow(GroupId g);
   void on_flow_halted(TcfDescriptor& f);
@@ -473,6 +485,8 @@ class Machine {
   std::vector<std::unique_ptr<TcfDescriptor>> flows_;
   std::vector<GroupState> groups_;
   std::vector<std::uint8_t> dead_;  ///< 1 = group retired (degraded mode)
+  std::uint32_t step_fill_ = 0;     ///< see step_fill(); kept in sync with
+                                    ///< dead_ + the heterogeneous shape
   std::vector<FlowId> pending_spawns_;
   std::vector<PendingPrefix> pending_prefixes_;
   std::vector<std::pair<GroupId, std::uint32_t>> step_refs_;  ///< (src, module)

@@ -48,6 +48,23 @@ std::uint64_t config_fingerprint(const MachineConfig& cfg) {
   // host_threads, effect_channels, merge_skip, record_trace, sample_every,
   // profile_host, profile: observation/engine knobs, not semantics —
   // excluded so checkpoints move across them.
+  //
+  // The heterogeneous shape is semantics: per-group T_p changes buffer
+  // capacity, clocks and fills change every step's cost, NUMA rows change
+  // the memory term. Mixed only when present so every uniform config keeps
+  // its pre-shape fingerprint (existing TCFCKPT images stay loadable).
+  if (cfg.is_heterogeneous()) {
+    fp.mix(0x5348415045ull);  // "SHAPE" tag: uniform vs [default specs]
+    fp.mix(cfg.group_specs.size());
+    for (const GroupSpec& s : cfg.group_specs) {
+      fp.mix(s.slots);
+      fp.mix(s.clock_num);
+      fp.mix(s.clock_den);
+      fp.mix(s.pipeline_fill);
+      fp.mix(s.numa_row.size());
+      for (std::uint32_t d : s.numa_row) fp.mix(d);
+    }
+  }
   return fp.h;
 }
 
@@ -167,6 +184,7 @@ void Machine::restore_state(const MachineState& s) {
                 "checkpoint dead-group vector size mismatch");
     dead_ = s.dead_groups;
   }
+  recompute_step_fill();  // dead-group set may differ from pre-restore
 
   // Mid-step staging is never part of a checkpoint; clear it unconditionally
   // since a restore may land on a machine whose step a fault aborted.

@@ -4,6 +4,7 @@
 
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "machine/shapes.hpp"
 
 namespace tcfpn::machine {
 
@@ -17,6 +18,7 @@ MetaPairs run_metadata(const Machine& m, const MetaPairs& extra) {
   meta.emplace_back("slots_per_group", std::to_string(cfg.slots_per_group));
   meta.emplace_back("host_threads", std::to_string(cfg.host_threads));
   meta.emplace_back("crcw", mem::to_string(cfg.crcw));
+  meta.emplace_back("machine_shape", shape_summary(cfg));
   return meta;
 }
 
@@ -69,7 +71,7 @@ prof::RunInfo profile_run_info(const Machine& m, const RunResult& run,
   info.completed = run.completed;
   info.steps = run.steps;
   info.cycles = m.stats().cycles;
-  info.pipeline_fill = m.config().pipeline_fill;
+  info.pipeline_fill = m.step_fill();
   return info;
 }
 

@@ -15,6 +15,30 @@ std::uint32_t Topology::diameter() const {
   return d;
 }
 
+// ------------------------------------------------------- OverrideTopology
+
+OverrideTopology::OverrideTopology(
+    std::unique_ptr<Topology> base,
+    std::vector<std::vector<std::uint32_t>> rows)
+    : base_(std::move(base)), rows_(std::move(rows)) {
+  TCFPN_CHECK(base_ != nullptr, "override topology needs a base");
+  TCFPN_CHECK(rows_.size() == base_->nodes(), "override topology: ",
+              rows_.size(), " rows for ", base_->nodes(), " nodes");
+  for (const auto& row : rows_) {
+    TCFPN_CHECK(row.empty() || row.size() == base_->nodes(),
+                "override topology: row size ", row.size(), " for ",
+                base_->nodes(), " nodes");
+  }
+}
+
+std::uint32_t OverrideTopology::distance(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  if (a == b) return 0;
+  if (!rows_[a].empty()) return rows_[a][b];
+  return base_->distance(a, b);
+}
+
 // ---------------------------------------------------------------- Crossbar
 
 Crossbar::Crossbar(std::uint32_t n) : n_(n) {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
@@ -117,6 +118,33 @@ class Hypercube final : public Topology {
 
  private:
   std::uint32_t n_;
+};
+
+/// A physical topology with some distance rows replaced — the NUMA
+/// distance-matrix overrides of heterogeneous machine shapes (DESIGN.md
+/// §12). distance(a, b) returns the override row's entry when source `a`
+/// carries one (a == b stays 0), otherwise the base topology's distance.
+/// Routing still follows the base topology's physical links, so the
+/// detailed network moves packets over real hops while the analytic
+/// latency bound and the diameter see the effective (overridden) metric.
+class OverrideTopology final : public Topology {
+ public:
+  /// `rows[a]` is either empty (keep the base metric for source a) or a
+  /// `base->nodes()`-sized distance row. `rows` itself must have exactly
+  /// `base->nodes()` entries.
+  OverrideTopology(std::unique_ptr<Topology> base,
+                   std::vector<std::vector<std::uint32_t>> rows);
+  std::uint32_t nodes() const override { return base_->nodes(); }
+  std::uint32_t distance(NodeId a, NodeId b) const override;
+  NodeId route_next(NodeId cur, NodeId dst) const override {
+    return base_->route_next(cur, dst);
+  }
+  std::string name() const override { return base_->name() + "+numa"; }
+  const Topology& base() const { return *base_; }
+
+ private:
+  std::unique_ptr<Topology> base_;
+  std::vector<std::vector<std::uint32_t>> rows_;
 };
 
 enum class TopologyKind : std::uint8_t {

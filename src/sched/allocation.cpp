@@ -45,6 +45,44 @@ void install_lpt_hook(machine::Machine& m) {
   });
 }
 
+std::vector<GroupSpeed> group_speeds(const machine::MachineConfig& cfg) {
+  std::vector<GroupSpeed> speeds(cfg.groups);
+  for (GroupId g = 0; g < cfg.groups; ++g) {
+    speeds[g].num = static_cast<std::uint64_t>(cfg.group_slots(g)) *
+                    cfg.group_clock_num(g);
+    speeds[g].den = cfg.group_clock_den(g);
+  }
+  return speeds;
+}
+
+void install_throughput_lpt_hook(machine::Machine& m) {
+  machine::Machine* mp = &m;
+  const std::vector<GroupSpeed> speeds = group_speeds(m.config());
+  m.set_allocation_hook([mp, speeds](const machine::TcfDescriptor& f) {
+    // Minimize (load + t) / speed over alive groups: exact cross-multiplied
+    // comparison, ties to the lower group id.
+    GroupId best = 0;
+    bool found = false;
+    unsigned __int128 best_lhs = 0;
+    for (GroupId g = 0; g < mp->config().groups; ++g) {
+      if (!mp->group_alive(g)) continue;
+      const std::uint64_t work =
+          static_cast<std::uint64_t>(mp->resident_thickness(g)) +
+          static_cast<std::uint64_t>(f.thickness);
+      const auto finish_num =
+          static_cast<unsigned __int128>(work) * speeds[g].den;
+      if (!found || finish_num * speeds[best].num <
+                        best_lhs * speeds[g].num) {
+        best = g;
+        best_lhs = finish_num;
+        found = true;
+      }
+    }
+    TCFPN_CHECK(found, "no live group left to place a flow on");
+    return best;
+  });
+}
+
 void install_first_group_hook(machine::Machine& m) {
   m.set_allocation_hook([](const machine::TcfDescriptor&) {
     return GroupId{0};

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "machine/machine.hpp"
+#include "sched/balancer.hpp"
 
 namespace tcfpn::sched {
 
@@ -37,6 +38,20 @@ void install_lpt_hook(machine::Machine& m);
 
 /// Installs a naive hook: every spawned flow lands on group 0.
 void install_first_group_hook(machine::Machine& m);
+
+/// Per-group effective throughput of a (possibly heterogeneous) config:
+/// speed_g = group_slots(g) * clock_num(g) / clock_den(g), as exact
+/// rationals for the weighted balancer.
+std::vector<GroupSpeed> group_speeds(const machine::MachineConfig& cfg);
+
+/// Installs the placement-aware LPT hook for heterogeneous shapes
+/// (DESIGN.md §12): each spawned flow goes to the alive group whose finish
+/// time — (resident thickness + flow thickness) / effective throughput —
+/// is smallest, so fat (wide or fast-clocked) groups absorb proportionally
+/// more work. On a uniform machine this reduces to thickness-balanced LPT
+/// placement. Deterministic: exact rational comparison, ties to the lower
+/// group id, and hooks run only at the step barrier.
+void install_throughput_lpt_hook(machine::Machine& m);
 
 /// Installs the automatic splitter of Section 3.3: every SPAWN thicker than
 /// `bound` is cut into near-equal fragments no thicker than `bound` (at

@@ -20,6 +20,7 @@
 #include "debug/debugger.hpp"
 #include "debug/recorder.hpp"
 #include "machine/machine.hpp"
+#include "machine/shapes.hpp"
 #include "machine/state.hpp"
 #include "tcf/builder.hpp"
 #include "tcf/kernels.hpp"
@@ -310,6 +311,50 @@ TEST(CheckpointFormat, RestoreChecksFingerprints) {
   Machine ht(base_cfg(Variant::kSingleInstruction, 8));
   ht.load(program_for(Variant::kSingleInstruction));
   EXPECT_NO_THROW(ht.restore_state(state));
+}
+
+// The heterogeneous per-group config is semantics — per-group T_p changes
+// buffer capacity, clocks and fills change every step's cost, NUMA rows
+// change the memory term — so it must be part of the config fingerprint and
+// a checkpoint must not restore across a shape change (DESIGN.md §12).
+TEST(CheckpointFormat, RestoreChecksHeterogeneousShapeFingerprint) {
+  MachineConfig shaped_cfg = base_cfg(Variant::kSingleInstruction, 1);
+  machine::apply_shape(shaped_cfg, "fat-thin");
+  Machine shaped(shaped_cfg);
+  shaped.load(program_for(Variant::kSingleInstruction));
+  shaped.boot(1);
+  const MachineState state = shaped.save_state();
+
+  // Same shape, different host threads: restores (and round-trips the
+  // serializer) fine.
+  MachineConfig same_cfg = shaped_cfg;
+  same_cfg.host_threads = 8;
+  Machine same(same_cfg);
+  same.load(program_for(Variant::kSingleInstruction));
+  EXPECT_NO_THROW(same.restore_state(deserialize(serialize(state))));
+
+  // Uniform machine with identical groups/slots: the shape tag alone must
+  // reject the restore.
+  Machine uniform(base_cfg(Variant::kSingleInstruction, 1));
+  uniform.load(program_for(Variant::kSingleInstruction));
+  EXPECT_THROW(uniform.restore_state(state), SimError);
+
+  // A different shape (one clock multiplier moved): also rejected.
+  MachineConfig other_cfg = shaped_cfg;
+  other_cfg.group_specs[0].clock_num += 1;
+  Machine other(other_cfg);
+  other.load(program_for(Variant::kSingleInstruction));
+  EXPECT_THROW(other.restore_state(state), SimError);
+
+  // And the mirror image: a uniform checkpoint must not restore into a
+  // shaped machine.
+  Machine plain(base_cfg(Variant::kSingleInstruction, 1));
+  plain.load(program_for(Variant::kSingleInstruction));
+  plain.boot(1);
+  const MachineState plain_state = plain.save_state();
+  Machine shaped2(shaped_cfg);
+  shaped2.load(program_for(Variant::kSingleInstruction));
+  EXPECT_THROW(shaped2.restore_state(plain_state), SimError);
 }
 
 // ---- fault capture and post-mortem ----

@@ -13,6 +13,7 @@
 #include "debug/postmortem.hpp"
 #include "debug/recorder.hpp"
 #include "machine/machine.hpp"
+#include "machine/shapes.hpp"
 #include "machine/telemetry.hpp"
 
 namespace tcfpn::cli {
@@ -51,6 +52,10 @@ inline void usage(const char* tool, const char* what) {
       "                    config-single-operation, fixed-thickness\n"
       "  --groups=P        processor groups (default 4)\n"
       "  --slots=T         TCF buffer slots / threads per group (default 16)\n"
+      "  --shape=S         heterogeneous machine shape (DESIGN.md §12):\n"
+      "                    uniform (default), fat-thin, gpu, or an explicit\n"
+      "                    COUNT*slots=N,clock=N/D,fill=N,dist=a:b:... list\n"
+      "                    joined by '+'; sets --groups for explicit lists\n"
       "  --thickness=T     boot thickness of the root flow (default 1)\n"
       "  --bound=B         balanced-variant operation bound (default 16)\n"
       "  --topology=NAME   mesh2d (default), ring, hypercube, crossbar\n"
@@ -185,6 +190,13 @@ inline bool parse_args(int argc, char** argv, const char* tool,
     } else if (parse_flag(arg, "slots", &v)) {
       if (!parse_uint_as(v, "slots", 1, 1u << 20,
                          &opt->cfg.slots_per_group)) {
+        return false;
+      }
+    } else if (parse_flag(arg, "shape", &v)) {
+      try {
+        machine::apply_shape(opt->cfg, v);
+      } catch (const SimError& e) {
+        std::fprintf(stderr, "--shape: %s\n", e.what());
         return false;
       }
     } else if (parse_flag(arg, "thickness", &v)) {

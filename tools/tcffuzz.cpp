@@ -29,6 +29,7 @@ struct FuzzOptions {
   std::uint64_t runs = 500;
   std::uint64_t max_stmts = 18;
   std::uint64_t fault_seed = 0;  ///< 0 = no fault-injection lanes
+  std::uint64_t shape_seed = 0;  ///< 0 = no heterogeneous-shape lanes
   bool allow_errors = true;
   bool verbose = false;
   std::string save_dir;     ///< write minimized reproducers here
@@ -52,6 +53,11 @@ void usage() {
       "                    fault schedule for seed S+i with rollback recovery;\n"
       "                    recovered runs must match the fault-free oracle\n"
       "                    bit-for-bit (0 = off, the default)\n"
+      "  --shape-seed=S    also run heterogeneous-shape lanes: run i samples\n"
+      "                    a machine shape (per-group T_p/clock/pipeline/NUMA\n"
+      "                    rows) from seed S+i for every schedule-robust lane,\n"
+      "                    and checks that a declared-but-default shape stays\n"
+      "                    bit-identical to the uniform machine (0 = off)\n"
       "  --no-errors       skip expected-SimError programs\n"
       "  --no-frontends    skip the baseline:: frontend lanes\n"
       "  --no-perturb      skip the perturbed-cost-knob lane\n"
@@ -69,7 +75,7 @@ bool parse(int argc, char** argv, FuzzOptions* o) {
   static const char* kValueFlags[] = {
       "--runs",    "--seed",   "--max-stmts",  "--variants",
       "--host-threads", "--save", "--replay", "--inject-bug",
-      "--fault-seed"};
+      "--fault-seed",   "--shape-seed"};
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     for (const char* f : kValueFlags) {
@@ -102,6 +108,11 @@ bool parse(int argc, char** argv, FuzzOptions* o) {
     } else if (cli::parse_flag(arg, "fault-seed", &v)) {
       if (!cli::parse_uint(v, "fault-seed", 0, ~std::uint64_t{0} >> 1,
                            &o->fault_seed)) {
+        return false;
+      }
+    } else if (cli::parse_flag(arg, "shape-seed", &v)) {
+      if (!cli::parse_uint(v, "shape-seed", 0, ~std::uint64_t{0} >> 1,
+                           &o->shape_seed)) {
         return false;
       }
     } else if (cli::parse_flag(arg, "save", &v)) {
@@ -260,6 +271,9 @@ int fuzz(const FuzzOptions& o) {
     // A fresh fault schedule per run: the same program under different fault
     // timings is a different resilience test.
     if (o.fault_seed != 0) diff.fault_seed = o.fault_seed + i;
+    // Likewise a fresh machine shape per run: the same program on different
+    // heterogeneous machines is a different conformance test.
+    if (o.shape_seed != 0) diff.shape_seed = o.shape_seed + i;
     try {
       if (auto d = run_differential(gp, diff)) {
         report(o, diff, seed, gp, *d);

@@ -17,6 +17,9 @@ Checks, using only the Python standard library:
   * post-mortem documents follow the tcfpn-postmortem-v1 schema (DESIGN.md
     §8): run metadata, a classified fault, the journal-tail events, the
     flow table at the time of death and the involved cells;
+  * metrics, profile and post-mortem run metadata carry the heterogeneous
+    machine-shape summary (DESIGN.md §12): "uniform", a named preset's
+    expansion, or a run-length-encoded `COUNT*key=val,...` group list;
   * profile documents follow the tcfpn-profile-v1 schema (DESIGN.md §11):
     the closed world of ten cost terms, per-term totals and per-cell cycles
     that conserve exactly (cells == totals == attributed_cycles ==
@@ -53,6 +56,28 @@ STEP_LIMITS = {"compute", "net", "fault", "idle"}
 def fail(msg: str) -> None:
     print(f"validate_metrics: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_machine_shape(path, run):
+    """The per-group heterogeneous config metadata (DESIGN.md §12): every
+    run-describing document reports the machine shape as either the literal
+    "uniform" or a run-length-encoded group list whose every '+'-separated
+    term is COUNT*key[=val],... — the same grammar machine::apply_shape
+    accepts back (modulo the elided NUMA rows)."""
+    shape = run.get("machine_shape")
+    if not isinstance(shape, str) or not shape:
+        fail(f"{path}: run metadata missing non-empty string 'machine_shape'")
+    if shape == "uniform":
+        return
+    for term in shape.split("+"):
+        count, star, specs = term.partition("*")
+        if not star or not count.isdigit() or int(count) < 1:
+            fail(f"{path}: machine_shape term {term!r} lacks a COUNT* prefix")
+        for kv in specs.split(","):
+            key = kv.split("=", 1)[0]
+            if key not in ("slots", "clock", "fill", "dist", "default"):
+                fail(f"{path}: machine_shape term {term!r} has unknown "
+                     f"key {key!r}")
 
 
 def walk_instruments(tree, path=""):
@@ -92,6 +117,7 @@ def check_metrics(path, expect_rollback=False):
     run = doc.get("run")
     if not isinstance(run, dict) or "variant" not in run:
         fail(f"{path}: missing run metadata")
+    check_machine_shape(path, run)
     tree = doc.get("metrics")
     if not isinstance(tree, dict):
         fail(f"{path}: missing metrics tree")
@@ -167,6 +193,7 @@ def check_postmortem(path):
     for key in ("variant", "policy"):
         if not isinstance(run.get(key), str):
             fail(f"{path}: run metadata missing string '{key}'")
+    check_machine_shape(path, run)
     for key in ("steps", "cycles"):
         if not isinstance(run.get(key), int) or run[key] < 0:
             fail(f"{path}: run metadata missing non-negative '{key}'")
@@ -236,6 +263,7 @@ def check_profile(path):
         fail(f"{path}: missing run metadata")
     if not isinstance(run.get("program"), str):
         fail(f"{path}: run metadata missing string 'program'")
+    check_machine_shape(path, run)
     if not isinstance(run.get("completed"), bool):
         fail(f"{path}: run metadata missing boolean 'completed'")
     for key in ("steps", "cycles", "attributed_cycles", "pipeline_fill"):
