@@ -1,0 +1,62 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace tcfpn::obs {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;  // guards the forwarder and serializes stderr lines
+LogForwarder g_forwarder;
+
+}  // namespace
+
+const char* to_string(LogLevel lv) {
+  switch (lv) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+bool log_level_from_string(std::string_view name, LogLevel* out) {
+  if (name == "debug") *out = LogLevel::kDebug;
+  else if (name == "info") *out = LogLevel::kInfo;
+  else if (name == "warn") *out = LogLevel::kWarn;
+  else if (name == "error") *out = LogLevel::kError;
+  else return false;
+  return true;
+}
+
+void set_log_level(LogLevel lv) {
+  g_level.store(lv, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_forwarder(LogForwarder fwd) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_forwarder = std::move(fwd);
+}
+
+void log(LogLevel lv, std::string_view category, std::string_view message) {
+  const bool echo = lv >= g_level.load(std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (echo) {
+    // One fprintf per line so concurrent loggers never interleave mid-line.
+    std::fprintf(stderr, "[%s] %.*s: %.*s\n", to_string(lv),
+                 static_cast<int>(category.size()), category.data(),
+                 static_cast<int>(message.size()), message.data());
+  }
+  if (g_forwarder) {
+    g_forwarder(LogLine{lv, std::string(category), std::string(message)});
+  }
+}
+
+}  // namespace tcfpn::obs

@@ -281,38 +281,7 @@ std::string fmt_double(double v) {
 
 void emit_value(std::ostringstream& os, const MetricValue& v,
                 const std::string& pad) {
-  os << "{\"type\": \"" << to_string(v.kind) << "\"";
-  switch (v.kind) {
-    case InstrumentKind::kCounter:
-      os << ", \"value\": " << v.count;
-      break;
-    case InstrumentKind::kGauge:
-      if (v.gauge_set) os << ", \"value\": " << fmt_double(v.value);
-      else os << ", \"value\": null";
-      break;
-    case InstrumentKind::kAccumulator:
-      os << ", \"count\": " << v.count;
-      if (v.count > 0) {
-        os << ", \"sum\": " << fmt_double(v.sum)
-           << ", \"min\": " << fmt_double(v.min)
-           << ", \"max\": " << fmt_double(v.max)
-           << ", \"mean\": " << fmt_double(v.mean)
-           << ", \"variance\": " << fmt_double(v.variance);
-      }
-      break;
-    case InstrumentKind::kHistogram: {
-      os << ", \"count\": " << v.count << ", \"lo\": " << fmt_double(v.lo)
-         << ", \"hi\": " << fmt_double(v.hi) << ",\n"
-         << pad << "  \"buckets\": [";
-      for (std::size_t i = 0; i < v.buckets.size(); ++i) {
-        if (i) os << ", ";
-        os << v.buckets[i];
-      }
-      os << "]";
-      break;
-    }
-  }
-  os << "}";
+  os << to_json_leaf(v, pad);
 }
 
 using Iter = std::map<std::string, MetricValue>::const_iterator;
@@ -352,6 +321,47 @@ std::string MetricsSnapshot::to_json(int indent) const {
   std::ostringstream os;
   Iter it = entries.begin();
   emit_tree(os, it, entries.end(), "", 0, indent);
+  return os.str();
+}
+
+std::string to_json_leaf(const MetricValue& v, const std::string& pretty_pad) {
+  std::ostringstream os;
+  os << "{\"type\": \"" << to_string(v.kind) << "\"";
+  switch (v.kind) {
+    case InstrumentKind::kCounter:
+      os << ", \"value\": " << v.count;
+      break;
+    case InstrumentKind::kGauge:
+      if (v.gauge_set) os << ", \"value\": " << fmt_double(v.value);
+      else os << ", \"value\": null";
+      break;
+    case InstrumentKind::kAccumulator:
+      os << ", \"count\": " << v.count;
+      if (v.count > 0) {
+        os << ", \"sum\": " << fmt_double(v.sum)
+           << ", \"min\": " << fmt_double(v.min)
+           << ", \"max\": " << fmt_double(v.max)
+           << ", \"mean\": " << fmt_double(v.mean)
+           << ", \"variance\": " << fmt_double(v.variance);
+      }
+      break;
+    case InstrumentKind::kHistogram: {
+      os << ", \"count\": " << v.count << ", \"lo\": " << fmt_double(v.lo)
+         << ", \"hi\": " << fmt_double(v.hi) << ",";
+      if (pretty_pad.empty()) {
+        os << " \"buckets\": [";
+      } else {
+        os << "\n" << pretty_pad << "  \"buckets\": [";
+      }
+      for (std::size_t i = 0; i < v.buckets.size(); ++i) {
+        if (i) os << ", ";
+        os << v.buckets[i];
+      }
+      os << "]";
+      break;
+    }
+  }
+  os << "}";
   return os.str();
 }
 

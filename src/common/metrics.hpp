@@ -192,6 +192,15 @@ class MetricsRegistry {
   std::map<std::string, Entry> entries_;
 };
 
+/// One instrument leaf as a JSON object ({"type": "counter", "value": N},
+/// ...). With `pretty_pad` empty the whole object stays on one line (the
+/// NDJSON stream export); otherwise histogram buckets break onto their own
+/// line indented under `pretty_pad` (the nested --metrics-json tree). Both
+/// paths emit identical values, which is what lets the stream validator
+/// compare the two exports leaf-for-leaf.
+std::string to_json_leaf(const MetricValue& v,
+                         const std::string& pretty_pad = "");
+
 /// Escapes a string for embedding inside a JSON string literal (quotes not
 /// included).
 std::string json_escape(std::string_view s);

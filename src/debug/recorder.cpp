@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 
 namespace tcfpn::debug {
 
@@ -68,6 +69,11 @@ void FlightRecorder::on_step(machine::Machine& m) {
     std::reverse(kept.begin(), kept.end());
     checkpoints_ = std::move(kept);
     interval_ *= 2;
+    obs::debug("debug/recorder",
+               "checkpoint ladder thinned to " +
+               std::to_string(checkpoints_.size()) + " rungs; stride now " +
+               std::to_string(interval_) + " steps — back-steps far from the "
+               "present replay longer spans");
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "common/log.hpp"
 #include "machine/cost_model.hpp"
 #include "machine/shapes.hpp"
 
@@ -184,10 +185,11 @@ void Machine::host_span(const char* name, double start_us) {
   if (host_spans_.size() >= kMaxHostSpans) {
     if (!host_spans_truncated_) {
       host_spans_truncated_ = true;
-      std::fprintf(stderr,
-                   "tcfpn: host-span buffer full (%llu spans); further spans "
-                   "dropped — trace export is truncated\n",
-                   static_cast<unsigned long long>(host_spans_.size()));
+      obs::warn("machine/host_spans",
+                "host-span buffer full (" +
+                    std::to_string(host_spans_.size()) +
+                    " spans); further spans dropped — trace export is "
+                    "truncated");
     }
     return;
   }

@@ -1,0 +1,231 @@
+#include "obs/bus.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace tcfpn::obs {
+
+namespace {
+
+constexpr const char kUnixPrefix[] = "unix:";
+
+bool is_unix_dest(const std::string& dest) {
+  return dest.rfind(kUnixPrefix, 0) == 0;
+}
+
+int open_destination(const std::string& dest, bool* close_fd, bool* is_socket,
+                     std::string* error) {
+  *close_fd = false;
+  *is_socket = false;
+  if (dest == "-") return STDOUT_FILENO;
+  if (is_unix_dest(dest)) {
+    const std::string path = dest.substr(sizeof(kUnixPrefix) - 1);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      if (error) *error = "unix socket path too long: " + path;
+      return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      if (error) *error = std::string("socket: ") + std::strerror(errno);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (error)
+        *error = "connect '" + path + "': " + std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    *close_fd = true;
+    *is_socket = true;
+    return fd;
+  }
+  const int fd = ::open(dest.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    if (error) *error = "open '" + dest + "': " + std::strerror(errno);
+    return -1;
+  }
+  *close_fd = true;
+  return fd;
+}
+
+// Sockets use send(MSG_NOSIGNAL) so a hung-up tcfmon surfaces as EPIPE
+// instead of killing the producer with SIGPIPE. Retries short writes/EINTR.
+bool write_all(int fd, bool is_socket, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n =
+        is_socket ? ::send(fd, data, len, MSG_NOSIGNAL) : ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::unique_ptr<Bus> Bus::open(const Config& cfg, std::string* error) {
+  bool close_fd = false, is_socket = false;
+  const int fd = open_destination(cfg.destination, &close_fd, &is_socket, error);
+  if (fd < 0) return nullptr;
+  std::unique_ptr<Bus> bus(new Bus(cfg));
+  bus->fd_ = fd;
+  bus->is_socket_ = is_socket;
+  bus->close_fd_ = close_fd;
+  if (cfg.forward_logs) {
+    Bus* raw = bus.get();
+    set_log_forwarder([raw](LogLine&& line) { raw->push_log(std::move(line)); });
+  }
+  bus->sink_ = std::thread([raw = bus.get()] { raw->sink_main(); });
+  return bus;
+}
+
+Bus::Bus(const Config& cfg) : cfg_(cfg), ring_(cfg.ring_capacity) {}
+
+Bus::~Bus() {
+  if (cfg_.forward_logs) set_log_forwarder(nullptr);
+  if (!finished_.load(std::memory_order_acquire)) shutdown_sink();
+  if (close_fd_ && fd_ >= 0) ::close(fd_);
+}
+
+void Bus::publish(StreamRecord&& rec) {
+  if (finished_.load(std::memory_order_relaxed)) return;
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+  if (!ring_.try_push(std::move(rec)))
+    dropped_records_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Bus::push_log(LogLine&& line) {
+  if (finished_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lk(log_mu_);
+  if (log_queue_.size() >= cfg_.log_capacity) {
+    dropped_logs_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  log_queue_.push_back(std::move(line));
+}
+
+void Bus::write_line(const std::string& line) {
+  if (fd_ < 0) {  // destination already failed; count and move on
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::string framed = line;
+  framed.push_back('\n');
+  if (!write_all(fd_, is_socket_, framed.data(), framed.size())) {
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+    // Dead destination (consumer hung up, disk full): stop writing but keep
+    // draining so the producer side stays oblivious.
+    if (close_fd_) ::close(fd_);
+    close_fd_ = false;
+    fd_ = -1;
+    return;
+  }
+  written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Bus::drain_some() {
+  bool any = false;
+  StreamRecord rec;
+  for (int i = 0; i < 256 && ring_.try_pop(rec); ++i) {
+    any = true;
+    switch (rec.kind) {
+      case RecordKind::kMetrics: {
+        const metrics::MetricsSnapshot delta =
+            metrics::MetricsSnapshot::diff(last_cumulative_, rec.metrics);
+        write_line(metrics_line(next_seq_++, rec.step, rec.cycles, delta));
+        last_cumulative_ = std::move(rec.metrics);
+        break;
+      }
+      case RecordKind::kSample:
+        write_line(sample_line(next_seq_++, rec.sample));
+        break;
+      case RecordKind::kEvents:
+        write_line(events_line(next_seq_++, rec.step, rec.events));
+        break;
+      case RecordKind::kLog:
+        write_line(log_line(next_seq_++, rec.log));
+        break;
+    }
+  }
+  std::deque<LogLine> logs;
+  {
+    std::lock_guard<std::mutex> lk(log_mu_);
+    logs.swap(log_queue_);
+  }
+  for (LogLine& l : logs) {
+    any = true;
+    write_line(log_line(next_seq_++, l));
+  }
+  return any;
+}
+
+void Bus::sink_main() {
+  write_line(header_line(cfg_.run_meta));
+  next_seq_ = 1;
+  while (true) {
+    if (paused_.load(std::memory_order_acquire)) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    const bool any = drain_some();
+    if (!any) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+void Bus::shutdown_sink() {
+  stop_.store(true, std::memory_order_release);
+  if (sink_.joinable()) sink_.join();
+}
+
+void Bus::finish(StepId step, Cycle cycles, bool completed,
+                 const std::string& fault,
+                 const metrics::MetricsSnapshot& cumulative,
+                 const machine::MachineStats& stats) {
+  if (finished_.exchange(true, std::memory_order_acq_rel)) return;
+  if (cfg_.forward_logs) set_log_forwarder(nullptr);
+  // Let the sink drain everything queued before it sees stop_ — unless a
+  // test left it paused, in which case resume first.
+  paused_.store(false, std::memory_order_release);
+  shutdown_sink();
+  // Sink joined: this thread is now the only consumer. Flush stragglers,
+  // then close the stream with the cumulative record.
+  while (drain_some()) {
+  }
+  write_line(run_end_line(next_seq_++, step, cycles, completed, fault,
+                          cumulative, stats, this->stats()));
+}
+
+void Bus::pause() { paused_.store(true, std::memory_order_release); }
+
+void Bus::resume() { paused_.store(false, std::memory_order_release); }
+
+BusStats Bus::stats() const {
+  BusStats s;
+  s.pushed = pushed_.load(std::memory_order_relaxed);
+  s.written = written_.load(std::memory_order_relaxed);
+  s.dropped_records = dropped_records_.load(std::memory_order_relaxed);
+  s.dropped_logs = dropped_logs_.load(std::memory_order_relaxed);
+  s.write_errors = write_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace tcfpn::obs

@@ -1,0 +1,118 @@
+#include "obs/record.hpp"
+
+#include <sstream>
+
+namespace tcfpn::obs {
+
+using metrics::json_escape;
+
+std::string flat_metrics_json(const metrics::MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [path, v] : snap.entries) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << json_escape(path) << "\": " << metrics::to_json_leaf(v);
+  }
+  os << "}";
+  return os.str();
+}
+
+namespace {
+
+void open_line(std::ostringstream& os, const char* type, std::uint64_t seq) {
+  os << "{\"type\": \"" << type << "\", \"seq\": " << seq;
+}
+
+}  // namespace
+
+std::string header_line(const MetaPairs& run_meta) {
+  std::ostringstream os;
+  os << "{\"schema\": \"" << kStreamSchema << "\", \"type\": \"header\", "
+     << "\"seq\": 0, \"run\": {";
+  bool first = true;
+  for (const auto& [k, v] : run_meta) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << json_escape(k) << "\": \"" << json_escape(v) << "\"";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string metrics_line(std::uint64_t seq, StepId step, Cycle cycles,
+                         const metrics::MetricsSnapshot& window) {
+  std::ostringstream os;
+  open_line(os, "metrics", seq);
+  os << ", \"step\": " << step << ", \"cycles\": " << cycles
+     << ", \"delta\": " << flat_metrics_json(window) << "}";
+  return os.str();
+}
+
+std::string sample_line(std::uint64_t seq, const machine::StepSample& s) {
+  std::ostringstream os;
+  open_line(os, "sample", seq);
+  os << ", \"step\": " << s.step << ", \"cycles\": " << s.cycles
+     << ", \"operations\": " << s.operations
+     << ", \"busy_slots\": " << s.busy_slots
+     << ", \"idle_slots\": " << s.idle_slots
+     << ", \"live_flows\": " << s.live_flows << "}";
+  return os.str();
+}
+
+std::string events_line(std::uint64_t seq, StepId step,
+                        const EventCounts& counts) {
+  std::ostringstream os;
+  open_line(os, "events", seq);
+  os << ", \"step\": " << step << ", \"counts\": {";
+  bool first = true;
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    if (counts[k] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "\""
+       << machine::to_string(static_cast<machine::DebugEventKind>(k))
+       << "\": " << counts[k];
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string log_line(std::uint64_t seq, const LogLine& l) {
+  std::ostringstream os;
+  open_line(os, "log", seq);
+  os << ", \"level\": \"" << to_string(l.level) << "\", \"category\": \""
+     << json_escape(l.category) << "\", \"message\": \""
+     << json_escape(l.message) << "\"}";
+  return os.str();
+}
+
+std::string run_end_line(std::uint64_t seq, StepId step, Cycle cycles,
+                         bool completed, const std::string& fault,
+                         const metrics::MetricsSnapshot& cumulative,
+                         const machine::MachineStats& stats,
+                         const BusStats& bus) {
+  std::ostringstream os;
+  open_line(os, "run_end", seq);
+  os << ", \"step\": " << step << ", \"cycles\": " << cycles
+     << ", \"completed\": " << (completed ? "true" : "false");
+  if (!fault.empty()) os << ", \"fault\": \"" << json_escape(fault) << "\"";
+  os << ", \"stats\": {\"tcf_instructions\": " << stats.tcf_instructions
+     << ", \"operations\": " << stats.operations
+     << ", \"instruction_fetches\": " << stats.instruction_fetches
+     << ", \"spawns\": " << stats.spawns << ", \"joins\": " << stats.joins
+     << ", \"busy_slots\": " << stats.busy_slots
+     << ", \"idle_slots\": " << stats.idle_slots
+     << ", \"memory_wait_cycles\": " << stats.memory_wait_cycles
+     << ", \"task_switch_cycles\": " << stats.task_switch_cycles << "}"
+     << ", \"metrics\": " << flat_metrics_json(cumulative)
+     << ", \"obs\": {\"pushed\": " << bus.pushed
+     << ", \"written\": " << bus.written
+     << ", \"dropped_records\": " << bus.dropped_records
+     << ", \"dropped_logs\": " << bus.dropped_logs
+     << ", \"write_errors\": " << bus.write_errors << "}}";
+  return os.str();
+}
+
+}  // namespace tcfpn::obs

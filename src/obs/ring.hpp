@@ -1,0 +1,83 @@
+// A bounded lock-free single-producer / single-consumer ring (DESIGN.md §13).
+//
+// The streaming telemetry bus puts one of these between the deterministic
+// stepping engine (producer: the stepping thread, at the step barrier) and
+// the export sink thread (consumer). The contract that keeps simulated
+// results bit-identical with streaming on or off is *never block the
+// producer*: try_push either moves the record in or returns false
+// immediately — the bus then drops the record and bumps its
+// obs/dropped_records counter. No mutex, no syscall, no allocation on the
+// push path beyond what moving T itself does.
+//
+// Memory ordering is the classic two-index scheme: each side owns one index
+// (producer: head_, consumer: tail_) and publishes it with a release store;
+// the opposite side reads it with an acquire load, which carries the slot
+// contents across. Each side also keeps a cached copy of the other's index
+// so the uncontended fast path touches only one shared cache line.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tcfpn::obs {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (masked indexing).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer only. Returns false (leaving `v` untouched) when full.
+  bool try_push(T&& v) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ >= slots_.size()) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ >= slots_.size()) return false;
+    }
+    slots_[head & mask_] = std::move(v);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only. Returns false when empty.
+  bool try_pop(T& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return false;
+    }
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate (monitoring only).
+  std::size_t size_estimate() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    return head >= tail ? static_cast<std::size_t>(head - tail) : 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< producer-owned
+  alignas(64) std::uint64_t cached_tail_ = 0;       ///< producer-local
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< consumer-owned
+  alignas(64) std::uint64_t cached_head_ = 0;       ///< consumer-local
+};
+
+}  // namespace tcfpn::obs

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "machine/state.hpp"
 #include "mem/shared_memory.hpp"
 #include "net/network.hpp"
@@ -91,6 +92,10 @@ void ResilientExecutor::do_rollback(const FaultEvent& ev) {
                                          : static_cast<Word>(ev.magnitude));
   journal(machine::DebugEventKind::kRollback, ev.group,
           static_cast<Word>(lost), static_cast<Word>(ck_step));
+  obs::info("resil/recovery",
+            "rolled back " + std::to_string(lost) + " steps to checkpoint at "
+            "step " + std::to_string(ck_step) + " after injected " +
+            to_string(ev.kind));
   stats_.rollbacks += 1;
   stats_.steps_lost += lost;
   resil_.counter("resil/rollbacks").add(1);
@@ -111,6 +116,10 @@ void ResilientExecutor::retire(const FaultEvent& ev, bool* fatal,
     return;
   }
   const Word moved = m_.retire_group(ev.group);  // emits kGroupRetired
+  obs::warn("resil/recovery",
+            "group " + std::to_string(ev.group) + " retired after injected " +
+            to_string(ev.kind) + "; remapped thickness " +
+            std::to_string(moved) + " onto survivors");
   stats_.groups_retired += 1;
   stats_.remapped_thickness += moved;
   resil_.counter("resil/groups_retired").add(1);

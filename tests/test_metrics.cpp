@@ -167,6 +167,49 @@ TEST(MetricsJsonTest, EscapeHandlesControlAndQuotes) {
   EXPECT_EQ(json_escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
 }
 
+// Fuzz-ish audit for the NDJSON framing contract (DESIGN.md §13): a stream
+// line must be one "\n"-framed JSON document, so json_escape has to remove
+// EVERY control character — an embedded newline in a PRINT payload or log
+// message would otherwise split one record into two junk lines. Drive every
+// single byte plus deterministic pseudo-random byte strings through the
+// escaper and require (a) no control bytes survive, (b) the result parses
+// as a JSON string.
+TEST(MetricsJsonTest, EscapeNeverLeaksControlBytesIntoFraming) {
+  // Every byte value alone.
+  for (int b = 0; b < 256; ++b) {
+    const std::string esc = json_escape(std::string(1, static_cast<char>(b)));
+    for (unsigned char c : esc) {
+      EXPECT_GE(c, 0x20u) << "byte " << b << " escaped to control byte";
+      EXPECT_NE(c, static_cast<unsigned char>('\n')) << "byte " << b;
+    }
+    std::string err;
+    EXPECT_TRUE(json_valid("\"" + esc + "\"", &err))
+        << "byte " << b << ": " << err;
+  }
+  // Pseudo-random byte soup, worst-case-heavy: quotes, backslashes, every
+  // control character, multi-byte runs. xorshift keeps it deterministic.
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int round = 0; round < 64; ++round) {
+    std::string raw;
+    for (int i = 0; i < 128; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      // Bias half the bytes into the troublesome range [0, 0x20] ∪ {", \}.
+      const unsigned char pick = static_cast<unsigned char>(x);
+      raw.push_back((x >> 8) % 2 == 0
+                        ? static_cast<char>(pick % 0x23)
+                        : static_cast<char>(pick));
+    }
+    const std::string esc = json_escape(raw);
+    for (unsigned char c : esc) EXPECT_GE(c, 0x20u);
+    EXPECT_EQ(esc.find('\n'), std::string::npos);
+    EXPECT_EQ(esc.find('\r'), std::string::npos);
+    std::string err;
+    EXPECT_TRUE(json_valid("\"" + esc + "\"", &err)) << err;
+  }
+}
+
 TEST(MetricsJsonTest, ValidatorAcceptsAndRejects) {
   EXPECT_TRUE(json_valid("{}"));
   EXPECT_TRUE(json_valid(R"({"a": [1, -2.5e3, true, null, "s\n"]})"));

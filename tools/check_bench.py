@@ -27,7 +27,10 @@ Checks, oversubscription-aware (stdlib only):
     measures the host scheduler, not the engine, and is never judged;
   * wall-clock comparison against the committed row only when BOTH rows ran
     non-oversubscribed (committed baselines may come from smaller machines),
-    with a generous tolerance since runners differ.
+    with a generous tolerance since runners differ;
+  * the streaming telemetry lane (DESIGN.md §13) is present, bit-identical,
+    actually produced a stream, and its best-of-3 wall-clock overhead stays
+    within --max-stream-overhead (default 5%).
 
 Exit status 0 on success; 1 with a diagnostic on the first failure.
 """
@@ -143,6 +146,10 @@ def main() -> None:
     ap.add_argument("--min-speedup", type=float, default=2.0,
                     help="8-thread speedup floor on non-oversubscribed "
                          "runners (default 2.0)")
+    ap.add_argument("--max-stream-overhead", type=float, default=0.05,
+                    help="allowed wall-clock overhead of the streaming "
+                         "telemetry lane, as a fraction (default 0.05 = 5%%; "
+                         "the bus promises near-zero producer-side cost)")
     args = ap.parse_args()
 
     # Dispatch on the document kind: the scenario suite carries a schema tag.
@@ -193,6 +200,35 @@ def main() -> None:
             fail(f"{ht}-thread wall clock regressed: {f['wall_clock_s']:.3f}s "
                  f"vs committed {c['wall_clock_s']:.3f}s "
                  f"(tolerance {args.tolerance:.1f}x)")
+
+    # Streaming telemetry lane (DESIGN.md §13): the bus must stay within the
+    # overhead budget AND leave the simulated run bit-identical. The block is
+    # required — a fresh document without it means the lane silently stopped
+    # running, which is itself a regression.
+    streaming = fresh.get("streaming")
+    if not isinstance(streaming, dict):
+        fail(f"{args.fresh}: missing 'streaming' overhead lane")
+    for key in ("stream_every", "baseline_wall_clock_s", "wall_clock_s",
+                "overhead", "records_pushed", "records_written",
+                "dropped_records", "bit_identical", "oversubscribed"):
+        if key not in streaming:
+            fail(f"{args.fresh}: streaming lane missing '{key}'")
+    if not streaming["bit_identical"]:
+        fail("streamed run was not bit-identical to the no-stream run")
+    if streaming["records_written"] < 2:
+        fail("streaming lane wrote fewer than header + run_end — the bus "
+             "never produced a stream")
+    print(f"check_bench: streaming overhead {streaming['overhead'] * 100:.2f}%"
+          f" ({streaming['records_written']} records, "
+          f"{streaming['dropped_records']} dropped)")
+    if streaming["oversubscribed"]:
+        # The sink thread had no spare core: wall clock measured the host
+        # scheduler time-slicing two threads on one core, not the
+        # producer-side cost — same non-judgment rule as the scaling rows.
+        print("check_bench: single-core host; streaming overhead not judged")
+    elif streaming["overhead"] > args.max_stream_overhead:
+        fail(f"streaming overhead {streaming['overhead'] * 100:.2f}% exceeds "
+             f"the {args.max_stream_overhead * 100:.1f}% budget")
 
     eight = frows.get(8)
     if eight is not None and not eight["oversubscribed"]:

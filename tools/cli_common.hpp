@@ -6,15 +6,19 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "debug/postmortem.hpp"
 #include "debug/recorder.hpp"
 #include "machine/machine.hpp"
 #include "machine/shapes.hpp"
 #include "machine/telemetry.hpp"
+#include "obs/bus.hpp"
+#include "obs/stream_observer.hpp"
 
 namespace tcfpn::cli {
 
@@ -40,6 +44,8 @@ struct Options {
   bool max_steps_set = false;
   std::string inject_faults;  ///< --inject-faults spec (empty = off)
   std::string recover = "rollback";  ///< rollback | degrade | off
+  std::string stream;  ///< tcfpn-stream-v1 destination: file, "-", unix:PATH
+  std::uint64_t stream_every = 64;  ///< stream cadence in machine steps
 };
 
 inline void usage(const char* tool, const char* what) {
@@ -87,7 +93,15 @@ inline void usage(const char* tool, const char* what) {
       "                    at=STEP:KIND[:ARG] entries\n"
       "  --recover=MODE    recovery for injected faults: rollback (default,\n"
       "                    checkpoint restore + replay), degrade (retire\n"
-      "                    dead groups, continue at P-1), off\n",
+      "                    dead groups, continue at P-1), off\n"
+      "  --stream=DEST     stream live telemetry (tcfpn-stream-v1 NDJSON) to\n"
+      "                    DEST: a file, '-' for stdout, or unix:PATH to\n"
+      "                    connect to a listening socket (tcfmon --listen).\n"
+      "                    Never blocks the engine; overflow drops records\n"
+      "                    and reports them on the stream's run_end line\n"
+      "  --stream-every=N  stream cadence in machine steps (default 64)\n"
+      "  --log-level=LVL   stderr log threshold: debug, info (default),\n"
+      "                    warn, error; the stream sees every line\n",
       tool, what);
 }
 
@@ -267,6 +281,28 @@ inline bool parse_args(int argc, char** argv, const char* tool,
         return false;
       }
       opt->inject_faults = v;
+    } else if (parse_flag(arg, "stream", &v)) {
+      if (v.empty()) {
+        std::fprintf(stderr, "--stream needs a destination\n");
+        return false;
+      }
+      opt->stream = v;
+    } else if (parse_flag(arg, "stream-every", &v)) {
+      if (!parse_uint(v, "stream-every", 1,
+                      std::numeric_limits<std::uint32_t>::max(),
+                      &opt->stream_every)) {
+        return false;
+      }
+    } else if (parse_flag(arg, "log-level", &v)) {
+      obs::LogLevel lv;
+      if (!obs::log_level_from_string(v, &lv)) {
+        std::fprintf(stderr,
+                     "--log-level must be debug, info, warn or error, got "
+                     "'%s'\n",
+                     v.c_str());
+        return false;
+      }
+      obs::set_log_level(lv);
     } else if (parse_flag(arg, "recover", &v)) {
       if (v != "rollback" && v != "degrade" && v != "off") {
         std::fprintf(stderr,
@@ -370,7 +406,7 @@ inline bool write_document(const std::string& path, const std::string& content,
   }
   std::ofstream out(path);
   if (!out) {
-    std::fprintf(stderr, "%s: cannot write '%s'\n", tool, path.c_str());
+    obs::error(tool, "cannot write '" + path + "'");
     return false;
   }
   out << content;
@@ -406,6 +442,61 @@ inline bool export_telemetry(const machine::Machine& m, const RunOutcome& o,
   }
   return true;
 }
+
+/// Owns a tool's --stream attachment: the Bus plus the cadenced
+/// StreamObserver chained onto whatever observer the tool already installed
+/// (flight recorder, resilient executor). Usage contract:
+///
+///   StreamSession stream;
+///   // ... attach recorder / construct ResilientExecutor first ...
+///   if (!stream.open(opt, tool, m)) return 2;
+///   // ... run ...
+///   stream.finish(m, outcome);   // before the recorder/executor detaches
+///
+/// finish() emits the tail window, writes the run_end line carrying the
+/// cumulative metrics (byte-identical values to the --metrics-json
+/// document), and tears the bus down. A no-op when --stream was not given.
+class StreamSession {
+ public:
+  bool open(const Options& opt, const char* tool, machine::Machine& m) {
+    if (opt.stream.empty()) return true;
+    obs::Bus::Config cfg;
+    cfg.destination = opt.stream;
+    cfg.run_meta = {{"tool", tool},
+                    {"input", opt.input},
+                    {"variant", machine::to_string(opt.cfg.variant)},
+                    {"groups", std::to_string(opt.cfg.groups)},
+                    {"slots", std::to_string(opt.cfg.slots_per_group)},
+                    {"host_threads", std::to_string(opt.cfg.host_threads)},
+                    {"stream_every", std::to_string(opt.stream_every)}};
+    std::string err;
+    bus_ = obs::Bus::open(cfg, &err);
+    if (!bus_) {
+      std::fprintf(stderr, "%s: --stream: %s\n", tool, err.c_str());
+      return false;
+    }
+    observer_ = std::make_unique<obs::StreamObserver>(
+        *bus_, static_cast<StepId>(opt.stream_every));
+    observer_->attach(m);
+    return true;
+  }
+
+  void finish(const machine::Machine& m, const RunOutcome& o) {
+    if (!bus_) return;
+    observer_->detach();
+    observer_.reset();
+    bus_->finish(m.stats().steps, m.stats().cycles,
+                 o.run.completed && !o.faulted, o.fault_message,
+                 m.metrics_snapshot(), m.stats());
+    bus_.reset();
+  }
+
+  bool active() const { return bus_ != nullptr; }
+
+ private:
+  std::unique_ptr<obs::Bus> bus_;
+  std::unique_ptr<obs::StreamObserver> observer_;
+};
 
 /// Writes the --post-mortem document from a recorder that captured a fault.
 /// Returns false if the destination cannot be written (exit 2).

@@ -24,10 +24,13 @@ int main(int argc, char** argv) {
     debug::FlightRecorder recorder(
         debug::RecorderConfig{.journal_capacity = 4096, .checkpoint_every = 0});
     if (!opt.post_mortem.empty()) recorder.attach(m);
+    cli::StreamSession stream;
+    if (!stream.open(opt, "tcfasm", m)) return 2;
     m.boot(opt.boot_thickness);
     const cli::RunOutcome outcome = cli::run_with_fault_capture(m, opt.max_steps);
+    stream.finish(m, outcome);
     if (outcome.faulted) {
-      std::fprintf(stderr, "tcfasm: %s\n", outcome.fault_message.c_str());
+      obs::error("tcfasm", outcome.fault_message);
     } else {
       cli::print_outcome(m, outcome.run, opt);
     }
@@ -38,7 +41,7 @@ int main(int argc, char** argv) {
     }
     return !outcome.faulted && outcome.run.completed ? 0 : 1;
   } catch (const SimError& e) {
-    std::fprintf(stderr, "tcfasm: %s\n", e.what());
+    obs::error("tcfasm", e.what());
     return 1;
   }
 }

@@ -46,6 +46,15 @@ int main(int argc, char** argv) {
                        "program under the time-travel debugger", &opt)) {
     return 2;
   }
+  if (!opt.stream.empty()) {
+    // Time travel rewinds the machine at the user's whim; a live stream's
+    // monotone-step contract cannot survive that, so the flag is refused
+    // here instead of producing a stream consumers would reject.
+    obs::warn("tcfdbg",
+              "--stream is not supported under the time-travel debugger; "
+              "ignoring it");
+    opt.stream.clear();
+  }
 
   try {
     const std::string text = cli::read_file(opt.input);

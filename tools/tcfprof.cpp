@@ -233,6 +233,9 @@ int main(int argc, char** argv) {
     m.load(program);
     boot(m);
 
+    cli::StreamSession stream;
+    if (!stream.open(opt, "tcfprof", m)) return 2;
+
     cli::RunOutcome outcome;
     if (po.live_every > 0) {
       // tcftop: drive the step loop ourselves, repainting the attribution
@@ -254,17 +257,19 @@ int main(int argc, char** argv) {
       }
       outcome.run.steps = m.stats().steps;
       outcome.run.cycles = m.stats().cycles;
+      stream.finish(m, outcome);
       paint_live(m, opt.max_steps);
       if (outcome.faulted) {
-        std::fprintf(stderr, "tcfprof: %s\n", outcome.fault_message.c_str());
+        obs::error("tcfprof", outcome.fault_message);
       }
       return !outcome.faulted && outcome.run.completed ? 0 : 1;
     }
 
     outcome = cli::run_with_fault_capture(m, opt.max_steps);
+    stream.finish(m, outcome);
     if (outcome.faulted) {
-      std::fprintf(stderr, "tcfprof: %s (profiling the partial run)\n",
-                   outcome.fault_message.c_str());
+      obs::error("tcfprof",
+                 outcome.fault_message + " (profiling the partial run)");
     }
 
     machine::MetaPairs meta = {{"tool", "tcfprof"}, {"input", opt.input}};

@@ -104,16 +104,21 @@ int main(int argc, char** argv) {
         debug::RecorderConfig{.journal_capacity = 4096, .checkpoint_every = 0});
     const debug::FlightRecorder* pm_rec = &recorder;
     std::optional<resil::ResilientExecutor> ex;  // outlives pm_rec uses
+    cli::StreamSession stream;
     if (resilient) {
       m.boot(opt.boot_thickness);
       ex.emplace(m, rc);
+      // Stream chains onto the executor's recorder: attach after, detach
+      // (inside finish) before the executor goes away.
+      if (!stream.open(opt, "tcfrun", m)) return 2;
       const resil::ResilResult r = ex->run();
       outcome.run = r.run;
       outcome.faulted = r.faulted;
       outcome.fault_message = r.fault_message;
+      stream.finish(m, outcome);
       pm_rec = &ex->recorder();
       if (outcome.faulted) {
-        std::fprintf(stderr, "tcfrun: %s\n", outcome.fault_message.c_str());
+        obs::error("tcfrun", outcome.fault_message);
       } else {
         cli::print_outcome(m, outcome.run, opt);
       }
@@ -133,10 +138,12 @@ int main(int argc, char** argv) {
       }
     } else {
       if (!opt.post_mortem.empty()) recorder.attach(m);
+      if (!stream.open(opt, "tcfrun", m)) return 2;
       m.boot(opt.boot_thickness);
       outcome = cli::run_with_fault_capture(m, opt.max_steps);
+      stream.finish(m, outcome);
       if (outcome.faulted) {
-        std::fprintf(stderr, "tcfrun: %s\n", outcome.fault_message.c_str());
+        obs::error("tcfrun", outcome.fault_message);
       } else {
         cli::print_outcome(m, outcome.run, opt);
       }
@@ -152,10 +159,9 @@ int main(int argc, char** argv) {
     const bool watchdog =
         !outcome.faulted && !outcome.run.completed && opt.max_steps_set;
     if (watchdog) {
-      std::fprintf(stderr,
-                   "tcfrun: watchdog: no termination within %llu machine "
-                   "steps\n",
-                   static_cast<unsigned long long>(opt.max_steps));
+      obs::error("tcfrun/watchdog",
+                 "no termination within " + std::to_string(opt.max_steps) +
+                     " machine steps");
       if (!opt.post_mortem.empty() &&
           !export_watchdog_post_mortem(m, pm_rec->journal(), opt)) {
         return 2;
@@ -179,7 +185,7 @@ int main(int argc, char** argv) {
     }
     return !outcome.faulted && outcome.run.completed ? 0 : 1;
   } catch (const SimError& e) {
-    std::fprintf(stderr, "tcfrun: %s\n", e.what());
+    obs::error("tcfrun", e.what());
     return 1;
   }
 }

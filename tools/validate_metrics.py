@@ -5,6 +5,7 @@ Usage:
     validate_metrics.py --metrics metrics.json [--trace trace.json]
     validate_metrics.py --postmortem crash.postmortem.json
     validate_metrics.py --profile run.profile.json
+    validate_metrics.py --stream run.stream [--metrics metrics.json]
 
 Checks, using only the Python standard library:
   * each file parses as JSON (json.load — the real consumer-side test of
@@ -20,6 +21,12 @@ Checks, using only the Python standard library:
   * metrics, profile and post-mortem run metadata carry the heterogeneous
     machine-shape summary (DESIGN.md §12): "uniform", a named preset's
     expansion, or a run-length-encoded `COUNT*key=val,...` group list;
+  * stream captures follow the tcfpn-stream-v1 NDJSON schema (DESIGN.md
+    §13): every line one JSON object, header first, seq contiguous from 0,
+    step monotone non-decreasing across metrics/sample/events lines, exactly
+    one run_end and it is last; with --metrics alongside, the run_end's
+    cumulative metrics must equal the --metrics-json document leaf-for-leaf
+    (the two exporters share one serializer — any divergence is a bug);
   * profile documents follow the tcfpn-profile-v1 schema (DESIGN.md §11):
     the closed world of ten cost terms, per-term totals and per-cell cycles
     that conserve exactly (cells == totals == attributed_cycles ==
@@ -109,6 +116,136 @@ def check_instrument(path, leaf):
             fail(f"histogram '{path}' missing buckets")
         if sum(buckets) != leaf.get("count"):
             fail(f"histogram '{path}' bucket sum != count")
+
+
+STREAM_SCHEMA = "tcfpn-stream-v1"
+STREAM_TYPES = {"header", "metrics", "sample", "events", "log", "run_end"}
+STEPPED_TYPES = {"metrics", "sample", "events"}
+LOG_LEVELS = {"debug", "info", "warn", "error"}
+
+
+def check_stream(path, metrics_path=None):
+    """tcfpn-stream-v1 NDJSON capture (DESIGN.md §13). Framing and ordering
+    first (json.loads per line, header/seq/step/run_end invariants), then —
+    when the run's --metrics-json document is also on hand — the cross-export
+    consistency check: the stream's final cumulative metrics must be the same
+    values, leaf for leaf."""
+    records = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f):
+            line = line.rstrip("\n")
+            if not line:
+                fail(f"{path}:{lineno}: empty stream line")
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: unparseable line: {e}")
+            if not isinstance(rec, dict):
+                fail(f"{path}:{lineno}: line is not a JSON object")
+            records.append((lineno, rec))
+    if not records:
+        fail(f"{path}: empty stream")
+
+    # Header: first line, schema-stamped, with a run-metadata object.
+    _, head = records[0]
+    if head.get("type") != "header":
+        fail(f"{path}: first line is {head.get('type')!r}, not the header")
+    if head.get("schema") != STREAM_SCHEMA:
+        fail(f"{path}: header schema is {head.get('schema')!r}, "
+             f"expected {STREAM_SCHEMA!r}")
+    if not isinstance(head.get("run"), dict):
+        fail(f"{path}: header missing 'run' metadata object")
+
+    counts = {t: 0 for t in STREAM_TYPES}
+    last_step = -1
+    run_end = None
+    for i, (lineno, rec) in enumerate(records):
+        t = rec.get("type")
+        if t not in STREAM_TYPES:
+            fail(f"{path}:{lineno}: unknown record type {t!r}")
+        counts[t] += 1
+        # seq is assigned by the sink at write time: contiguous from 0
+        # regardless of how many records backpressure dropped.
+        if rec.get("seq") != i:
+            fail(f"{path}:{lineno}: seq is {rec.get('seq')!r}, expected {i} "
+                 "(sink seq must be contiguous from 0)")
+        if t in STEPPED_TYPES:
+            step = rec.get("step")
+            if not isinstance(step, int) or step < 0:
+                fail(f"{path}:{lineno}: {t} record missing integer 'step'")
+            if step < last_step:
+                fail(f"{path}:{lineno}: step went backwards ({step} after "
+                     f"{last_step}) — rollback replay leaked into the stream")
+            last_step = step
+        if t == "metrics":
+            for leaf_path, leaf in rec.get("delta", {}).items():
+                check_instrument(f"{path}:{lineno}:{leaf_path}", leaf)
+        elif t == "sample":
+            for key in ("step", "cycles", "operations", "busy_slots",
+                        "idle_slots", "live_flows"):
+                if not isinstance(rec.get(key), int):
+                    fail(f"{path}:{lineno}: sample missing integer '{key}'")
+        elif t == "events":
+            for kind, n in rec.get("counts", {}).items():
+                if kind not in EVENT_KINDS:
+                    fail(f"{path}:{lineno}: unknown event kind {kind!r}")
+                if not isinstance(n, int) or n < 1:
+                    fail(f"{path}:{lineno}: event count for {kind!r} must "
+                         "be a positive integer (zero counts are omitted)")
+        elif t == "log":
+            if rec.get("level") not in LOG_LEVELS:
+                fail(f"{path}:{lineno}: unknown log level "
+                     f"{rec.get('level')!r}")
+            for key in ("category", "message"):
+                if not isinstance(rec.get(key), str):
+                    fail(f"{path}:{lineno}: log record missing '{key}'")
+        elif t == "run_end":
+            if i != len(records) - 1:
+                fail(f"{path}:{lineno}: run_end is not the last line")
+            run_end = rec
+
+    if counts["header"] != 1:
+        fail(f"{path}: {counts['header']} header lines, expected exactly 1")
+    if run_end is None:
+        fail(f"{path}: no run_end line — truncated stream (producer died?)")
+    if not isinstance(run_end.get("completed"), bool):
+        fail(f"{path}: run_end missing boolean 'completed'")
+    obs = run_end.get("obs")
+    if not isinstance(obs, dict):
+        fail(f"{path}: run_end missing 'obs' bus-counter object")
+    for key in ("pushed", "written", "dropped_records", "dropped_logs",
+                "write_errors"):
+        if not isinstance(obs.get(key), int) or obs[key] < 0:
+            fail(f"{path}: run_end obs missing non-negative '{key}'")
+    cumulative = run_end.get("metrics")
+    if not isinstance(cumulative, dict):
+        fail(f"{path}: run_end missing cumulative 'metrics' map")
+    for leaf_path, leaf in cumulative.items():
+        check_instrument(f"{path}:run_end:{leaf_path}", leaf)
+
+    if metrics_path is not None:
+        with open(metrics_path, encoding="utf-8") as f:
+            doc = json.load(f)
+        flat_doc = dict(walk_instruments(doc.get("metrics", {})))
+        if set(flat_doc) != set(cumulative):
+            only_doc = sorted(set(flat_doc) - set(cumulative))[:5]
+            only_stream = sorted(set(cumulative) - set(flat_doc))[:5]
+            fail(f"{path}: run_end metrics paths differ from {metrics_path} "
+                 f"(doc-only: {only_doc}, stream-only: {only_stream})")
+        for leaf_path, leaf in flat_doc.items():
+            if cumulative[leaf_path] != leaf:
+                fail(f"{path}: run_end '{leaf_path}' = "
+                     f"{cumulative[leaf_path]} but {metrics_path} has "
+                     f"{leaf} — the exporters diverged")
+        cross = f", cumulative == {metrics_path} ({len(flat_doc)} leaves)"
+    else:
+        cross = ""
+
+    dropped = obs["dropped_records"] + obs["dropped_logs"]
+    print(f"validate_metrics: {path}: OK ({len(records)} lines: "
+          f"{counts['metrics']} metrics, {counts['sample']} samples, "
+          f"{counts['events']} events, {counts['log']} logs; "
+          f"{dropped} dropped{cross})")
 
 
 def check_metrics(path, expect_rollback=False):
@@ -353,19 +490,24 @@ def main():
                     help="tcfpn-postmortem-v1 document (repeatable)")
     ap.add_argument("--profile", action="append", default=[],
                     help="tcfpn-profile-v1 document (repeatable)")
+    ap.add_argument("--stream", help="tcfpn-stream-v1 NDJSON capture "
+                    "(tcfrun --stream); combined with --metrics the run_end "
+                    "cumulative metrics are cross-checked against the doc")
     ap.add_argument("--expect-rollback", action="store_true",
                     help="require a resil/ subtree with rollbacks >= 1 in "
                          "--metrics (for fault schedules that guarantee a "
                          "fatal fault)")
     args = ap.parse_args()
     if (not args.metrics and not args.trace and not args.postmortem
-            and not args.profile):
-        ap.error("nothing to validate: pass --metrics, --trace, "
+            and not args.profile and not args.stream):
+        ap.error("nothing to validate: pass --metrics, --trace, --stream, "
                  "--postmortem and/or --profile")
     if args.expect_rollback and not args.metrics:
         ap.error("--expect-rollback needs --metrics")
     if args.metrics:
         check_metrics(args.metrics, expect_rollback=args.expect_rollback)
+    if args.stream:
+        check_stream(args.stream, metrics_path=args.metrics)
     if args.trace:
         check_trace(args.trace)
     for path in args.postmortem:
