@@ -42,13 +42,19 @@ const char* to_string(DebugEventKind k) {
     case DebugEventKind::kRetry: return "retry";
     case DebugEventKind::kRollback: return "rollback";
     case DebugEventKind::kGroupRetired: return "group_retired";
+    case DebugEventKind::kShardFault: return "shard_fault";
+    case DebugEventKind::kShardRestart: return "shard_restart";
+    case DebugEventKind::kShardRetired: return "shard_retired";
   }
   return "?";
 }
 
 void Machine::emit(GroupCtx& ctx, DebugEventKind kind, const TcfDescriptor& f,
                    Word a, Word b) {
-  if (observer_ == nullptr) return;
+  // Sharded stepping captures events unconditionally: the replica executing
+  // this group is in general not the one with the journaling observer, so
+  // the events must travel in the batch either way.
+  if (observer_ == nullptr && !shard_mode_) return;
   ctx.events.push_back(DebugEvent{kind, stats_.steps, f.id, f.home, a, b});
 }
 
@@ -637,6 +643,11 @@ bool Machine::step_synchronous() {
     group_work_[g] = groups_[g].step_ops;
   }
 
+  finish_step(synchronous_slot_term(), group_work_);
+  return true;
+}
+
+Cycle Machine::synchronous_slot_term() const {
   // Slot term per variant (DESIGN.md §4 item 3). ILP co-execution issues
   // `functional_units` operations per group per cycle; on a heterogeneous
   // shape each group additionally divides by its clock multiplier — a 3x
@@ -667,9 +678,7 @@ bool Machine::step_synchronous() {
     const Cycle den = cfg_.group_clock_den(g);
     slot_max = std::max(slot_max, (term * den + num * fu - 1) / (num * fu));
   }
-
-  finish_step(slot_max, group_work_);
-  return true;
+  return slot_max;
 }
 
 void Machine::execute_group(GroupId g, Cycle step_base) {

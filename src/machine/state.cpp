@@ -45,9 +45,9 @@ std::uint64_t config_fingerprint(const MachineConfig& cfg) {
   fp.mix(static_cast<std::uint64_t>(cfg.operand_storage));
   fp.mix(cfg.register_spill_penalty);
   fp.mix(cfg.functional_units);
-  // host_threads, effect_channels, merge_skip, record_trace, sample_every,
-  // profile_host, profile: observation/engine knobs, not semantics —
-  // excluded so checkpoints move across them.
+  // host_threads, shards, effect_channels, merge_skip, record_trace,
+  // sample_every, profile_host, profile: observation/engine knobs, not
+  // semantics — excluded so checkpoints move across them.
   //
   // The heterogeneous shape is semantics: per-group T_p changes buffer
   // capacity, clocks and fills change every step's cost, NUMA rows change
@@ -81,6 +81,53 @@ std::uint64_t program_fingerprint(const isa::Program& program) {
   return fp.h;
 }
 
+FlowState capture_flow_state(const TcfDescriptor& f, bool require_boundary) {
+  if (require_boundary) {
+    TCFPN_CHECK(f.step_writes.empty(),
+                "flow ", f.id,
+                " has uncommitted step writes: checkpoint requires a step "
+                "boundary");
+  }
+  FlowState fs;
+  fs.id = f.id;
+  fs.parent = f.parent;
+  fs.home = f.home;
+  fs.pc = f.pc;
+  fs.mode = f.mode;
+  fs.thickness = f.thickness;
+  fs.numa_block = f.numa_block;
+  fs.status = f.status;
+  fs.live_children = f.live_children;
+  fs.next_unexecuted = f.next_unexecuted;
+  fs.lane_regs = f.lane_regs.to_aos();
+  fs.call_stack.assign(f.call_stack.begin(), f.call_stack.end());
+  fs.instr_writes = f.instr_writes.items();
+  std::sort(fs.instr_writes.begin(), fs.instr_writes.end());
+  fs.multiop_blocked = f.multiop_blocked;
+  fs.evicted_once = f.evicted_once;
+  return fs;
+}
+
+void install_flow_state(TcfDescriptor& f, const FlowState& fs) {
+  f.id = fs.id;
+  f.parent = fs.parent;
+  f.home = fs.home;
+  f.pc = fs.pc;
+  f.mode = fs.mode;
+  f.thickness = fs.thickness;
+  f.numa_block = fs.numa_block;
+  f.status = fs.status;
+  f.live_children = fs.live_children;
+  f.next_unexecuted = fs.next_unexecuted;
+  f.lane_regs.from_aos(fs.lane_regs);
+  f.call_stack.assign(fs.call_stack.begin(), fs.call_stack.end());
+  f.step_writes.clear();
+  f.instr_writes.clear();
+  for (const auto& [a, v] : fs.instr_writes) f.instr_writes.put(a, v);
+  f.multiop_blocked = fs.multiop_blocked;
+  f.evicted_once = fs.evicted_once;
+}
+
 MachineState Machine::save_state() const {
   MachineState s;
   s.config_fingerprint = config_fingerprint(cfg_);
@@ -89,29 +136,7 @@ MachineState Machine::save_state() const {
 
   s.flows.reserve(flows_.size());
   for (const auto& fp : flows_) {
-    const TcfDescriptor& f = *fp;
-    TCFPN_CHECK(f.step_writes.empty(),
-                "flow ", f.id,
-                " has uncommitted step writes: checkpoint requires a step "
-                "boundary");
-    FlowState fs;
-    fs.id = f.id;
-    fs.parent = f.parent;
-    fs.home = f.home;
-    fs.pc = f.pc;
-    fs.mode = f.mode;
-    fs.thickness = f.thickness;
-    fs.numa_block = f.numa_block;
-    fs.status = f.status;
-    fs.live_children = f.live_children;
-    fs.next_unexecuted = f.next_unexecuted;
-    fs.lane_regs = f.lane_regs.to_aos();
-    fs.call_stack.assign(f.call_stack.begin(), f.call_stack.end());
-    fs.instr_writes = f.instr_writes.items();
-    std::sort(fs.instr_writes.begin(), fs.instr_writes.end());
-    fs.multiop_blocked = f.multiop_blocked;
-    fs.evicted_once = f.evicted_once;
-    s.flows.push_back(std::move(fs));
+    s.flows.push_back(capture_flow_state(*fp, /*require_boundary=*/true));
   }
 
   s.groups.reserve(groups_.size());
@@ -151,23 +176,7 @@ void Machine::restore_state(const MachineState& s) {
                 "checkpoint flow ids must be dense, got ", fs.id, " at index ",
                 flows_.size());
     auto f = std::make_unique<TcfDescriptor>();
-    f->id = fs.id;
-    f->parent = fs.parent;
-    f->home = fs.home;
-    f->pc = fs.pc;
-    f->mode = fs.mode;
-    f->thickness = fs.thickness;
-    f->numa_block = fs.numa_block;
-    f->status = fs.status;
-    f->live_children = fs.live_children;
-    f->next_unexecuted = fs.next_unexecuted;
-    f->lane_regs.from_aos(fs.lane_regs);
-    f->call_stack.assign(fs.call_stack.begin(), fs.call_stack.end());
-    f->step_writes.clear();
-    f->instr_writes.clear();
-    for (const auto& [a, v] : fs.instr_writes) f->instr_writes.put(a, v);
-    f->multiop_blocked = fs.multiop_blocked;
-    f->evicted_once = fs.evicted_once;
+    install_flow_state(*f, fs);
     flows_.push_back(std::move(f));
   }
 

@@ -77,6 +77,23 @@ class SharedMemory;
 /// per-group sorted runs. Draining ports in a fixed group order keeps
 /// traffic counters, CRCW checks and multiprefix ticket numbering
 /// bit-identical to a sequential run.
+/// One staged (pre-commit) write as a port buffers it during the group
+/// phase. Public so the sharded execution mode can serialize port images.
+struct StagedWrite {
+  Addr addr;
+  Word value;
+  LaneId lane;
+};
+
+/// One staged multioperation / multiprefix contribution.
+struct StagedMulti {
+  Addr addr;
+  MultiOp op;
+  Word value;
+  LaneId lane;
+  bool prefix;
+};
+
 class MemoryPort {
  public:
   MemoryPort() = default;
@@ -105,20 +122,28 @@ class MemoryPort {
   }
   void clear();
 
+  /// Complete image of a port's staged (pre-drain) traffic. The sharded
+  /// execution mode (src/shard, DESIGN.md §14) ships one of these per group
+  /// per step so a remote replica can drain the exact traffic the owning
+  /// shard staged — same order, same per-module accounting, same tickets.
+  struct Image {
+    std::vector<StagedWrite> writes;
+    std::vector<StagedMulti> multis;
+    std::vector<std::pair<Addr, LaneId>> reads;
+    std::vector<std::uint64_t> mod_reads;
+    std::vector<std::uint64_t> mod_writes;
+    std::vector<std::uint64_t> mod_multis;
+    std::uint64_t n_reads = 0;
+    std::uint64_t prefixes = 0;
+    bool sealed = false;
+  };
+  Image save_image() const;
+  /// Installs an image captured by save_image() on an identically-attached
+  /// port (the attachment itself is kept).
+  void load_image(const Image& img);
+
  private:
   friend class SharedMemory;
-  struct StagedWrite {
-    Addr addr;
-    Word value;
-    LaneId lane;
-  };
-  struct StagedMulti {
-    Addr addr;
-    MultiOp op;
-    Word value;
-    LaneId lane;
-    bool prefix;
-  };
 
   const SharedMemory* shm_ = nullptr;
   std::vector<StagedWrite> writes_;  ///< issue order until seal()

@@ -1,0 +1,545 @@
+#include "shard/supervisor.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "debug/checkpoint.hpp"
+#include "machine/shard_step.hpp"
+#include "machine/state.hpp"
+#include "sched/allocation.hpp"
+#include "sched/balancer.hpp"
+#include "shard/worker.hpp"
+
+namespace tcfpn::shard {
+
+namespace {
+
+constexpr char kLogCat[] = "shard/supervisor";
+
+Failure classify(RecvStatus st) {
+  switch (st) {
+    case RecvStatus::kTimeout: return Failure::kHung;
+    case RecvStatus::kClosed: return Failure::kCrashed;
+    default: return Failure::kBabbling;
+  }
+}
+
+void append_json_u64(std::string* out, const char* key, std::uint64_t v,
+                     const std::string& pad, bool last = false) {
+  *out += pad + "\"" + key + "\": " + std::to_string(v) + (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+const char* to_string(Failure f) {
+  switch (f) {
+    case Failure::kCrashed: return "crashed";
+    case Failure::kHung: return "hung";
+    case Failure::kBabbling: return "babbling";
+  }
+  return "?";
+}
+
+std::string SupervisorStats::to_json(int indent) const {
+  const std::string pad(indent + 2, ' ');
+  std::string out = "{\n";
+  append_json_u64(&out, "shard/steps", steps, pad);
+  append_json_u64(&out, "shard/frames_sent", frames_sent, pad);
+  append_json_u64(&out, "shard/frames_received", frames_received, pad);
+  append_json_u64(&out, "shard/bytes_sent", bytes_sent, pad);
+  append_json_u64(&out, "shard/bytes_received", bytes_received, pad);
+  append_json_u64(&out, "shard/heartbeats", heartbeats, pad);
+  append_json_u64(&out, "shard/checkpoints", checkpoints, pad);
+  append_json_u64(&out, "shard/faults_injected", faults_injected, pad);
+  append_json_u64(&out, "shard/crashes", crashes, pad);
+  append_json_u64(&out, "shard/hangs", hangs, pad);
+  append_json_u64(&out, "shard/babbles", babbles, pad);
+  append_json_u64(&out, "shard/restarts", restarts, pad);
+  append_json_u64(&out, "shard/rollbacks", rollbacks, pad);
+  append_json_u64(&out, "shard/degrades", degrades, pad);
+  append_json_u64(&out, "shard/groups_retired", groups_retired, pad);
+  append_json_u64(&out, "shard/link_budget_cycles", link_budget_cycles, pad,
+                  /*last=*/true);
+  out += std::string(indent, ' ') + "}";
+  return out;
+}
+
+ShardSupervisor::ShardSupervisor(machine::Machine& m, WorkerFactory factory,
+                                 SupervisorOptions opt,
+                                 resil::FaultInjector* injector)
+    : m_(m), factory_(std::move(factory)), opt_(opt), injector_(injector) {
+  TCFPN_CHECK(opt_.shards >= 1, "shard supervisor needs at least one worker");
+  TCFPN_CHECK(opt_.shards <= m_.config().groups,
+              "more shards (", opt_.shards, ") than groups (",
+              m_.config().groups, "): some workers would own nothing");
+}
+
+ShardSupervisor::~ShardSupervisor() {
+  for (Worker& w : workers_) {
+    if (w.handle) {
+      absorb_link(w.handle->link().stats());
+      w.handle->terminate();
+    }
+  }
+}
+
+void ShardSupervisor::absorb_link(const LinkStats& ls) {
+  stats_.frames_sent += ls.frames_sent;
+  stats_.frames_received += ls.frames_received;
+  stats_.bytes_sent += ls.bytes_sent;
+  stats_.bytes_received += ls.bytes_received;
+}
+
+void ShardSupervisor::journal(machine::DebugEventKind kind,
+                              std::uint32_t shard, Word b) {
+  machine::StepObserver* observer = m_.observer();
+  if (observer == nullptr) return;
+  machine::DebugEvent ev;
+  ev.kind = kind;
+  ev.step = m_.stats().steps;
+  ev.flow = machine::kNoFlow;
+  ev.group = 0;
+  ev.a = static_cast<Word>(shard);
+  ev.b = b;
+  observer->on_event(ev);
+}
+
+void ShardSupervisor::broadcast(const Frame& f) {
+  for (Worker& w : workers_) {
+    if (w.alive) w.handle->link().send(f);  // failures surface in collect()
+  }
+}
+
+void ShardSupervisor::take_checkpoint() {
+  checkpoint_ = debug::serialize(m_.save_state());
+  checkpoint_step_ = m_.stats().steps;
+  steps_since_checkpoint_ = 0;
+  ++stats_.checkpoints;
+}
+
+void ShardSupervisor::spawn_all() {
+  // Group -> shard ownership: weighted LPT over per-group throughput, so a
+  // heterogeneous shape's fat groups spread across shards. Weights are the
+  // exact per-group speed rationals scaled onto a common denominator grid.
+  const machine::MachineConfig& cfg = m_.config();
+  const std::vector<sched::GroupSpeed> speeds = sched::group_speeds(cfg);
+  std::vector<Word> weights(cfg.groups, 1);
+  for (GroupId g = 0; g < cfg.groups; ++g) {
+    const Word w = static_cast<Word>(speeds[g].num * 1024 / speeds[g].den);
+    weights[g] = std::max<Word>(w, 1);
+  }
+  const std::vector<sched::GroupSpeed> bins(opt_.shards,
+                                            sched::GroupSpeed{1, 1});
+  const std::vector<GroupId> assign = sched::lpt_assign_weighted(weights, bins);
+  group_shard_.assign(cfg.groups, 0);
+  for (GroupId g = 0; g < cfg.groups; ++g) group_shard_[g] = assign[g];
+
+  workers_.resize(opt_.shards);
+  for (std::uint32_t s = 0; s < opt_.shards; ++s) {
+    Worker& w = workers_[s];
+    w.owned.assign(cfg.groups, 0);
+    for (GroupId g = 0; g < cfg.groups; ++g) {
+      if (group_shard_[g] == s) w.owned[g] = 1;
+    }
+    w.handle = factory_(s);
+    w.alive = true;
+    if (!handshake(w, s, /*fresh=*/true)) {
+      fatal(s, "failed its boot handshake");
+    }
+  }
+}
+
+bool ShardSupervisor::handshake(Worker& w, std::uint32_t shard, bool fresh) {
+  Frame f;
+  const RecvStatus st = w.handle->link().recv(&f, opt_.heartbeat_ms);
+  if (st != RecvStatus::kOk || f.type != FrameType::kHello) return false;
+  HelloPayload hello;
+  if (!decode_hello(f.payload, &hello)) return false;
+  if (hello.shard != shard ||
+      hello.config_fp != machine::config_fingerprint(m_.config()) ||
+      hello.program_fp != machine::program_fingerprint(m_.program())) {
+    obs::error(kLogCat, "shard " + std::to_string(shard) +
+                            " hello fingerprint mismatch — config drift "
+                            "between supervisor and worker");
+    return false;
+  }
+  Frame start;
+  start.type = FrameType::kStart;
+  start.shard = kSupervisorId;
+  start.step = m_.stats().steps;
+  start.payload = encode_start(
+      StartPayload{w.owned, fresh ? std::vector<std::uint8_t>{} : checkpoint_});
+  return w.handle->link().send(start);
+}
+
+void ShardSupervisor::apply_injected_faults(StepId step) {
+  if (injector_ == nullptr) return;
+  for (const resil::FaultEvent& ev : injector_->pending(step)) {
+    if (!resil::is_shard_fault(ev.kind)) continue;
+    // Fired *before* acting: the rollback this fault provokes replays the
+    // same steps, and the schedule must not re-arise (same contract as
+    // ResilientExecutor).
+    injector_->mark_fired(ev);
+    const std::uint32_t s = ev.group;
+    if (s >= workers_.size() || !workers_[s].alive) continue;
+    ++stats_.faults_injected;
+    journal(machine::DebugEventKind::kFaultInjected, s,
+            static_cast<Word>(ev.kind));
+    obs::warn(kLogCat, std::string("injecting ") + resil::to_string(ev.kind) +
+                           " into shard " + std::to_string(s) + " at step " +
+                           std::to_string(step));
+    switch (ev.kind) {
+      case resil::FaultKind::kShardKill:
+        workers_[s].handle->inject_kill();
+        break;
+      case resil::FaultKind::kShardHang:
+        workers_[s].handle->inject_hang();
+        break;
+      case resil::FaultKind::kShardBabble:
+        workers_[s].handle->link().corrupt_next_recv();
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+bool ShardSupervisor::collect(std::uint32_t shard, StepId step,
+                              std::vector<machine::ShardGroupBatch>* batches,
+                              Failure* failure) {
+  Worker& w = workers_[shard];
+  std::size_t expected = 0;
+  for (GroupId g = 0; g < w.owned.size(); ++g) {
+    if (w.owned[g] && m_.group_alive(g)) ++expected;
+  }
+  std::vector<std::uint8_t> got(w.owned.size(), 0);
+  std::size_t have = 0;
+  while (have < expected || expected == 0) {
+    Frame f;
+    const RecvStatus st = w.handle->link().recv(&f, opt_.heartbeat_ms);
+    if (st != RecvStatus::kOk) {
+      *failure = classify(st);
+      return false;
+    }
+    if (f.type == FrameType::kHeartbeat && f.step == step) {
+      ++stats_.heartbeats;
+      if (expected == 0) return true;  // groupless worker: alive is enough
+      continue;
+    }
+    if (f.type != FrameType::kBatch || f.step != step) {
+      obs::warn(kLogCat, "shard " + std::to_string(shard) +
+                             " broke lockstep with a " +
+                             std::string(to_string(f.type)) + " frame");
+      *failure = Failure::kBabbling;
+      return false;
+    }
+    machine::ShardGroupBatch b;
+    if (!decode_batch(f.payload, &b) || b.group >= w.owned.size() ||
+        !w.owned[b.group] || !m_.group_alive(b.group) || got[b.group] ||
+        b.step != step) {
+      *failure = Failure::kBabbling;
+      return false;
+    }
+    got[b.group] = 1;
+    ++have;
+    batches->push_back(std::move(b));
+  }
+  return true;
+}
+
+void ShardSupervisor::handle_failure(std::uint32_t shard, Failure why) {
+  std::deque<std::pair<std::uint32_t, Failure>> failures;
+  failures.emplace_back(shard, why);
+  std::vector<GroupId> resync_retires;  // cumulative across this resync
+
+  while (!failures.empty()) {
+    std::vector<std::uint32_t> to_restart;
+
+    // Decision phase: classify, terminate, pick restart or degrade.
+    while (!failures.empty()) {
+      const auto [s, f] = failures.front();
+      failures.pop_front();
+      Worker& w = workers_[s];
+      if (!w.alive) continue;  // already handled this resync
+      switch (f) {
+        case Failure::kCrashed: ++stats_.crashes; break;
+        case Failure::kHung: ++stats_.hangs; break;
+        case Failure::kBabbling: ++stats_.babbles; break;
+      }
+      journal(machine::DebugEventKind::kShardFault, s,
+              static_cast<Word>(f));
+      obs::warn(kLogCat, "shard " + std::to_string(s) + " " + to_string(f) +
+                             " at step " + std::to_string(m_.stats().steps));
+      absorb_link(w.handle->link().stats());
+      w.handle->terminate();
+      w.alive = false;
+      if (w.restarts_used < opt_.restarts) {
+        ++w.restarts_used;
+        to_restart.push_back(s);
+      } else {
+        // Degrade: retire the dead shard's still-alive groups, ascending.
+        std::vector<GroupId> mine;
+        for (GroupId g = 0; g < w.owned.size(); ++g) {
+          if (w.owned[g] && m_.group_alive(g) &&
+              std::find(resync_retires.begin(), resync_retires.end(), g) ==
+                  resync_retires.end()) {
+            mine.push_back(g);
+          }
+        }
+        if (resync_retires.size() + mine.size() >= m_.alive_groups()) {
+          fatal(s, std::string(to_string(f)) +
+                       " with restart budget exhausted and no capacity left "
+                       "to absorb its groups");
+        }
+        resync_retires.insert(resync_retires.end(), mine.begin(), mine.end());
+        ++stats_.degrades;
+        journal(machine::DebugEventKind::kShardRetired, s,
+                static_cast<Word>(mine.size()));
+        obs::warn(kLogCat, "shard " + std::to_string(s) +
+                               " degraded permanently; retiring " +
+                               std::to_string(mine.size()) + " group(s)");
+      }
+    }
+
+    bool any_left = !to_restart.empty();
+    for (const Worker& w : workers_) any_left = any_left || w.alive;
+    if (!any_left) {
+      fatal(shard, std::string(to_string(why)) +
+                       " and no shard survives the resync");
+    }
+
+    // Rewind the supervisor to the checkpoint, apply every retirement
+    // decided this resync (ascending — the deterministic degrade order),
+    // and re-checkpoint so the new blob carries the retirements.
+    m_.set_shard_mode({});
+    m_.restore_state(debug::deserialize(checkpoint_));
+    ++stats_.rollbacks;
+    std::sort(resync_retires.begin(), resync_retires.end());
+    for (GroupId g : resync_retires) {
+      if (m_.group_alive(g)) {
+        m_.retire_group(g);
+        ++stats_.groups_retired;
+      }
+    }
+    m_.set_shard_mode(std::vector<std::uint8_t>(m_.config().groups, 0));
+    take_checkpoint();
+
+    // Resync survivors: rewind them to the new blob and drain everything
+    // they sent before the ack (stale frames of the aborted step).
+    Frame rb;
+    rb.type = FrameType::kRollback;
+    rb.shard = kSupervisorId;
+    rb.step = checkpoint_step_;
+    rb.payload = encode_rollback(RollbackPayload{checkpoint_, {}});
+    for (std::uint32_t s = 0; s < workers_.size(); ++s) {
+      Worker& w = workers_[s];
+      if (!w.alive) continue;
+      if (!w.handle->link().send(rb)) {
+        failures.emplace_back(s, Failure::kCrashed);
+        continue;
+      }
+      for (;;) {
+        Frame f;
+        const RecvStatus st = w.handle->link().recv(&f, opt_.heartbeat_ms);
+        if (st != RecvStatus::kOk) {
+          failures.emplace_back(s, classify(st));
+          break;
+        }
+        if (f.type == FrameType::kRollbackAck) break;
+        // Anything before the ack is a stale frame of the aborted step.
+      }
+    }
+
+    // Respawn replacements from the fresh blob.
+    for (std::uint32_t s : to_restart) {
+      Worker& w = workers_[s];
+      w.handle = factory_(s);
+      w.alive = true;
+      if (!handshake(w, s, /*fresh=*/false)) {
+        failures.emplace_back(s, Failure::kCrashed);
+        continue;
+      }
+      ++stats_.restarts;
+      journal(machine::DebugEventKind::kShardRestart, s,
+              static_cast<Word>(checkpoint_step_));
+      obs::info(kLogCat, "shard " + std::to_string(s) +
+                             " restarted from checkpoint step " +
+                             std::to_string(checkpoint_step_));
+    }
+  }
+}
+
+void ShardSupervisor::fatal(std::uint32_t shard, const std::string& what) {
+  const std::string msg =
+      "shard " + std::to_string(shard) + " " + what + " at step " +
+      std::to_string(m_.stats().steps) + ": sharded execution cannot continue";
+  obs::error(kLogCat, msg);
+  Frame down;
+  down.type = FrameType::kShutdown;
+  down.shard = kSupervisorId;
+  down.step = m_.stats().steps;
+  broadcast(down);
+  for (Worker& w : workers_) {
+    if (w.handle) {
+      absorb_link(w.handle->link().stats());
+      w.handle->terminate();
+      w.handle = nullptr;
+      w.alive = false;
+    }
+  }
+  // The supervisor's replica is at the last committed boundary (the failed
+  // step never merged), so a post-mortem may inspect it read-only.
+  machine::StepObserver* observer = m_.observer();
+  if (observer != nullptr) observer->on_fault(msg, m_);
+  throw SimError(msg);
+}
+
+machine::RunResult ShardSupervisor::run() {
+  m_.set_shard_mode(std::vector<std::uint8_t>(m_.config().groups, 0));
+  spawn_all();
+  take_checkpoint();
+
+  std::uint64_t executed = 0;
+  while (executed < opt_.max_steps) {
+    if (!m_.shard_begin_step()) break;  // replicated end-of-run decision
+    const StepId step = m_.stats().steps;
+    apply_injected_faults(step);
+
+    Frame begin;
+    begin.type = FrameType::kBeginStep;
+    begin.shard = kSupervisorId;
+    begin.step = step;
+    broadcast(begin);
+
+    std::vector<machine::ShardGroupBatch> batches;
+    bool aborted = false;
+    for (std::uint32_t s = 0; s < workers_.size(); ++s) {
+      if (!workers_[s].alive) continue;
+      Failure why = Failure::kCrashed;
+      if (!collect(s, step, &batches, &why)) {
+        handle_failure(s, why);
+        aborted = true;
+        break;
+      }
+    }
+    if (aborted) continue;  // rewound; replay from the checkpoint
+
+    for (const machine::ShardGroupBatch& b : batches) m_.shard_install(b);
+    try {
+      m_.shard_finish_step();
+    } catch (const SimError&) {
+      // A program fault, surfacing exactly where --shards 1 would raise it.
+      // Workers never see these batches (no kCommit), so they idle until
+      // the shutdown below.
+      Frame down;
+      down.type = FrameType::kShutdown;
+      down.shard = kSupervisorId;
+      down.step = step;
+      broadcast(down);
+      throw;
+    }
+    ++executed;
+    ++stats_.steps;
+
+    Frame commit;
+    commit.type = FrameType::kCommit;
+    commit.shard = kSupervisorId;
+    commit.step = step;
+    commit.payload = encode_commit(batches);
+    broadcast(commit);
+
+    if (++steps_since_checkpoint_ >= opt_.checkpoint_every) take_checkpoint();
+  }
+
+  Frame down;
+  down.type = FrameType::kShutdown;
+  down.shard = kSupervisorId;
+  down.step = m_.stats().steps;
+  broadcast(down);
+  for (Worker& w : workers_) {
+    if (w.handle) {
+      absorb_link(w.handle->link().stats());
+      w.handle->terminate();
+      w.handle = nullptr;
+      w.alive = false;
+    }
+  }
+  const std::uint64_t bw = std::max<std::uint64_t>(
+      m_.config().net.link_bandwidth, 1);
+  const std::uint64_t total = stats_.bytes_sent + stats_.bytes_received;
+  stats_.link_budget_cycles = (total + bw - 1) / bw;
+  m_.set_shard_mode({});
+  return machine::RunResult{m_.done(), m_.stats().cycles, m_.stats().steps};
+}
+
+// ----- loopback host -----
+
+namespace {
+
+/// A worker on a std::thread behind a loopback link. inject_kill severs the
+/// queues (the thread's next recv/send observes kClosed and exits);
+/// inject_hang mutes its outbound queue, so the supervisor starves into the
+/// heartbeat deadline while the worker keeps running until terminated.
+class LoopbackWorker final : public WorkerHandle {
+ public:
+  LoopbackWorker(std::unique_ptr<machine::Machine> replica, LoopbackPair pair,
+                 std::uint32_t shard)
+      : replica_(std::move(replica)),
+        supervisor_end_(std::move(pair.supervisor_end)),
+        mute_(std::move(pair.mute_worker)),
+        sever_(std::move(pair.sever)) {
+    WorkerConfig wc;
+    wc.shard = shard;
+    wc.config_fp = machine::config_fingerprint(replica_->config());
+    wc.program_fp = machine::program_fingerprint(replica_->program());
+    thread_ = std::thread(
+        [m = replica_.get(), t = pair.worker_end.release(), wc]() mutable {
+          std::unique_ptr<Transport> link(t);
+          serve_worker(*m, *link, wc);
+        });
+  }
+
+  ~LoopbackWorker() override { terminate(); }
+
+  Transport& link() override { return *supervisor_end_; }
+  void inject_kill() override { sever_(); }
+  void inject_hang() override { mute_(true); }
+  void terminate() override {
+    sever_();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::unique_ptr<machine::Machine> replica_;
+  std::unique_ptr<Transport> supervisor_end_;
+  std::function<void(bool)> mute_;
+  std::function<void()> sever_;
+  std::thread thread_;
+};
+
+}  // namespace
+
+WorkerFactory make_loopback_factory(
+    std::function<std::unique_ptr<machine::Machine>()> make_replica) {
+  return [make_replica = std::move(make_replica)](std::uint32_t shard) {
+    return std::make_unique<LoopbackWorker>(make_replica(),
+                                            make_loopback_pair(), shard);
+  };
+}
+
+machine::RunResult run_sharded_loopback(
+    machine::Machine& m,
+    const std::function<std::unique_ptr<machine::Machine>()>& make_replica,
+    SupervisorOptions opt, resil::FaultInjector* injector,
+    SupervisorStats* stats_out) {
+  ShardSupervisor sup(m, make_loopback_factory(make_replica), opt, injector);
+  machine::RunResult res = sup.run();
+  if (stats_out != nullptr) *stats_out = sup.stats();
+  return res;
+}
+
+}  // namespace tcfpn::shard

@@ -1,0 +1,174 @@
+// Supervised multi-process shard execution (DESIGN.md §14).
+//
+// The ShardSupervisor owns the journaling machine replica (it executes no
+// groups itself) and N workers, each a full replica executing the groups it
+// owns. Group->shard ownership comes from the weighted-LPT balancer over
+// per-group throughput, so heterogeneous shapes split fairly.
+//
+// Per step: broadcast kBeginStep, collect one kBatch per alive owned group
+// (heartbeats reset the liveness deadline), install, merge + commit
+// locally, then broadcast kCommit — workers only ever merge batches the
+// supervisor already merged successfully, so a program fault (SimError)
+// surfaces exactly once, on the supervisor, with the same "lowest faulting
+// group wins" ordering as --shards 1.
+//
+// Liveness: every worker recv carries a heartbeat deadline. A timeout
+// classifies the worker hung, EOF/waitpid crashed, a CRC/decode/lockstep
+// violation babbling. The response is uniform: terminate the worker, rewind
+// every survivor to the last checkpoint (kRollback), and either restart a
+// replacement from that checkpoint (budget left) or deterministically
+// degrade by retiring the dead shard's groups in ascending order. Every
+// decision is journaled (kShardFault/kShardRestart/kShardRetired), logged
+// via obs::log and counted in SupervisorStats — which lives OUTSIDE the
+// machine's metrics registry, because frame counts depend on the shard
+// count and the registry must stay bit-identical to --shards 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "resil/fault.hpp"
+#include "shard/transport.hpp"
+
+namespace tcfpn::shard {
+
+/// One spawned worker as the supervisor drives it. Implementations wrap a
+/// forked process (fd transport) or an in-process thread (loopback).
+class WorkerHandle {
+ public:
+  virtual ~WorkerHandle() = default;
+  virtual Transport& link() = 0;
+  /// shard_kill: hard-kill the worker (SIGKILL / sever the loopback).
+  virtual void inject_kill() = 0;
+  /// shard_hang: freeze it (SIGSTOP / mute its outbound queue).
+  virtual void inject_hang() = 0;
+  /// Ensures the worker is dead and reaped (idempotent).
+  virtual void terminate() = 0;
+};
+
+/// Spawns (or respawns, after a failure) the worker for `shard`.
+using WorkerFactory =
+    std::function<std::unique_ptr<WorkerHandle>(std::uint32_t shard)>;
+
+struct SupervisorOptions {
+  std::uint32_t shards = 2;
+  int heartbeat_ms = 2000;            ///< liveness deadline per worker recv
+  std::uint32_t restarts = 1;         ///< restart budget per shard
+  std::uint64_t checkpoint_every = 64;  ///< steps between rewind points
+  std::uint64_t max_steps = 1'000'000;
+};
+
+/// Why a worker was declared dead.
+enum class Failure : std::uint8_t {
+  kCrashed = 0,  ///< link EOF / process exit
+  kHung = 1,     ///< heartbeat deadline expired
+  kBabbling = 2, ///< malformed frame or lockstep violation
+};
+
+const char* to_string(Failure f);
+
+/// Supervision counters, exported as the top-level "shard" block of the
+/// metrics document (beside "obs", never inside "metrics").
+struct SupervisorStats {
+  std::uint64_t steps = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t hangs = 0;
+  std::uint64_t babbles = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t degrades = 0;
+  std::uint64_t groups_retired = 0;
+  /// Deterministic exchange cost: ceil(total frame bytes over all links /
+  /// cfg.net.link_bandwidth) cycles. Reported, never added to the simulated
+  /// clock — the cost model of a sharded run must equal --shards 1.
+  std::uint64_t link_budget_cycles = 0;
+
+  std::string to_json(int indent) const;
+};
+
+class ShardSupervisor {
+ public:
+  /// `m` is the supervisor's replica (program booted, no shard mode yet).
+  /// `injector` may be null; only shard-kind faults are consumed.
+  ShardSupervisor(machine::Machine& m, WorkerFactory factory,
+                  SupervisorOptions opt, resil::FaultInjector* injector);
+  ~ShardSupervisor();
+
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// Runs to completion. Throws SimError on a program fault (same contract
+  /// as Machine::run) and on an unrecoverable shard fault — the latter with
+  /// a "shard ..." message that classify_fault maps to "shard-fault".
+  machine::RunResult run();
+
+  const SupervisorStats& stats() const { return stats_; }
+  /// shard id owning each group (fixed for the run).
+  const std::vector<std::uint32_t>& group_shard() const { return group_shard_; }
+
+ private:
+  struct Worker {
+    std::unique_ptr<WorkerHandle> handle;
+    std::vector<std::uint8_t> owned;  ///< per-group mask
+    bool alive = false;
+    std::uint32_t restarts_used = 0;
+  };
+
+  void spawn_all();
+  /// Hello/fingerprint exchange + kStart. False = worker unusable.
+  bool handshake(Worker& w, std::uint32_t shard, bool fresh);
+  void take_checkpoint();
+  void apply_injected_faults(StepId step);
+  /// Collects this worker's batches for `step` into `batches`. Returns
+  /// kOk, or the failure class on liveness loss.
+  bool collect(std::uint32_t shard, StepId step,
+               std::vector<machine::ShardGroupBatch>* batches,
+               Failure* failure);
+  /// Terminates the failed worker, rewinds everyone, restarts or degrades.
+  /// Throws SimError when no shard survives.
+  void handle_failure(std::uint32_t shard, Failure why);
+  void journal(machine::DebugEventKind kind, std::uint32_t shard, Word b);
+  void broadcast(const Frame& f);
+  void absorb_link(const LinkStats& ls);
+  [[noreturn]] void fatal(std::uint32_t shard, const std::string& what);
+
+  machine::Machine& m_;
+  WorkerFactory factory_;
+  SupervisorOptions opt_;
+  resil::FaultInjector* injector_;
+  std::vector<Worker> workers_;
+  std::vector<std::uint32_t> group_shard_;
+  std::vector<std::uint8_t> checkpoint_;
+  StepId checkpoint_step_ = 0;
+  std::uint64_t steps_since_checkpoint_ = 0;
+  SupervisorStats stats_;
+};
+
+/// A factory of in-process loopback workers, one std::thread per shard;
+/// `make_replica` builds each worker's machine (identical config + program
+/// + boot). Used directly by tcfrun --shard-loopback.
+WorkerFactory make_loopback_factory(
+    std::function<std::unique_ptr<machine::Machine>()> make_replica);
+
+/// Runs `m` sharded over in-process loopback workers, one std::thread per
+/// shard; `make_replica` builds each worker's machine (identical config +
+/// program + boot). The common entry for tests, tcffuzz and
+/// --shard-loopback.
+machine::RunResult run_sharded_loopback(
+    machine::Machine& m,
+    const std::function<std::unique_ptr<machine::Machine>()>& make_replica,
+    SupervisorOptions opt, resil::FaultInjector* injector,
+    SupervisorStats* stats_out);
+
+}  // namespace tcfpn::shard

@@ -1,0 +1,238 @@
+#include "shard/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+namespace tcfpn::shard {
+
+const char* to_string(RecvStatus s) {
+  switch (s) {
+    case RecvStatus::kOk: return "ok";
+    case RecvStatus::kTimeout: return "timeout";
+    case RecvStatus::kClosed: return "closed";
+    case RecvStatus::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
+bool Transport::send(const Frame& f) {
+  const std::vector<std::uint8_t> bytes = encode_frame(f);
+  if (!send_bytes(bytes)) return false;
+  ++stats_.frames_sent;
+  stats_.bytes_sent += bytes.size();
+  return true;
+}
+
+RecvStatus Transport::recv(Frame* out, int deadline_ms) {
+  std::vector<std::uint8_t> bytes;
+  const RecvStatus st = recv_bytes(&bytes, deadline_ms);
+  if (st != RecvStatus::kOk) return st;
+  stats_.bytes_received += bytes.size();
+  if (corrupt_next_) {
+    corrupt_next_ = false;
+    // Flip a payload byte when there is one (caught by the CRC); a bare
+    // header loses its magic instead (caught by decode_header).
+    const std::size_t at = bytes.size() > kHeaderBytes ? kHeaderBytes : 0;
+    if (!bytes.empty()) bytes[at] ^= 0x40;
+  }
+  if (!decode_frame(bytes, out)) {
+    ++stats_.malformed_frames;
+    return RecvStatus::kMalformed;
+  }
+  ++stats_.frames_received;
+  return RecvStatus::kOk;
+}
+
+namespace {
+
+/// One direction of a loopback link: a queue of complete encoded frames.
+struct LoopbackQueue {
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<std::vector<std::uint8_t>> q;
+  bool closed = false;
+  bool mute = false;  ///< drop instead of enqueue (shard_hang analogue)
+
+  bool push(const std::vector<std::uint8_t>& bytes) {
+    std::lock_guard<std::mutex> lk(m);
+    if (closed) return false;
+    if (!mute) {
+      q.push_back(bytes);
+      cv.notify_one();
+    }
+    return true;
+  }
+
+  RecvStatus pop(std::vector<std::uint8_t>* out, int deadline_ms) {
+    std::unique_lock<std::mutex> lk(m);
+    const auto ready = [this] { return !q.empty() || closed; };
+    if (deadline_ms < 0) {
+      cv.wait(lk, ready);
+    } else if (!cv.wait_for(lk, std::chrono::milliseconds(deadline_ms),
+                            ready)) {
+      return RecvStatus::kTimeout;
+    }
+    if (q.empty()) return RecvStatus::kClosed;
+    *out = std::move(q.front());
+    q.pop_front();
+    return RecvStatus::kOk;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lk(m);
+    closed = true;
+    cv.notify_all();
+  }
+
+  void set_mute(bool on) {
+    std::lock_guard<std::mutex> lk(m);
+    mute = on;
+  }
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<LoopbackQueue> tx,
+                    std::shared_ptr<LoopbackQueue> rx)
+      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+  void close() override {
+    tx_->close();
+    rx_->close();
+  }
+
+ protected:
+  bool send_bytes(const std::vector<std::uint8_t>& bytes) override {
+    return tx_->push(bytes);
+  }
+  RecvStatus recv_bytes(std::vector<std::uint8_t>* out,
+                        int deadline_ms) override {
+    return rx_->pop(out, deadline_ms);
+  }
+
+ private:
+  std::shared_ptr<LoopbackQueue> tx_;
+  std::shared_ptr<LoopbackQueue> rx_;
+};
+
+class FdTransport final : public Transport {
+ public:
+  explicit FdTransport(int fd) : fd_(fd) {}
+  ~FdTransport() override { close(); }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ protected:
+  bool send_bytes(const std::vector<std::uint8_t>& bytes) override {
+    if (fd_ < 0) return false;
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      // MSG_NOSIGNAL: sending to a worker that just died must fail with
+      // EPIPE (the supervisor handles it as a crash), not kill the whole
+      // supervisor with SIGPIPE. The link is always a socketpair.
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  RecvStatus recv_bytes(std::vector<std::uint8_t>* out,
+                        int deadline_ms) override {
+    std::uint8_t hdr[kHeaderBytes];
+    RecvStatus st = read_exact(hdr, kHeaderBytes, deadline_ms);
+    if (st != RecvStatus::kOk) return st;
+    FrameHeader h;
+    if (!decode_header(hdr, &h)) {
+      // The stream is byte-oriented: after an unparseable header the frame
+      // boundary is lost for good. Hand the raw header up so the base-class
+      // decode fails and counts it malformed; the supervisor kills the peer
+      // (resynchronisation is not attempted).
+      out->assign(hdr, hdr + kHeaderBytes);
+      return RecvStatus::kOk;
+    }
+    out->assign(hdr, hdr + kHeaderBytes);
+    out->resize(kHeaderBytes + h.payload_len);
+    if (h.payload_len > 0) {
+      st = read_exact(out->data() + kHeaderBytes, h.payload_len, deadline_ms);
+      if (st != RecvStatus::kOk) return st;
+    }
+    return RecvStatus::kOk;
+  }
+
+ private:
+  RecvStatus read_exact(std::uint8_t* dst, std::size_t n, int deadline_ms) {
+    using Clock = std::chrono::steady_clock;
+    const auto deadline = Clock::now() + std::chrono::milliseconds(
+                                             deadline_ms < 0 ? 0 : deadline_ms);
+    std::size_t off = 0;
+    while (off < n) {
+      if (fd_ < 0) return RecvStatus::kClosed;
+      int wait_ms = -1;
+      if (deadline_ms >= 0) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now());
+        wait_ms = static_cast<int>(left.count());
+        if (wait_ms < 0) return RecvStatus::kTimeout;
+      }
+      struct pollfd pfd{fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, wait_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return RecvStatus::kClosed;
+      }
+      if (pr == 0) return RecvStatus::kTimeout;
+      const ssize_t r = ::read(fd_, dst + off, n - off);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return RecvStatus::kClosed;
+      }
+      if (r == 0) return RecvStatus::kClosed;  // EOF: peer died
+      off += static_cast<std::size_t>(r);
+    }
+    return RecvStatus::kOk;
+  }
+
+  int fd_;
+};
+
+}  // namespace
+
+LoopbackPair make_loopback_pair() {
+  auto to_worker = std::make_shared<LoopbackQueue>();
+  auto to_supervisor = std::make_shared<LoopbackQueue>();
+  LoopbackPair pair;
+  pair.supervisor_end =
+      std::make_unique<LoopbackTransport>(to_worker, to_supervisor);
+  pair.worker_end =
+      std::make_unique<LoopbackTransport>(to_supervisor, to_worker);
+  pair.mute_worker = [to_supervisor](bool on) { to_supervisor->set_mute(on); };
+  pair.sever = [to_worker, to_supervisor] {
+    to_worker->close();
+    to_supervisor->close();
+  };
+  return pair;
+}
+
+std::unique_ptr<Transport> make_fd_transport(int fd) {
+  return std::make_unique<FdTransport>(fd);
+}
+
+}  // namespace tcfpn::shard

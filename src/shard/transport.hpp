@@ -1,0 +1,99 @@
+// Transport abstraction for sharded execution (DESIGN.md §14).
+//
+// A Transport moves whole encoded frames between a supervisor and one
+// worker. Two implementations:
+//
+//  - Loopback: an in-process pair of byte queues. Always built, needs no
+//    fork — the unit tests, the tcffuzz sharded lane and `--shard-loopback`
+//    run workers as plain threads. The queues carry *encoded* bytes, so
+//    framing, CRC checking and corruption behave byte-for-byte like the
+//    process transport.
+//  - Fd: one end of a SOCK_STREAM socketpair shared with a forked+exec'd
+//    worker process, with poll()-based receive deadlines.
+//
+// Receive deadlines are the liveness primitive: the supervisor's recv
+// deadline is the heartbeat deadline, and any frame (heartbeats included)
+// resets it. Babble injection happens on the *receiving* end — one payload
+// byte of the next delivered frame is flipped below the CRC check, so the
+// corruption is detected exactly like real wire damage regardless of the
+// transport.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "shard/wire.hpp"
+
+namespace tcfpn::shard {
+
+enum class RecvStatus : std::uint8_t {
+  kOk,
+  kTimeout,    ///< deadline expired with no complete frame
+  kClosed,     ///< peer gone (EOF / severed queue)
+  kMalformed,  ///< bad magic/version/length/CRC — a babbling peer
+};
+
+const char* to_string(RecvStatus s);
+
+/// Per-link traffic counters. Deterministic for a fault-free run (frame
+/// contents and counts depend only on the simulated execution), which is
+/// what makes the link-budget figure in the shard metrics reproducible.
+struct LinkStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t malformed_frames = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Encodes and sends one frame. False when the peer is gone.
+  bool send(const Frame& f);
+
+  /// Receives one frame. `deadline_ms` < 0 blocks indefinitely; 0 polls.
+  /// On kMalformed the link itself is still usable — the *peer* is suspect
+  /// and the supervisor decides its fate.
+  RecvStatus recv(Frame* out, int deadline_ms);
+
+  /// Closes both directions; subsequent send/recv observe kClosed.
+  virtual void close() = 0;
+
+  /// Arms babble injection: one payload byte of the next received frame is
+  /// flipped before decoding (a frame with no payload loses a header byte
+  /// instead), so it fails the CRC/header check and classifies kMalformed.
+  void corrupt_next_recv() { corrupt_next_ = true; }
+
+  const LinkStats& stats() const { return stats_; }
+
+ protected:
+  /// Sends one complete encoded frame. False = peer gone.
+  virtual bool send_bytes(const std::vector<std::uint8_t>& bytes) = 0;
+  /// Receives one complete encoded frame (header + payload).
+  virtual RecvStatus recv_bytes(std::vector<std::uint8_t>* out,
+                                int deadline_ms) = 0;
+
+  LinkStats stats_;
+  bool corrupt_next_ = false;
+};
+
+/// An in-process supervisor<->worker link pair plus its fault controls.
+struct LoopbackPair {
+  std::unique_ptr<Transport> supervisor_end;
+  std::unique_ptr<Transport> worker_end;
+  /// shard_hang analogue: while muted, worker->supervisor frames are
+  /// silently dropped (the worker still counts them as sent).
+  std::function<void(bool)> mute_worker;
+  /// shard_kill analogue: closes both directions of both ends.
+  std::function<void()> sever;
+};
+
+LoopbackPair make_loopback_pair();
+
+/// Wraps one end of a SOCK_STREAM socketpair. Owns the fd.
+std::unique_ptr<Transport> make_fd_transport(int fd);
+
+}  // namespace tcfpn::shard

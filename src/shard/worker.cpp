@@ -1,0 +1,132 @@
+#include "shard/worker.hpp"
+
+#include <string>
+
+#include "common/log.hpp"
+#include "debug/checkpoint.hpp"
+#include "machine/shard_step.hpp"
+#include "machine/state.hpp"
+
+namespace tcfpn::shard {
+
+namespace {
+
+std::string lcat(std::uint32_t shard) {
+  return "shard/worker" + std::to_string(shard);
+}
+
+}  // namespace
+
+int serve_worker(machine::Machine& m, Transport& t, const WorkerConfig& wc) {
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.shard = wc.shard;
+  hello.payload =
+      encode_hello(HelloPayload{wc.shard, wc.config_fp, wc.program_fp});
+  if (!t.send(hello)) return 1;
+
+  std::vector<std::uint8_t> owned;
+  bool started = false;
+
+  for (;;) {
+    Frame f;
+    const RecvStatus st = t.recv(&f, /*deadline_ms=*/-1);
+    if (st == RecvStatus::kClosed) {
+      // The supervisor died (or severed us on a fault injection): there is
+      // nobody left to coordinate a commit with.
+      return 1;
+    }
+    if (st != RecvStatus::kOk) {
+      obs::error(lcat(wc.shard),
+                 std::string("link ") + to_string(st) + "; exiting");
+      return 1;
+    }
+
+    switch (f.type) {
+      case FrameType::kStart: {
+        StartPayload p;
+        if (!decode_start(f.payload, &p)) return 1;
+        if (!p.state.empty()) {
+          m.set_shard_mode({});  // restore wants a non-sharded machine
+          m.restore_state(debug::deserialize(p.state));
+        }
+        owned = p.owned;
+        m.set_shard_mode(owned);
+        started = true;
+        break;
+      }
+
+      case FrameType::kBeginStep: {
+        if (!started) return 1;
+        Frame hb;
+        hb.type = FrameType::kHeartbeat;
+        hb.shard = wc.shard;
+        hb.step = f.step;
+        if (!t.send(hb)) return 1;
+        if (f.step != m.stats().steps) {
+          obs::error(lcat(wc.shard),
+                     "lockstep violation: supervisor at step " +
+                         std::to_string(f.step) + ", replica at " +
+                         std::to_string(m.stats().steps));
+          return 1;
+        }
+        if (!m.shard_begin_step()) {
+          // The supervisor's identical replica decided there was work; a
+          // disagreement means the replicas diverged.
+          obs::error(lcat(wc.shard), "replica divergence at begin-step");
+          return 1;
+        }
+        for (GroupId g = 0; g < owned.size(); ++g) {
+          if (!owned[g] || !m.group_alive(g)) continue;
+          Frame batch;
+          batch.type = FrameType::kBatch;
+          batch.shard = wc.shard;
+          batch.step = f.step;
+          batch.payload = encode_batch(m.shard_extract(g));
+          if (!t.send(batch)) return 1;
+        }
+        break;
+      }
+
+      case FrameType::kCommit: {
+        std::vector<machine::ShardGroupBatch> batches;
+        if (!decode_commit(f.payload, &batches)) return 1;
+        for (const machine::ShardGroupBatch& b : batches) {
+          if (b.group < owned.size() && owned[b.group]) continue;
+          m.shard_install(b);
+        }
+        // The supervisor merged these exact inputs successfully before
+        // sending kCommit, so this cannot fault on a healthy replica.
+        m.shard_finish_step();
+        break;
+      }
+
+      case FrameType::kRollback: {
+        RollbackPayload p;
+        if (!decode_rollback(f.payload, &p)) return 1;
+        m.set_shard_mode({});
+        m.restore_state(debug::deserialize(p.state));
+        for (GroupId g : p.retires) {
+          if (m.group_alive(g)) m.retire_group(g);
+        }
+        m.set_shard_mode(owned);
+        Frame ack;
+        ack.type = FrameType::kRollbackAck;
+        ack.shard = wc.shard;
+        ack.step = m.stats().steps;
+        if (!t.send(ack)) return 1;
+        break;
+      }
+
+      case FrameType::kShutdown:
+        return 0;
+
+      default:
+        obs::error(lcat(wc.shard), std::string("unexpected frame: ") +
+                                       to_string(f.type));
+        return 1;
+    }
+  }
+}
+
+}  // namespace tcfpn::shard

@@ -1,0 +1,39 @@
+// The worker half of the sharded-step protocol (DESIGN.md §14).
+//
+// A worker is a full machine replica driven entirely by supervisor frames:
+//
+//   -> kHello                       announce fingerprints
+//   <- kStart {owned, state?}       enter shard mode (restore blob if any)
+//   <- kBeginStep                   -> kHeartbeat, execute owned groups,
+//                                   -> one kBatch per owned alive group
+//   <- kCommit {all batches}        install non-owned batches, commit step
+//   <- kRollback {state, retires}   rewind (+ retire groups, ascending)
+//   <- kShutdown                    exit 0
+//
+// The worker never decides anything: begin/commit/rollback/shutdown all
+// originate at the supervisor, so a worker is a pure function of the frame
+// stream — which is what makes restart-from-checkpoint bit-identical.
+// Protocol violations (a frame out of lockstep, a diverged replica) exit
+// nonzero; the supervisor observes the closed link and handles it like a
+// crash.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/machine.hpp"
+#include "shard/transport.hpp"
+
+namespace tcfpn::shard {
+
+struct WorkerConfig {
+  std::uint32_t shard = 0;
+  std::uint64_t config_fp = 0;   ///< machine::config_fingerprint of the replica
+  std::uint64_t program_fp = 0;  ///< machine::program_fingerprint
+};
+
+/// Runs the worker loop until kShutdown (returns 0) or a lost link /
+/// protocol violation (returns nonzero). `m` must already hold the booted
+/// program, identical to the supervisor's replica.
+int serve_worker(machine::Machine& m, Transport& t, const WorkerConfig& wc);
+
+}  // namespace tcfpn::shard

@@ -1,0 +1,91 @@
+# Shard-supervision liveness contract (DESIGN.md §14): the supervisor never
+# hangs. A worker that goes silent is detected within its heartbeat deadline
+# and either recovered or — when no recovery is possible — the run stops
+# with exit 3 and a "shard-fault"-class tcfpn-postmortem-v1 document.
+#
+# Invoked via `cmake -DTCFRUN=<path> -DPROG=<vecadd.tcf> -DOUT=<dir> -P`.
+
+foreach(var TCFRUN PROG OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_shard_watchdog: -D${var}=... is required")
+  endif()
+endforeach()
+file(MAKE_DIRECTORY "${OUT}")
+
+# 1. Unrecoverable: both workers die (the second after the first already
+#    degraded away its groups), restart budget 0 — degrading the last
+#    survivor is refused, so the supervisor must stop with exit 3, a
+#    "shard "-prefixed diagnostic and a shard-fault post-mortem. The 60 s
+#    timeout below (far above the 500 ms heartbeat deadline) is the actual
+#    liveness assertion: a hung supervisor trips it.
+execute_process(
+  COMMAND "${TCFRUN}" "${PROG}" "--shards=2" "--shard-restarts=0"
+          "--shard-heartbeat-ms=500"
+          "--inject-faults=at=2:shard_kill:0,at=3:shard_kill:1"
+          "--post-mortem=${OUT}/shard_fault_pm.json"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE err
+  TIMEOUT 60)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR
+          "unrecoverable shard run: expected exit 3, got ${rc}\n${out}${err}")
+endif()
+if(NOT err MATCHES "shard 1")
+  message(FATAL_ERROR "unrecoverable shard run: stderr lacks the shard "
+                      "diagnostic:\n${err}")
+endif()
+
+file(READ "${OUT}/shard_fault_pm.json" pm)
+if(NOT pm MATCHES "\"schema\": \"tcfpn-postmortem-v1\"")
+  message(FATAL_ERROR "shard-fault post-mortem lacks the schema tag")
+endif()
+if(NOT pm MATCHES "\"class\": \"shard-fault\"")
+  message(FATAL_ERROR
+          "shard-fault post-mortem lacks the shard-fault class:\n${pm}")
+endif()
+
+# 2. A hung (not crashed) worker: SIGSTOP silence must be detected within
+#    the heartbeat deadline, not waited out forever. With the restart budget
+#    at 0 the shard degrades and the run still completes — exit 0, detection
+#    visible in stderr.
+execute_process(
+  COMMAND "${TCFRUN}" "${PROG}" "--shards=2" "--shard-restarts=0"
+          "--shard-heartbeat-ms=500"
+          "--inject-faults=at=2:shard_hang:1"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE err
+  TIMEOUT 60)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "hung-worker degrade: expected exit 0, got ${rc}\n${out}${err}")
+endif()
+if(NOT err MATCHES "shard 1 hung")
+  message(FATAL_ERROR "hung-worker degrade: stderr lacks the hang "
+                      "detection:\n${err}")
+endif()
+
+# 3. Recoverable: one kill inside the restart budget is invisible in the
+#    simulated results. Compare against the sequential run.
+execute_process(
+  COMMAND "${TCFRUN}" "${PROG}"
+  RESULT_VARIABLE rc_seq OUTPUT_VARIABLE out_seq ERROR_VARIABLE err_seq
+  TIMEOUT 60)
+execute_process(
+  COMMAND "${TCFRUN}" "${PROG}" "--shards=2" "--shard-restarts=1"
+          "--shard-heartbeat-ms=500" "--shard-checkpoint-every=2"
+          "--inject-faults=at=3:shard_kill:1"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err
+  TIMEOUT 60)
+if(NOT rc_seq EQUAL 0 OR NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "recovered shard run: expected exit 0/0, got ${rc_seq}/${rc}\n"
+          "${err_seq}${err}")
+endif()
+string(REGEX REPLACE "sharding:[^\n]*\n" "" out_norm "${out}")
+if(NOT out_norm STREQUAL out_seq)
+  message(FATAL_ERROR
+          "recovered shard run diverged from the sequential run:\n"
+          "--- sequential ---\n${out_seq}\n--- sharded ---\n${out_norm}")
+endif()
+
+message(STATUS "check_shard_watchdog: all assertions passed")

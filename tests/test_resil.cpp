@@ -355,6 +355,77 @@ TEST(Resil, MemFailDegradeRetiresGroupAndBlocksAccess) {
   EXPECT_THROW(m.local(2).read(0), SimError);
 }
 
+// ---- Machine::retire_group edge cases ----
+// The degrade building block itself, exercised directly: the shard
+// supervisor (DESIGN.md §14) leans on exactly these properties when it
+// retires a dead shard's groups.
+
+// Retiring the highest-numbered group must work like any other: the
+// least-loaded-survivor rehoming rule has no "next group" to fall off the
+// end onto.
+TEST(RetireGroup, HighestNumberedGroupRetiresAndRunCompletes) {
+  Machine m(base_cfg(Variant::kSingleInstruction, 1));
+  m.load(program_for(Variant::kSingleInstruction));
+  m.boot(1);
+  while (!m.done() && m.stats().steps < 2) m.step();
+  ASSERT_FALSE(m.done());
+  const GroupId last = m.config().groups - 1;
+  m.retire_group(last);
+  EXPECT_FALSE(m.group_alive(last));
+  EXPECT_EQ(m.alive_groups(), m.config().groups - 1);
+  const machine::RunResult r = m.run();
+  EXPECT_TRUE(r.completed);
+  for (Word i = 0; i < kN; ++i) {
+    EXPECT_EQ(m.shared().peek(kC + static_cast<Addr>(i)), (3 * i + 1) + 7 * i);
+  }
+}
+
+// Two groups dying "at the same step" are retired in ascending order (the
+// supervisor sorts), and the result is identical no matter which order the
+// deaths were detected in: both orders rehome onto the same survivors.
+TEST(RetireGroup, TwoGroupsSameStepRetireDeterministically) {
+  auto run_with_order = [](GroupId first, GroupId second) {
+    Machine m(base_cfg(Variant::kSingleInstruction, 1));
+    m.load(program_for(Variant::kSingleInstruction));
+    m.boot(1);
+    while (!m.done() && m.stats().steps < 2) m.step();
+    // Ascending retire order is the canonical one; callers with unordered
+    // death sets must sort first — this test pins that both sorted calls
+    // land on the same machine state.
+    m.retire_group(std::min(first, second));
+    m.retire_group(std::max(first, second));
+    const machine::RunResult r = m.run();
+    EXPECT_TRUE(r.completed);
+    std::vector<Word> memory;
+    memory.reserve(m.shared().size());
+    for (Addr a = 0; a < m.shared().size(); ++a) {
+      memory.push_back(m.shared().peek(a));
+    }
+    return std::make_pair(memory, m.stats().cycles);
+  };
+  const auto a = run_with_order(1, 2);
+  const auto b = run_with_order(2, 1);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+// The last surviving group can never be retired: degrade-to-zero is refused
+// loudly instead of wedging the machine with no group to run anything on.
+TEST(RetireGroup, LastSurvivorRefusesToRetire) {
+  Machine m(base_cfg(Variant::kSingleInstruction, 1));
+  m.load(program_for(Variant::kSingleInstruction));
+  m.boot(1);
+  while (!m.done() && m.stats().steps < 2) m.step();
+  m.retire_group(1);
+  m.retire_group(2);
+  m.retire_group(3);
+  ASSERT_EQ(m.alive_groups(), 1u);
+  EXPECT_THROW(m.retire_group(0), SimError);
+  // The refusal is non-destructive: the survivor still finishes the run.
+  EXPECT_TRUE(m.group_alive(0));
+  EXPECT_TRUE(m.run().completed);
+}
+
 TEST(Resil, OffModeDiesOnFatalFault) {
   FaultSpec spec;
   spec.seed = 8;

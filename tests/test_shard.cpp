@@ -1,0 +1,586 @@
+// Sharded-execution tests (DESIGN.md §14).
+//
+// The central contracts:
+//  - the frame protocol rejects every malformed input (bad magic, version,
+//    truncation, CRC damage) by returning false, never by throwing;
+//  - a sharded run over loopback workers is bit-identical to the sequential
+//    machine — memory image, MachineStats, metrics document, PRINT output —
+//    for every shard count and host-thread count;
+//  - an injected shard fault (kill / hang / babble) with restart budget
+//    recovers bit-identically; with the budget exhausted the supervisor
+//    degrades deterministically by retiring the dead shard's groups in
+//    ascending order, and refuses only when nothing would survive;
+//  - the supervisor never hangs: every liveness loss is detected within the
+//    heartbeat deadline and resolved or escalated to a "shard ..." SimError.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "debug/recorder.hpp"
+#include "machine/machine.hpp"
+#include "machine/state.hpp"
+#include "resil/fault.hpp"
+#include "shard/supervisor.hpp"
+#include "shard/transport.hpp"
+#include "shard/wire.hpp"
+#include "shard/worker.hpp"
+#include "tcf/kernels.hpp"
+
+namespace tcfpn::shard {
+namespace {
+
+using machine::Machine;
+using machine::MachineConfig;
+using machine::MachineStats;
+using machine::Variant;
+
+constexpr Word kN = 48;
+constexpr Addr kA = 100, kB = 400, kC = 700;
+
+isa::Program with_arrays(isa::Program p) {
+  std::vector<Word> av(kN), bv(kN);
+  for (Word i = 0; i < kN; ++i) {
+    av[i] = 3 * i + 1;
+    bv[i] = 7 * i;
+  }
+  p.data.push_back({kA, av});
+  p.data.push_back({kB, bv});
+  return p;
+}
+
+MachineConfig base_cfg(Variant v, std::uint32_t host_threads) {
+  MachineConfig cfg;
+  cfg.groups = v == Variant::kFixedThickness ? 1 : 4;
+  cfg.slots_per_group = 8;
+  cfg.shared_words = 1 << 12;
+  cfg.local_words = 1 << 10;
+  cfg.variant = v;
+  cfg.balanced_bound = 8;
+  cfg.host_threads = host_threads;
+  return cfg;
+}
+
+isa::Program program_for(Variant v) {
+  switch (v) {
+    case Variant::kSingleInstruction:
+    case Variant::kBalanced:
+      return with_arrays(tcf::kernels::vecadd_tcf(kN, kA, kB, kC));
+    case Variant::kMultiInstruction:
+      return with_arrays(tcf::kernels::vecadd_fork(kN, kA, kB, kC));
+    case Variant::kSingleOperation:
+    case Variant::kConfigSingleOperation:
+      return with_arrays(tcf::kernels::vecadd_esm_loop(kN, kA, kB, kC));
+    case Variant::kFixedThickness:
+      return with_arrays(tcf::kernels::vecadd_simd(kN, 16, kA, kB, kC));
+  }
+  return {};
+}
+
+void boot_for(Variant v, Machine& m) {
+  switch (v) {
+    case Variant::kSingleOperation:
+    case Variant::kConfigSingleOperation:
+      tcf::kernels::boot_esm_threads(m, m.program().entry(), 16);
+      break;
+    case Variant::kFixedThickness:
+      m.boot(16);
+      break;
+    default:
+      m.boot(1);
+      break;
+  }
+}
+
+std::unique_ptr<Machine> make_machine(Variant v, std::uint32_t host_threads) {
+  auto m = std::make_unique<Machine>(base_cfg(v, host_threads));
+  m->load(program_for(v));
+  boot_for(v, *m);
+  return m;
+}
+
+/// Everything a sharded run is compared by against the sequential oracle.
+struct Snapshot {
+  machine::RunResult result;
+  std::vector<Word> memory;
+  MachineStats stats;
+  metrics::MetricsSnapshot metrics;
+  std::vector<Word> debug;
+};
+
+Snapshot snapshot_of(Machine& m, machine::RunResult r) {
+  Snapshot s;
+  s.result = r;
+  s.memory.reserve(m.shared().size());
+  for (Addr a = 0; a < m.shared().size(); ++a) {
+    s.memory.push_back(m.shared().peek(a));
+  }
+  s.stats = m.stats();
+  s.metrics = m.metrics_snapshot();
+  s.debug = m.debug_output();
+  return s;
+}
+
+Snapshot run_sequential(Variant v) {
+  auto m = make_machine(v, 1);
+  return snapshot_of(*m, m->run());
+}
+
+Snapshot run_sharded(Variant v, std::uint32_t shards,
+                     std::uint32_t host_threads, SupervisorOptions opt = {},
+                     resil::FaultInjector* injector = nullptr,
+                     SupervisorStats* stats_out = nullptr) {
+  auto m = make_machine(v, host_threads);
+  opt.shards = shards;
+  auto make_replica = [v, host_threads] { return make_machine(v, host_threads); };
+  machine::RunResult r =
+      run_sharded_loopback(*m, make_replica, opt, injector, stats_out);
+  return snapshot_of(*m, r);
+}
+
+void expect_identical(const Snapshot& ref, const Snapshot& got,
+                      const std::string& what) {
+  EXPECT_EQ(ref.result.completed, got.result.completed) << what;
+  EXPECT_EQ(ref.result.cycles, got.result.cycles) << what << ": cycles";
+  EXPECT_EQ(ref.result.steps, got.result.steps) << what << ": steps";
+  EXPECT_EQ(ref.memory, got.memory) << what << ": shared-memory image";
+  EXPECT_TRUE(ref.stats == got.stats) << what << ": MachineStats";
+  EXPECT_TRUE(ref.metrics == got.metrics) << what << ": metrics snapshot";
+  EXPECT_EQ(ref.debug, got.debug) << what << ": PRINT output";
+}
+
+// ----- wire protocol -----
+
+Frame sample_frame() {
+  Frame f;
+  f.type = FrameType::kBatch;
+  f.shard = 3;
+  f.step = 41;
+  f.payload = {1, 2, 3, 4, 5, 0xff, 0x00, 0x7f};
+  return f;
+}
+
+TEST(ShardWire, FrameRoundTrip) {
+  const Frame f = sample_frame();
+  const std::vector<std::uint8_t> bytes = encode_frame(f);
+  ASSERT_EQ(bytes.size(), kHeaderBytes + f.payload.size());
+  Frame out;
+  ASSERT_TRUE(decode_frame(bytes, &out));
+  EXPECT_EQ(out.type, f.type);
+  EXPECT_EQ(out.shard, f.shard);
+  EXPECT_EQ(out.step, f.step);
+  EXPECT_EQ(out.payload, f.payload);
+}
+
+// Flipping any single byte of an encoded frame must make decoding fail:
+// header damage trips the magic/version/type checks, payload damage the
+// CRC. This is the entire babble-detection surface, so it has to be
+// airtight.
+TEST(ShardWire, AnySingleByteFlipIsRejected) {
+  const std::vector<std::uint8_t> bytes = encode_frame(sample_frame());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<std::uint8_t> damaged = bytes;
+    damaged[i] ^= 0x40;
+    Frame out;
+    const bool ok = decode_frame(damaged, &out);
+    // Bytes 8..11 are the sender's shard id — not integrity-protected by
+    // design (the CRC covers step || payload; the supervisor indexes
+    // workers by link, not by the self-reported id). Everything else must
+    // fail.
+    if (i >= 8 && i < 12) continue;
+    EXPECT_FALSE(ok) << "byte " << i << " flip went undetected";
+  }
+}
+
+TEST(ShardWire, TruncationIsRejected) {
+  const std::vector<std::uint8_t> bytes = encode_frame(sample_frame());
+  Frame out;
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_FALSE(decode_frame(
+        std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + n), &out))
+        << "truncation to " << n << " bytes went undetected";
+  }
+}
+
+TEST(ShardWire, HelloStartRollbackRoundTrip) {
+  HelloPayload h{7, 0x1234567890abcdefull, 0xfedcba0987654321ull};
+  HelloPayload h2;
+  ASSERT_TRUE(decode_hello(encode_hello(h), &h2));
+  EXPECT_EQ(h2.shard, h.shard);
+  EXPECT_EQ(h2.config_fp, h.config_fp);
+  EXPECT_EQ(h2.program_fp, h.program_fp);
+
+  StartPayload s{{1, 0, 0, 1}, {9, 8, 7}};
+  StartPayload s2;
+  ASSERT_TRUE(decode_start(encode_start(s), &s2));
+  EXPECT_EQ(s2.owned, s.owned);
+  EXPECT_EQ(s2.state, s.state);
+
+  RollbackPayload r{{5, 4, 3, 2, 1}, {2, 3}};
+  RollbackPayload r2;
+  ASSERT_TRUE(decode_rollback(encode_rollback(r), &r2));
+  EXPECT_EQ(r2.state, r.state);
+  EXPECT_EQ(r2.retires, r.retires);
+
+  // Trailing garbage after a well-formed payload is malformed.
+  std::vector<std::uint8_t> padded = encode_hello(h);
+  padded.push_back(0);
+  EXPECT_FALSE(decode_hello(padded, &h2));
+}
+
+// The batch codec is exercised end-to-end by the bit-identity tests below
+// (every step of every sharded run round-trips real batches); here only the
+// malformed-input edge: decode_batch must reject truncations at every
+// prefix length without throwing or over-reading.
+TEST(ShardWire, BatchTruncationIsRejected) {
+  auto m = make_machine(Variant::kBalanced, 1);
+  m->set_shard_mode({1, 1, 1, 1});
+  ASSERT_TRUE(m->shard_begin_step());
+  const std::vector<std::uint8_t> bytes = encode_batch(m->shard_extract(0));
+  machine::ShardGroupBatch b;
+  ASSERT_TRUE(decode_batch(bytes, &b));
+  EXPECT_EQ(b.group, 0u);
+  for (std::size_t n = 0; n < bytes.size(); n += 7) {
+    machine::ShardGroupBatch dst;
+    EXPECT_FALSE(decode_batch(
+        std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + n), &dst))
+        << "truncation to " << n << " bytes went undetected";
+  }
+}
+
+// ----- transport -----
+
+TEST(ShardTransport, LoopbackDeliversInOrder) {
+  LoopbackPair pair = make_loopback_pair();
+  Frame a = sample_frame();
+  a.step = 1;
+  Frame b = sample_frame();
+  b.step = 2;
+  ASSERT_TRUE(pair.supervisor_end->send(a));
+  ASSERT_TRUE(pair.supervisor_end->send(b));
+  Frame out;
+  ASSERT_EQ(pair.worker_end->recv(&out, 1000), RecvStatus::kOk);
+  EXPECT_EQ(out.step, 1u);
+  ASSERT_EQ(pair.worker_end->recv(&out, 1000), RecvStatus::kOk);
+  EXPECT_EQ(out.step, 2u);
+  EXPECT_EQ(pair.worker_end->stats().frames_received, 2u);
+  EXPECT_EQ(pair.supervisor_end->stats().frames_sent, 2u);
+}
+
+TEST(ShardTransport, RecvTimesOutWhenQuiet) {
+  LoopbackPair pair = make_loopback_pair();
+  Frame out;
+  EXPECT_EQ(pair.supervisor_end->recv(&out, 10), RecvStatus::kTimeout);
+}
+
+TEST(ShardTransport, CorruptNextRecvClassifiesMalformed) {
+  LoopbackPair pair = make_loopback_pair();
+  ASSERT_TRUE(pair.worker_end->send(sample_frame()));
+  ASSERT_TRUE(pair.worker_end->send(sample_frame()));
+  pair.supervisor_end->corrupt_next_recv();
+  Frame out;
+  EXPECT_EQ(pair.supervisor_end->recv(&out, 1000), RecvStatus::kMalformed);
+  EXPECT_EQ(pair.supervisor_end->stats().malformed_frames, 1u);
+  // One-shot: the next frame decodes fine.
+  EXPECT_EQ(pair.supervisor_end->recv(&out, 1000), RecvStatus::kOk);
+}
+
+TEST(ShardTransport, MuteDropsWorkerFrames) {
+  LoopbackPair pair = make_loopback_pair();
+  pair.mute_worker(true);
+  ASSERT_TRUE(pair.worker_end->send(sample_frame()));  // counted, dropped
+  Frame out;
+  EXPECT_EQ(pair.supervisor_end->recv(&out, 10), RecvStatus::kTimeout);
+  EXPECT_EQ(pair.worker_end->stats().frames_sent, 1u);
+  // Supervisor->worker direction still works while muted.
+  ASSERT_TRUE(pair.supervisor_end->send(sample_frame()));
+  EXPECT_EQ(pair.worker_end->recv(&out, 1000), RecvStatus::kOk);
+}
+
+TEST(ShardTransport, SeverClosesBothEnds) {
+  LoopbackPair pair = make_loopback_pair();
+  ASSERT_TRUE(pair.worker_end->send(sample_frame()));
+  pair.sever();
+  Frame out;
+  // Like a real socket after SIGKILL: data already in flight drains first,
+  // then EOF.
+  EXPECT_EQ(pair.supervisor_end->recv(&out, 1000), RecvStatus::kOk);
+  EXPECT_EQ(pair.supervisor_end->recv(&out, 1000), RecvStatus::kClosed);
+  EXPECT_FALSE(pair.worker_end->send(sample_frame()));
+  EXPECT_EQ(pair.worker_end->recv(&out, 1000), RecvStatus::kClosed);
+}
+
+// ----- fault-free bit-identity -----
+
+class ShardVariants : public ::testing::TestWithParam<Variant> {};
+
+// Acceptance: --shards {2,4} equals --shards 1 bit-for-bit on every
+// variant, at host-threads 1 and 2 inside each replica.
+TEST_P(ShardVariants, ShardedRunBitIdenticalToSequential) {
+  const Variant v = GetParam();
+  const Snapshot ref = run_sequential(v);
+  ASSERT_TRUE(ref.result.completed) << machine::to_string(v);
+  const std::uint32_t groups = base_cfg(v, 1).groups;
+  for (std::uint32_t shards : {2u, 4u}) {
+    if (shards > groups) continue;
+    for (std::uint32_t ht : {1u, 2u}) {
+      SupervisorStats st;
+      const Snapshot got = run_sharded(v, shards, ht, {}, nullptr, &st);
+      expect_identical(ref, got,
+                       std::string(machine::to_string(v)) + " shards=" +
+                           std::to_string(shards) + " ht=" +
+                           std::to_string(ht));
+      EXPECT_EQ(st.steps, ref.result.steps);
+      EXPECT_EQ(st.crashes + st.hangs + st.babbles, 0u);
+      EXPECT_GE(st.heartbeats, st.steps * shards);
+      EXPECT_GE(st.checkpoints, 1u);
+      EXPECT_GT(st.link_budget_cycles, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, ShardVariants,
+    ::testing::Values(Variant::kSingleInstruction, Variant::kSingleOperation,
+                      Variant::kBalanced, Variant::kFixedThickness),
+    [](const ::testing::TestParamInfo<Variant>& info) {
+      std::string n = machine::to_string(info.param);
+      n.erase(std::remove_if(n.begin(), n.end(),
+                             [](char c) { return !std::isalnum(c); }),
+              n.end());
+      return n;
+    });
+
+// The multi-instruction variant steps asynchronously (flows run ahead of
+// the barrier), so there is no step boundary at which replicas could
+// exchange sealed batches. The machine refuses shard mode outright; the
+// CLI turns the same refusal into exit 2.
+TEST(ShardSupervisorTest, MultiInstructionVariantIsRejected) {
+  auto m = make_machine(Variant::kMultiInstruction, 1);
+  EXPECT_THROW(m->set_shard_mode({1, 1, 1, 1}), SimError);
+}
+
+// The traffic itself is deterministic: two identical sharded runs move the
+// same frame and byte counts, which is what makes the link-budget figure in
+// the metrics document reproducible.
+TEST(ShardSupervisorTest, LinkTrafficIsDeterministic) {
+  SupervisorStats a, b;
+  run_sharded(Variant::kBalanced, 2, 2, {}, nullptr, &a);
+  run_sharded(Variant::kBalanced, 2, 2, {}, nullptr, &b);
+  EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_EQ(a.frames_received, b.frames_received);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.bytes_received, b.bytes_received);
+  EXPECT_EQ(a.link_budget_cycles, b.link_budget_cycles);
+}
+
+// ----- injected shard faults -----
+
+resil::FaultSpec scripted_spec(
+    std::vector<std::pair<StepId, resil::FaultKind>> faults,
+    std::uint64_t shard_arg = 0) {
+  resil::FaultSpec spec;
+  spec.seed = 11;
+  for (auto [step, kind] : faults) {
+    spec.scripted.push_back({step, kind, shard_arg});
+  }
+  return spec;
+}
+
+struct FaultCase {
+  resil::FaultKind kind;
+  const char* name;
+};
+
+class ShardFaults : public ::testing::TestWithParam<FaultCase> {};
+
+// A worker killed / hung / babbling mid-run, with restart budget left,
+// recovers from the checkpoint and finishes bit-identical to the sequential
+// oracle — the crash is invisible in every simulated artefact.
+TEST_P(ShardFaults, RecoveryIsBitIdenticalToSequential) {
+  const FaultCase fc = GetParam();
+  const Variant v = Variant::kBalanced;
+  const Snapshot ref = run_sequential(v);
+  ASSERT_GE(ref.result.steps, 3u) << "kernel too short to fault mid-run";
+
+  resil::FaultInjector inj(scripted_spec({{2, fc.kind}}, /*shard=*/1),
+                           base_cfg(v, 1).groups, 1 << 12, /*shards=*/2);
+  SupervisorOptions opt;
+  opt.heartbeat_ms = 2000;
+  opt.restarts = 1;
+  opt.checkpoint_every = 2;
+  SupervisorStats st;
+  const Snapshot got = run_sharded(v, 2, 1, opt, &inj, &st);
+  expect_identical(ref, got, fc.name);
+  EXPECT_EQ(st.faults_injected, 1u) << fc.name;
+  EXPECT_EQ(st.crashes + st.hangs + st.babbles, 1u) << fc.name;
+  EXPECT_EQ(st.restarts, 1u) << fc.name;
+  EXPECT_GE(st.rollbacks, 1u) << fc.name;
+  EXPECT_EQ(st.degrades, 0u) << fc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KillHangBabble, ShardFaults,
+    ::testing::Values(FaultCase{resil::FaultKind::kShardKill, "kill"},
+                      FaultCase{resil::FaultKind::kShardHang, "hang"},
+                      FaultCase{resil::FaultKind::kShardBabble, "babble"}),
+    [](const ::testing::TestParamInfo<FaultCase>& info) {
+      return info.param.name;
+    });
+
+// With the restart budget exhausted the supervisor degrades: the dead
+// shard's groups retire in ascending order and the run completes on the
+// survivors. Degrade is deterministic — two identical runs, identical
+// artefacts — and journaled.
+TEST(ShardFaultsTest, DegradeIsDeterministicAndJournaled) {
+  const Variant v = Variant::kBalanced;
+  SupervisorOptions opt;
+  opt.restarts = 0;
+  opt.checkpoint_every = 2;
+
+  auto run_once = [&](SupervisorStats* st,
+                      std::vector<machine::DebugEvent>* journal) {
+    auto m = make_machine(v, 1);
+    debug::FlightRecorder rec;
+    m->set_observer(&rec);
+    resil::FaultInjector inj(
+        scripted_spec({{2, resil::FaultKind::kShardKill}}, /*shard=*/1),
+        base_cfg(v, 1).groups, 1 << 12, /*shards=*/2);
+    SupervisorOptions o = opt;
+    o.shards = 2;
+    auto make_replica = [v] { return make_machine(v, 1); };
+    machine::RunResult r =
+        run_sharded_loopback(*m, make_replica, o, &inj, st);
+    for (const auto& e : rec.journal().entries()) {
+      journal->push_back(e.event);
+    }
+    return snapshot_of(*m, r);
+  };
+
+  SupervisorStats st1, st2;
+  std::vector<machine::DebugEvent> j1, j2;
+  const Snapshot a = run_once(&st1, &j1);
+  const Snapshot b = run_once(&st2, &j2);
+
+  EXPECT_TRUE(a.result.completed) << "degraded run must still finish";
+  expect_identical(a, b, "degrade determinism");
+  EXPECT_EQ(j1, j2) << "journal tape differs between identical degrades";
+  EXPECT_EQ(st1.degrades, 1u);
+  EXPECT_EQ(st1.restarts, 0u);
+  EXPECT_GE(st1.groups_retired, 1u);
+  EXPECT_EQ(st1.groups_retired, st2.groups_retired);
+
+  // The journal carries the supervision story: the fault, the injected
+  // event and the retirement, in that order of kinds.
+  auto count = [&](machine::DebugEventKind k) {
+    std::size_t n = 0;
+    for (const auto& e : j1) n += e.kind == k ? 1 : 0;
+    return n;
+  };
+  EXPECT_EQ(count(machine::DebugEventKind::kFaultInjected), 1u);
+  EXPECT_EQ(count(machine::DebugEventKind::kShardFault), 1u);
+  EXPECT_EQ(count(machine::DebugEventKind::kShardRetired), 1u);
+  EXPECT_GE(count(machine::DebugEventKind::kGroupRetired), 1u);
+}
+
+// Two shards dead at the same step degrade in deterministic (ascending
+// shard) order within one resync, and the run still completes.
+TEST(ShardFaultsTest, TwoShardsDeadSameStepDegradeDeterministically) {
+  const Variant v = Variant::kBalanced;
+  auto run_once = [&](SupervisorStats* st) {
+    resil::FaultSpec spec;
+    spec.seed = 13;
+    spec.scripted.push_back({2, resil::FaultKind::kShardKill, 1});
+    spec.scripted.push_back({2, resil::FaultKind::kShardKill, 2});
+    resil::FaultInjector inj(spec, base_cfg(v, 1).groups, 1 << 12,
+                             /*shards=*/4);
+    SupervisorOptions opt;
+    opt.restarts = 0;
+    opt.checkpoint_every = 2;
+    return run_sharded(v, 4, 1, opt, &inj, st);
+  };
+  SupervisorStats st1, st2;
+  const Snapshot a = run_once(&st1);
+  const Snapshot b = run_once(&st2);
+  EXPECT_TRUE(a.result.completed);
+  expect_identical(a, b, "two dead shards same step");
+  EXPECT_EQ(st1.degrades, 2u);
+  EXPECT_EQ(st1.groups_retired, st2.groups_retired);
+  EXPECT_GE(st1.groups_retired, 2u);
+}
+
+// When degrading would retire the last alive groups there is no machine
+// left: the supervisor must refuse with a "shard ..." SimError (exit 3 +
+// "shard-fault" post-mortem at the CLI), not hang or crash.
+TEST(ShardFaultsTest, LastSurvivorRefusesToDegrade) {
+  const Variant v = Variant::kBalanced;
+  auto m = make_machine(v, 1);
+  resil::FaultSpec spec;
+  spec.seed = 17;
+  spec.scripted.push_back({1, resil::FaultKind::kShardKill, 0});
+  spec.scripted.push_back({2, resil::FaultKind::kShardKill, 1});
+  resil::FaultInjector inj(spec, base_cfg(v, 1).groups, 1 << 12,
+                           /*shards=*/2);
+  SupervisorOptions opt;
+  opt.shards = 2;
+  opt.restarts = 0;
+  opt.checkpoint_every = 2;
+  auto make_replica = [v] { return make_machine(v, 1); };
+  try {
+    run_sharded_loopback(*m, make_replica, opt, &inj, nullptr);
+    FAIL() << "killing every shard must not complete";
+  } catch (const SimError& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("shard ", 0), 0u)
+        << "message must lead with \"shard\" for post-mortem classing: "
+        << e.what();
+  }
+}
+
+// Liveness acceptance: a hung worker with no restart budget is detected
+// within the heartbeat deadline and degraded — run() returns rather than
+// blocking forever (the test itself is the watchdog).
+TEST(ShardFaultsTest, SupervisorNeverHangsOnAHungWorker) {
+  const Variant v = Variant::kBalanced;
+  resil::FaultInjector inj(
+      scripted_spec({{1, resil::FaultKind::kShardHang}}, /*shard=*/0),
+      base_cfg(v, 1).groups, 1 << 12, /*shards=*/2);
+  SupervisorOptions opt;
+  opt.heartbeat_ms = 100;  // short deadline: detection, not test patience
+  opt.restarts = 0;
+  opt.checkpoint_every = 2;
+  SupervisorStats st;
+  const Snapshot got = run_sharded(v, 2, 1, opt, &inj, &st);
+  EXPECT_TRUE(got.result.completed);
+  EXPECT_EQ(st.hangs, 1u);
+  EXPECT_EQ(st.degrades, 1u);
+}
+
+// A randomized kill/hang/babble schedule with ample restart budget stays
+// bit-identical to the oracle across several seeds — the in-process
+// ancestor of the tcffuzz sharded lane and the CI kill soak.
+TEST(ShardFaultsTest, RandomFaultScheduleRecoversAcrossSeeds) {
+  const Variant v = Variant::kBalanced;
+  const Snapshot ref = run_sequential(v);
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    resil::FaultSpec spec;
+    spec.seed = seed;
+    spec.shard_kill_rate = 0.02;
+    spec.shard_hang_rate = 0.02;
+    spec.shard_babble_rate = 0.02;
+    resil::FaultInjector inj(spec, base_cfg(v, 1).groups, 1 << 12,
+                             /*shards=*/2);
+    SupervisorOptions opt;
+    opt.heartbeat_ms = 200;
+    opt.restarts = 1000;  // ample: every fault recovers, none degrades
+    opt.checkpoint_every = 2;
+    SupervisorStats st;
+    const Snapshot got = run_sharded(v, 2, 1, opt, &inj, &st);
+    expect_identical(ref, got, "seed " + std::to_string(seed));
+    EXPECT_EQ(st.degrades, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace tcfpn::shard

@@ -1,0 +1,126 @@
+// Process hosting for tcfrun --shards: fork+exec worker processes talking
+// to the supervisor over a SOCK_STREAM socketpair (DESIGN.md §14).
+//
+// Each worker is this very binary re-exec'd (via /proc/self/exe) with the
+// original command line plus a hidden --shard-worker=SHARD:FD flag, so it
+// reconstructs a bit-identical machine replica from the same arguments; the
+// kHello fingerprint handshake catches any drift. fork() is immediately
+// followed by exec — the supervisor may already be multi-threaded
+// (cfg.host_threads > 1), so the child touches nothing but close/exec.
+//
+// Fault mapping (shard::WorkerHandle):
+//   inject_kill  -> SIGKILL  (link EOF classifies the worker crashed)
+//   inject_hang  -> SIGSTOP  (silence past the heartbeat deadline: hung)
+//   terminate    -> SIGKILL + waitpid (idempotent reap, no zombies)
+#pragma once
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "shard/supervisor.hpp"
+#include "shard/transport.hpp"
+
+namespace tcfpn::cli {
+
+class ForkedWorker final : public shard::WorkerHandle {
+ public:
+  ForkedWorker(pid_t pid, std::unique_ptr<shard::Transport> link)
+      : pid_(pid), link_(std::move(link)) {}
+
+  ~ForkedWorker() override { terminate(); }
+
+  shard::Transport& link() override { return *link_; }
+
+  void inject_kill() override {
+    if (pid_ > 0) ::kill(pid_, SIGKILL);
+  }
+
+  void inject_hang() override {
+    if (pid_ > 0) ::kill(pid_, SIGSTOP);
+  }
+
+  void terminate() override {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);  // also ends SIGSTOP'd workers
+      int status = 0;
+      while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+      }
+      pid_ = -1;
+    }
+    link_->close();
+  }
+
+ private:
+  pid_t pid_;
+  std::unique_ptr<shard::Transport> link_;
+};
+
+/// Builds the fork+exec WorkerFactory. `base_argv` is the supervisor's own
+/// command line (argv[0] replaced by /proc/self/exe when available); every
+/// spawn appends --shard-worker=SHARD:FD and execs it.
+inline shard::WorkerFactory make_fork_factory(
+    std::vector<std::string> base_argv) {
+  return [base_argv =
+              std::move(base_argv)](std::uint32_t shard_id)
+             -> std::unique_ptr<shard::WorkerHandle> {
+    int sv[2] = {-1, -1};
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      TCFPN_FAULT("shard ", shard_id, " spawn failed: socketpair: ",
+                  std::strerror(errno));
+    }
+    std::vector<std::string> args = base_argv;
+    args.push_back("--shard-worker=" + std::to_string(shard_id) + ":" +
+                   std::to_string(sv[1]));
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      TCFPN_FAULT("shard ", shard_id, " spawn failed: fork: ",
+                  std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: only async-signal-safe work before exec. The worker end
+      // (sv[1]) is inherited through exec by number; the supervisor ends of
+      // earlier workers are close-on-exec, so this replica cannot reach its
+      // siblings' links.
+      ::close(sv[0]);
+      ::execv(argv[0], argv.data());
+      ::_exit(127);  // exec failed; the supervisor sees EOF on the link
+    }
+    ::close(sv[1]);
+    int flags = ::fcntl(sv[0], F_GETFD);
+    if (flags >= 0) ::fcntl(sv[0], F_SETFD, flags | FD_CLOEXEC);
+    return std::make_unique<ForkedWorker>(pid,
+                                          shard::make_fd_transport(sv[0]));
+  };
+}
+
+/// The supervisor's command line as worker-spawn material: /proc/self/exe
+/// (re-exec survives $PATH games and deleted cwd) plus every original
+/// argument verbatim.
+inline std::vector<std::string> worker_base_argv(int argc, char** argv) {
+  std::vector<std::string> base;
+  base.reserve(static_cast<std::size_t>(argc) + 1);
+  base.push_back("/proc/self/exe");
+  if (::access(base[0].c_str(), X_OK) != 0) base[0] = argv[0];
+  for (int i = 1; i < argc; ++i) base.emplace_back(argv[i]);
+  return base;
+}
+
+}  // namespace tcfpn::cli

@@ -284,7 +284,13 @@ int open_source(const std::string& source, int* listen_fd) {
       ::close(lfd);
       return -1;
     }
-    const int fd = ::accept(lfd, nullptr, nullptr);
+    // A signal (EINTR) or a client that connected and vanished before we got
+    // here (ECONNABORTED) must not tear down the listener — keep waiting for
+    // the next attach.
+    int fd = -1;
+    do {
+      fd = ::accept(lfd, nullptr, nullptr);
+    } while (fd < 0 && (errno == EINTR || errno == ECONNABORTED));
     if (fd < 0) {
       std::fprintf(stderr, "tcfmon: accept: %s\n", std::strerror(errno));
       ::close(lfd);
