@@ -30,7 +30,9 @@ bool ThreadPool::try_claim(std::uint64_t gen) {
   while (true) {
     if (((cur ^ tag) >> kIndexBits) != 0) return false;  // not this job
     const std::uint64_t idx = cur & kIndexMask;
-    if (idx >= size_) return false;
+    // Relaxed: a stale size_ only mis-answers the bound check for a job
+    // that is no longer current, and then the tagged CAS below fails.
+    if (idx >= size_.load(std::memory_order_relaxed)) return false;
     if (claim_.compare_exchange_weak(cur, tag | (idx + 1),
                                      std::memory_order_acq_rel,
                                      std::memory_order_acquire)) {
@@ -60,7 +62,7 @@ void ThreadPool::run_index(std::uint64_t idx) {
   // The release increment orders everything fn(idx) wrote before the
   // caller's acquire read of done_ == n in end().
   const std::uint64_t d = done_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  if (d == size_) done_.notify_all();
+  if (d == size_.load(std::memory_order_relaxed)) done_.notify_all();
 }
 
 void ThreadPool::worker_loop() {
@@ -82,7 +84,7 @@ void ThreadPool::begin(std::size_t n,
   // every claimed index reported, and unclaimed stragglers bounce off the
   // generation tag. Plain stores are safe before the release publish.
   fn_ = &fn;
-  size_ = n;
+  size_.store(n, std::memory_order_relaxed);
   done_.store(0, std::memory_order_relaxed);
   const std::uint64_t g = gen_.load(std::memory_order_relaxed) + 1;
   claim_.store(g << kIndexBits, std::memory_order_relaxed);
@@ -101,7 +103,8 @@ void ThreadPool::end() {
   while (try_claim(g)) {
   }
   std::uint64_t d = done_.load(std::memory_order_acquire);
-  while (d < size_) {
+  const std::uint64_t n = size_.load(std::memory_order_relaxed);
+  while (d < n) {
     done_.wait(d, std::memory_order_acquire);
     d = done_.load(std::memory_order_acquire);
   }

@@ -93,9 +93,14 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   // Job payload: written by begin() before its release-store to gen_, read
-  // by workers after their acquire-load of gen_ — no further sync needed.
+  // by workers after their acquire-load of gen_. fn_ needs no further sync
+  // (it is only dereferenced after a successful generation-tagged claim).
+  // size_ is atomic because a straggler whose stale claim_ load still
+  // carries the old generation tag can reach its bound check while the
+  // next begin() rewrites size_; the stale value is harmless (the claim
+  // CAS fails structurally) but the access must still be race-free.
   const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t size_ = 0;
+  std::atomic<std::uint64_t> size_{0};
   bool active_ = false;  ///< between begin() and end(); caller thread only
 
   std::atomic<std::uint64_t> gen_{0};    ///< job generation; workers wait here

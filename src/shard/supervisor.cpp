@@ -28,6 +28,14 @@ Failure classify(RecvStatus st) {
   }
 }
 
+Failure classify_send(SendStatus st) {
+  switch (st) {
+    case SendStatus::kTimeout: return Failure::kHung;
+    case SendStatus::kMalformed: return Failure::kBabbling;
+    default: return Failure::kCrashed;
+  }
+}
+
 void append_json_u64(std::string* out, const char* key, std::uint64_t v,
                      const std::string& pad, bool last = false) {
   *out += pad + "\"" + key + "\": " + std::to_string(v) + (last ? "\n" : ",\n");
@@ -155,7 +163,9 @@ void ShardSupervisor::spawn_all() {
 
 bool ShardSupervisor::handshake(Worker& w, std::uint32_t shard, bool fresh) {
   Frame f;
-  const RecvStatus st = w.handle->link().recv(&f, opt_.heartbeat_ms);
+  // Boot (re-exec + recompile + machine construction) is not steady-state
+  // work: give the hello its own, generous deadline.
+  const RecvStatus st = w.handle->link().recv(&f, opt_.handshake_ms);
   if (st != RecvStatus::kOk || f.type != FrameType::kHello) return false;
   HelloPayload hello;
   if (!decode_hello(f.payload, &hello)) return false;
@@ -171,9 +181,23 @@ bool ShardSupervisor::handshake(Worker& w, std::uint32_t shard, bool fresh) {
   start.type = FrameType::kStart;
   start.shard = kSupervisorId;
   start.step = m_.stats().steps;
-  start.payload = encode_start(
-      StartPayload{w.owned, fresh ? std::vector<std::uint8_t>{} : checkpoint_});
-  return w.handle->link().send(start);
+  start.payload = encode_start(StartPayload{
+      w.owned, fresh ? std::vector<std::uint8_t>{} : checkpoint_,
+      static_cast<std::uint32_t>(opt_.heartbeat_ms)});
+  if (!w.handle->link().send(start)) return false;
+  // Boot-completion barrier: kStart processing is machine-sized work
+  // (checkpoint decode + restore), so the worker heartbeats when it is
+  // done and everything after this line runs under steady-state
+  // deadlines. Any heartbeat releases the barrier — a pulse tick during
+  // the restore already proves the worker is past the blob decode, and
+  // collect() tolerates the stragglers.
+  Frame ready;
+  const RecvStatus rs = w.handle->link().recv(&ready, opt_.handshake_ms);
+  if (rs != RecvStatus::kOk || ready.type != FrameType::kHeartbeat) {
+    return false;
+  }
+  ++stats_.heartbeats;
+  return true;
 }
 
 void ShardSupervisor::apply_injected_faults(StepId step) {
@@ -225,9 +249,14 @@ bool ShardSupervisor::collect(std::uint32_t shard, StepId step,
       *failure = classify(st);
       return false;
     }
-    if (f.type == FrameType::kHeartbeat && f.step == step) {
+    if (f.type == FrameType::kHeartbeat) {
+      // Any heartbeat resets the liveness deadline: the worker's
+      // compute-phase pulse is time-paced, so one stamped with the previous
+      // step can straddle the boundary — that is alive, not babble. Only
+      // the step-matched heartbeat answers begin-step for a groupless
+      // worker.
       ++stats_.heartbeats;
-      if (expected == 0) return true;  // groupless worker: alive is enough
+      if (expected == 0 && f.step == step) return true;
       continue;
     }
     if (f.type != FrameType::kBatch || f.step != step) {
@@ -338,13 +367,24 @@ void ShardSupervisor::handle_failure(std::uint32_t shard, Failure why) {
     for (std::uint32_t s = 0; s < workers_.size(); ++s) {
       Worker& w = workers_[s];
       if (!w.alive) continue;
-      if (!w.handle->link().send(rb)) {
-        failures.emplace_back(s, Failure::kCrashed);
+      // A survivor may itself be wedged mid-send — its socket buffer full
+      // of stale batch frames nobody collected once the step aborted — and
+      // the checkpoint blob can exceed our own buffer. A blocking send
+      // would deadlock both sides; send_draining writes while draining
+      // (and discarding) the survivor's stale frames, and an expiry
+      // classifies it hung. The whole resync runs under the boot-class
+      // handshake deadline, not the steady-state one: restoring a
+      // checkpoint is the same machine-sized work as a restart handshake,
+      // and the survivor's CRC pass over the blob happens inside its recv,
+      // where the compute-phase heartbeat pulse cannot cover it.
+      const SendStatus ss = w.handle->link().send_draining(rb, opt_.handshake_ms);
+      if (ss != SendStatus::kOk) {
+        failures.emplace_back(s, classify_send(ss));
         continue;
       }
       for (;;) {
         Frame f;
-        const RecvStatus st = w.handle->link().recv(&f, opt_.heartbeat_ms);
+        const RecvStatus st = w.handle->link().recv(&f, opt_.handshake_ms);
         if (st != RecvStatus::kOk) {
           failures.emplace_back(s, classify(st));
           break;

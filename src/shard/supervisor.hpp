@@ -57,6 +57,12 @@ using WorkerFactory =
 struct SupervisorOptions {
   std::uint32_t shards = 2;
   int heartbeat_ms = 2000;            ///< liveness deadline per worker recv
+  /// Deadline for the kHello of a freshly spawned worker. Separate from —
+  /// and far more generous than — the steady-state heartbeat deadline: a
+  /// forked worker must re-exec, recompile the program and boot its full
+  /// machine replica before it can say hello, and none of that scales with
+  /// the per-step compute the heartbeat deadline is tuned to.
+  int handshake_ms = 30'000;
   std::uint32_t restarts = 1;         ///< restart budget per shard
   std::uint64_t checkpoint_every = 64;  ///< steps between rewind points
   std::uint64_t max_steps = 1'000'000;

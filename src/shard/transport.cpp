@@ -23,19 +23,42 @@ const char* to_string(RecvStatus s) {
   return "?";
 }
 
+const char* to_string(SendStatus s) {
+  switch (s) {
+    case SendStatus::kOk: return "ok";
+    case SendStatus::kTimeout: return "timeout";
+    case SendStatus::kClosed: return "closed";
+    case SendStatus::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
 bool Transport::send(const Frame& f) {
   const std::vector<std::uint8_t> bytes = encode_frame(f);
+  std::lock_guard<std::mutex> lk(send_mu_);
   if (!send_bytes(bytes)) return false;
-  ++stats_.frames_sent;
-  stats_.bytes_sent += bytes.size();
+  if (f.type != FrameType::kHeartbeat) {
+    ++stats_.frames_sent;
+    stats_.bytes_sent += bytes.size();
+  }
   return true;
+}
+
+SendStatus Transport::send_draining(const Frame& f, int deadline_ms) {
+  const std::vector<std::uint8_t> bytes = encode_frame(f);
+  std::lock_guard<std::mutex> lk(send_mu_);
+  const SendStatus st = send_draining_bytes(bytes, deadline_ms);
+  if (st == SendStatus::kOk && f.type != FrameType::kHeartbeat) {
+    ++stats_.frames_sent;
+    stats_.bytes_sent += bytes.size();
+  }
+  return st;
 }
 
 RecvStatus Transport::recv(Frame* out, int deadline_ms) {
   std::vector<std::uint8_t> bytes;
   const RecvStatus st = recv_bytes(&bytes, deadline_ms);
   if (st != RecvStatus::kOk) return st;
-  stats_.bytes_received += bytes.size();
   if (corrupt_next_) {
     corrupt_next_ = false;
     // Flip a payload byte when there is one (caught by the CRC); a bare
@@ -47,7 +70,10 @@ RecvStatus Transport::recv(Frame* out, int deadline_ms) {
     ++stats_.malformed_frames;
     return RecvStatus::kMalformed;
   }
-  ++stats_.frames_received;
+  if (out->type != FrameType::kHeartbeat) {
+    ++stats_.frames_received;
+    stats_.bytes_received += bytes.size();
+  }
   return RecvStatus::kOk;
 }
 
@@ -154,6 +180,66 @@ class FdTransport final : public Transport {
     return true;
   }
 
+  SendStatus send_draining_bytes(const std::vector<std::uint8_t>& bytes,
+                                 int deadline_ms) override {
+    using Clock = std::chrono::steady_clock;
+    // Inactivity deadline, not total-transfer: the caller is detecting a
+    // dead peer, and a peer that keeps moving bytes (either direction) is
+    // alive no matter how large the blob or how slow the host. Every byte
+    // of progress re-arms the clock; only silence for deadline_ms times
+    // out.
+    auto deadline = Clock::now() + std::chrono::milliseconds(
+                                       deadline_ms < 0 ? 0 : deadline_ms);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      if (fd_ < 0) return SendStatus::kClosed;
+      int wait_ms = -1;
+      if (deadline_ms >= 0) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now());
+        wait_ms = static_cast<int>(left.count());
+        if (wait_ms < 0) return SendStatus::kTimeout;
+      }
+      struct pollfd pfd{fd_, POLLIN | POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, wait_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return SendStatus::kClosed;
+      }
+      if (pr == 0) return SendStatus::kTimeout;
+      if (pfd.revents & POLLIN) {
+        // The peer is mid-send itself: drain so it can progress to reading
+        // us. Everything drained here is stale by the caller's contract.
+        std::uint8_t buf[65536];
+        const ssize_t r = ::read(fd_, buf, sizeof buf);
+        if (r == 0) return SendStatus::kClosed;
+        if (r < 0 && errno != EINTR) return SendStatus::kClosed;
+        if (r > 0) {
+          pending_.insert(pending_.end(), buf, buf + r);
+          if (!discard_pending_frames()) return SendStatus::kMalformed;
+          deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+        }
+      }
+      if (pfd.revents & POLLOUT) {
+        const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                                 MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n < 0) {
+          if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+            continue;
+          }
+          return SendStatus::kClosed;
+        }
+        off += static_cast<std::size_t>(n);
+        if (n > 0) {
+          deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+        }
+      } else if (!(pfd.revents & POLLIN)) {
+        return SendStatus::kClosed;  // POLLERR/POLLHUP/POLLNVAL alone
+      }
+    }
+    return SendStatus::kOk;
+  }
+
   RecvStatus recv_bytes(std::vector<std::uint8_t>* out,
                         int deadline_ms) override {
     std::uint8_t hdr[kHeaderBytes];
@@ -161,15 +247,24 @@ class FdTransport final : public Transport {
     if (st != RecvStatus::kOk) return st;
     FrameHeader h;
     if (!decode_header(hdr, &h)) {
-      // The stream is byte-oriented: after an unparseable header the frame
-      // boundary is lost for good. Hand the raw header up so the base-class
-      // decode fails and counts it malformed; the supervisor kills the peer
+      // Unparseable header — bad magic/version/type, or a length above
+      // kMaxPayloadBytes (the len field is outside the CRC, so a corrupted
+      // length passes every other check and must never size an
+      // allocation). The stream is byte-oriented: the frame boundary is
+      // lost for good. Hand the raw header up so the base-class decode
+      // fails and counts it malformed; the supervisor kills the peer
       // (resynchronisation is not attempted).
       out->assign(hdr, hdr + kHeaderBytes);
       return RecvStatus::kOk;
     }
     out->assign(hdr, hdr + kHeaderBytes);
-    out->resize(kHeaderBytes + h.payload_len);
+    // payload_len <= kMaxPayloadBytes here, so the size cannot wrap; a
+    // failed allocation still classifies the peer, never kills us.
+    try {
+      out->resize(kHeaderBytes + h.payload_len);
+    } catch (const std::bad_alloc&) {
+      return RecvStatus::kMalformed;
+    }
     if (h.payload_len > 0) {
       st = read_exact(out->data() + kHeaderBytes, h.payload_len, deadline_ms);
       if (st != RecvStatus::kOk) return st;
@@ -178,11 +273,47 @@ class FdTransport final : public Transport {
   }
 
  private:
+  /// Strips complete frames from the drain buffer (counting data frames as
+  /// received), keeping any partial tail for the next read. False on an
+  /// unparseable header — the stream boundary is gone, the peer babbles.
+  bool discard_pending_frames() {
+    std::size_t at = 0;
+    while (pending_.size() - at >= kHeaderBytes) {
+      FrameHeader h;
+      if (!decode_header(pending_.data() + at, &h)) {
+        ++stats_.malformed_frames;
+        return false;
+      }
+      const std::size_t total = kHeaderBytes + h.payload_len;
+      if (pending_.size() - at < total) break;
+      if (h.type != FrameType::kHeartbeat) {
+        ++stats_.frames_received;
+        stats_.bytes_received += total;
+      }
+      at += total;
+    }
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(at));
+    return true;
+  }
+
   RecvStatus read_exact(std::uint8_t* dst, std::size_t n, int deadline_ms) {
     using Clock = std::chrono::steady_clock;
-    const auto deadline = Clock::now() + std::chrono::milliseconds(
-                                             deadline_ms < 0 ? 0 : deadline_ms);
+    // Inactivity deadline (see send_draining_bytes): a peer still
+    // delivering bytes of a large frame is alive; only silence for
+    // deadline_ms reads as a hang.
+    auto deadline = Clock::now() + std::chrono::milliseconds(
+                                       deadline_ms < 0 ? 0 : deadline_ms);
     std::size_t off = 0;
+    // Bytes drained (but not yet framed) during send_draining come first —
+    // they are earlier in the stream than anything still in the socket.
+    if (!pending_.empty()) {
+      const std::size_t take = std::min(n, pending_.size());
+      std::memcpy(dst, pending_.data(), take);
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + static_cast<std::ptrdiff_t>(take));
+      off = take;
+    }
     while (off < n) {
       if (fd_ < 0) return RecvStatus::kClosed;
       int wait_ms = -1;
@@ -206,11 +337,15 @@ class FdTransport final : public Transport {
       }
       if (r == 0) return RecvStatus::kClosed;  // EOF: peer died
       off += static_cast<std::size_t>(r);
+      if (deadline_ms >= 0) {
+        deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+      }
     }
     return RecvStatus::kOk;
   }
 
   int fd_;
+  std::vector<std::uint8_t> pending_;  ///< drained-but-unconsumed stream tail
 };
 
 }  // namespace

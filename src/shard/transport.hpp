@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 
 #include "shard/wire.hpp"
 
@@ -36,9 +37,23 @@ enum class RecvStatus : std::uint8_t {
 
 const char* to_string(RecvStatus s);
 
+/// Outcome of send_draining — the deadline-bounded send used where the
+/// peer may itself be blocked mid-send (the rollback resync).
+enum class SendStatus : std::uint8_t {
+  kOk,
+  kTimeout,    ///< deadline expired with the frame only partly written
+  kClosed,     ///< peer gone (EPIPE / EOF / severed queue)
+  kMalformed,  ///< a drained inbound frame had an unparseable header
+};
+
+const char* to_string(SendStatus s);
+
 /// Per-link traffic counters. Deterministic for a fault-free run (frame
 /// contents and counts depend only on the simulated execution), which is
 /// what makes the link-budget figure in the shard metrics reproducible.
+/// Heartbeat frames are keepalives, not data: they are excluded from every
+/// counter here precisely so the time-paced compute-phase pulse cannot
+/// perturb the deterministic budget.
 struct LinkStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_received = 0;
@@ -51,8 +66,20 @@ class Transport {
  public:
   virtual ~Transport() = default;
 
-  /// Encodes and sends one frame. False when the peer is gone.
+  /// Encodes and sends one frame. False when the peer is gone. Thread-safe
+  /// against other send()/send_draining() calls (whole frames never
+  /// interleave), so a worker's heartbeat pulse may share the link with its
+  /// batch sends. recv() stays single-consumer.
   bool send(const Frame& f);
+
+  /// Encodes and sends one frame, draining — and discarding — inbound
+  /// frames whenever the outbound path would otherwise block, under a
+  /// recv-style deadline. This is the deadlock breaker for the rollback
+  /// resync: the peer may be wedged mid-send with both socket buffers
+  /// full, and a plain blocking send would then wait on it forever. Only
+  /// call it where every inbound frame is known stale (the supervisor
+  /// discards everything up to kRollbackAck anyway).
+  SendStatus send_draining(const Frame& f, int deadline_ms);
 
   /// Receives one frame. `deadline_ms` < 0 blocks indefinitely; 0 polls.
   /// On kMalformed the link itself is still usable — the *peer* is suspect
@@ -72,11 +99,19 @@ class Transport {
  protected:
   /// Sends one complete encoded frame. False = peer gone.
   virtual bool send_bytes(const std::vector<std::uint8_t>& bytes) = 0;
+  /// send_draining's engine. The default suits transports whose sends
+  /// cannot block on the peer (the loopback queues are unbounded).
+  virtual SendStatus send_draining_bytes(const std::vector<std::uint8_t>& bytes,
+                                         int deadline_ms) {
+    (void)deadline_ms;
+    return send_bytes(bytes) ? SendStatus::kOk : SendStatus::kClosed;
+  }
   /// Receives one complete encoded frame (header + payload).
   virtual RecvStatus recv_bytes(std::vector<std::uint8_t>* out,
                                 int deadline_ms) = 0;
 
   LinkStats stats_;
+  std::mutex send_mu_;  ///< serializes whole-frame writes across threads
   bool corrupt_next_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 
+#include "common/check.hpp"
 #include "isa/instr.hpp"
 
 namespace tcfpn::shard {
@@ -566,6 +567,9 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
 }
 
 std::vector<std::uint8_t> encode_frame(const Frame& f) {
+  TCFPN_CHECK(f.payload.size() <= kMaxPayloadBytes, "shard frame payload of ",
+              f.payload.size(), " bytes exceeds the ", kMaxPayloadBytes,
+              "-byte wire ceiling");
   std::vector<std::uint8_t> out;
   out.reserve(kHeaderBytes + f.payload.size());
   Writer w(&out);
@@ -594,6 +598,10 @@ bool decode_header(const std::uint8_t* hdr, FrameHeader* out) {
   out->crc = r.u32();
   out->step = r.u64();
   out->payload_len = r.u64();
+  // The CRC covers step || payload only, so a damaged len passes every
+  // other check; bounding it here is what keeps receivers from allocating
+  // (or resizing past) an attacker-sized buffer.
+  if (out->payload_len > kMaxPayloadBytes) return false;
   return r.ok();
 }
 
@@ -640,6 +648,7 @@ std::vector<std::uint8_t> encode_start(const StartPayload& p) {
   Writer w(&out);
   w.bytes(p.owned);
   w.bytes(p.state);
+  w.u32(p.heartbeat_ms);
   return out;
 }
 
@@ -647,6 +656,7 @@ bool decode_start(const std::vector<std::uint8_t>& bytes, StartPayload* out) {
   Reader r(bytes.data(), bytes.size());
   out->owned = r.bytes();
   out->state = r.bytes();
+  out->heartbeat_ms = r.u32();
   return r.done();
 }
 

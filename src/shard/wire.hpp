@@ -24,6 +24,12 @@
 // sender's self-reported shard id, which receivers never trust anyway
 // (workers are indexed by link).
 //
+// The CRC does NOT cover the len field, so a corrupted length passes the
+// checksum: decode_header therefore rejects any len above kMaxPayloadBytes
+// outright. Receivers never allocate for — let alone read — a length the
+// header check has not bounded; a babbling peer costs at most one bounded
+// buffer, never heap corruption or std::bad_alloc.
+//
 // Payload codecs return false on malformed input instead of throwing — a
 // babbling peer must classify as kMalformed, never crash the supervisor.
 #pragma once
@@ -37,10 +43,17 @@
 namespace tcfpn::shard {
 
 inline constexpr std::uint32_t kMagic = 0x54434653u;  // "TCFS"
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
 /// `shard` header value used by the supervisor end of a link.
 inline constexpr std::uint32_t kSupervisorId = 0xffffffffu;
 inline constexpr std::size_t kHeaderBytes = 32;
+/// Hard ceiling on a frame's payload. Large enough for any checkpoint blob
+/// the supervisor itself can hold in memory, small enough that a corrupted
+/// len field (unprotected by the CRC) can never provoke a wrapping resize
+/// or an unbounded allocation. Senders enforce it too (TCFPN_CHECK), so a
+/// legitimately oversized frame fails loudly at the source instead of
+/// classifying the healthy receiver's peer as babbling.
+inline constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
 
 enum class FrameType : std::uint16_t {
   kHello = 1,    ///< worker -> supervisor: fingerprints (handshake)
@@ -103,10 +116,13 @@ struct HelloPayload {
 };
 
 /// kStart: per-group ownership mask plus an optional TCFCKPT state blob
-/// (empty = boot fresh; nonempty = restart-from-checkpoint).
+/// (empty = boot fresh; nonempty = restart-from-checkpoint), plus the
+/// supervisor's heartbeat deadline so the worker can pace its compute-phase
+/// heartbeat pulse (0 disables the pulse).
 struct StartPayload {
   std::vector<std::uint8_t> owned;
   std::vector<std::uint8_t> state;
+  std::uint32_t heartbeat_ms = 0;
 };
 
 /// kRollback: rewind to the blob, then retire `retires` in ascending order

@@ -1,5 +1,7 @@
 #include "shard/worker.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "common/log.hpp"
@@ -15,7 +17,77 @@ std::string lcat(std::uint32_t shard) {
   return "shard/worker" + std::to_string(shard);
 }
 
+/// Pulses begin()/end() around a compute phase, exception-safely.
+class PulseScope {
+ public:
+  PulseScope(HeartbeatPulse& p, StepId step) : p_(p) { p_.begin(step); }
+  ~PulseScope() { p_.end(); }
+
+ private:
+  HeartbeatPulse& p_;
+};
+
 }  // namespace
+
+HeartbeatPulse::HeartbeatPulse(Transport& t, std::uint32_t shard)
+    : t_(t), shard_(shard), thread_([this] { loop(); }) {}
+
+HeartbeatPulse::~HeartbeatPulse() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void HeartbeatPulse::configure(std::uint32_t heartbeat_ms) {
+  std::lock_guard<std::mutex> lk(m_);
+  // A quarter of the deadline: three pulses may be lost to scheduling
+  // jitter before the supervisor misclassifies the phase as a hang.
+  interval_ms_ = heartbeat_ms == 0
+                     ? 0
+                     : std::max(1, static_cast<int>(heartbeat_ms / 4));
+}
+
+void HeartbeatPulse::begin(StepId step) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    step_ = step;
+    active_ = true;
+  }
+  cv_.notify_all();
+}
+
+void HeartbeatPulse::end() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    active_ = false;
+  }
+  cv_.notify_all();
+}
+
+void HeartbeatPulse::loop() {
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    if (stop_) return;
+    if (!active_ || interval_ms_ <= 0) {
+      cv_.wait(lk);
+      continue;
+    }
+    if (cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_),
+                     [this] { return stop_ || !active_; })) {
+      continue;  // deactivated or stopping — no pulse for this window
+    }
+    Frame hb;
+    hb.type = FrameType::kHeartbeat;
+    hb.shard = shard_;
+    hb.step = step_;
+    lk.unlock();
+    t_.send(hb);  // a dead link is the main loop's problem, not the pulse's
+    lk.lock();
+  }
+}
 
 int serve_worker(machine::Machine& m, Transport& t, const WorkerConfig& wc) {
   Frame hello;
@@ -27,6 +99,7 @@ int serve_worker(machine::Machine& m, Transport& t, const WorkerConfig& wc) {
 
   std::vector<std::uint8_t> owned;
   bool started = false;
+  HeartbeatPulse pulse(t, wc.shard);
 
   for (;;) {
     Frame f;
@@ -46,12 +119,27 @@ int serve_worker(machine::Machine& m, Transport& t, const WorkerConfig& wc) {
       case FrameType::kStart: {
         StartPayload p;
         if (!decode_start(f.payload, &p)) return 1;
-        if (!p.state.empty()) {
-          m.set_shard_mode({});  // restore wants a non-sharded machine
-          m.restore_state(debug::deserialize(p.state));
+        pulse.configure(p.heartbeat_ms);
+        {
+          // Restoring a large checkpoint can outlast the heartbeat deadline
+          // the supervisor applies from the first collect onwards.
+          PulseScope scope(pulse, f.step);
+          if (!p.state.empty()) {
+            m.set_shard_mode({});  // restore wants a non-sharded machine
+            m.restore_state(debug::deserialize(p.state));
+          }
+          owned = p.owned;
+          m.set_shard_mode(owned);
         }
-        owned = p.owned;
-        m.set_shard_mode(owned);
+        // Boot-completion barrier: the supervisor's handshake waits (under
+        // its generous boot deadline) for this heartbeat before applying
+        // steady-state deadlines, so blob decode + restore — machine-sized
+        // work — can never eat into the first step's liveness budget.
+        Frame ready;
+        ready.type = FrameType::kHeartbeat;
+        ready.shard = wc.shard;
+        ready.step = f.step;
+        if (!t.send(ready)) return 1;
         started = true;
         break;
       }
@@ -70,25 +158,33 @@ int serve_worker(machine::Machine& m, Transport& t, const WorkerConfig& wc) {
                          std::to_string(m.stats().steps));
           return 1;
         }
-        if (!m.shard_begin_step()) {
-          // The supervisor's identical replica decided there was work; a
-          // disagreement means the replicas diverged.
-          obs::error(lcat(wc.shard), "replica divergence at begin-step");
-          return 1;
-        }
-        for (GroupId g = 0; g < owned.size(); ++g) {
-          if (!owned[g] || !m.group_alive(g)) continue;
-          Frame batch;
-          batch.type = FrameType::kBatch;
-          batch.shard = wc.shard;
-          batch.step = f.step;
-          batch.payload = encode_batch(m.shard_extract(g));
-          if (!t.send(batch)) return 1;
+        {
+          // The group phase is the heavy compute: keep pulsing so a slow
+          // (but healthy) step is never misclassified as hung.
+          PulseScope scope(pulse, f.step);
+          if (!m.shard_begin_step()) {
+            // The supervisor's identical replica decided there was work; a
+            // disagreement means the replicas diverged.
+            obs::error(lcat(wc.shard), "replica divergence at begin-step");
+            return 1;
+          }
+          for (GroupId g = 0; g < owned.size(); ++g) {
+            if (!owned[g] || !m.group_alive(g)) continue;
+            Frame batch;
+            batch.type = FrameType::kBatch;
+            batch.shard = wc.shard;
+            batch.step = f.step;
+            batch.payload = encode_batch(m.shard_extract(g));
+            if (!t.send(batch)) return 1;
+          }
         }
         break;
       }
 
       case FrameType::kCommit: {
+        // The merge runs against the next step's collect deadline on the
+        // supervisor side — pulse through it too.
+        PulseScope scope(pulse, f.step);
         std::vector<machine::ShardGroupBatch> batches;
         if (!decode_commit(f.payload, &batches)) return 1;
         for (const machine::ShardGroupBatch& b : batches) {
@@ -103,13 +199,18 @@ int serve_worker(machine::Machine& m, Transport& t, const WorkerConfig& wc) {
 
       case FrameType::kRollback: {
         RollbackPayload p;
-        if (!decode_rollback(f.payload, &p)) return 1;
-        m.set_shard_mode({});
-        m.restore_state(debug::deserialize(p.state));
-        for (GroupId g : p.retires) {
-          if (m.group_alive(g)) m.retire_group(g);
+        {
+          // Decoding the checkpoint blob is itself proportional to machine
+          // size — pulse from the first byte, not just through the restore.
+          PulseScope scope(pulse, f.step);
+          if (!decode_rollback(f.payload, &p)) return 1;
+          m.set_shard_mode({});
+          m.restore_state(debug::deserialize(p.state));
+          for (GroupId g : p.retires) {
+            if (m.group_alive(g)) m.retire_group(g);
+          }
+          m.set_shard_mode(owned);
         }
-        m.set_shard_mode(owned);
         Frame ack;
         ack.type = FrameType::kRollbackAck;
         ack.shard = wc.shard;

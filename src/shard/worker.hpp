@@ -3,7 +3,8 @@
 // A worker is a full machine replica driven entirely by supervisor frames:
 //
 //   -> kHello                       announce fingerprints
-//   <- kStart {owned, state?}       enter shard mode (restore blob if any)
+//   <- kStart {owned, state?, hb}   enter shard mode (restore blob if any),
+//                                   -> kHeartbeat when done (boot barrier)
 //   <- kBeginStep                   -> kHeartbeat, execute owned groups,
 //                                   -> one kBatch per owned alive group
 //   <- kCommit {all batches}        install non-owned batches, commit step
@@ -16,9 +17,21 @@
 // Protocol violations (a frame out of lockstep, a diverged replica) exit
 // nonzero; the supervisor observes the closed link and handles it like a
 // crash.
+//
+// Liveness during compute: kStart carries the supervisor's heartbeat
+// deadline, and a HeartbeatPulse thread keeps sending keepalives while the
+// worker is inside a compute phase (group execution, commit merge,
+// checkpoint restore). A step whose legitimate compute outlasts the
+// deadline therefore stays classified alive — only a worker that is truly
+// stopped (SIGSTOP, livelock, death) goes silent. Heartbeats never carry
+// state, and the transport excludes them from the deterministic link
+// budget, so the time-paced pulse cannot perturb any simulated artefact.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
+#include <thread>
 
 #include "machine/machine.hpp"
 #include "shard/transport.hpp"
@@ -29,6 +42,41 @@ struct WorkerConfig {
   std::uint32_t shard = 0;
   std::uint64_t config_fp = 0;   ///< machine::config_fingerprint of the replica
   std::uint64_t program_fp = 0;  ///< machine::program_fingerprint
+};
+
+/// Emits kHeartbeat frames from a helper thread while a compute phase runs
+/// (Transport::send is thread-safe, so the pulse shares the link with the
+/// main loop's batch sends). Paced at a quarter of the supervisor's
+/// announced deadline; inert until configure() is called with a nonzero
+/// deadline and between begin()/end() windows.
+class HeartbeatPulse {
+ public:
+  HeartbeatPulse(Transport& t, std::uint32_t shard);
+  ~HeartbeatPulse();
+
+  HeartbeatPulse(const HeartbeatPulse&) = delete;
+  HeartbeatPulse& operator=(const HeartbeatPulse&) = delete;
+
+  /// Sets the cadence from the supervisor's heartbeat deadline (kStart).
+  /// 0 disables the pulse.
+  void configure(std::uint32_t heartbeat_ms);
+  /// Starts pulsing, stamping frames with `step` (the one being computed).
+  void begin(StepId step);
+  /// Stops pulsing (idempotent).
+  void end();
+
+ private:
+  void loop();
+
+  Transport& t_;
+  const std::uint32_t shard_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  int interval_ms_ = 0;
+  bool active_ = false;
+  bool stop_ = false;
+  StepId step_ = 0;
+  std::thread thread_;
 };
 
 /// Runs the worker loop until kShutdown (returns 0) or a lost link /

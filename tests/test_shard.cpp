@@ -14,8 +14,13 @@
 //    heartbeat deadline and resolved or escalated to a "shard ..." SimError.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -212,11 +217,12 @@ TEST(ShardWire, HelloStartRollbackRoundTrip) {
   EXPECT_EQ(h2.config_fp, h.config_fp);
   EXPECT_EQ(h2.program_fp, h.program_fp);
 
-  StartPayload s{{1, 0, 0, 1}, {9, 8, 7}};
+  StartPayload s{{1, 0, 0, 1}, {9, 8, 7}, 2500};
   StartPayload s2;
   ASSERT_TRUE(decode_start(encode_start(s), &s2));
   EXPECT_EQ(s2.owned, s.owned);
   EXPECT_EQ(s2.state, s.state);
+  EXPECT_EQ(s2.heartbeat_ms, s.heartbeat_ms);
 
   RollbackPayload r{{5, 4, 3, 2, 1}, {2, 3}};
   RollbackPayload r2;
@@ -299,6 +305,96 @@ TEST(ShardTransport, MuteDropsWorkerFrames) {
   EXPECT_EQ(pair.worker_end->recv(&out, 1000), RecvStatus::kOk);
 }
 
+// The len field lies outside the CRC, so a corrupted length passes every
+// other header check. Without a hard bound the fd transport would resize to
+// a len-derived size: ~2^64 wraps the addition (heap corruption via
+// read_exact past the buffer), anything huge throws bad_alloc through the
+// supervisor. Both must classify as a babbling peer instead.
+TEST(ShardTransport, FdRejectsCorruptedOversizedLength) {
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  auto sup = make_fd_transport(sv[0]);
+  Frame f;
+  f.type = FrameType::kHeartbeat;
+  f.shard = 1;
+  f.step = 3;
+  const std::vector<std::uint8_t> bytes = encode_frame(f);
+  for (std::uint64_t len :
+       {~std::uint64_t{0}, ~std::uint64_t{0} - 15, kMaxPayloadBytes + 1}) {
+    std::vector<std::uint8_t> damaged = bytes;
+    for (int i = 0; i < 8; ++i) {
+      damaged[24 + i] = static_cast<std::uint8_t>(len >> (8 * i));
+    }
+    FrameHeader h;
+    EXPECT_FALSE(decode_header(damaged.data(), &h))
+        << "len " << len << " passed the header bound";
+    ASSERT_EQ(::send(sv[1], damaged.data(), damaged.size(), 0),
+              static_cast<ssize_t>(damaged.size()));
+    Frame out;
+    // Never hangs, never allocates len bytes, never throws: kMalformed.
+    EXPECT_EQ(sup->recv(&out, 1000), RecvStatus::kMalformed);
+  }
+  EXPECT_EQ(sup->stats().malformed_frames, 3u);
+  ::close(sv[1]);
+}
+
+// The rollback-resync deadlock: the worker is wedged mid-send (its socket
+// buffer full of stale batches nobody will collect) while the supervisor
+// must deliver a checkpoint blob larger than its own buffer. A blocking
+// send would deadlock both sides forever; send_draining must complete by
+// draining the stale frames, and the stream must stay framed afterwards
+// (partial-tail handoff from the drain buffer to recv).
+TEST(ShardTransport, SendDrainingBreaksMutualBackpressure) {
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  auto sup = make_fd_transport(sv[0]);
+  auto wrk = make_fd_transport(sv[1]);
+
+  Frame stale;
+  stale.type = FrameType::kBatch;
+  stale.shard = 0;
+  stale.step = 7;
+  stale.payload.assign(8192, 0xab);
+  constexpr int kStaleFrames = 256;  // ~2 MB: far beyond both buffers
+
+  std::thread worker([&] {
+    for (int i = 0; i < kStaleFrames; ++i) {
+      ASSERT_TRUE(wrk->send(stale)) << "stale frame " << i;
+    }
+    Frame rb;
+    ASSERT_EQ(wrk->recv(&rb, 30000), RecvStatus::kOk);
+    EXPECT_EQ(rb.type, FrameType::kRollback);
+    EXPECT_EQ(rb.step, 9u);
+    EXPECT_EQ(rb.payload.size(), std::size_t{1} << 20);
+    Frame ack;
+    ack.type = FrameType::kRollbackAck;
+    ack.shard = 0;
+    ack.step = rb.step;
+    ASSERT_TRUE(wrk->send(ack));
+  });
+
+  // Let the worker actually wedge before we start sending against it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Frame rb;
+  rb.type = FrameType::kRollback;
+  rb.shard = kSupervisorId;
+  rb.step = 9;
+  rb.payload.assign(std::size_t{1} << 20, 0xcd);
+  EXPECT_EQ(sup->send_draining(rb, 30000), SendStatus::kOk);
+
+  // Stale frames the drain did not consume still arrive whole and in
+  // order; the resync barrier is the ack.
+  Frame f;
+  for (;;) {
+    ASSERT_EQ(sup->recv(&f, 30000), RecvStatus::kOk);
+    if (f.type == FrameType::kRollbackAck) break;
+    ASSERT_EQ(f.type, FrameType::kBatch);
+    EXPECT_EQ(f.step, 7u);
+    EXPECT_EQ(f.payload, stale.payload);
+  }
+  worker.join();
+}
+
 TEST(ShardTransport, SeverClosesBothEnds) {
   LoopbackPair pair = make_loopback_pair();
   ASSERT_TRUE(pair.worker_end->send(sample_frame()));
@@ -310,6 +406,34 @@ TEST(ShardTransport, SeverClosesBothEnds) {
   EXPECT_EQ(pair.supervisor_end->recv(&out, 1000), RecvStatus::kClosed);
   EXPECT_FALSE(pair.worker_end->send(sample_frame()));
   EXPECT_EQ(pair.worker_end->recv(&out, 1000), RecvStatus::kClosed);
+}
+
+// A compute phase longer than the heartbeat deadline must not read as a
+// hang: the pulse thread keeps the link warm between begin()/end(), stamps
+// the step being computed, and leaves the deterministic link budget
+// untouched (keepalives are excluded from LinkStats on both ends).
+TEST(ShardWorkerTest, HeartbeatPulseKeepsLinkAliveDuringCompute) {
+  LoopbackPair pair = make_loopback_pair();
+  HeartbeatPulse pulse(*pair.worker_end, 1);
+  pulse.configure(40);  // pulses every ~10 ms
+  pulse.begin(5);
+  Frame out;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(pair.supervisor_end->recv(&out, 1000), RecvStatus::kOk)
+        << "pulse " << i << " never arrived";
+    EXPECT_EQ(out.type, FrameType::kHeartbeat);
+    EXPECT_EQ(out.shard, 1u);
+    EXPECT_EQ(out.step, 5u);
+  }
+  pulse.end();
+  // Drain whatever was in flight when end() landed; then silence.
+  while (pair.supervisor_end->recv(&out, 50) == RecvStatus::kOk) {
+    EXPECT_EQ(out.type, FrameType::kHeartbeat);
+  }
+  EXPECT_EQ(pair.supervisor_end->recv(&out, 100), RecvStatus::kTimeout);
+  // Keepalives are invisible to the link budget.
+  EXPECT_EQ(pair.worker_end->stats().frames_sent, 0u);
+  EXPECT_EQ(pair.supervisor_end->stats().frames_received, 0u);
 }
 
 // ----- fault-free bit-identity -----

@@ -51,6 +51,7 @@ struct Options {
   // ---- sharded execution (tcfrun only; DESIGN.md §14) ----
   std::uint32_t shards = 1;          ///< --shards: worker processes
   std::uint64_t shard_heartbeat_ms = 2000;  ///< liveness deadline
+  std::uint64_t shard_handshake_ms = 30'000;  ///< boot-hello deadline
   std::uint32_t shard_restarts = 1;  ///< restart budget per shard
   std::uint64_t shard_checkpoint_every = 64;  ///< steps between rewind points
   bool shard_loopback = false;  ///< threads + loopback instead of fork+exec
@@ -121,6 +122,10 @@ inline void usage(const char* tool, const char* what) {
       "                    crashed/hung/babbling workers restart from the\n"
       "                    last checkpoint or degrade deterministically\n"
       "  --shard-heartbeat-ms=N  worker liveness deadline (default 2000)\n"
+      "  --shard-handshake-ms=N  boot handshake deadline — covers a fresh\n"
+      "                          worker's exec+compile+boot, so it is\n"
+      "                          independent of (and far above) the\n"
+      "                          steady-state heartbeat (default 30000)\n"
       "  --shard-restarts=N      restart budget per shard before the shard\n"
       "                          degrades (default 1)\n"
       "  --shard-checkpoint-every=N  steps between supervisor checkpoints\n"
@@ -382,6 +387,11 @@ inline bool parse_args(int argc, char** argv, const char* tool,
     } else if (sharded_tool && parse_flag(arg, "shard-heartbeat-ms", &v)) {
       if (!parse_uint(v, "shard-heartbeat-ms", 1, 600'000,
                       &opt->shard_heartbeat_ms)) {
+        return false;
+      }
+    } else if (sharded_tool && parse_flag(arg, "shard-handshake-ms", &v)) {
+      if (!parse_uint(v, "shard-handshake-ms", 1, 3'600'000,
+                      &opt->shard_handshake_ms)) {
         return false;
       }
     } else if (sharded_tool && parse_flag(arg, "shard-restarts", &v)) {

@@ -174,6 +174,7 @@ int main(int argc, char** argv) {
       shard::SupervisorOptions sopt;
       sopt.shards = opt.shards;
       sopt.heartbeat_ms = static_cast<int>(opt.shard_heartbeat_ms);
+      sopt.handshake_ms = static_cast<int>(opt.shard_handshake_ms);
       sopt.restarts = opt.shard_restarts;
       sopt.checkpoint_every = opt.shard_checkpoint_every;
       sopt.max_steps = opt.max_steps;
